@@ -1,0 +1,32 @@
+"""Ablation A2 — BDD computed-table (memoization) on vs off.
+
+Every classic BDD package memoizes ``ite``; this quantifies what that buys
+on the AFS-2 server pipeline.
+"""
+
+from repro.casestudies.afs2 import server_source
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_module
+
+
+def _build(cache_enabled: bool) -> int:
+    model = SmvModel(parse_module(server_source(2, rename=False)))
+    sym = to_symbolic(model)
+    sym.bdd.cache_enabled = cache_enabled
+    sym.bdd.clear_caches()
+    # re-do a representative heavy operation: the reflexive closure and a
+    # pre-image sweep over the whole space
+    t = sym.bdd.apply("or", sym.transition, sym.identity_relation())
+    pre = sym.pre_image(sym.bdd.var(sym.atoms[0]))
+    return sym.bdd.node_count(t) + sym.bdd.node_count(pre)
+
+
+def test_a2_with_computed_table(benchmark):
+    size = benchmark(_build, True)
+    assert size > 0
+
+
+def test_a2_without_computed_table(benchmark):
+    size = benchmark(_build, False)
+    assert size > 0

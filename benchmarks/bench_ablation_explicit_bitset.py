@@ -1,0 +1,59 @@
+"""Ablation A1 — NumPy bitset labeling vs pure-Python set fixpoints.
+
+The explicit checker's design choice (DESIGN.md §4): state sets are NumPy
+boolean vectors and the EX operator is a vectorized scatter.  This bench
+compares it against a straightforward set-of-frozensets implementation of
+the same ``E[p U q]`` fixpoint on a mid-sized composed system.
+"""
+
+import pytest
+
+from repro.casestudies.mutex import TokenRing
+from repro.checking.explicit import ExplicitChecker
+from repro.logic.ctl import EU, Not, TRUE
+
+
+def _workload():
+    ring = TokenRing(4)
+    composite = ring.composite()
+    goal = ring.crit(2)
+    return composite, goal
+
+
+def test_a1_numpy_bitset_eu(benchmark):
+    composite, goal = _workload()
+
+    def run():
+        ck = ExplicitChecker(composite)
+        return int(ck.states_satisfying(EU(TRUE, goal)).sum())
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_a1_pure_python_sets_eu(benchmark):
+    composite, goal = _workload()
+
+    def run():
+        # naive labeling: sets of frozensets, per-state predecessor scans
+        ck = ExplicitChecker(composite)  # reuse only for atom evaluation
+        import numpy as np
+
+        goal_vec = ck.states_satisfying(goal)
+        q = {
+            ck.state_of_index(int(i)) for i in np.flatnonzero(goal_vec)
+        }
+        out = set(q)
+        changed = True
+        while changed:
+            changed = False
+            for s in composite.states():
+                if s in out:
+                    continue
+                if any(t in out for t in composite.successors(s)):
+                    out.add(s)
+                    changed = True
+        return len(out)
+
+    count = benchmark(run)
+    assert count > 0

@@ -1,0 +1,49 @@
+"""Ablation A4 — fused relational product vs materialized conjunction.
+
+``SymbolicSystem.pre_image`` uses the fused ``and_exists`` (conjunction
+and quantification in one recursion).  The ablation materializes
+``T ∧ S'`` first and quantifies afterwards — the textbook pessimization.
+The target state set is an xor-chain over all atoms (a large, irregular
+set) so the intermediate conjunction actually grows.
+"""
+
+from repro.casestudies.afs2 import server_source
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_module
+from repro.systems.symbolic import primed
+
+
+def _setup():
+    model = SmvModel(parse_module(server_source(3, rename=False)))
+    sym = to_symbolic(model)
+    target = sym.bdd.var(sym.atoms[0])
+    for a in sym.atoms[1:]:
+        target = sym.bdd.apply("xor", target, sym.bdd.var(a))
+    return sym, target
+
+
+def test_a4_fused_and_exists(benchmark):
+    sym, target = _setup()
+
+    def run():
+        sym.bdd.clear_caches()
+        return sym.pre_image(target)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_a4_materialized_conjunction(benchmark):
+    sym, target = _setup()
+    next_vars = [primed(a) for a in sym.atoms]
+
+    def run():
+        sym.bdd.clear_caches()
+        s_next = sym.bdd.rename(target, {a: primed(a) for a in sym.atoms})
+        conj = sym.bdd.apply("and", sym.transition, s_next)
+        return sym.bdd.exists(next_vars, conj)
+
+    unfused = benchmark(run)
+    fused = sym.pre_image(target)
+    assert unfused == fused  # same function, different cost

@@ -1,0 +1,43 @@
+"""Experiments P1/P2 — the end-to-end compositional proofs of Section 4.
+
+P1: AFS-1 safety (Afs1) and liveness (Afs2), machine-checked from
+component obligations only.  P2: AFS-2 safety for n clients.  Each bench
+also reports how many model-checking obligations the proof needed —
+the quantity the paper argues stays linear in the number of components.
+"""
+
+import pytest
+
+from repro.casestudies.afs1 import prove_afs1_liveness, prove_afs1_safety
+from repro.casestudies.afs2 import prove_afs2_safety
+
+
+def _num_obligations(pf):
+    return len(
+        {
+            id(o)
+            for s in pf.log
+            for leaf in s.leaves()
+            for o in leaf.obligations
+        }
+    )
+
+
+def test_p1_afs1_safety_proof(benchmark):
+    pf, afs1 = benchmark(prove_afs1_safety)
+    assert "AG" in str(afs1.formula)
+    assert _num_obligations(pf) == 2  # one per component
+
+
+def test_p1_afs1_liveness_proof(benchmark):
+    pf, afs2 = benchmark(prove_afs1_liveness)
+    assert "AF" in str(afs2.formula)
+    # 7 rule-4 links: one EX premise + 2 universal checks each
+    assert _num_obligations(pf) == 21
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_p2_afs2_safety_proof(benchmark, n):
+    pf, afs1 = benchmark(prove_afs2_safety, n)
+    assert "AG" in str(afs1.formula)
+    assert _num_obligations(pf) == n + 1  # linear in the component count

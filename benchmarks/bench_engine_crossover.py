@@ -1,0 +1,47 @@
+"""Extension bench A6 — explicit vs symbolic engine crossover.
+
+The explicit (NumPy bitset) checker wins on small alphabets; the symbolic
+(BDD) checker's advantage grows with state-space size.  Sweeping the
+token-ring mutex safety check over ring sizes locates the crossover for
+this workload.
+"""
+
+import pytest
+
+from repro.casestudies.mutex import TokenRing
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.symbolic import SymbolicChecker
+from repro.logic.ctl import AG
+from repro.logic.restriction import Restriction
+from repro.systems.symbolic import SymbolicSystem
+
+NS = [2, 3, 4]
+
+
+def _workload(n):
+    ring = TokenRing(n)
+    composite = ring.composite()
+    target = AG(ring.mutex_invariant())
+    restriction = Restriction(init=ring.initial())
+    return composite, target, restriction
+
+
+@pytest.mark.parametrize("n", NS)
+def test_a6_explicit_engine(benchmark, n):
+    composite, target, restriction = _workload(n)
+
+    def run():
+        return ExplicitChecker(composite).holds(target, restriction)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("n", NS)
+def test_a6_symbolic_engine(benchmark, n):
+    composite, target, restriction = _workload(n)
+    sym = SymbolicSystem.from_explicit(composite)
+
+    def run():
+        return SymbolicChecker(sym).holds(target, restriction)
+
+    assert benchmark(run)

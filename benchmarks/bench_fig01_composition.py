@@ -1,0 +1,26 @@
+"""Experiment F1 — paper Figure 1: interleaving composition of two toggles.
+
+Regenerates the composite relation the paper enumerates and benchmarks the
+composition operator (explicit and symbolic).
+"""
+
+from repro.casestudies.figures import (
+    figure1_expected_composition,
+    figure1_m,
+    figure1_m_prime,
+)
+from repro.systems.compose import compose
+from repro.systems.symbolic import SymbolicSystem, symbolic_compose
+
+
+def test_fig01_explicit_composition(benchmark):
+    m, mp = figure1_m(), figure1_m_prime()
+    got = benchmark(compose, m, mp)
+    assert got == figure1_expected_composition()
+
+
+def test_fig01_symbolic_composition(benchmark):
+    m = SymbolicSystem.from_explicit(figure1_m())
+    mp = SymbolicSystem.from_explicit(figure1_m_prime())
+    got = benchmark(symbolic_compose, m, mp)
+    assert got.to_explicit() == figure1_expected_composition()

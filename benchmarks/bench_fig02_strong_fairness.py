@@ -1,0 +1,37 @@
+"""Experiment F2 — paper Figure 2: progress needing strong fairness (Rule 5).
+
+The cycle system cannot be handled by Rule 4 (its EX premise fails); Rule 5
+applies and its conclusion holds under the progress restriction.
+"""
+
+from repro.casestudies.figures import (
+    figure2_p,
+    figure2_p_disjuncts,
+    figure2_q,
+    figure2_system,
+)
+from repro.checking.explicit import ExplicitChecker
+from repro.compositional.rules import (
+    progress_restriction,
+    rule4_premise,
+    rule5_premise,
+)
+from repro.logic.ctl import AU, Implies
+
+
+def test_fig02_rule5_progress_check(benchmark):
+    system = figure2_system()
+    p, q = figure2_p(), figure2_q()
+    restriction = progress_restriction(p, q)
+
+    def run():
+        ck = ExplicitChecker(system)
+        rule4_ok = bool(ck.holds(rule4_premise(p, q)))
+        rule5_ok = bool(ck.holds(rule5_premise(figure2_p_disjuncts(), q, 0)))
+        progress = bool(ck.holds(Implies(p, AU(p, q)), restriction))
+        return rule4_ok, rule5_ok, progress
+
+    rule4_ok, rule5_ok, progress = benchmark(run)
+    assert not rule4_ok   # weak fairness insufficient — the paper's point
+    assert rule5_ok
+    assert progress

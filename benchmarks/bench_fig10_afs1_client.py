@@ -1,0 +1,16 @@
+"""Experiment F8–F10 — paper Figures 8/9/10: model checking the AFS-1 client.
+
+Paper reference values: all 6 specs true, 330 BDD nodes allocated,
+34 + 7 transition nodes.
+"""
+
+from repro.casestudies.afs1 import check_client_figure
+
+
+def test_fig10_afs1_client_output(benchmark):
+    report = benchmark(check_client_figure)
+    print()
+    print(report.format())
+    assert report.all_true
+    assert len(report.results) == 6
+    assert 100 < report.bdd_nodes_allocated < 4000

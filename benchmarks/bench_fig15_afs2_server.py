@@ -1,0 +1,19 @@
+"""Experiment F12/F14/F15 — paper Figures 12/14/15: AFS-2 server checks.
+
+Paper reference values: Srv1 and Srv2 true, 2737 BDD nodes allocated,
+1145 + 6 transition nodes.  The AFS-2 server is roughly an order of
+magnitude larger than the AFS-1 server — that relation must reproduce.
+"""
+
+from repro.casestudies.afs1 import check_server_figure as afs1_server
+from repro.casestudies.afs2 import check_server_figure
+
+
+def test_fig15_afs2_server_output(benchmark):
+    report = benchmark(check_server_figure)
+    print()
+    print(report.format())
+    assert report.all_true
+    assert len(report.results) == 2
+    # shape: AFS-2 server is much bigger than the AFS-1 server
+    assert report.transition_nodes > 3 * afs1_server().transition_nodes

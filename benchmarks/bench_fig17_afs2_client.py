@@ -1,0 +1,16 @@
+"""Experiment F13/F16/F17 — paper Figures 13/16/17: AFS-2 client check.
+
+Paper reference values: Cli1 true, 592 BDD nodes allocated, 120 + 6
+transition nodes.
+"""
+
+from repro.casestudies.afs2 import check_client_figure
+
+
+def test_fig17_afs2_client_output(benchmark):
+    report = benchmark(check_client_figure)
+    print()
+    print(report.format())
+    assert report.all_true
+    assert len(report.results) == 1
+    assert 100 < report.bdd_nodes_allocated < 6000

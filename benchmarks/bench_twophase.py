@@ -1,0 +1,29 @@
+"""Extension bench — two-phase commit proofs, parametric in n.
+
+Not a paper figure: exercises the engine's liveness rules beyond the
+paper's chains (stable-goal conjunction over unordered interleavings) and
+tracks the same linear-obligations shape as D1.
+"""
+
+import pytest
+
+from repro.casestudies.twophase import TwoPhaseCommit
+
+
+def _num_obligations(pf):
+    return len(
+        {id(o) for s in pf.log for leaf in s.leaves() for o in leaf.obligations}
+    )
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_twophase_atomicity(benchmark, n):
+    pf, result = benchmark(lambda: TwoPhaseCommit(n).prove_atomicity())
+    assert "AG" in str(result.formula)
+    assert _num_obligations(pf) == n + 1
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_twophase_termination(benchmark, n):
+    pf, result = benchmark(lambda: TwoPhaseCommit(n).prove_termination())
+    assert "AF" in str(result.formula)

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """All items in this directory are benchmarks."""
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)

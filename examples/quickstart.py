@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: systems, composition, CTL checking, and one Rule-4 proof.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExplicitChecker,
+    Restriction,
+    SymbolicChecker,
+    SymbolicSystem,
+    System,
+    compose,
+    parse_ctl,
+)
+from repro.compositional import CompositionProof
+from repro.logic.ctl import Not, atom
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Systems are (Σ, R): states = subsets of Σ, R reflexive.
+    #    This is the paper's Figure 1 pair of one-bit toggles.
+    # ------------------------------------------------------------------
+    m = System.from_pairs({"x"}, [((), ("x",)), (("x",), ())])
+    m_prime = System.from_pairs({"y"}, [((), ("y",)), (("y",), ())])
+    print(f"M  = {m}")
+    print(f"M' = {m_prime}")
+
+    # ------------------------------------------------------------------
+    # 2. Interleaving composition: each step moves one component.
+    # ------------------------------------------------------------------
+    composite = compose(m, m_prime)
+    print(f"M ∘ M' = {composite}")
+
+    # ------------------------------------------------------------------
+    # 3. Model check CTL — explicit (NumPy) and symbolic (BDD) engines.
+    # ------------------------------------------------------------------
+    spec = parse_ctl("!x & !y -> EX (x & !y)")
+    explicit = ExplicitChecker(composite).holds(spec)
+    symbolic = SymbolicChecker(SymbolicSystem.from_explicit(composite)).holds(spec)
+    print(f"\nexplicit: {explicit.format()}")
+    print(f"symbolic: {symbolic.format()}")
+    print(symbolic.stats.format())
+
+    # ------------------------------------------------------------------
+    # 4. Fairness: stuttering defeats AF x, the restriction restores it.
+    # ------------------------------------------------------------------
+    af_x = parse_ctl("AF x")
+    plain = ExplicitChecker(m).holds(af_x)
+    fair = ExplicitChecker(m).holds(af_x, Restriction(fairness=(parse_ctl("x"),)))
+    print(f"\nAF x without fairness: {bool(plain)} (stuttering wins)")
+    print(f"AF x with fairness {{x}}: {bool(fair)}")
+
+    # ------------------------------------------------------------------
+    # 5. Compositional verification: prove a progress property of the
+    #    composite from *component* checks only (Rule 4), then have the
+    #    engine re-verify every conclusion on the real product.
+    # ------------------------------------------------------------------
+    riser = System.from_pairs({"x"}, [((), ("x",))])  # x can only rise
+    pf = CompositionProof({"riser": riser, "env": m_prime})
+    p, q = Not(atom("x")), atom("x")
+    guarantee = pf.guarantee_rule4("riser", p, q)
+    print(f"\nRule 4 gives: {guarantee.guarantee}")
+    rhs = pf.discharge(guarantee)
+    progress = pf.af_weaken(pf.chain([pf.project(rhs, 0)]), q)
+    print(f"derived:      {progress}")
+
+    print("\ncross-checking every conclusion on the product system:")
+    for proven, check in pf.verify_monolithic():
+        print(f"  {'OK ' if check else 'FAIL'} {proven.prop}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Non-compositional baselines for comparison benchmarks."""
+
+from repro.baselines.monolithic import MonolithicReport, check_monolithic
+
+__all__ = ["check_monolithic", "MonolithicReport"]

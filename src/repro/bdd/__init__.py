@@ -1,0 +1,31 @@
+"""From-scratch ROBDD engine — the symbolic checker's substrate.
+
+Public surface:
+
+* :class:`~repro.bdd.manager.BDD` — manager (variables, unique table, ops)
+* :data:`~repro.bdd.manager.TRUE` / :data:`~repro.bdd.manager.FALSE`
+* :func:`~repro.bdd.ops.transfer`, :func:`~repro.bdd.ops.evaluate`,
+  :func:`~repro.bdd.ops.implies`, :func:`~repro.bdd.ops.dnf`
+* :func:`~repro.bdd.reorder.sift`, :func:`~repro.bdd.reorder.rebuild_with_order`
+* :func:`~repro.bdd.dot.to_dot`
+"""
+
+from repro.bdd.dot import to_dot
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.ops import dnf, equiv, evaluate, implies, transfer
+from repro.bdd.reorder import rebuild_with_order, shared_size, sift
+
+__all__ = [
+    "BDD",
+    "TRUE",
+    "FALSE",
+    "transfer",
+    "evaluate",
+    "implies",
+    "equiv",
+    "dnf",
+    "sift",
+    "rebuild_with_order",
+    "shared_size",
+    "to_dot",
+]

@@ -1,0 +1,46 @@
+"""Graphviz (DOT) export for BDDs — debugging and documentation aid."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bdd.manager import BDD
+
+
+def to_dot(bdd: BDD, roots: Sequence[int], names: Sequence[str] | None = None) -> str:
+    """Render the shared DAG of ``roots`` as a DOT digraph string.
+
+    Dashed edges are else-branches (variable false), solid edges are
+    then-branches.  ``names`` optionally labels the roots.
+    """
+    lines = [
+        "digraph bdd {",
+        '  rankdir=TB;',
+        '  node [shape=circle];',
+        '  f [label="0", shape=box];',
+        '  t [label="1", shape=box];',
+    ]
+    seen: set[int] = set()
+    stack = [r for r in roots if r > 1]
+
+    def nid(n: int) -> str:
+        return {0: "f", 1: "t"}.get(n, f"n{n}")
+
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        label = bdd.name_of(bdd.level(n))
+        lines.append(f'  n{n} [label="{label}"];')
+        lines.append(f"  n{n} -> {nid(bdd.low(n))} [style=dashed];")
+        lines.append(f"  n{n} -> {nid(bdd.high(n))};")
+        for child in (bdd.low(n), bdd.high(n)):
+            if child > 1 and child not in seen:
+                stack.append(child)
+    for i, root in enumerate(roots):
+        name = names[i] if names else f"root{i}"
+        lines.append(f'  r{i} [label="{name}", shape=plaintext];')
+        lines.append(f"  r{i} -> {nid(root)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Bridge from propositional :mod:`repro.logic` formulas to BDDs."""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.errors import LogicError
+from repro.logic.ctl import (
+    And,
+    Atom,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+
+
+def prop_to_bdd(bdd: BDD, f: Formula) -> int:
+    """Compile a propositional formula to a BDD.
+
+    Atoms must be declared variables of ``bdd``; temporal operators raise
+    :class:`LogicError` (this bridge is used for transition-relation and
+    initial-condition construction, which are propositional by nature).
+    """
+    if isinstance(f, Const):
+        return TRUE if f.value else FALSE
+    if isinstance(f, Atom):
+        return bdd.var(f.name)
+    if isinstance(f, Not):
+        return bdd.negate(prop_to_bdd(bdd, f.operand))
+    if isinstance(f, And):
+        return bdd.apply("and", prop_to_bdd(bdd, f.left), prop_to_bdd(bdd, f.right))
+    if isinstance(f, Or):
+        return bdd.apply("or", prop_to_bdd(bdd, f.left), prop_to_bdd(bdd, f.right))
+    if isinstance(f, Implies):
+        return bdd.apply(
+            "implies", prop_to_bdd(bdd, f.left), prop_to_bdd(bdd, f.right)
+        )
+    if isinstance(f, Iff):
+        return bdd.apply("iff", prop_to_bdd(bdd, f.left), prop_to_bdd(bdd, f.right))
+    raise LogicError(
+        f"prop_to_bdd: {type(f).__name__} is not a propositional connective"
+    )

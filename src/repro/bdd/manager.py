@@ -1,0 +1,506 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This is the substrate of the symbolic model checker, playing the role that
+the CUDD-style package plays inside SMV in the paper.  It is a classic
+hash-consed ROBDD implementation:
+
+* nodes are small integers; ``0`` is the constant FALSE and ``1`` the
+  constant TRUE;
+* every internal node is a triple ``(level, low, high)`` interned in a
+  *unique table*, so structural equality is pointer (integer) equality;
+* all boolean operations are built on a memoized ``ite`` (if-then-else);
+* quantification, renaming and the fused relational product
+  (:meth:`BDD.and_exists`) are provided for image computation.
+
+The manager keeps the statistics the paper's figures report: the total
+number of nodes ever allocated (``nodes_allocated``) mirrors SMV's
+"BDD nodes allocated" line, and :meth:`BDD.node_count` of a transition
+relation mirrors "BDD nodes representing transition relation".
+
+Performance notes (per the project's HPC guidelines): the hot path is the
+``ite`` recursion; it uses flat list storage for node fields (no per-node
+objects), dict-based memoization, and avoids any copying of intermediate
+structures.  Recursion depth is bounded by the number of variables, which
+is small (tens) for the systems in this domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import BddError
+
+#: Constant node id for FALSE.
+FALSE = 0
+#: Constant node id for TRUE.
+TRUE = 1
+
+#: Level assigned to the two terminal nodes; larger than any variable level.
+_TERMINAL_LEVEL = 1 << 30
+
+
+class BDD:
+    """A BDD manager: variable ordering, unique table, and operations.
+
+    Variables are created with :meth:`add_var` and are ordered by creation
+    order (creation order == level, level 0 at the top).  All node ids
+    returned by one manager are only meaningful for that manager; use
+    :func:`repro.bdd.ops.transfer` to move functions between managers.
+
+    Example
+    -------
+    >>> b = BDD()
+    >>> x, y = b.add_var("x"), b.add_var("y")
+    >>> f = b.apply("and", b.var("x"), b.var("y"))
+    >>> b.sat_count(f)
+    1.0
+    """
+
+    def __init__(self) -> None:
+        # Parallel arrays for node fields.  Slots 0/1 are the terminals.
+        self._level: list[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        # unique table: (level, low, high) -> node id
+        self._unique: dict[tuple[int, int, int], int] = {}
+        # memo tables
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._quant_cache: dict[tuple[int, int, frozenset[int]], int] = {}
+        self._and_exists_cache: dict[tuple[int, int, frozenset[int]], int] = {}
+        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
+        # variables
+        self._var_names: list[str] = []
+        self._var_index: dict[str, int] = {}
+        # statistics
+        self.nodes_allocated: int = 2  # terminals count, like SMV's base cost
+        self.cache_enabled: bool = True
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Declare a new variable at the bottom of the order; return its level."""
+        if name in self._var_index:
+            raise BddError(f"variable {name!r} already declared")
+        level = len(self._var_names)
+        self._var_names.append(name)
+        self._var_index[name] = level
+        return level
+
+    def declare(self, *names: str) -> None:
+        """Declare several variables in order (convenience for tests)."""
+        for name in names:
+            self.add_var(name)
+
+    @property
+    def var_names(self) -> tuple[str, ...]:
+        """All declared variable names, top of the order first."""
+        return tuple(self._var_names)
+
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        """Level (position in the order) of variable ``name``."""
+        try:
+            return self._var_index[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+
+    def name_of(self, level: int) -> str:
+        """Variable name at ``level``."""
+        return self._var_names[level]
+
+    def var(self, name: str) -> int:
+        """The BDD of the literal ``name`` (a single positive variable)."""
+        return self._mk(self.level_of(name), FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """The BDD of the negative literal ``!name``."""
+        return self._mk(self.level_of(name), TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # node construction / inspection
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (reduction applied)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+            self.nodes_allocated += 1
+        return node
+
+    def level(self, u: int) -> int:
+        """Level of node ``u`` (terminals have a sentinel maximal level)."""
+        return self._level[u]
+
+    def low(self, u: int) -> int:
+        """Else-branch (variable false) of node ``u``."""
+        return self._low[u]
+
+    def high(self, u: int) -> int:
+        """Then-branch (variable true) of node ``u``."""
+        return self._high[u]
+
+    def is_terminal(self, u: int) -> bool:
+        """True iff ``u`` is one of the constants FALSE/TRUE."""
+        return u <= 1
+
+    def node_count(self, u: int) -> int:
+        """Number of distinct internal nodes reachable from ``u``.
+
+        This is the metric SMV prints as "BDD nodes representing transition
+        relation" (terminals excluded).
+        """
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return len(seen)
+
+    def num_live_nodes(self) -> int:
+        """Total internal nodes currently interned (no GC is performed)."""
+        return len(self._level) - 2
+
+    def clear_caches(self) -> None:
+        """Drop all memoization tables (unique table is kept)."""
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+        self._and_exists_cache.clear()
+        self._rename_cache.clear()
+
+    # ------------------------------------------------------------------
+    # core operation: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h`` — the universal ROBDD connective."""
+        # terminal cases
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        if self.cache_enabled:
+            cached = self._ite_cache.get(key)
+            if cached is not None:
+                return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(level, low, high)
+        if self.cache_enabled:
+            self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, level: int) -> tuple[int, int]:
+        """(u|var=0, u|var=1) for the variable at ``level``."""
+        if self._level[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # ------------------------------------------------------------------
+    # derived boolean operations
+    # ------------------------------------------------------------------
+    def negate(self, u: int) -> int:
+        """Logical negation."""
+        return self.ite(u, FALSE, TRUE)
+
+    def apply(self, op: str, u: int, v: int) -> int:
+        """Apply a binary boolean operator by name.
+
+        Supported: ``and or xor nand nor xnor iff implies diff``.
+        """
+        if op == "and":
+            return self.ite(u, v, FALSE)
+        if op == "or":
+            return self.ite(u, TRUE, v)
+        if op == "xor":
+            return self.ite(u, self.negate(v), v)
+        if op == "nand":
+            return self.ite(u, self.negate(v), TRUE)
+        if op == "nor":
+            return self.ite(u, FALSE, self.negate(v))
+        if op in ("xnor", "iff"):
+            return self.ite(u, v, self.negate(v))
+        if op in ("implies", "imp"):
+            return self.ite(u, v, TRUE)
+        if op == "diff":  # u and not v
+            return self.ite(u, self.negate(v), FALSE)
+        raise BddError(f"unknown operator {op!r}")
+
+    def conj(self, us: Iterable[int]) -> int:
+        """Conjunction of an iterable of BDDs (TRUE when empty)."""
+        acc = TRUE
+        for u in us:
+            acc = self.apply("and", acc, u)
+        return acc
+
+    def disj(self, us: Iterable[int]) -> int:
+        """Disjunction of an iterable of BDDs (FALSE when empty)."""
+        acc = FALSE
+        for u in us:
+            acc = self.apply("or", acc, u)
+        return acc
+
+    def cube(self, assignment: Mapping[str, bool]) -> int:
+        """Conjunction of literals described by a {name: bool} mapping."""
+        acc = TRUE
+        for name in sorted(assignment, key=self.level_of, reverse=True):
+            lit = self.var(name) if assignment[name] else self.nvar(name)
+            acc = self.apply("and", lit, acc)
+        return acc
+
+    # ------------------------------------------------------------------
+    # quantification
+    # ------------------------------------------------------------------
+    def exists(self, names: Iterable[str], u: int) -> int:
+        """Existential quantification over the given variables."""
+        levels = frozenset(self.level_of(n) for n in names)
+        if not levels:
+            return u
+        return self._quantify(u, levels, conj=False)
+
+    def forall(self, names: Iterable[str], u: int) -> int:
+        """Universal quantification over the given variables."""
+        levels = frozenset(self.level_of(n) for n in names)
+        if not levels:
+            return u
+        return self._quantify(u, levels, conj=True)
+
+    def _quantify(self, u: int, levels: frozenset[int], conj: bool) -> int:
+        if u <= 1:
+            return u
+        lvl = self._level[u]
+        if lvl > max(levels):
+            return u
+        key = (u, 1 if conj else 0, levels)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._quantify(self._low[u], levels, conj)
+        high = self._quantify(self._high[u], levels, conj)
+        if lvl in levels:
+            result = self.apply("and" if conj else "or", low, high)
+        else:
+            result = self._mk(lvl, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    def and_exists(self, u: int, v: int, names: Iterable[str]) -> int:
+        """Fused ``exists names. (u and v)`` — the relational product.
+
+        The fusion matters: the conjunction ``u and v`` (a constrained
+        transition relation) is never materialized, which is the standard
+        image-computation optimization in symbolic model checkers.
+        """
+        levels = frozenset(self.level_of(n) for n in names)
+        return self._and_exists(u, v, levels)
+
+    def _and_exists(self, u: int, v: int, levels: frozenset[int]) -> int:
+        if u == FALSE or v == FALSE:
+            return FALSE
+        if u == TRUE and v == TRUE:
+            return TRUE
+        if u == TRUE:
+            return self._quantify(v, levels, conj=False) if levels else v
+        if v == TRUE:
+            return self._quantify(u, levels, conj=False) if levels else u
+        if u == v:
+            return self._quantify(u, levels, conj=False) if levels else u
+        if u > v:  # canonicalize for the cache: AND is commutative
+            u, v = v, u
+        key = (u, v, levels)
+        cached = self._and_exists_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[u], self._level[v])
+        u0, u1 = self._cofactors(u, level)
+        v0, v1 = self._cofactors(v, level)
+        low = self._and_exists(u0, v0, levels)
+        if level in levels:
+            if low == TRUE:
+                result = TRUE
+            else:
+                high = self._and_exists(u1, v1, levels)
+                result = self.apply("or", low, high)
+        else:
+            high = self._and_exists(u1, v1, levels)
+            result = self._mk(level, low, high)
+        self._and_exists_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # renaming and cofactoring
+    # ------------------------------------------------------------------
+    def rename(self, u: int, mapping: Mapping[str, str]) -> int:
+        """Substitute variables: each key variable becomes its value variable.
+
+        The mapping must be *order-preserving on the support of* ``u``:
+        relabeled levels must remain strictly increasing along every path.
+        This holds for the interleaved current/next variable orders used by
+        the model checker (``a ↦ a'`` with ``a'`` directly below ``a``).
+        A non-monotone mapping raises :class:`BddError`.
+        """
+        level_map = {self.level_of(a): self.level_of(b) for a, b in mapping.items()}
+        support = sorted(self.level_of(n) for n in self.support(u))
+        mapped = [level_map.get(lv, lv) for lv in support]
+        if sorted(mapped) != mapped or len(set(mapped)) != len(mapped):
+            raise BddError("rename mapping is not order-preserving on the support")
+        key_map = tuple(sorted(level_map.items()))
+        return self._rename(u, level_map, key_map)
+
+    def _rename(
+        self,
+        u: int,
+        level_map: Mapping[int, int],
+        key_map: tuple[tuple[int, int], ...],
+    ) -> int:
+        if u <= 1:
+            return u
+        key = (u, key_map)
+        cached = self._rename_cache.get(key)
+        if cached is not None:
+            return cached
+        lvl = self._level[u]
+        low = self._rename(self._low[u], level_map, key_map)
+        high = self._rename(self._high[u], level_map, key_map)
+        result = self._mk(level_map.get(lvl, lvl), low, high)
+        self._rename_cache[key] = result
+        return result
+
+    def restrict(self, u: int, assignment: Mapping[str, bool]) -> int:
+        """Cofactor: fix the given variables to constants."""
+        values = {self.level_of(n): bool(b) for n, b in assignment.items()}
+        return self._restrict(u, values, {})
+
+    def _restrict(self, u: int, values: Mapping[int, bool], memo: dict[int, int]) -> int:
+        if u <= 1:
+            return u
+        cached = memo.get(u)
+        if cached is not None:
+            return cached
+        lvl = self._level[u]
+        if lvl in values:
+            result = self._restrict(
+                self._high[u] if values[lvl] else self._low[u], values, memo
+            )
+        else:
+            low = self._restrict(self._low[u], values, memo)
+            high = self._restrict(self._high[u], values, memo)
+            result = self._mk(lvl, low, high)
+        memo[u] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # satisfying assignments
+    # ------------------------------------------------------------------
+    def sat_count(self, u: int, nvars: int | None = None) -> float:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        Defaults to all declared variables.  Returned as ``float`` because
+        the count is exponential in ``nvars``.
+        """
+        if nvars is None:
+            nvars = self.num_vars()
+        memo: dict[int, float] = {}
+
+        def count(n: int) -> float:
+            # count over variables strictly below level(n)'s position
+            if n == FALSE:
+                return 0.0
+            if n == TRUE:
+                return 1.0
+            c = memo.get(n)
+            if c is None:
+                lvl = self._level[n]
+                lo, hi = self._low[n], self._high[n]
+                lo_lvl = min(self._level[lo], nvars)
+                hi_lvl = min(self._level[hi], nvars)
+                c = count(lo) * (2 ** (lo_lvl - lvl - 1)) + count(hi) * (
+                    2 ** (hi_lvl - lvl - 1)
+                )
+                memo[n] = c
+            return c
+
+        top = min(self._level[u], nvars)
+        return count(u) * (2**top)
+
+    def pick(self, u: int) -> dict[str, bool] | None:
+        """One satisfying assignment (partial — only decided variables), or None."""
+        if u == FALSE:
+            return None
+        out: dict[str, bool] = {}
+        while u != TRUE:
+            name = self._var_names[self._level[u]]
+            if self._low[u] != FALSE:
+                out[name] = False
+                u = self._low[u]
+            else:
+                out[name] = True
+                u = self._high[u]
+        return out
+
+    def iter_sat(self, u: int, names: Iterable[str] | None = None) -> Iterator[dict[str, bool]]:
+        """Iterate over *total* satisfying assignments of the given variables.
+
+        ``names`` defaults to every declared variable; variables not on a
+        path through the BDD are expanded to both values.
+        """
+        names = list(self._var_names if names is None else names)
+        partial: dict[str, bool] = {}
+
+        def rec(n: int, idx: int) -> Iterator[dict[str, bool]]:
+            if n == FALSE:
+                return
+            if idx == len(names):
+                # any leftover (unselected) variables are quantified away:
+                # n != FALSE means some completion satisfies u
+                yield dict(partial)
+                return
+            name = names[idx]
+            for val in (False, True):
+                m = self.restrict(n, {name: val})
+                if m != FALSE:
+                    partial[name] = val
+                    yield from rec(m, idx + 1)
+                    del partial[name]
+
+        yield from rec(u, 0)
+
+    # ------------------------------------------------------------------
+    # support
+    # ------------------------------------------------------------------
+    def support(self, u: int) -> set[str]:
+        """Set of variable names the function actually depends on."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            levels.add(self._level[n])
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return {self._var_names[lv] for lv in levels}

@@ -1,0 +1,33 @@
+"""Case studies: the paper's AFS protocols, its figures, and extra domains."""
+
+from repro.casestudies.afs1 import (
+    AFS1_CLIENT_FIGURE,
+    AFS1_SERVER_FIGURE,
+    Afs1,
+    prove_afs1_liveness,
+    prove_afs1_safety,
+)
+from repro.casestudies.afs2 import (
+    Afs2,
+    client_source,
+    prove_afs2_safety,
+    server_source,
+)
+from repro.casestudies.afs_common import ProtocolComponent
+from repro.casestudies.mutex import TokenRing
+from repro.casestudies.twophase import TwoPhaseCommit
+
+__all__ = [
+    "Afs1",
+    "prove_afs1_safety",
+    "prove_afs1_liveness",
+    "AFS1_SERVER_FIGURE",
+    "AFS1_CLIENT_FIGURE",
+    "Afs2",
+    "prove_afs2_safety",
+    "server_source",
+    "client_source",
+    "ProtocolComponent",
+    "TokenRing",
+    "TwoPhaseCommit",
+]

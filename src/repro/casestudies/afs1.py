@@ -1,0 +1,419 @@
+"""AFS-1 — Andrew File System cache-coherence protocol 1 (paper Section 4.1–4.2).
+
+One server and one client coordinate the validity of a cached file copy
+over a shared request/response channel ``r``.  This module provides:
+
+* the SMV sources of the paper's Figures 5/6 (server) and 8/9 (client),
+  cleaned up as follows — the changes are syntactic only:
+
+  - the figures rely on SMV operator precedences that scatter multi-line
+    conjunctions of implications; we parenthesize each conjunct the way
+    the surrounding prose (Srv1–Srv5, Cli1–Cli5) clearly intends;
+  - OCR damage (``belief=vl idi.Jr= -a Il`` and friends) is restored from
+    the state-transition graph of Figure 4;
+
+* ``check_server_figure`` / ``check_client_figure`` reproducing the model
+  checker outputs of Figures 7 and 10;
+* paper-style components (with ``belief`` renamed apart into
+  ``Server.belief`` / ``Client.belief``, the channel ``r`` shared) and the
+  full compositional proofs of the protocol's two properties:
+
+  - **(Afs1)** safety: ``AG (Client.belief = valid ⇒ Server.belief = valid)``
+    via the inductive invariant of §4.2.3;
+  - **(Afs2)** liveness: ``AF (Client.belief = valid)`` via Rule-4
+    guarantees chained along both runs of the protocol (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from repro.compositional.proof import CompositionProof, Proven
+from repro.logic.ctl import AG, Formula, Implies, Or, TRUE, land, lor
+from repro.logic.restriction import Restriction
+from repro.casestudies.afs_common import ProtocolComponent
+from repro.smv.run import SmvReport, check_source
+
+# ----------------------------------------------------------------------
+# Figure 5 + 6: the server as model-checked in the paper
+# ----------------------------------------------------------------------
+AFS1_SERVER_FIGURE = """
+-- SMV implementation of the server in the AFS1 (paper Figure 5)
+MODULE main
+VAR
+  belief : {none, invalid, valid};
+  r : {null, fetch, validate, val, inval};
+  validFile : boolean;
+ASSIGN
+  next(validFile) := validFile;
+  next(belief) :=
+    case
+      (belief = none) & (r = fetch) : valid;
+      (belief = invalid) & (r = fetch) : valid;
+      (belief = none) & (r = validate) & validFile : valid;
+      (belief = none) & (r = validate) & !validFile : invalid;
+      1 : belief;
+    esac;
+  next(r) :=
+    case
+      (belief = none) & (r = fetch) : val;
+      (belief = invalid) & (r = fetch) : val;
+      (belief = none) & (r = validate) & validFile : val;
+      (belief = none) & (r = validate) & !validFile : inval;
+      (belief = valid) & (r = fetch) : val;
+      1 : r;
+    esac;
+
+-- Specification of the Server of the AFS-1 (paper Figure 6)
+-- Srv1
+SPEC (belief = valid) -> AX (belief = valid)
+-- Srv2
+SPEC (r = val -> belief = valid) -> AX (r = val -> belief = valid)
+-- Srv3
+SPEC (r = null -> AX (r = null)) & (r = val -> AX (r = val)) &
+     (r = inval -> AX (r = inval))
+-- Srv4
+SPEC (r = fetch -> AX (r = fetch | r = val)) &
+     ((r = validate & belief = none) ->
+        AX ((belief = none & r = validate) |
+            (belief = valid & r = val) |
+            (belief = invalid & r = inval)))
+-- Srv5
+SPEC (r = fetch -> EX (r = val)) &
+     ((r = validate & belief = none) ->
+        EX ((belief = valid & r = val) | (belief = invalid & r = inval)))
+"""
+
+# ----------------------------------------------------------------------
+# Figure 8 + 9: the client as model-checked in the paper
+# ----------------------------------------------------------------------
+AFS1_CLIENT_FIGURE = """
+-- SMV implementation of the client in the AFS1 (paper Figure 8)
+MODULE main
+VAR
+  r : {null, fetch, validate, val, inval};
+  belief : {valid, suspect, nofile};
+ASSIGN
+  next(belief) :=
+    case
+      (belief = nofile) & (r = val) : valid;
+      (belief = suspect) & (r = val) : valid;
+      (belief = suspect) & (r = inval) : nofile;
+      1 : belief;
+    esac;
+  next(r) :=
+    case
+      (belief = nofile) & (r = null) : fetch;
+      (belief = suspect) & (r = null) : validate;
+      (belief = suspect) & (r = inval) : null;
+      1 : r;
+    esac;
+
+-- Specification of the Client of the AFS-1 (paper Figure 9)
+-- Cli1
+SPEC (belief != valid & r != val) -> AX (belief != valid & r != val)
+-- Cli2
+SPEC r = fetch -> AX (r = fetch)
+SPEC r = validate -> AX (r = validate)
+-- Cli3
+SPEC ((belief = nofile & r = null) ->
+        AX ((belief = nofile & r = null) | (belief = nofile & r = fetch))) &
+     ((belief = nofile & r = fetch) ->
+        AX ((belief = nofile & r = fetch) | (belief = nofile & r = val))) &
+     ((belief = nofile & r = val) ->
+        AX ((belief = nofile & r = val) | (belief = valid & r = val))) &
+     ((belief = suspect & r = null) ->
+        AX ((belief = suspect & r = null) | (belief = suspect & r = validate))) &
+     ((belief = suspect & r = val) ->
+        AX ((belief = suspect & r = val) | (belief = valid & r = val))) &
+     ((belief = suspect & r = inval) ->
+        AX ((belief = suspect & r = inval) | (belief = nofile & r = null)))
+-- Cli4
+SPEC ((belief = nofile & r = null) -> EX (belief = nofile & r = fetch)) &
+     ((belief = nofile & r = val) -> EX (belief = valid & r = val))
+-- Cli5
+SPEC ((belief = suspect & r = null) -> EX (belief = suspect & r = validate)) &
+     ((belief = suspect & r = val) -> EX (belief = valid & r = val)) &
+     ((belief = suspect & r = inval) -> EX (belief = nofile & r = null))
+"""
+
+
+def check_server_figure() -> SmvReport:
+    """Model-check the server exactly as in the paper — Figure 7's output."""
+    return check_source(AFS1_SERVER_FIGURE)
+
+
+def check_client_figure() -> SmvReport:
+    """Model-check the client exactly as in the paper — Figure 10's output."""
+    return check_source(AFS1_CLIENT_FIGURE)
+
+
+# ----------------------------------------------------------------------
+# paper-style components for composition
+# ----------------------------------------------------------------------
+# Same transition structure, but the two local `belief` variables are
+# renamed apart (Server.belief / Client.belief) while the channel `r` is
+# shared — composition communicates through shared atomic propositions.
+
+_SERVER_PROOF_SOURCE = """
+MODULE server
+VAR
+  Server.belief : {none, invalid, valid};
+  r : {null, fetch, validate, val, inval};
+  validFile : boolean;
+ASSIGN
+  next(validFile) := validFile;
+  next(Server.belief) :=
+    case
+      (Server.belief = none) & (r = fetch) : valid;
+      (Server.belief = invalid) & (r = fetch) : valid;
+      (Server.belief = none) & (r = validate) & validFile : valid;
+      (Server.belief = none) & (r = validate) & !validFile : invalid;
+      1 : Server.belief;
+    esac;
+  next(r) :=
+    case
+      (Server.belief = none) & (r = fetch) : val;
+      (Server.belief = invalid) & (r = fetch) : val;
+      (Server.belief = none) & (r = validate) & validFile : val;
+      (Server.belief = none) & (r = validate) & !validFile : inval;
+      (Server.belief = valid) & (r = fetch) : val;
+      1 : r;
+    esac;
+"""
+
+_CLIENT_PROOF_SOURCE = """
+MODULE client
+VAR
+  r : {null, fetch, validate, val, inval};
+  Client.belief : {valid, suspect, nofile};
+ASSIGN
+  next(Client.belief) :=
+    case
+      (Client.belief = nofile) & (r = val) : valid;
+      (Client.belief = suspect) & (r = val) : valid;
+      (Client.belief = suspect) & (r = inval) : nofile;
+      1 : Client.belief;
+    esac;
+  next(r) :=
+    case
+      (Client.belief = nofile) & (r = null) : fetch;
+      (Client.belief = suspect) & (r = null) : validate;
+      (Client.belief = suspect) & (r = inval) : null;
+      1 : r;
+    esac;
+"""
+
+SERVER = ProtocolComponent("server", _SERVER_PROOF_SOURCE)
+CLIENT = ProtocolComponent("client", _CLIENT_PROOF_SOURCE)
+
+#: AFS-1 as a single multi-process SMV program: SMV's ``process`` keyword
+#: has exactly the paper's interleaving composition semantics, so this one
+#: file carries the whole §4.2 verification problem — load it with
+#: :func:`repro.smv.processes.load_processes`.
+AFS1_PROCESS_PROGRAM = """
+MODULE main
+VAR
+  r : {null, fetch, validate, val, inval};
+  server : process serverproc(r);
+  client : process clientproc(r);
+INIT server.belief = none &
+     (client.belief = nofile | client.belief = suspect) & r = null
+SPEC AG (client.belief = valid -> server.belief = valid)
+
+MODULE serverproc(ch)
+VAR
+  belief : {none, invalid, valid};
+  validFile : boolean;
+ASSIGN
+  next(validFile) := validFile;
+  next(belief) :=
+    case
+      (belief = none) & (ch = fetch) : valid;
+      (belief = invalid) & (ch = fetch) : valid;
+      (belief = none) & (ch = validate) & validFile : valid;
+      (belief = none) & (ch = validate) & !validFile : invalid;
+      1 : belief;
+    esac;
+  next(ch) :=
+    case
+      (belief = none) & (ch = fetch) : val;
+      (belief = invalid) & (ch = fetch) : val;
+      (belief = none) & (ch = validate) & validFile : val;
+      (belief = none) & (ch = validate) & !validFile : inval;
+      (belief = valid) & (ch = fetch) : val;
+      1 : ch;
+    esac;
+
+MODULE clientproc(ch)
+VAR belief : {valid, suspect, nofile};
+ASSIGN
+  next(belief) :=
+    case
+      (belief = nofile) & (ch = val) : valid;
+      (belief = suspect) & (ch = val) : valid;
+      (belief = suspect) & (ch = inval) : nofile;
+      1 : belief;
+    esac;
+  next(ch) :=
+    case
+      (belief = nofile) & (ch = null) : fetch;
+      (belief = suspect) & (ch = null) : validate;
+      (belief = suspect) & (ch = inval) : null;
+      1 : ch;
+    esac;
+"""
+
+
+class Afs1:
+    """Vocabulary and proofs for the composed AFS-1 protocol."""
+
+    def __init__(self, backend: str = "explicit"):
+        self.backend = backend
+        self.server = SERVER
+        self.client = CLIENT
+        # formula vocabulary ------------------------------------------------
+        self.sb = lambda v: self.server.eq("Server.belief", v)
+        self.cb = lambda v: self.client.eq("Client.belief", v)
+        self.r = lambda v: self.client.eq("r", v)
+        #: V — every encoded variable holds a real domain value.  Chain
+        #: predicates conjoin V so that junk bit patterns (which only
+        #: stutter) cannot defeat EX premises.
+        self.V = land(self.server.valid(), self.client.valid())
+        #: the paper's initial condition I (§4.2) plus validity
+        self.initial = land(
+            self.sb("none"),
+            Or(self.cb("nofile"), self.cb("suspect")),
+            self.r("null"),
+            self.V,
+        )
+
+    def combined_encoding(self):
+        """One Encoding over both components' variables (for display)."""
+        from repro.systems.encode import Encoding
+
+        merged = list(self.server.model.encoding.variables) + [
+            v
+            for v in self.client.model.encoding.variables
+            if v.name != "r"  # the shared channel appears once
+        ]
+        return Encoding(merged)
+
+    def proof(self) -> CompositionProof:
+        """A fresh proof context over the two components."""
+        if self.backend == "symbolic":
+            components = {
+                "server": self.server.symbolic(),
+                "client": self.client.symbolic(),
+            }
+        else:
+            components = {
+                "server": self.server.system(),
+                "client": self.client.system(),
+            }
+        return CompositionProof(components, backend=self.backend)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # (Afs1) safety
+    # ------------------------------------------------------------------
+    def safety_invariant(self) -> Formula:
+        """§4.2.3's invariant: client-valid ⇒ server-valid, and val ⇒ server-valid."""
+        return land(
+            Implies(self.cb("valid"), self.sb("valid")),
+            Implies(self.r("val"), self.sb("valid")),
+        )
+
+    def prove_safety(self) -> tuple[CompositionProof, Proven]:
+        """Machine-checked §4.2.3: the composite satisfies (Afs1).
+
+        ``I ⇒ Inv`` is propositional; ``Inv ⇒ AX Inv`` is universal
+        (checked on both expansions); the invariant rule yields
+        ``⊨_(I,{true}) AG Inv`` and AG-monotonicity weakens it to (Afs1).
+        """
+        pf = self.proof()
+        inv = self.safety_invariant()
+        ag_inv = pf.invariant(self.initial, inv)
+        afs1 = pf.ag_weaken(ag_inv, Implies(self.cb("valid"), self.sb("valid")))
+        return pf, afs1
+
+    # ------------------------------------------------------------------
+    # (Afs2) liveness
+    # ------------------------------------------------------------------
+    def _link(
+        self, pf: CompositionProof, component: str, p: Formula, q: Formula
+    ) -> Proven:
+        """One Rule-4 progress link: composite ⊨_r (p ⇒ A(p U q)).
+
+        ``component`` is the helpful one (it owns the enabled transition);
+        the left side ``p ⇒ AX(p ∨ q)`` is discharged universally.
+        """
+        g = pf.guarantee_rule4(component, p, q)
+        lhs = pf.universal(g.guarantee.lhs.formula)
+        rhs = pf.apply_guarantee(g, lhs)
+        return pf.project(rhs, 0)  # keep the A(p U q) conjunct
+
+    def prove_liveness(self) -> tuple[CompositionProof, Proven]:
+        """Machine-checked §4.2.3: the composite satisfies (Afs2).
+
+        Both protocol runs are chained from Rule-4 links:
+
+        * nofile run:  (nofile,null) → (nofile,fetch) → (nofile,val) → (valid,val)
+        * suspect run: (suspect,null) → (suspect,validate) → (suspect,val|inval);
+          val resolves directly, inval restarts the nofile run.
+
+        The suspect-run validate step needs ``Server.belief = none`` in its
+        predicates — the same strengthening the paper performs in (Cli5').
+        """
+        pf = self.proof()
+        V = self.V
+        cb, sb, r = self.cb, self.sb, self.r
+
+        def st(belief: str, channel: str, *extra: Formula) -> Formula:
+            return land(cb(belief), r(channel), *extra, V)
+
+        nn = st("nofile", "null")
+        nf = st("nofile", "fetch")
+        nv = st("nofile", "val")
+        vv = st("valid", "val")
+        sn = st("suspect", "null", sb("none"))
+        sv = st("suspect", "validate", sb("none"))
+        sval = st("suspect", "val")
+        sinval = st("suspect", "inval")
+
+        links = {
+            "a1": self._link(pf, "client", nn, nf),
+            "a2": self._link(pf, "server", nf, nv),
+            "a3": self._link(pf, "client", nv, vv),
+            "b1": self._link(pf, "client", sn, sv),
+            "b2": self._link(pf, "server", sv, Or(sval, sinval)),
+            "b3": self._link(pf, "client", sval, vv),
+            "b4": self._link(pf, "client", sinval, nn),
+        }
+        aligned = dict(zip(links, pf.align_fairness(list(links.values()))))
+
+        target = cb("valid")
+        # nofile run: nn ↝ vv ⊆ target
+        chain_a = pf.chain([aligned["a1"], aligned["a2"], aligned["a3"]])
+        chain_a = pf.af_weaken(chain_a, target)
+        # suspect run endgame: both branches reach the target
+        case_val = pf.af_weaken(pf.chain([aligned["b3"]]), target)
+        case_inval = pf.af_weaken(
+            pf.leads_to(pf.chain([aligned["b4"]]), chain_a), target
+        )
+        branches = pf.implication_cases(Or(sval, sinval), [case_val, case_inval])
+        chain_b = pf.leads_to(
+            pf.leads_to(aligned["b1"], aligned["b2"]), branches
+        )
+        chain_b = pf.af_weaken(chain_b, target)
+        # (Afs2): every valid initial state eventually reaches client-valid
+        combined = pf.implication_cases(self.initial, [chain_a, chain_b])
+        afs2 = pf.to_initial(combined, self.initial)
+        return pf, afs2
+
+
+def prove_afs1_safety(backend: str = "explicit") -> tuple[CompositionProof, Proven]:
+    """Convenience wrapper: the (Afs1) safety proof."""
+    return Afs1(backend).prove_safety()
+
+
+def prove_afs1_liveness(backend: str = "explicit") -> tuple[CompositionProof, Proven]:
+    """Convenience wrapper: the (Afs2) liveness proof."""
+    return Afs1(backend).prove_liveness()

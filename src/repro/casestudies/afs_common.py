@@ -1,0 +1,63 @@
+"""Shared plumbing for the AFS case studies.
+
+A :class:`ProtocolComponent` wraps an SMV source: it lazily elaborates the
+model and provides the three views the case studies need — the raw SMV
+semantics for figure reproduction, a reflexive (paper-style) system for
+composition, and formula builders (``eq``/``state``/``valid``) over the
+encoded atoms for writing specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.logic.ctl import Formula, land
+from repro.smv.compile_explicit import to_system
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_module
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System
+
+
+@dataclass
+class ProtocolComponent:
+    """One protocol participant defined by SMV source text."""
+
+    name: str
+    source: str
+    _model: SmvModel | None = field(default=None, repr=False)
+
+    @property
+    def model(self) -> SmvModel:
+        """The elaborated SMV model (parsed on first use)."""
+        if self._model is None:
+            self._model = SmvModel(parse_module(self.source))
+        return self._model
+
+    # ------------------------------------------------------------------
+    # systems
+    # ------------------------------------------------------------------
+    def system(self, reflexive: bool = True) -> System:
+        """Explicit system; reflexive (stutter-closed) by default."""
+        return to_system(self.model, reflexive=reflexive)
+
+    def symbolic(self, reflexive: bool = True) -> SymbolicSystem:
+        """Symbolic system; reflexive (stutter-closed) by default."""
+        return to_symbolic(self.model, reflexive=reflexive)
+
+    # ------------------------------------------------------------------
+    # formula builders
+    # ------------------------------------------------------------------
+    def eq(self, var: str, value: Hashable) -> Formula:
+        """``var = value`` over the encoded boolean atoms."""
+        return self.model.encoding.eq_formula(var, value)
+
+    def state(self, assignment: dict[str, Hashable]) -> Formula:
+        """Conjunction of equalities, e.g. ``{"belief": "nofile", "r": "null"}``."""
+        return land(*(self.eq(var, val) for var, val in assignment.items()))
+
+    def valid(self) -> Formula:
+        """The component's non-junk-encoding predicate."""
+        return self.model.valid_formula()

@@ -1,0 +1,123 @@
+"""Concrete systems from the paper's illustrative figures (1, 2, 3).
+
+* Figure 1 — two one-bit toggles and their interleaving composition;
+* Figure 2 — a cycle that needs Rule 5 (strong fairness) to reach ``q``:
+  only one state of the cycle has the exit transition, so Rule 4's
+  premise fails but Rule 5's cover applies;
+* Figure 3 — the boolean encoding of an integer variable ``x ∈ {0..3}``.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ctl import Formula, lor
+from repro.systems.encode import Encoding, FiniteVar
+from repro.systems.system import System
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+
+
+def figure1_m() -> System:
+    """``M = ({x}, R)`` with R toggling x (plus the stutter loops)."""
+    return System.from_pairs({"x"}, [((), ("x",)), (("x",), ())])
+
+
+def figure1_m_prime() -> System:
+    """``M' = ({y}, R')`` toggling y."""
+    return System.from_pairs({"y"}, [((), ("y",)), (("y",), ())])
+
+
+def figure1_expected_composition() -> System:
+    """The composite ``M ∘ M'`` exactly as enumerated in the paper."""
+    pairs = [
+        ((), ("x",)),
+        (("x",), ()),
+        (("y",), ("x", "y")),
+        (("x", "y"), ("y",)),
+        ((), ("y",)),
+        (("y",), ()),
+        (("x",), ("x", "y")),
+        (("x", "y"), ("x",)),
+    ]
+    return System.from_pairs({"x", "y"}, pairs)
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+#: Number of cycle states p1 … p6 in the paper's figure.
+FIGURE2_CYCLE = 6
+
+_fig2_var = FiniteVar(
+    "loc", tuple(f"p{i}" for i in range(1, FIGURE2_CYCLE + 1)) + ("q",)
+)
+_fig2_enc = Encoding([_fig2_var])
+
+
+def figure2_encoding() -> Encoding:
+    """The boolean encoding used by the Figure 2 system."""
+    return _fig2_enc
+
+
+def figure2_system() -> System:
+    """A cycle ``p1 → p2 → … → p6 → p1`` with a single exit ``p1 → q``.
+
+    ``q`` is absorbing (stutter only).  A run may circle forever unless
+    fairness discards paths that stay in ``p ∧ ¬q``; and because only
+    ``p1`` enables the exit, the weak-fairness Rule 4 premise
+    ``p ⇒ EX q`` is false while Rule 5 (with the cover ``p = ⋁ pᵢ`` and
+    helpful disjunct ``p1``) applies.
+    """
+    enc = _fig2_enc
+    state = lambda v: enc.state_of({"loc": v})
+    pairs = []
+    for i in range(1, FIGURE2_CYCLE + 1):
+        nxt = f"p{i % FIGURE2_CYCLE + 1}"
+        pairs.append((state(f"p{i}"), state(nxt)))
+    pairs.append((state("p1"), state("q")))
+    return System(enc.atoms, pairs)
+
+
+def figure2_p_disjuncts() -> tuple[Formula, ...]:
+    """The cover ``p1, …, p6`` as boolean formulas."""
+    return tuple(
+        _fig2_enc.eq_formula("loc", f"p{i}") for i in range(1, FIGURE2_CYCLE + 1)
+    )
+
+
+def figure2_p() -> Formula:
+    """``p = p1 ∨ … ∨ p6``."""
+    return lor(*figure2_p_disjuncts())
+
+
+def figure2_q() -> Formula:
+    """The goal state predicate ``q``."""
+    return _fig2_enc.eq_formula("loc", "q")
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+
+
+def figure3_encoding() -> Encoding:
+    """``x ∈ {0, 1, 2, 3}`` encoded by two boolean propositions."""
+    return Encoding([FiniteVar("x", (0, 1, 2, 3))])
+
+
+def figure3_system() -> System:
+    """The 4-state counter of Figure 3: ``0 → 1 → 2 → 3 → 0``.
+
+    Each value maps to a pair of bits; the relation over ``2^{x.0,x.1}``
+    preserves the original transitions exactly.
+    """
+    enc = figure3_encoding()
+    state = lambda v: enc.state_of({"x": v})
+    pairs = [(state(v), state((v + 1) % 4)) for v in range(4)]
+    return System(enc.atoms, pairs)
+
+
+def figure3_less_than_2() -> Formula:
+    """The mapped propositional formula for ``x < 2`` (= ``¬x.1``)."""
+    return figure3_encoding().in_formula("x", [0, 1])

@@ -1,0 +1,139 @@
+"""Token-based mutual exclusion — a second domain for the framework.
+
+The paper's Discussion argues the theory applies to "a broad class of
+systems, especially network protocols".  This module exercises the same
+machinery on a different protocol shape: ``n`` processes pass a token;
+a process may enter its critical section only while holding the token.
+
+Components are built *programmatically* (no SMV), demonstrating the
+:class:`repro.systems.System` construction API:
+
+* process ``i`` owns ``c_i`` (in-critical-section) and shares the token
+  counter ``tok`` (encoded over ``⌈log₂ n⌉`` bits);
+* safety — ``AG ¬(c_i ∧ c_j)`` for ``i ≠ j`` — follows from the inductive
+  invariant ``⋀_i (c_i ⇒ tok = i)``;
+* liveness — ``(tok=i ∧ ¬c_i) ⇒ AF c_i`` — is a Rule-4 guarantee of
+  process ``i`` (its enter transition is always enabled while it holds
+  the token, and no other process can steal the token).
+"""
+
+from __future__ import annotations
+
+from repro.compositional.proof import CompositionProof, Proven
+from repro.logic.ctl import And, Formula, Implies, Not, land
+from repro.systems.encode import Encoding, FiniteVar
+from repro.systems.system import System
+
+
+class TokenRing:
+    """A ring of ``n`` token-passing processes."""
+
+    def __init__(self, n: int = 2):
+        if n < 2:
+            raise ValueError("a ring needs at least two processes")
+        self.n = n
+        self.token_var = FiniteVar("tok", tuple(range(n)))
+        self.encoding = Encoding([self.token_var])
+
+    # ------------------------------------------------------------------
+    # vocabulary
+    # ------------------------------------------------------------------
+    def tok(self, i: int) -> Formula:
+        """``tok = i`` over the encoded token bits."""
+        return self.encoding.eq_formula("tok", i)
+
+    def crit(self, i: int) -> Formula:
+        """``c_i`` — process i is in its critical section."""
+        from repro.logic.ctl import Atom
+
+        return Atom(f"c{i}")
+
+    def valid(self) -> Formula:
+        """Token bits decode to a real process index."""
+        return self.encoding.valid_formula()
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+    def process(self, i: int) -> System:
+        """Process i: enter/leave its critical section, pass the token.
+
+        Alphabet: the shared token bits plus the private ``c_i``.
+        Transitions (besides stuttering):
+
+        * enter:  ``tok=i ∧ ¬c_i  →  tok=i ∧ c_i``
+        * leave+pass: ``tok=i ∧ c_i  →  tok=(i+1) mod n ∧ ¬c_i``
+        """
+        enc = self.encoding
+        ci = f"c{i}"
+        sigma = set(enc.atoms) | {ci}
+        tok_bits = lambda v: enc.state_of({"tok": v})
+        pairs = [
+            (tok_bits(i), tok_bits(i) | {ci}),
+            (tok_bits(i) | {ci}, tok_bits((i + 1) % self.n)),
+        ]
+        return System(sigma, [(frozenset(s), frozenset(t)) for s, t in pairs])
+
+    def components(self) -> dict[str, System]:
+        """All ring processes, named ``proc0 … proc{n-1}``."""
+        return {f"proc{i}": self.process(i) for i in range(self.n)}
+
+    def composite(self) -> System:
+        """The full ring (product system) — for cross-validation."""
+        from repro.systems.compose import compose_all
+
+        return compose_all(self.components().values())
+
+    # ------------------------------------------------------------------
+    # proofs
+    # ------------------------------------------------------------------
+    def initial(self) -> Formula:
+        """Process 0 holds the token, nobody is critical, encoding valid."""
+        return land(
+            self.tok(0),
+            *(Not(self.crit(i)) for i in range(self.n)),
+            self.valid(),
+        )
+
+    def mutex_invariant(self) -> Formula:
+        """``⋀_i (c_i ⇒ tok = i)`` — the inductive invariant."""
+        return land(
+            *(Implies(self.crit(i), self.tok(i)) for i in range(self.n))
+        )
+
+    def mutual_exclusion(self) -> Formula:
+        """``⋀_{i<j} ¬(c_i ∧ c_j)``."""
+        return land(
+            *(
+                Not(And(self.crit(i), self.crit(j)))
+                for i in range(self.n)
+                for j in range(i + 1, self.n)
+            )
+        )
+
+    def prove_safety(
+        self, backend: str = "explicit"
+    ) -> tuple[CompositionProof, Proven]:
+        """``AG ⋀_{i<j} ¬(c_i ∧ c_j)`` from the inductive invariant."""
+        pf = CompositionProof(self.components(), backend=backend)  # type: ignore[arg-type]
+        ag_inv = pf.invariant(self.initial(), self.mutex_invariant())
+        safety = pf.ag_weaken(ag_inv, self.mutual_exclusion())
+        return pf, safety
+
+    def prove_enter_liveness(
+        self, i: int = 0, backend: str = "explicit"
+    ) -> tuple[CompositionProof, Proven]:
+        """Rule 4: a token holder eventually enters its critical section.
+
+        Conclusion: ``⊨_(true, {¬p ∨ q}) (tok=i ∧ ¬c_i) ⇒ AF c_i`` where
+        the fairness constraint discards runs in which process i is never
+        scheduled while enabled.
+        """
+        pf = CompositionProof(self.components(), backend=backend)  # type: ignore[arg-type]
+        p = land(self.tok(i), Not(self.crit(i)), self.valid())
+        q = land(self.tok(i), self.crit(i), self.valid())
+        g = pf.guarantee_rule4(f"proc{i}", p, q)
+        rhs = pf.discharge(g)
+        au = pf.project(rhs, 0)
+        live = pf.af_weaken(pf.chain([au]), self.crit(i))
+        return pf, live

@@ -1,0 +1,240 @@
+"""Two-phase commit — a third protocol family for the framework.
+
+A coordinator collects votes from ``n`` participants and decides
+``commit`` exactly when every vote is ``yes``; participants apply the
+decision locally.  The classic properties:
+
+* **atomicity** (safety): no participant commits while another aborts —
+  proved from an inductive invariant, compositionally (one obligation per
+  component);
+* **termination** (liveness): a decision is eventually reached and every
+  outcome follows — proved with Rule-4 links, the ``AF``-reflexivity
+  axiom, and the stable-goal conjunction rule: each participant
+  eventually votes (votes are *stable*, so all votes are eventually in
+  simultaneously), after which the coordinator's decision step fires.
+
+The study demonstrates the engine's liveness rules beyond the paper's
+AFS chains: unordered interleaved progress (any voting order) cannot be
+handled by a single leads-to chain, but stable-goal conjunction covers it.
+"""
+
+from __future__ import annotations
+
+from repro.compositional.proof import CompositionProof, Proven
+from repro.logic.ctl import AX, Formula, Implies, Not, Or, land
+from repro.logic.restriction import Restriction
+from repro.casestudies.afs_common import ProtocolComponent
+
+
+def coordinator_source(n: int) -> str:
+    """SMV source of the coordinator for ``n`` participants."""
+    if n < 1:
+        raise ValueError("need at least one participant")
+    lines = ["MODULE main", "VAR", "  decision : {none, commit, abort};"]
+    for i in range(1, n + 1):
+        lines.append(f"  vote{i} : {{none, yes, no}};")
+    lines.append("ASSIGN")
+    for i in range(1, n + 1):
+        lines.append(f"  next(vote{i}) := vote{i};")  # read-only channels
+    all_yes = " & ".join(f"(vote{i} = yes)" for i in range(1, n + 1))
+    some_no = " | ".join(f"(vote{i} = no)" for i in range(1, n + 1))
+    lines += [
+        "  next(decision) :=",
+        "    case",
+        f"      (decision = none) & {all_yes} : commit;",
+        f"      (decision = none) & ({some_no}) : abort;",
+        "      1 : decision;",
+        "    esac;",
+    ]
+    return "\n".join(lines)
+
+
+def participant_source(i: int) -> str:
+    """SMV source of participant ``i``."""
+    return f"""
+MODULE main
+VAR
+  vote{i} : {{none, yes, no}};
+  decision : {{none, commit, abort}};
+  outcome{i} : {{none, committed, aborted}};
+ASSIGN
+  next(decision) := decision;
+  next(vote{i}) := case vote{i} = none : {{yes, no}}; 1 : vote{i}; esac;
+  next(outcome{i}) :=
+    case
+      (outcome{i} = none) & (decision = commit) : committed;
+      (outcome{i} = none) & (decision = abort) : aborted;
+      1 : outcome{i};
+    esac;
+"""
+
+
+class TwoPhaseCommit:
+    """Vocabulary and proofs for 2PC with ``n`` participants."""
+
+    def __init__(self, n: int = 2, backend: str = "explicit"):
+        if n < 1:
+            raise ValueError("need at least one participant")
+        self.n = n
+        self.backend = backend
+        self.coordinator = ProtocolComponent("coordinator", coordinator_source(n))
+        self.participants = [
+            ProtocolComponent(f"participant{i}", participant_source(i))
+            for i in range(1, n + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # vocabulary
+    # ------------------------------------------------------------------
+    def decision(self, value: str) -> Formula:
+        return self.coordinator.eq("decision", value)
+
+    def vote(self, i: int, value: str) -> Formula:
+        return self.coordinator.eq(f"vote{i}", value)
+
+    def outcome(self, i: int, value: str) -> Formula:
+        return self.participants[i - 1].eq(f"outcome{i}", value)
+
+    def valid(self) -> Formula:
+        """All encodings decode to real values, in every component."""
+        return land(
+            self.coordinator.valid(),
+            *(p.valid() for p in self.participants),
+        )
+
+    def initial(self) -> Formula:
+        """Everything undecided, plus encoding validity."""
+        return land(
+            self.decision("none"),
+            *(self.vote(i, "none") for i in range(1, self.n + 1)),
+            *(self.outcome(i, "none") for i in range(1, self.n + 1)),
+            self.valid(),
+        )
+
+    def invariant(self) -> Formula:
+        """The inductive invariant behind atomicity."""
+        parts = [
+            Implies(
+                self.decision("commit"),
+                land(*(self.vote(i, "yes") for i in range(1, self.n + 1))),
+            )
+        ]
+        for i in range(1, self.n + 1):
+            parts.append(
+                Implies(self.outcome(i, "committed"), self.decision("commit"))
+            )
+            parts.append(
+                Implies(self.outcome(i, "aborted"), self.decision("abort"))
+            )
+        return land(*parts)
+
+    def atomicity(self) -> Formula:
+        """No split outcomes: never committed-here and aborted-there."""
+        parts = []
+        for i in range(1, self.n + 1):
+            for j in range(1, self.n + 1):
+                if i != j:
+                    parts.append(
+                        Not(
+                            land(
+                                self.outcome(i, "committed"),
+                                self.outcome(j, "aborted"),
+                            )
+                        )
+                    )
+        return land(*parts)
+
+    def combined_encoding(self):
+        """One Encoding over the coordinator's and participants' variables."""
+        from repro.systems.encode import Encoding
+
+        merged = list(self.coordinator.model.encoding.variables)
+        seen = {v.name for v in merged}
+        for participant in self.participants:
+            for v in participant.model.encoding.variables:
+                if v.name not in seen:
+                    seen.add(v.name)
+                    merged.append(v)
+        return Encoding(merged)
+
+    def proof(self) -> CompositionProof:
+        """A fresh proof context over coordinator + participants."""
+        make = (lambda c: c.symbolic()) if self.backend == "symbolic" else (
+            lambda c: c.system()
+        )
+        components = {"coordinator": make(self.coordinator)}
+        for i, p in enumerate(self.participants, start=1):
+            components[f"participant{i}"] = make(p)
+        return CompositionProof(components, backend=self.backend)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # proofs
+    # ------------------------------------------------------------------
+    def prove_atomicity(self) -> tuple[CompositionProof, Proven]:
+        """AG atomicity via the inductive invariant (n+1 obligations)."""
+        pf = self.proof()
+        ag_inv = pf.invariant(self.initial(), self.invariant())
+        return pf, pf.ag_weaken(ag_inv, self.atomicity())
+
+    def prove_termination(self) -> tuple[CompositionProof, Proven]:
+        """⊨_(I,F) AF (decision ≠ none): a decision is always reached.
+
+        Votes arrive in any interleaved order, so no single leads-to chain
+        works; instead each participant's vote is a stable goal reached
+        individually (Rule 4), all votes are eventually in simultaneously
+        (stable-goal conjunction), and then the coordinator decides.
+        """
+        pf = self.proof()
+        V = self.valid()
+        voted = [
+            land(Or(self.vote(i, "yes"), self.vote(i, "no")), V)
+            for i in range(1, self.n + 1)
+        ]
+        unvoted = [
+            land(self.vote(i, "none"), V) for i in range(1, self.n + 1)
+        ]
+        all_voted = land(*voted)
+        undecided = land(all_voted, self.decision("none"))
+        decided = land(
+            Or(self.decision("commit"), self.decision("abort")), V
+        )
+
+        # one Rule-4 link per participant + the coordinator's decision step
+        links = [
+            pf.project(
+                pf.discharge(
+                    pf.guarantee_rule4(f"participant{i}", unvoted[i - 1], voted[i - 1])
+                ),
+                0,
+            )
+            for i in range(1, self.n + 1)
+        ]
+        links.append(
+            pf.project(
+                pf.discharge(
+                    pf.guarantee_rule4("coordinator", undecided, decided)
+                ),
+                0,
+            )
+        )
+        aligned = pf.align_fairness(links)
+        restriction = aligned[0].restriction
+
+        # per-participant: V ⇒ AF votedᵢ (case split on having voted)
+        af_voted = []
+        for i in range(1, self.n + 1):
+            af_link = pf.au_to_af(aligned[i - 1])
+            now = pf.af_reflexive(voted[i - 1], restriction)
+            af_voted.append(pf.implication_cases(V, [af_link, now]))
+        # votes are stable goals → eventually all in simultaneously
+        stables = [pf.universal(Implies(v, AX(v))) for v in voted]
+        all_in = pf.af_conjoin_stable(af_voted, stables)
+
+        # once all voted: the coordinator decides (or already has)
+        af_decide = pf.au_to_af(aligned[-1])
+        now_decided = pf.af_reflexive(decided, restriction)
+        decide_from_allvoted = pf.implication_cases(
+            all_voted, [af_decide, now_decided]
+        )
+        result = pf.leads_to(all_in, decide_from_allvoted)
+        return pf, pf.to_initial(result, self.initial())

@@ -1,0 +1,46 @@
+"""Model checkers: explicit (NumPy) and symbolic (BDD) fair CTL."""
+
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.result import CheckResult, CheckStats
+from repro.checking.symbolic import SymbolicChecker
+from repro.checking.reachability import (
+    ReachabilityReport,
+    check_invariant_explicit,
+    check_invariant_symbolic,
+    reachable_explicit,
+    reachable_symbolic,
+)
+from repro.checking.symbolic_witness import (
+    ag_counterexample_symbolic,
+    ef_witness_symbolic,
+    eu_witness_symbolic,
+)
+from repro.checking.witness import (
+    ag_counterexample,
+    eg_fair_witness,
+    counterexample,
+    ef_witness,
+    eu_witness,
+    ex_witness,
+)
+
+__all__ = [
+    "ExplicitChecker",
+    "SymbolicChecker",
+    "CheckResult",
+    "CheckStats",
+    "eu_witness",
+    "ef_witness",
+    "ex_witness",
+    "ag_counterexample",
+    "counterexample",
+    "eg_fair_witness",
+    "ReachabilityReport",
+    "reachable_explicit",
+    "reachable_symbolic",
+    "check_invariant_explicit",
+    "check_invariant_symbolic",
+    "eu_witness_symbolic",
+    "ef_witness_symbolic",
+    "ag_counterexample_symbolic",
+]

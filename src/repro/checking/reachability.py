@@ -1,0 +1,112 @@
+"""Forward reachability analysis (explicit and symbolic).
+
+The paper's satisfaction relation quantifies over *all* states, so the
+checkers never need reachability — but reachable-state analysis is what a
+practitioner asks for next: which protocol states actually occur from the
+initial condition, how long the longest shortest path is (the diameter of
+the reachable region), and whether an invariant holds on reachable states
+only (a weaker but common notion).  This module provides both backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bdd.manager import FALSE
+from repro.bdd.formula import prop_to_bdd
+from repro.checking.explicit import ExplicitChecker
+from repro.errors import CheckError
+from repro.logic.ctl import Formula, TRUE, is_propositional
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System
+
+
+@dataclass
+class ReachabilityReport:
+    """Result of a forward fixpoint run."""
+
+    num_reachable: float
+    num_total: float
+    iterations: int
+    #: None when no violation; otherwise number of reachable bad states.
+    violations: float | None = None
+
+    @property
+    def fraction_reachable(self) -> float:
+        return self.num_reachable / self.num_total if self.num_total else 0.0
+
+
+def reachable_explicit(system: System, init: Formula) -> tuple[np.ndarray, int]:
+    """Boolean vector of reachable states + number of BFS layers."""
+    checker = ExplicitChecker(system)
+    frontier = checker.states_satisfying(init)
+    reached = frontier.copy()
+    layers = 0
+    # forward image via the edge arrays (stutter adds nothing new)
+    src, dst = checker._src, checker._dst
+    while True:
+        if src.size:
+            image = np.zeros(checker._n, dtype=bool)
+            mask = frontier[src]
+            image[dst[mask]] = True
+        else:
+            image = np.zeros(checker._n, dtype=bool)
+        new = image & ~reached
+        if not new.any():
+            return reached, layers
+        reached |= new
+        frontier = new
+        layers += 1
+
+
+def check_invariant_explicit(
+    system: System, init: Formula, invariant: Formula
+) -> ReachabilityReport:
+    """Does ``invariant`` hold in every state reachable from ``init``?"""
+    if not is_propositional(invariant):
+        raise CheckError("reachability invariants must be propositional")
+    checker = ExplicitChecker(system)
+    reached, layers = reachable_explicit(system, init)
+    good = checker.states_satisfying(invariant)
+    bad = reached & ~good
+    return ReachabilityReport(
+        num_reachable=float(reached.sum()),
+        num_total=float(checker._n),
+        iterations=layers,
+        violations=float(bad.sum()) if bad.any() else None,
+    )
+
+
+def reachable_symbolic(system: SymbolicSystem, init: Formula) -> tuple[int, int]:
+    """BDD of reachable states + number of image iterations."""
+    bdd = system.bdd
+    reached = prop_to_bdd(bdd, init)
+    layers = 0
+    while True:
+        image = system.post_image(reached)
+        nxt = bdd.apply("or", reached, image)
+        if nxt == reached:
+            return reached, layers
+        reached = nxt
+        layers += 1
+
+
+def check_invariant_symbolic(
+    system: SymbolicSystem, init: Formula, invariant: Formula
+) -> ReachabilityReport:
+    """Symbolic version of :func:`check_invariant_explicit`."""
+    if not is_propositional(invariant):
+        raise CheckError("reachability invariants must be propositional")
+    bdd = system.bdd
+    reached, layers = reachable_symbolic(system, init)
+    bad = bdd.apply("diff", reached, prop_to_bdd(bdd, invariant))
+    n_atoms = len(system.atoms)
+    count = lambda u: bdd.sat_count(u, len(bdd.var_names)) / (2**n_atoms)
+    return ReachabilityReport(
+        num_reachable=count(reached),
+        num_total=float(2**n_atoms),
+        iterations=layers,
+        violations=count(bad) if bad != FALSE else None,
+    )

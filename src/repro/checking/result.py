@@ -1,0 +1,75 @@
+"""Check results: verdicts, failing states, and resource statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.ctl import Formula
+from repro.logic.restriction import Restriction
+
+
+@dataclass
+class CheckStats:
+    """Resource usage of one model-checking run.
+
+    Mirrors the ``resources used:`` block SMV prints in the paper's output
+    figures.  ``bdd_nodes_allocated`` and ``transition_nodes`` are zero for
+    the explicit checker.
+    """
+
+    user_time: float = 0.0
+    fixpoint_iterations: int = 0
+    subformulas_evaluated: int = 0
+    bdd_nodes_allocated: int = 0
+    transition_nodes: int = 0
+
+    def format(self) -> str:
+        """Format as the paper's ``resources used:`` block."""
+        lines = [
+            "resources used:",
+            f"user time: {self.user_time:g} s, system time: 0 s",
+        ]
+        if self.bdd_nodes_allocated:
+            lines.append(f"BDD nodes allocated: {self.bdd_nodes_allocated}")
+            lines.append(
+                f"BDD nodes representing transition relation: "
+                f"{self.transition_nodes} + {self.fixpoint_iterations}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Verdict of ``M ⊨_r f``.
+
+    Truthy exactly when the property holds, so results can be asserted
+    directly: ``assert checker.holds(f, r)``.
+    """
+
+    formula: Formula
+    restriction: Restriction
+    holds: bool
+    #: Up to ``max_reported`` states satisfying ``I ∧ ¬f`` when the check fails.
+    failing_states: tuple[frozenset, ...] = ()
+    #: Total number of failing states (may exceed ``len(failing_states)``).
+    num_failing: int = 0
+    stats: CheckStats = field(default_factory=CheckStats)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def format(self) -> str:
+        """One verdict line in SMV's output style."""
+        text = str(self.formula)
+        if len(text) > 46:
+            text = text[:43] + "..."
+        return f"-- spec. {text} is {'true' if self.holds else 'false'}"
+
+    def explain(self) -> str:
+        """Multi-line human-readable account of the verdict."""
+        lines = [self.format()]
+        if not self.holds:
+            lines.append(f"   {self.num_failing} failing state(s); examples:")
+            for s in self.failing_states:
+                lines.append("   {" + ",".join(sorted(s)) + "}")
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Witness extraction for the symbolic checker.
+
+SMV prints concrete traces for its verdicts; this module recovers them
+from BDD image computations: a shortest ``E[p U q]`` witness is found by
+expanding forward frontiers until they meet ``q``, then walking backwards
+through the stored frontiers with pre-images.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.formula import prop_to_bdd
+from repro.bdd.manager import FALSE
+from repro.errors import CheckError
+from repro.logic.ctl import Formula, Not, TRUE, is_propositional
+from repro.systems.symbolic import SymbolicSystem
+
+
+def _first_state(system: SymbolicSystem, set_bdd: int) -> frozenset:
+    assignment = next(system.bdd.iter_sat(set_bdd, list(system.atoms)))
+    return frozenset(a for a in system.atoms if assignment[a])
+
+
+def eu_witness_symbolic(
+    system: SymbolicSystem,
+    start: frozenset,
+    p: Formula,
+    q: Formula,
+) -> list[frozenset] | None:
+    """A shortest path witnessing ``E[p U q]`` from ``start``, or None.
+
+    ``p`` and ``q`` must be propositional (witnesses for nested temporal
+    operators would need recursive tree-witnesses; the paper's specs only
+    ever need propositional arguments).
+    """
+    if not (is_propositional(p) and is_propositional(q)):
+        raise CheckError("symbolic witnesses need propositional p and q")
+    bdd = system.bdd
+    p_set = prop_to_bdd(bdd, p)
+    q_set = prop_to_bdd(bdd, q)
+    current = system.state_cube(start)
+    if bdd.apply("and", current, q_set) != FALSE:
+        return [start]
+    if bdd.apply("and", current, p_set) == FALSE:
+        return None
+    # forward frontiers through p-states
+    frontiers = [current]
+    seen = current
+    while True:
+        image = system.post_image(frontiers[-1])
+        fresh = bdd.apply("diff", image, seen)
+        if fresh == FALSE:
+            return None
+        hit = bdd.apply("and", fresh, q_set)
+        if hit != FALSE:
+            frontiers.append(hit)
+            break
+        fresh = bdd.apply("and", fresh, p_set)
+        if fresh == FALSE:
+            return None
+        frontiers.append(fresh)
+        seen = bdd.apply("or", seen, fresh)
+    # backtrack: pick a state per frontier connected to the next choice
+    path: list[frozenset] = [_first_state(system, frontiers[-1])]
+    for layer in reversed(frontiers[:-1]):
+        succ_cube = system.state_cube(path[0])
+        preds = system.pre_image(succ_cube)
+        choice = bdd.apply("and", preds, layer)
+        if choice == FALSE:  # defensive: frontiers are forward-consistent
+            raise CheckError("witness backtracking lost the frontier")
+        path.insert(0, _first_state(system, choice))
+    return path
+
+
+def ef_witness_symbolic(
+    system: SymbolicSystem, start: frozenset, goal: Formula
+) -> list[frozenset] | None:
+    """A shortest path from ``start`` to a ``goal``-state."""
+    return eu_witness_symbolic(system, start, TRUE, goal)
+
+
+def ag_counterexample_symbolic(
+    system: SymbolicSystem, start: frozenset, invariant: Formula
+) -> list[frozenset] | None:
+    """Path from ``start`` to a state violating ``invariant`` (if any)."""
+    return ef_witness_symbolic(system, start, Not(invariant))

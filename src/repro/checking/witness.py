@@ -1,0 +1,176 @@
+"""Witness and counterexample path extraction (explicit checker).
+
+SMV prints counterexample traces for failed specs; this module provides
+the equivalent for the explicit checker: shortest witnesses for
+existential formulas and counterexample paths for the universal safety
+patterns used throughout the paper (``AG p``, ``p ⇒ AX q``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.checking.explicit import ExplicitChecker
+from repro.logic.ctl import AG, AX, Formula, Implies, Not, TRUE
+
+
+def eu_witness(
+    checker: ExplicitChecker,
+    start: frozenset,
+    p: Formula,
+    q: Formula,
+) -> list[frozenset] | None:
+    """A shortest path witnessing ``E[p U q]`` from ``start``, or None.
+
+    The returned path visits only ``p``-states until its final state, which
+    satisfies ``q`` (the path may be the single state ``start``).
+    """
+    p_set = checker.states_satisfying(p)
+    q_set = checker.states_satisfying(q)
+    system = checker.system
+    start_idx = checker._index(start)
+    if q_set[start_idx]:
+        return [start]
+    if not p_set[start_idx]:
+        return None
+    parent: dict[frozenset, frozenset] = {}
+    seen = {start}
+    queue: deque[frozenset] = deque([start])
+    while queue:
+        s = queue.popleft()
+        for t in sorted(system.successors(s), key=sorted):
+            if t in seen:
+                continue
+            t_idx = checker._index(t)
+            parent[t] = s
+            if q_set[t_idx]:
+                path = [t]
+                while path[-1] != start:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            if p_set[t_idx]:
+                seen.add(t)
+                queue.append(t)
+            else:
+                seen.add(t)  # dead end; remembered so we don't re-expand
+    return None
+
+
+def ef_witness(
+    checker: ExplicitChecker, start: frozenset, goal: Formula
+) -> list[frozenset] | None:
+    """A shortest path from ``start`` to a ``goal``-state (``EF goal``)."""
+    return eu_witness(checker, start, TRUE, goal)
+
+
+def ex_witness(
+    checker: ExplicitChecker, start: frozenset, target: Formula
+) -> frozenset | None:
+    """A successor of ``start`` satisfying ``target`` (``EX target``)."""
+    t_set = checker.states_satisfying(target)
+    for t in sorted(checker.system.successors(start), key=sorted):
+        if t_set[checker._index(t)]:
+            return t
+    return None
+
+
+def ag_counterexample(
+    checker: ExplicitChecker, start: frozenset, invariant: Formula
+) -> list[frozenset] | None:
+    """Path from ``start`` to a state violating ``invariant``, or None.
+
+    This is the counterexample for a failed ``AG invariant`` at ``start``.
+    """
+    return ef_witness(checker, start, Not(invariant))
+
+
+def eg_fair_witness(
+    checker: ExplicitChecker,
+    start: frozenset,
+    p: Formula,
+    fairness: tuple[Formula, ...],
+) -> tuple[list[frozenset], list[frozenset]] | None:
+    """A lasso (stem, cycle) witnessing fair ``EG p`` from ``start``.
+
+    The returned stem leads from ``start`` to the cycle; every state of
+    both parts satisfies ``p`` and the cycle visits at least one state of
+    every fairness constraint.  Returns None when no fair ``p``-path
+    exists.  This is the witness SMV prints for liveness counterexamples
+    (a failing ``AF q`` yields a fair ``EG ¬q`` lasso).
+    """
+    import networkx as nx
+
+    p_set = checker.states_satisfying(p)
+    constraint_sets = [checker.states_satisfying(c) for c in fairness]
+    system = checker.system
+    # restrict the graph to p-states
+    allowed = {
+        s for s in system.states() if p_set[checker._index(s)]
+    }
+    if start not in allowed:
+        return None
+    g = nx.DiGraph()
+    for s in allowed:
+        g.add_node(s)
+        for t in system.successors(s):
+            if t in allowed:
+                g.add_edge(s, t)
+    # fair SCCs: contain a cycle and a state of every constraint
+    for scc in nx.strongly_connected_components(g):
+        scc = set(scc)
+        has_cycle = len(scc) > 1 or any(g.has_edge(s, s) for s in scc)
+        if not has_cycle:
+            continue
+        if not all(
+            any(cset[checker._index(s)] for s in scc)
+            for cset in constraint_sets
+        ):
+            continue
+        entry_points = [s for s in scc if s == start or nx.has_path(g, start, s)]
+        if not entry_points:
+            continue
+        entry = min(entry_points, key=sorted)
+        stem = nx.shortest_path(g, start, entry)
+        # build a cycle inside the SCC visiting one state per constraint
+        targets = []
+        for cset in constraint_sets:
+            candidates = sorted((s for s in scc if cset[checker._index(s)]), key=sorted)
+            targets.append(candidates[0])
+        sub = g.subgraph(scc)
+        cycle = [entry]
+        position = entry
+        for target in targets:
+            if target != position:
+                cycle += nx.shortest_path(sub, position, target)[1:]
+                position = target
+        back = nx.shortest_path(sub, position, entry)
+        if len(back) > 1:
+            cycle += back[1:]
+        elif len(cycle) == 1:  # single-state SCC: use its self-loop
+            cycle.append(entry)
+        return stem, cycle
+    return None
+
+
+def counterexample(
+    checker: ExplicitChecker, f: Formula, start: frozenset
+) -> list[frozenset] | None:
+    """Best-effort counterexample path for common universal patterns.
+
+    Handles ``AG p`` (path to a bad state) and ``p ⇒ AX q`` (the failing
+    state followed by its offending successor).  Returns None when the
+    formula holds at ``start`` or its shape is unsupported.
+    """
+    sat = checker.states_satisfying(f)
+    if sat[checker._index(start)]:
+        return None
+    if isinstance(f, AG):
+        return ag_counterexample(checker, start, f.operand)
+    if isinstance(f, Implies) and isinstance(f.right, AX):
+        bad = ex_witness(checker, start, Not(f.right.operand))
+        if bad is not None:
+            return [start, bad]
+    return [start]

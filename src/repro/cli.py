@@ -1,0 +1,248 @@
+"""Command-line interface: check, simulate, and render SMV models.
+
+Usage::
+
+    python -m repro check model.smv            # SMV-style spec report
+    python -m repro check model.smv --explicit # use the NumPy engine
+    python -m repro simulate model.smv -n 12   # random run
+    python -m repro graph model.smv            # DOT transition graph
+    python -m repro reachable model.smv        # forward reachability stats
+
+Exit status is 0 when every SPEC holds, 1 otherwise (like SMV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.reachability import check_invariant_symbolic
+from repro.logic.ctl import TRUE
+from repro.logic.restriction import Restriction
+from repro.smv.compile_explicit import to_system
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.run import check_model, load_model
+from repro.smv.simulate import format_trace, simulate
+from repro.systems.graph import decoded_graph, to_dot
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    model = load_model(open(args.file).read())
+    if args.explicit:
+        system = to_system(model, reflexive=args.reflexive)
+        checker = ExplicitChecker(system)
+        restriction = Restriction(
+            init=model.initial_formula(),
+            fairness=tuple(model.fairness) or (TRUE,),
+        )
+        ok = True
+        for spec, text in zip(model.specs, model.module.specs):
+            result = checker.holds(spec, restriction)
+            ok &= bool(result)
+            from repro.smv.pretty import spec_to_str
+
+            verdict = "true" if result else "false"
+            print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
+        return 0 if ok else 1
+    report, _ = check_model(model, reflexive=args.reflexive)
+    print(report.format())
+    return 0 if report.all_true else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = load_model(open(args.file).read())
+    trace = simulate(model, steps=args.steps, seed=args.seed)
+    print(format_trace(trace))
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    model = load_model(open(args.file).read())
+    system = to_system(model, reflexive=False)
+    if args.decoded:
+        graph = decoded_graph(system, model.encoding)
+        lines = ["digraph protocol {"]
+        for a, b in graph.edges:
+            fmt = lambda n: ",".join(f"{k}={v}" for k, v in n)
+            lines.append(f'  "{fmt(a)}" -> "{fmt(b)}";')
+        lines.append("}")
+        print("\n".join(lines))
+    else:
+        print(to_dot(system))
+    return 0
+
+
+def _cmd_reachable(args: argparse.Namespace) -> int:
+    model = load_model(open(args.file).read())
+    system = to_symbolic(model)
+    report = check_invariant_symbolic(
+        system, model.initial_formula(), model.valid_formula()
+    )
+    print(f"atoms:            {len(system.atoms)}")
+    print(f"total states:     {report.num_total:.0f}")
+    print(f"reachable states: {report.num_reachable:.0f} "
+          f"({100 * report.fraction_reachable:.1f}%)")
+    print(f"diameter (image iterations): {report.iterations}")
+    return 0
+
+
+_DEMOS = {
+    "afs1-safety": "the paper's (Afs1): AG client-valid ⇒ server-valid",
+    "afs1-liveness": "the paper's (Afs2): AF client-valid",
+    "afs2-safety": "AFS-2 with callbacks/failures, 2 clients",
+    "mutex": "token-ring mutual exclusion, 3 processes",
+    "2pc-atomicity": "two-phase commit atomicity, 2 participants",
+    "2pc-termination": "two-phase commit termination, 2 participants",
+}
+
+
+def _mutex_demo():
+    from repro.casestudies.mutex import TokenRing
+    from repro.systems.encode import Encoding, FiniteVar
+
+    ring = TokenRing(3)
+    pf, conclusion = ring.prove_safety()
+    encoding = Encoding(
+        list(ring.encoding.variables)
+        + [FiniteVar(f"c{i}", (False, True)) for i in range(3)]
+    )
+    return pf, conclusion, encoding
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.casestudies.afs1 import Afs1
+    from repro.casestudies.afs2 import Afs2
+    from repro.casestudies.mutex import TokenRing
+    from repro.casestudies.twophase import TwoPhaseCommit
+
+    def with_encoding(study, prove):
+        pf, conclusion = prove(study)
+        return pf, conclusion, study.combined_encoding()
+
+    runners = {
+        "afs1-safety": lambda: with_encoding(Afs1(), lambda s: s.prove_safety()),
+        "afs1-liveness": lambda: with_encoding(
+            Afs1(), lambda s: s.prove_liveness()
+        ),
+        "afs2-safety": lambda: with_encoding(
+            Afs2(2), lambda s: s.prove_safety()
+        ),
+        "mutex": lambda: _mutex_demo(),
+        "2pc-atomicity": lambda: with_encoding(
+            TwoPhaseCommit(2), lambda s: s.prove_atomicity()
+        ),
+        "2pc-termination": lambda: with_encoding(
+            TwoPhaseCommit(2), lambda s: s.prove_termination()
+        ),
+    }
+    pf, conclusion, encoding = runners[args.name]()
+    obligations = {
+        id(o) for s in pf.log for leaf in s.leaves() for o in leaf.obligations
+    }
+    print(f"demo: {args.name}{_DEMOS[args.name]}")
+    print()
+    print(f"components: {', '.join(sorted(pf.components))}")
+    print(f"composite alphabet: {len(pf.sigma_star)} atomic propositions")
+    print(f"proof steps: {len(pf.log)}; model-checking obligations: "
+          f"{len(obligations)}")
+    print()
+    print("final conclusion (decoded):")
+    restriction = conclusion.restriction
+    if not restriction.is_trivial:
+        print(f"  from initial states: {encoding.describe(restriction.init)}")
+        fair = [f for f in restriction.fairness]
+        from repro.logic.ctl import TRUE as F_TRUE
+
+        real_fair = [f for f in fair if f != F_TRUE]
+        if real_fair:
+            print(f"  under {len(real_fair)} fairness constraint(s), e.g.:")
+            print(f"    {encoding.describe(real_fair[0])}")
+    print(f"{encoding.describe(conclusion.formula)}")
+    if args.verify:
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        print(
+            f"\nmonolithic cross-check: {len(pf.conclusions)} conclusions, "
+            f"{len(failures)} failures"
+        )
+        return 1 if failures else 0
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compositional CTL model checking (Andrade & Sanders 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="model-check every SPEC of a module")
+    check.add_argument("file")
+    check.add_argument(
+        "--reflexive",
+        action="store_true",
+        help="stutter-close the relation (paper-style component semantics)",
+    )
+    check.add_argument(
+        "--explicit",
+        action="store_true",
+        help="use the explicit-state engine instead of BDDs",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    sim = sub.add_parser("simulate", help="print a random run of the model")
+    sim.add_argument("file")
+    sim.add_argument("-n", "--steps", type=int, default=10)
+    sim.add_argument("--seed", type=int, default=None)
+    sim.set_defaults(func=_cmd_simulate)
+
+    graph = sub.add_parser("graph", help="emit the transition graph as DOT")
+    graph.add_argument("file")
+    graph.add_argument(
+        "--decoded",
+        action="store_true",
+        help="label nodes with variable assignments instead of raw atoms",
+    )
+    graph.set_defaults(func=_cmd_graph)
+
+    reach = sub.add_parser(
+        "reachable", help="forward-reachability statistics of the model"
+    )
+    reach.add_argument("file")
+    reach.set_defaults(func=_cmd_reachable)
+
+    demo = sub.add_parser(
+        "demo", help="run one of the built-in compositional proofs"
+    )
+    demo.add_argument("name", choices=sorted(_DEMOS))
+    demo.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check every conclusion on the monolithic product system",
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output was piped into a consumer that closed early (e.g. head)
+        return 0
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # parse/elaboration/check errors
+        from repro.errors import ReproError
+
+        if isinstance(exc, ReproError):
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

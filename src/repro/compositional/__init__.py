@@ -1,0 +1,101 @@
+"""The paper's compositional theory: property classes, rules, proof engine."""
+
+from repro.compositional.export import (
+    obligations_report,
+    proof_to_dot,
+    proof_tree,
+)
+from repro.compositional.library import (
+    AdoptedComponent,
+    GuaranteeDecl,
+    SpecSheet,
+    adopt,
+    publish,
+)
+from repro.compositional.manifest import (
+    check_manifest,
+    load_conclusions,
+    save_conclusions,
+)
+from repro.compositional.progress import ProgressChain
+from repro.compositional.testing import (
+    AttackOutcome,
+    attack_guarantee,
+    random_environments,
+    refutations,
+)
+from repro.compositional.classify import (
+    classify,
+    conjuncts,
+    is_ax_step,
+    is_epath_step,
+    is_ex_step,
+    is_existential_form,
+    is_universal_form,
+)
+from repro.compositional.proof import (
+    CompositionProof,
+    ProofStep,
+    Proven,
+    ProvenGuarantee,
+)
+from repro.compositional.prop_logic import (
+    entails,
+    equivalent,
+    is_fairness_monotone,
+    is_tautology,
+)
+from repro.compositional.properties import (
+    Guarantees,
+    PropertyClass,
+    RestrictedProperty,
+)
+from repro.compositional.rules import (
+    progress_restriction,
+    rule4_guarantee,
+    rule4_premise,
+    rule5_guarantee,
+    rule5_premise,
+)
+
+__all__ = [
+    "CompositionProof",
+    "ProgressChain",
+    "SpecSheet",
+    "GuaranteeDecl",
+    "publish",
+    "adopt",
+    "AdoptedComponent",
+    "attack_guarantee",
+    "random_environments",
+    "refutations",
+    "AttackOutcome",
+    "save_conclusions",
+    "load_conclusions",
+    "check_manifest",
+    "proof_tree",
+    "proof_to_dot",
+    "obligations_report",
+    "Proven",
+    "ProvenGuarantee",
+    "ProofStep",
+    "RestrictedProperty",
+    "Guarantees",
+    "PropertyClass",
+    "classify",
+    "conjuncts",
+    "is_universal_form",
+    "is_existential_form",
+    "is_ax_step",
+    "is_ex_step",
+    "is_epath_step",
+    "is_tautology",
+    "entails",
+    "equivalent",
+    "is_fairness_monotone",
+    "rule4_premise",
+    "rule4_guarantee",
+    "rule5_premise",
+    "rule5_guarantee",
+    "progress_restriction",
+]

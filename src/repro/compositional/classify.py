@@ -1,0 +1,133 @@
+"""Syntactic classification of CTL properties (paper Rules 1–3).
+
+The paper identifies CTL fragments that are universal or existential:
+
+* **Rule 1** — for ``r = (I, {true})`` with ``I`` and ``p`` propositional,
+  ``⊨_r p`` is existential (a propositional fact true of all considered
+  states projects along composition, Lemma 10).
+* **Rule 2** — ``p ⇒ AX q`` (``p, q`` propositional, trivial restriction)
+  is universal.
+* **Rule 3** — ``p ⇒ EX q`` (``p, q`` propositional, trivial restriction)
+  is existential.
+
+Conjunctions of same-class properties stay in the class (both classes are
+closed under ∧ because composition treats each conjunct independently);
+propositional tautology candidates classify as both.  The classifier is
+deliberately *syntactic* and conservative — exactly the check the paper's
+"potential customer of the component" would run.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ctl import (
+    AX,
+    EF,
+    EU,
+    EX,
+    And,
+    Formula,
+    Implies,
+    is_propositional,
+)
+from repro.logic.restriction import Restriction
+from repro.compositional.properties import (
+    Guarantees,
+    PropertyClass,
+    RestrictedProperty,
+)
+
+
+def conjuncts(f: Formula) -> list[Formula]:
+    """Flatten a tree of ∧ into its conjuncts."""
+    if isinstance(f, And):
+        return conjuncts(f.left) + conjuncts(f.right)
+    return [f]
+
+
+def is_ax_step(f: Formula) -> bool:
+    """``p ⇒ AX q`` with propositional ``p, q`` (Rule 2 shape)."""
+    return (
+        isinstance(f, Implies)
+        and isinstance(f.right, AX)
+        and is_propositional(f.left)
+        and is_propositional(f.right.operand)
+    )
+
+
+def is_ex_step(f: Formula) -> bool:
+    """``p ⇒ EX q`` with propositional ``p, q`` (Rule 3 shape)."""
+    return (
+        isinstance(f, Implies)
+        and isinstance(f.right, EX)
+        and is_propositional(f.left)
+        and is_propositional(f.right.operand)
+    )
+
+
+def is_epath_step(f: Formula) -> bool:
+    """``p ⇒ EX/EF/E[· U ·] q`` with propositional arguments.
+
+    Extension E1 beyond the paper's stated Rule 3: any positive
+    existential path property with propositional arguments is existential,
+    because the witnessing path of a component lifts to the composite with
+    the other component's propositions frame-fixed (the same argument as
+    the paper's proof of Rule 3, iterated along the path).  Rule 5's left
+    side needs this for its ``pⱼ ⇒ EF pᵢ`` conjuncts.  Validated by the
+    hypothesis test-suite against explicit composites.
+    """
+    if not isinstance(f, Implies) or not is_propositional(f.left):
+        return False
+    body = f.right
+    if isinstance(body, (EX, EF)):
+        return is_propositional(body.operand)
+    if isinstance(body, EU):
+        return is_propositional(body.left) and is_propositional(body.right)
+    return False
+
+
+def is_universal_form(prop: RestrictedProperty) -> bool:
+    """Does Rule 2 (closed under ∧) apply to this property?
+
+    Requires the trivial restriction: the paper states Rule 2 for ``⊨``;
+    fairness on the *composite* side is recovered separately via Lemma 11.
+    """
+    if not prop.restriction.is_trivial:
+        return False
+    return all(
+        is_ax_step(c) or is_propositional(c) for c in conjuncts(prop.formula)
+    )
+
+
+def is_existential_form(prop: RestrictedProperty) -> bool:
+    """Does Rule 1 or Rule 3 (closed under ∧) apply to this property?
+
+    Rule 1 allows a propositional initial condition with trivial fairness;
+    Rule 3 requires the trivial restriction but allows ``EX`` steps.
+    """
+    r = prop.restriction
+    parts = conjuncts(prop.formula)
+    if r.is_trivial:
+        return all(is_epath_step(c) or is_propositional(c) for c in parts)
+    # Rule 1: r = (I, {true}) with propositional I, propositional formula
+    if r.has_trivial_fairness and is_propositional(r.init):
+        return all(is_propositional(c) for c in parts)
+    return False
+
+
+def classify(prop: RestrictedProperty | Guarantees) -> set[PropertyClass]:
+    """All classes the property syntactically belongs to.
+
+    Guarantees properties are always existential (paper §3.3: composition
+    is associative and commutative, so a guarantee of a component is a
+    guarantee of any containing system).
+    """
+    if isinstance(prop, Guarantees):
+        return {PropertyClass.EXISTENTIAL}
+    out: set[PropertyClass] = set()
+    if is_universal_form(prop):
+        out.add(PropertyClass.UNIVERSAL)
+    if is_existential_form(prop):
+        out.add(PropertyClass.EXISTENTIAL)
+    if not out:
+        out.add(PropertyClass.UNCLASSIFIED)
+    return out

@@ -1,0 +1,85 @@
+"""Exports of proof certificates: indented text and Graphviz DOT.
+
+The paper argues the component developer should ship "theorems and proofs
+in the documentation" so that the composer's job reduces to simple,
+automatic checks.  These renderers produce that documentation from a
+finished :class:`~repro.compositional.proof.CompositionProof`.
+"""
+
+from __future__ import annotations
+
+from repro.compositional.proof import CompositionProof, ProofStep, Proven
+
+
+def proof_tree(proven: Proven, max_width: int = 100) -> str:
+    """The derivation of one conclusion as an indented tree."""
+    lines: list[str] = []
+
+    def clip(text: str) -> str:
+        return text if len(text) <= max_width else text[: max_width - 3] + "..."
+
+    def walk(step: ProofStep, depth: int) -> None:
+        marker = "└─ " if depth else ""
+        lines.append("  " * depth + marker + clip(f"[{step.kind}] {step.description}"))
+        for result in step.obligations:
+            lines.append("  " * (depth + 1) + clip(f"• checked: {result.format()}"))
+        for premise in step.premises:
+            walk(premise, depth + 1)
+
+    lines.append(clip(f"⊢ {proven.prop}"))
+    walk(proven.step, 0)
+    return "\n".join(lines)
+
+
+def proof_to_dot(proven: Proven) -> str:
+    """The derivation DAG in Graphviz DOT (shared sub-proofs deduplicated)."""
+    lines = [
+        "digraph proof {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontsize=10];',
+    ]
+    ids: dict[int, str] = {}
+
+    def node_id(step: ProofStep) -> str:
+        key = id(step)
+        if key not in ids:
+            ids[key] = f"s{len(ids)}"
+            label = step.kind
+            if step.obligations:
+                label += f"\\n({len(step.obligations)} obligation(s))"
+            lines.append(f'  {ids[key]} [label="{label}"];')
+            for premise in step.premises:
+                lines.append(f"  {node_id(premise)} -> {ids[key]};")
+        return ids[key]
+
+    root = node_id(proven.step)
+    goal = str(proven.prop).replace('"', "'")
+    if len(goal) > 80:
+        goal = goal[:77] + "..."
+    lines.append(f'  goal [label="{goal}", shape=ellipse];')
+    lines.append(f"  {root} -> goal;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def obligations_report(pf: CompositionProof) -> str:
+    """Every model-checking obligation the proof discharged, deduplicated.
+
+    This is the list the paper's "potential customer of the component" has
+    to re-run — the entire trusted base of the compositional argument.
+    """
+    seen: set[int] = set()
+    lines = ["model-checking obligations:"]
+    count = 0
+    for step in pf.log:
+        for leaf in step.leaves():
+            for result in leaf.obligations:
+                if id(result) in seen:
+                    continue
+                seen.add(id(result))
+                count += 1
+                restriction = result.restriction
+                suffix = "" if restriction.is_trivial else f"  under {restriction}"
+                lines.append(f"  {count:3}. {result.formula}{suffix}")
+    lines.append(f"total: {count}")
+    return "\n".join(lines)

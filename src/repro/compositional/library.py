@@ -1,0 +1,190 @@
+"""Component spec sheets — the paper's delivery workflow, operationalized.
+
+Section 5: "By specifying components using compositional properties and
+including theorems and proofs in the documentation, the developer of a
+component might reduce the task of the composer to a simple and automatic
+proof (model checking)."
+
+A :class:`SpecSheet` is that documentation as data: the component's SMV
+source together with its advertised universal properties, existential
+properties, and Rule-4/Rule-5 guarantee premises, all as CTL text.  The
+*developer* builds and verifies a sheet once (:func:`publish`); the
+*composer* drops the sheet into a :class:`CompositionProof` and every
+declared item is re-established mechanically on the component's expansion
+(:func:`adopt`) — no trust in the shipped verdicts is required, only in
+the shipped obligations being the right ones.
+
+Sheets serialize to plain JSON (formulas in concrete CTL syntax, which
+round-trips through :func:`repro.logic.parse_ctl`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.compositional.proof import CompositionProof, Proven, ProvenGuarantee
+from repro.errors import ProofError
+from repro.logic.ctl import Formula
+from repro.logic.parser import parse_ctl
+from repro.casestudies.afs_common import ProtocolComponent
+
+
+@dataclass
+class GuaranteeDecl:
+    """One advertised guarantee: Rule 4 (``disjuncts`` empty) or Rule 5."""
+
+    p: str
+    q: str
+    disjuncts: tuple[str, ...] = ()
+    helpful: int = 0
+
+    @property
+    def is_rule5(self) -> bool:
+        return bool(self.disjuncts)
+
+
+@dataclass
+class SpecSheet:
+    """A component plus its advertised compositional properties."""
+
+    name: str
+    source: str
+    universal: list[str] = field(default_factory=list)
+    existential: list[str] = field(default_factory=list)
+    guarantees: list[GuaranteeDecl] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "source": self.source,
+                "universal": self.universal,
+                "existential": self.existential,
+                "guarantees": [
+                    {
+                        "p": g.p,
+                        "q": g.q,
+                        "disjuncts": list(g.disjuncts),
+                        "helpful": g.helpful,
+                    }
+                    for g in self.guarantees
+                ],
+            },
+            indent=2,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "SpecSheet":
+        """Deserialize; formulas are validated by parsing."""
+        data = json.loads(text)
+        sheet = SpecSheet(
+            name=data["name"],
+            source=data["source"],
+            universal=list(data.get("universal", ())),
+            existential=list(data.get("existential", ())),
+            guarantees=[
+                GuaranteeDecl(
+                    p=g["p"],
+                    q=g["q"],
+                    disjuncts=tuple(g.get("disjuncts", ())),
+                    helpful=int(g.get("helpful", 0)),
+                )
+                for g in data.get("guarantees", ())
+            ],
+        )
+        for text_formula in sheet.universal + sheet.existential:
+            parse_ctl(text_formula)
+        for g in sheet.guarantees:
+            parse_ctl(g.p), parse_ctl(g.q)
+            for d in g.disjuncts:
+                parse_ctl(d)
+        return sheet
+
+    def component(self) -> ProtocolComponent:
+        """The component built from the shipped SMV source."""
+        return ProtocolComponent(self.name, self.source)
+
+
+def publish(sheet: SpecSheet) -> SpecSheet:
+    """Developer side: verify every declared item on the component alone.
+
+    Universal/existential properties are model checked on the component;
+    guarantee premises (``p ⇒ EX q``) likewise.  Raises
+    :class:`ProofError` listing the first failing declaration, so an
+    unsound sheet can never be published accidentally.
+    """
+    from repro.checking.explicit import ExplicitChecker
+    from repro.compositional.rules import rule4_premise, rule5_premise
+
+    checker = ExplicitChecker(sheet.component().system())
+    for text in sheet.universal + sheet.existential:
+        result = checker.holds(parse_ctl(text))
+        if not result:
+            raise ProofError(
+                f"declared property fails on component {sheet.name!r}: {text}"
+            )
+    for g in sheet.guarantees:
+        if g.is_rule5:
+            premise = rule5_premise(
+                tuple(parse_ctl(d) for d in g.disjuncts),
+                parse_ctl(g.q),
+                g.helpful,
+            )
+        else:
+            premise = rule4_premise(parse_ctl(g.p), parse_ctl(g.q))
+        if not checker.holds(premise):
+            raise ProofError(
+                f"guarantee premise fails on component {sheet.name!r}: {premise}"
+            )
+    return sheet
+
+
+@dataclass
+class AdoptedComponent:
+    """What the composer gets back: re-established, engine-checked items."""
+
+    name: str
+    universal: list[Proven]
+    existential: list[Proven]
+    guarantees: list[ProvenGuarantee]
+
+
+def adopt(proof: CompositionProof, sheet: SpecSheet) -> AdoptedComponent:
+    """Composer side: re-establish every declared item inside a proof.
+
+    The sheet's component must already be registered in ``proof`` under
+    ``sheet.name``.  Each declaration is discharged through the engine's
+    own rules (obligations run on the component's expansion over the
+    composite alphabet), so the returned handles are first-class `Proven`
+    values ready for `apply_guarantee`, chaining, and so on.
+    """
+    if sheet.name not in proof.components:
+        raise ProofError(
+            f"register the component as {sheet.name!r} in the proof first"
+        )
+    universal = [proof.universal(parse_ctl(t)) for t in sheet.universal]
+    existential = [
+        proof.existential(parse_ctl(t), witness=sheet.name)
+        for t in sheet.existential
+    ]
+    guarantees = []
+    for g in sheet.guarantees:
+        if g.is_rule5:
+            guarantees.append(
+                proof.guarantee_rule5(
+                    sheet.name,
+                    tuple(parse_ctl(d) for d in g.disjuncts),
+                    parse_ctl(g.q),
+                    g.helpful,
+                )
+            )
+        else:
+            guarantees.append(
+                proof.guarantee_rule4(sheet.name, parse_ctl(g.p), parse_ctl(g.q))
+            )
+    return AdoptedComponent(sheet.name, universal, existential, guarantees)

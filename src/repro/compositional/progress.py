@@ -1,0 +1,81 @@
+"""High-level leads-to chains — §5's recipe as an API.
+
+The paper's Discussion describes the general method for proving
+``p ⇒ AF q`` properties: "identifying a series of predicates p₀ … pₙ such
+that p = p₀ and pₙ = q and then proving a series of basic liveness
+properties pᵢ ⇒ A(pᵢ U pᵢ₊₁)".  :class:`ProgressChain` automates exactly
+that over a :class:`~repro.compositional.proof.CompositionProof`: each
+:meth:`step` names the *helpful component* for one hop (Rule 4, or Rule 5
+with a cover), the engine discharges the universal side conditions, and
+:meth:`conclude` aligns the per-step fairness constraints and chains the
+hops into the final ``AF`` property.
+"""
+
+from __future__ import annotations
+
+from repro.compositional.proof import CompositionProof, Proven
+from repro.errors import ProofError
+from repro.logic.ctl import Formula
+
+
+class ProgressChain:
+    """A fluent builder for chained Rule-4/Rule-5 progress proofs.
+
+    Example
+    -------
+    ::
+
+        chain = ProgressChain(proof)
+        afq = (chain.step("client", nn, nf)
+                    .step("server", nf, nv)
+                    .step("client", nv, vv)
+                    .conclude(valid))
+    """
+
+    def __init__(self, proof: CompositionProof):
+        self.proof = proof
+        self.links: list[Proven] = []
+
+    def step(self, component: str, p: Formula, q: Formula) -> "ProgressChain":
+        """Add a weak-fairness hop ``p ↝ q`` helped by ``component``.
+
+        Establishes the Rule-4 guarantee (model checking ``p ⇒ EX q`` on
+        the component's expansion), discharges its universal left side on
+        every expansion, and keeps the ``A(p U q)`` conclusion.
+        """
+        g = self.proof.guarantee_rule4(component, p, q)
+        rhs = self.proof.discharge(g)
+        self.links.append(self.proof.project(rhs, 0))
+        return self
+
+    def step_rule5(
+        self,
+        component: str,
+        disjuncts: tuple[Formula, ...],
+        q: Formula,
+        helpful: int,
+    ) -> "ProgressChain":
+        """Add a strong-fairness hop with a cover ``p = ⋁ disjuncts``."""
+        g = self.proof.guarantee_rule5(component, disjuncts, q, helpful)
+        rhs = self.proof.discharge(g)
+        self.links.append(self.proof.project(rhs, 0))
+        return self
+
+    def append(self, proven: Proven) -> "ProgressChain":
+        """Splice an externally-proven leads-to link into the chain."""
+        self.links.append(proven)
+        return self
+
+    def conclude(self, target: Formula | None = None) -> Proven:
+        """Chain all hops; optionally weaken the final goal to ``target``.
+
+        Returns ``⊨_(true, F) p₀ ⇒ AF goal`` where ``F`` is the union of
+        the hops' progress-fairness constraints.
+        """
+        if not self.links:
+            raise ProofError("a progress chain needs at least one step")
+        aligned = self.proof.align_fairness(self.links)
+        result = self.proof.chain(aligned)
+        if target is not None:
+            result = self.proof.af_weaken(result, target)
+        return result

@@ -1,0 +1,74 @@
+"""Property objects of the compositional theory (paper Section 3.3).
+
+Three kinds of component specification:
+
+* **existential** properties hold in a composite if they hold in *any*
+  component: ``M ⊨_r f  ⇒  M ∘ M' ⊨_r f``;
+* **universal** properties hold in a composite if they hold in *all*
+  components: ``M ⊨_r f ∧ M' ⊨_r f  ⇒  M ∘ M' ⊨_r f``;
+* **guarantees** properties ``f guarantees_r g``: for any environment
+  ``M'``, if the *composite* ``M ∘ M'`` satisfies ``f`` then the composite
+  satisfies ``g`` under ``r``.  (Note the twist versus classic
+  rely/guarantee: the antecedent is a property of the whole composed
+  system, not of the environment alone.)  Guarantees properties are
+  themselves existential, so they are inherited by any system containing
+  the component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.logic.ctl import Formula
+from repro.logic.restriction import UNRESTRICTED, Restriction
+
+
+class PropertyClass(Enum):
+    """Compositional classification of a restricted property."""
+
+    UNIVERSAL = "universal"
+    EXISTENTIAL = "existential"
+    UNCLASSIFIED = "unclassified"
+
+
+@dataclass(frozen=True)
+class RestrictedProperty:
+    """A CTL formula together with its restriction ``r = (I, F)``.
+
+    ``M ⊨_r f`` is the satisfaction notion of the paper's Section 2.2.
+    """
+
+    formula: Formula
+    restriction: Restriction = UNRESTRICTED
+
+    def atoms(self) -> frozenset[str]:
+        """Atoms mentioned by the formula or the restriction."""
+        return self.formula.atoms() | self.restriction.atoms()
+
+    def __str__(self) -> str:
+        if self.restriction.is_trivial:
+            return f"⊨ {self.formula}"
+        return f"⊨_{self.restriction} {self.formula}"
+
+
+@dataclass(frozen=True)
+class Guarantees:
+    """``lhs guarantees rhs`` — a higher-order component property.
+
+    A component ``M`` satisfies it iff for every environment ``M'``::
+
+        M ∘ M' ⊨_{lhs.restriction} lhs.formula
+            ⇒  M ∘ M' ⊨_{rhs.restriction} rhs.formula
+
+    These cannot be model checked directly (the environment is universally
+    quantified); they are *established* via Rules 4/5 (model checking a
+    premise on the component alone) and *used* by discharging the left
+    side on the composite — usually via universal/existential reasoning.
+    """
+
+    lhs: RestrictedProperty
+    rhs: RestrictedProperty
+
+    def __str__(self) -> str:
+        return f"[{self.lhs}] guarantees [{self.rhs}]"

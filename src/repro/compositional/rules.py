@@ -1,0 +1,102 @@
+"""Rules 1–5 of the paper as certificate-building functions.
+
+Rules 1–3 are classification facts (see :mod:`repro.compositional.classify`);
+this module builds the *guarantees* certificates of Rules 4 and 5, whose
+shape is fixed by the paper:
+
+Rule 4 (weak fairness).  If ``M ⊨ (p ⇒ EX q)`` then ``M`` satisfies::
+
+    (p ⇒ AX(p ∨ q))
+        guarantees_r ((p ⇒ A(p U q)) ∧ (p ⇒ E(p U q)))
+    with r = (true, {¬p ∨ q})
+
+The helpful component has a transition into ``q`` that is always enabled
+at ``p``-states; if the whole system never disables it (left side) and the
+scheduler is weakly fair (the fairness constraint discards paths that
+stutter in ``p ∧ ¬q`` forever), the transition is eventually taken.
+
+Rule 5 (strong fairness).  With a cover ``p = p₁ ∨ … ∨ pₙ`` and
+``M ⊨ pᵢ ⇒ EX q`` for the helpful disjunct ``i``::
+
+    (p ⇒ AX(p ∨ q)) ∧ (⋀ⱼ pⱼ ⇒ EF pᵢ)
+        guarantees_r ((p ⇒ A(p U q)) ∧ (p ⇒ E(p U q)))
+    with r = (true, {¬p ∨ q})
+
+(The paper's statement prints the side condition as ``pj ⇒ EFpj``; the
+proof makes clear it is ``pⱼ ⇒ EF pᵢ`` — a path from every disjunct back
+to the helpful one — and that is what we implement.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import LogicError
+from repro.logic.ctl import (
+    AU,
+    AX,
+    EF,
+    EU,
+    EX,
+    And,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    is_propositional,
+    land,
+    lor,
+)
+from repro.logic.restriction import Restriction
+from repro.compositional.properties import Guarantees, RestrictedProperty
+
+
+def progress_restriction(p: Formula, q: Formula) -> Restriction:
+    """``r = (true, {¬p ∨ q})`` — discard paths stuttering in ``p ∧ ¬q``."""
+    return Restriction(fairness=(Or(Not(p), q),))
+
+
+def rule4_premise(p: Formula, q: Formula) -> Formula:
+    """The model-checking obligation of Rule 4: ``p ⇒ EX q``."""
+    if not (is_propositional(p) and is_propositional(q)):
+        raise LogicError("rule 4 requires propositional p and q")
+    return Implies(p, EX(q))
+
+
+def rule4_guarantee(p: Formula, q: Formula) -> Guarantees:
+    """The guarantees certificate Rule 4 grants once its premise holds."""
+    if not (is_propositional(p) and is_propositional(q)):
+        raise LogicError("rule 4 requires propositional p and q")
+    r = progress_restriction(p, q)
+    lhs = RestrictedProperty(Implies(p, AX(Or(p, q))))
+    rhs = RestrictedProperty(
+        And(Implies(p, AU(p, q)), Implies(p, EU(p, q))), r
+    )
+    return Guarantees(lhs, rhs)
+
+
+def rule5_premise(disjuncts: tuple[Formula, ...], q: Formula, helpful: int) -> Formula:
+    """The model-checking obligation of Rule 5: ``p_helpful ⇒ EX q``."""
+    if not all(is_propositional(d) for d in disjuncts) or not is_propositional(q):
+        raise LogicError("rule 5 requires propositional disjuncts and q")
+    if not (0 <= helpful < len(disjuncts)):
+        raise LogicError("helpful index out of range")
+    return Implies(disjuncts[helpful], EX(q))
+
+
+def rule5_guarantee(
+    disjuncts: tuple[Formula, ...], q: Formula, helpful: int
+) -> Guarantees:
+    """The guarantees certificate Rule 5 grants once its premise holds."""
+    if not all(is_propositional(d) for d in disjuncts) or not is_propositional(q):
+        raise LogicError("rule 5 requires propositional disjuncts and q")
+    if not (0 <= helpful < len(disjuncts)):
+        raise LogicError("helpful index out of range")
+    p = lor(*disjuncts)
+    r = progress_restriction(p, q)
+    reenable = land(
+        *(Implies(pj, EF(disjuncts[helpful])) for pj in disjuncts)
+    )
+    lhs = RestrictedProperty(And(Implies(p, AX(Or(p, q))), reenable))
+    rhs = RestrictedProperty(
+        And(Implies(p, AU(p, q)), Implies(p, EU(p, q))), r
+    )
+    return Guarantees(lhs, rhs)

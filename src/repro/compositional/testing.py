@@ -1,0 +1,86 @@
+"""Validation tooling for compositional specifications.
+
+Guarantees quantify over *all* environments, so no finite test settles
+them — but adversarial sampling finds unsound certificates fast and is
+exactly what a component developer should run before shipping a spec
+sheet.  :func:`attack_guarantee` composes a component with randomized
+hostile environments over chosen shared atoms and reports any environment
+in which the composite satisfies the guarantee's left side but not its
+right side (a genuine refutation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.checking.explicit import ExplicitChecker
+from repro.compositional.properties import Guarantees
+from repro.systems.compose import compose
+from repro.systems.system import System
+
+
+def random_environment(
+    atoms: list[str], rng: random.Random, max_edges: int = 8
+) -> System:
+    """A random reflexive system over ``atoms`` (hostile-environment stock)."""
+    states = []
+    for k in range(len(atoms) + 1):
+        for combo in combinations(atoms, k):
+            states.append(frozenset(combo))
+    pairs = [(s, t) for s in states for t in states if s != t]
+    rng.shuffle(pairs)
+    return System(atoms, pairs[: rng.randint(0, min(max_edges, len(pairs)))])
+
+
+def random_environments(
+    atoms: list[str], count: int, seed: int | None = None
+) -> list[System]:
+    """``count`` independent random environments over ``atoms``."""
+    rng = random.Random(seed)
+    return [random_environment(atoms, rng) for _ in range(count)]
+
+
+@dataclass
+class AttackOutcome:
+    """Result of testing one environment against a guarantee."""
+
+    environment: System
+    lhs_holds: bool
+    rhs_holds: bool
+
+    @property
+    def refutes(self) -> bool:
+        """True when this environment witnesses an unsound guarantee."""
+        return self.lhs_holds and not self.rhs_holds
+
+
+def attack_guarantee(
+    component: System,
+    guarantee: Guarantees,
+    environments: list[System],
+) -> list[AttackOutcome]:
+    """Compose the component with each environment and test the guarantee.
+
+    Any outcome with ``refutes == True`` is a concrete counterexample to
+    the guarantee claim; a clean sweep is evidence (not proof) of
+    soundness.
+    """
+    outcomes = []
+    for environment in environments:
+        composite = compose(component, environment)
+        checker = ExplicitChecker(composite)
+        lhs = bool(
+            checker.holds(guarantee.lhs.formula, guarantee.lhs.restriction)
+        )
+        rhs = bool(
+            checker.holds(guarantee.rhs.formula, guarantee.rhs.restriction)
+        )
+        outcomes.append(AttackOutcome(environment, lhs, rhs))
+    return outcomes
+
+
+def refutations(outcomes: list[AttackOutcome]) -> list[AttackOutcome]:
+    """The refuting outcomes only (empty for sound certificates)."""
+    return [o for o in outcomes if o.refutes]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BddError(ReproError):
+    """Error inside the BDD engine (bad node id, ordering violation, ...)."""
+
+
+class LogicError(ReproError):
+    """Malformed formula or an operation applied to the wrong formula class."""
+
+
+class ParseError(ReproError):
+    """Syntax error while parsing a formula or an SMV program.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SystemError_(ReproError):
+    """Ill-formed transition system (non-total relation, alphabet mismatch, ...)."""
+
+
+class ElaborationError(ReproError):
+    """Semantic error while elaborating an SMV program (unknown variable, ...)."""
+
+
+class CheckError(ReproError):
+    """Error raised by a model checker (unsupported operator, bad restriction)."""
+
+
+class ProofError(ReproError):
+    """A proof-certificate step failed to replay.
+
+    Raised by :mod:`repro.compositional.proof` when a side condition of a
+    rule application does not hold or a model-checking obligation is false.
+    """

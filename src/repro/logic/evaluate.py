@@ -1,0 +1,55 @@
+"""Direct evaluation of propositional formulas in a single state.
+
+States are the paper's: the set of true atomic propositions.  Used by the
+trace simulator and anywhere a full model checker would be overkill.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+from repro.errors import LogicError
+from repro.logic.ctl import (
+    And,
+    Atom,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+
+
+def evaluate_propositional(f: Formula, state: Set) -> bool:
+    """Truth value of a propositional formula in ``state``.
+
+    >>> from repro.logic.parser import parse_ctl
+    >>> evaluate_propositional(parse_ctl("p & !q"), frozenset({"p"}))
+    True
+    """
+    if isinstance(f, Const):
+        return f.value
+    if isinstance(f, Atom):
+        return f.name in state
+    if isinstance(f, Not):
+        return not evaluate_propositional(f.operand, state)
+    if isinstance(f, And):
+        return evaluate_propositional(f.left, state) and evaluate_propositional(
+            f.right, state
+        )
+    if isinstance(f, Or):
+        return evaluate_propositional(f.left, state) or evaluate_propositional(
+            f.right, state
+        )
+    if isinstance(f, Implies):
+        return (not evaluate_propositional(f.left, state)) or evaluate_propositional(
+            f.right, state
+        )
+    if isinstance(f, Iff):
+        return evaluate_propositional(f.left, state) == evaluate_propositional(
+            f.right, state
+        )
+    raise LogicError(
+        f"evaluate_propositional: {type(f).__name__} is not propositional"
+    )

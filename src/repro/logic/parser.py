@@ -1,0 +1,203 @@
+"""Parser for CTL formulas over boolean atomic propositions.
+
+The concrete syntax is SMV-compatible for the boolean fragment::
+
+    f ::= f '<->' f            (lowest precedence)
+        | f '->' f             (right associative)
+        | f '|' f
+        | f '&' f
+        | '!' f
+        | 'AX' f | 'EX' f | 'AF' f | 'EF' f | 'AG' f | 'EG' f
+        | 'A' '[' f 'U' f ']' | 'E' '[' f 'U' f ']'
+        | 'A' '(' f 'U' f ')' | 'E' '(' f 'U' f ')'   (paper style)
+        | '(' f ')' | atom | 'true' | 'false' | '1' | '0'
+
+Atoms are identifiers, optionally containing dots (``Server.belief_valid``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    And,
+    Atom,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<imp>->)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>!)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<lbrk>\[)
+  | (?P<rbrk>\])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.']*)
+  | (?P<num>[01])
+    """,
+    re.VERBOSE,
+)
+
+_TEMPORAL1 = {"AX": AX, "EX": EX, "AF": AF, "EF": EF, "AG": AG, "EG": EG}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            line = text.count("\n", 0, pos) + 1
+            col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line, col)
+        pos = m.end()
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, m.group(), m.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.next()
+        if tok.kind != kind:
+            self.error(f"expected {kind!r}, found {tok.text!r}", tok)
+        return tok
+
+    def error(self, message: str, tok: _Token) -> None:
+        line = self.text.count("\n", 0, tok.pos) + 1
+        col = tok.pos - (self.text.rfind("\n", 0, tok.pos) + 1) + 1
+        raise ParseError(message, line, col)
+
+    # precedence climbing -------------------------------------------------
+    def formula(self) -> Formula:
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.imp()
+        while self.peek().kind == "iff":
+            self.next()
+            left = Iff(left, self.imp())
+        return left
+
+    def imp(self) -> Formula:
+        left = self.disj()
+        if self.peek().kind == "imp":
+            self.next()
+            return Implies(left, self.imp())  # right associative
+        return left
+
+    def disj(self) -> Formula:
+        left = self.conj()
+        while self.peek().kind == "or":
+            self.next()
+            left = Or(left, self.conj())
+        return left
+
+    def conj(self) -> Formula:
+        left = self.unary()
+        while self.peek().kind == "and":
+            self.next()
+            left = And(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        tok = self.peek()
+        if tok.kind == "not":
+            self.next()
+            return Not(self.unary())
+        if tok.kind == "name":
+            if tok.text in _TEMPORAL1:
+                self.next()
+                return _TEMPORAL1[tok.text](self.unary())
+            if tok.text in ("A", "E"):
+                return self.until(tok.text)
+        return self.primary()
+
+    def until(self, quantifier: str) -> Formula:
+        self.next()  # consume A/E
+        opener = self.next()
+        if opener.kind not in ("lbrk", "lpar"):
+            self.error("expected '[' or '(' after path quantifier", opener)
+        left = self.formula()
+        utok = self.next()
+        if not (utok.kind == "name" and utok.text == "U"):
+            self.error("expected 'U' in until formula", utok)
+        right = self.formula()
+        closer = self.next()
+        expected = "rbrk" if opener.kind == "lbrk" else "rpar"
+        if closer.kind != expected:
+            self.error("mismatched bracket closing until formula", closer)
+        return AU(left, right) if quantifier == "A" else EU(left, right)
+
+    def primary(self) -> Formula:
+        tok = self.next()
+        if tok.kind == "lpar":
+            inner = self.formula()
+            self.expect("rpar")
+            return inner
+        if tok.kind == "num":
+            return Const(tok.text == "1")
+        if tok.kind == "name":
+            if tok.text in ("true", "TRUE"):
+                return Const(True)
+            if tok.text in ("false", "FALSE"):
+                return Const(False)
+            return Atom(tok.text)
+        self.error(f"unexpected token {tok.text!r}", tok)
+        raise AssertionError("unreachable")
+
+
+def parse_ctl(text: str) -> Formula:
+    """Parse a CTL formula from its textual form.
+
+    >>> parse_ctl("p -> AX (p | q)")
+    Implies(left=Atom(name='p'), right=AX(operand=Or(left=Atom(name='p'), right=Atom(name='q'))))
+    """
+    parser = _Parser(text)
+    result = parser.formula()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        parser.error(f"trailing input {tok.text!r}", tok)
+    return result

@@ -1,0 +1,86 @@
+"""Restrictions ``r = (I, F)`` — initial conditions plus fairness constraints.
+
+Section 2.2 of the paper attaches a *restriction index* to the satisfaction
+relation: ``M ⊨_r f`` iff ``f`` holds in every state satisfying the initial
+condition ``I``, with all path quantifiers in ``f`` ranging over *fair*
+paths only.  A path is fair when every formula in ``F`` holds at infinitely
+many of its states.  The unrestricted relation ``⊨`` is the special case
+``r = (true, {true})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.ctl import TRUE, Formula, is_propositional
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """An initial condition and a set of fairness constraints.
+
+    Attributes
+    ----------
+    init:
+        CTL formula selecting the states at which the checked property must
+        hold (the paper evaluates properties at *all* states satisfying
+        ``I``, not just reachable ones).
+    fairness:
+        Tuple of CTL formulas; each must hold infinitely often along a
+        fair path.  The empty tuple is normalized to ``(true,)`` — with a
+        total transition relation that makes every infinite path fair.
+    """
+
+    init: Formula = TRUE
+    fairness: tuple[Formula, ...] = field(default=(TRUE,))
+
+    def __post_init__(self) -> None:
+        # normalize: drop redundant `true` constraints and duplicates so
+        # structurally-equal restrictions compare equal in proof steps
+        fair = tuple(dict.fromkeys(f for f in self.fairness if f != TRUE))
+        if not fair:
+            fair = (TRUE,)
+        object.__setattr__(self, "fairness", fair)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for ``(true, {true})`` — plain CTL satisfaction."""
+        return self.init == TRUE and all(f == TRUE for f in self.fairness)
+
+    @property
+    def has_trivial_fairness(self) -> bool:
+        """True when every fairness constraint is ``true``."""
+        return all(f == TRUE for f in self.fairness)
+
+    def is_propositional(self) -> bool:
+        """True when ``I`` and every member of ``F`` are propositional."""
+        return is_propositional(self.init) and all(
+            is_propositional(f) for f in self.fairness
+        )
+
+    def with_init(self, init: Formula) -> "Restriction":
+        """Copy with a different initial condition."""
+        return Restriction(init, self.fairness)
+
+    def with_fairness(self, *fairness: Formula) -> "Restriction":
+        """Copy with different fairness constraints."""
+        return Restriction(self.init, tuple(fairness))
+
+    def and_fairness(self, *extra: Formula) -> "Restriction":
+        """Copy with additional fairness constraints appended."""
+        return Restriction(self.init, self.fairness + tuple(extra))
+
+    def atoms(self) -> frozenset[str]:
+        """Atoms mentioned by the restriction."""
+        out = set(self.init.atoms())
+        for f in self.fairness:
+            out |= f.atoms()
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        fair = ", ".join(str(f) for f in self.fairness)
+        return f"({self.init}, {{{fair}}})"
+
+
+#: The unrestricted relation ``⊨`` = ``⊨_(true, {true})``.
+UNRESTRICTED = Restriction()

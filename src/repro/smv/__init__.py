@@ -1,0 +1,36 @@
+"""SMV-subset front end: parse, elaborate, compile, and check models."""
+
+from repro.smv.ast import Module
+from repro.smv.compile_explicit import to_system
+from repro.smv.compile_symbolic import initial_bdd, to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.modules import flatten
+from repro.smv.processes import ProcessProgram, check_processes, load_processes
+from repro.smv.parser import parse_expr, parse_module, parse_program, parse_spec
+from repro.smv.run import SmvReport, check_model, check_source, load_model
+from repro.smv.simulate import check_trace, format_trace, initial_state, simulate, step
+
+__all__ = [
+    "Module",
+    "parse_module",
+    "parse_program",
+    "flatten",
+    "load_processes",
+    "check_processes",
+    "ProcessProgram",
+    "parse_spec",
+    "parse_expr",
+    "SmvModel",
+    "to_system",
+    "to_symbolic",
+    "initial_bdd",
+    "check_source",
+    "check_model",
+    "load_model",
+    "SmvReport",
+    "simulate",
+    "step",
+    "initial_state",
+    "check_trace",
+    "format_trace",
+]

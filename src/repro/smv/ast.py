@@ -1,0 +1,188 @@
+"""Abstract syntax for the SMV subset used by the paper.
+
+The subset covers exactly what the paper's Figures 5, 6, 8, 9, 12, 13, 14
+and 16 use, plus ``init()`` assignments and ``FAIRNESS`` declarations:
+
+* ``MODULE main`` with ``VAR``, ``ASSIGN``, ``SPEC``, ``FAIRNESS`` sections;
+* variable types: ``boolean`` and enumerations ``{v1, …, vk}``;
+* assignments ``next(x) := expr`` and ``init(x) := expr`` where ``expr``
+  may be a ``case … esac``, a set literal ``{a, b}`` (nondeterministic
+  choice), a constant, a variable, or a boolean combination;
+* ``SPEC`` formulas in CTL over comparisons ``x = v`` / ``x != v``.
+
+Identifiers are kept unresolved (:class:`Name`) at parse time; the
+elaborator decides whether each one is a variable or an enum symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of SMV expressions."""
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """An unresolved identifier — variable or enum symbol."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    """``TRUE`` / ``FALSE``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """A numeric literal; ``0``/``1`` double as booleans in SMV.
+
+    The elaborator coerces it to ``bool`` in boolean contexts and keeps it
+    as an integer domain value for integer-enumeration variables.
+    """
+
+    value: int
+
+
+@dataclass(frozen=True)
+class SetLit(Expr):
+    """Nondeterministic choice ``{e1, …, ek}``."""
+
+    choices: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``!e``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """``e1 op e2`` for ``= != & | -> <->``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``case c1 : e1; …; cn : en; esac`` — first matching branch wins."""
+
+    branches: tuple[tuple[Expr, Expr], ...]
+
+
+# ----------------------------------------------------------------------
+# CTL over SMV expressions (SPEC bodies)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecNode:
+    """Base class of SPEC formulas (CTL over SMV expressions)."""
+
+
+@dataclass(frozen=True)
+class SpecAtom(SpecNode):
+    """A boolean-valued SMV expression used as a CTL atom."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class SpecUnary(SpecNode):
+    """``!f`` or a unary temporal operator ``AX EX AF EF AG EG``."""
+
+    op: str
+    operand: SpecNode
+
+
+@dataclass(frozen=True)
+class SpecBinary(SpecNode):
+    """``& | -> <->`` or until ``AU``/``EU``."""
+
+    op: str
+    left: SpecNode
+    right: SpecNode
+
+
+# ----------------------------------------------------------------------
+# declarations and modules
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InstanceType:
+    """``name : [process] module(arg1, …);`` — a submodule instantiation.
+
+    ``process=True`` selects SMV's interleaving semantics: instances
+    become separate paper-style components composed with ``∘`` (see
+    :mod:`repro.smv.processes`); otherwise instances are flattened into
+    one synchronous module.
+    """
+
+    module: str
+    args: tuple[Expr, ...] = ()
+    process: bool = False
+
+
+VarType = Union[tuple[str, ...], str, InstanceType]
+# enum values, the string "boolean", or a submodule instance
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``name : boolean;``, ``name : {v1, …, vk};`` or ``name : mod(args);``"""
+
+    name: str
+    type: VarType
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.type == "boolean"
+
+    @property
+    def is_instance(self) -> bool:
+        return isinstance(self.type, InstanceType)
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``next(target) := rhs`` (kind='next') or ``init(target) := rhs``."""
+
+    kind: str  # "next" | "init"
+    target: str
+    rhs: Expr
+
+
+@dataclass
+class Module:
+    """A parsed SMV module.
+
+    Single-module sources use ``main`` directly; multi-module sources are
+    flattened into one main module by :mod:`repro.smv.modules`.
+    """
+
+    name: str
+    #: Formal parameter names (``MODULE server(link)``).
+    params: tuple[str, ...] = ()
+    variables: list[VarDecl] = field(default_factory=list)
+    assigns: list[Assign] = field(default_factory=list)
+    specs: list[SpecNode] = field(default_factory=list)
+    fairness: list[SpecNode] = field(default_factory=list)
+    #: ``DEFINE name := expr;`` macros, expanded during elaboration.
+    defines: dict[str, Expr] = field(default_factory=dict)
+    #: ``INIT expr`` constraints conjoined into the initial condition.
+    init_constraints: list[Expr] = field(default_factory=list)

@@ -1,0 +1,62 @@
+"""Explicit compilation: :class:`SmvModel` → :class:`repro.systems.System`.
+
+Enumerates the product of the variable domains and applies the
+synchronous-assignment semantics: all assigned variables step together
+(each drawing from its set of possible next values), free variables take
+any domain value.  The resulting edge set relates only *valid* (non-junk)
+boolean states; junk bit patterns keep their implicit self-loops when the
+system is built reflexively.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import ElaborationError
+from repro.smv.elaborate import SmvModel
+from repro.systems.system import System
+
+#: Guard on the number of finite-domain states enumerated.
+MAX_EXPLICIT_STATES = 1 << 18
+
+
+def to_system(model: SmvModel, reflexive: bool = True) -> System:
+    """Compile to an explicit system.
+
+    Parameters
+    ----------
+    reflexive:
+        True (default) stutter-closes the relation, producing a
+        paper-style component ready for :func:`repro.systems.compose`.
+        False keeps SMV's raw relation — what SMV itself model-checks.
+    """
+    size = 1
+    for var in model.variables:
+        size *= len(var.domain)
+    if size > MAX_EXPLICIT_STATES:
+        raise ElaborationError(
+            f"model has {size} finite-domain states; "
+            f"use the symbolic backend"
+        )
+    edges = []
+    names = [v.name for v in model.variables]
+    domains = {v.name: v.domain for v in model.variables}
+    for env in model.encoding.all_assignments():
+        per_var: list[list] = []
+        for name in names:
+            rhs = model.next_assign.get(name)
+            if rhs is None:
+                per_var.append(list(domains[name]))  # free input variable
+            else:
+                values = model.eval_values(rhs, env, domains[name])
+                if not values:
+                    raise ElaborationError(
+                        f"next({name}) falls through every case branch in "
+                        f"state {env!r}; add a default '1 :' branch"
+                    )
+                per_var.append(values)
+        src = model.encoding.state_of(env)
+        for combo in product(*per_var):
+            dst = model.encoding.state_of(dict(zip(names, combo)))
+            edges.append((src, dst))
+    return System(model.encoding.atoms, edges, reflexive=reflexive)

@@ -1,0 +1,97 @@
+"""Symbolic compilation: :class:`SmvModel` → :class:`SymbolicSystem`.
+
+The transition relation is built as a conjunction of per-variable
+constraints (conjunctive structure, monolithically conjoined by default)::
+
+    T  =  ⋀_v  ⋁_{val ∈ values(rhs_v)}  possible(rhs_v, val) ∧ (v' = val)
+
+Free variables contribute the constraint that their next value is any
+domain value.  Junk bit patterns (outside every variable's domain) are
+given self-loops so the relation stays total over the full boolean state
+space; they are unreachable from valid states and excluded from checks by
+the validity initial condition.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.formula import prop_to_bdd
+from repro.bdd.manager import FALSE, TRUE
+from repro.errors import ElaborationError
+from repro.smv.elaborate import SmvModel
+from repro.systems.symbolic import SymbolicSystem, primed
+
+
+def to_symbolic(
+    model: SmvModel, reflexive: bool = False
+) -> SymbolicSystem:
+    """Compile to a symbolic system.
+
+    Parameters
+    ----------
+    reflexive:
+        False (default) keeps SMV's raw synchronous relation — the
+        semantics the paper's figures are produced under.  True adds the
+        identity relation (stutter closure) producing a paper-style
+        component.
+    """
+    sym = SymbolicSystem(model.encoding.atoms)
+    bdd = sym.bdd
+    valid = prop_to_bdd(bdd, model.valid_formula())
+    t = TRUE
+    partitions: list[int] = []
+    for var in model.variables:
+        rhs = model.next_assign.get(var.name)
+        constraint = FALSE
+        if rhs is None:
+            values = list(var.domain)
+        else:
+            values = model.value_set(rhs, var.domain)
+        for value in values:
+            if rhs is None:
+                guard = TRUE
+            else:
+                guard = prop_to_bdd(
+                    bdd, model.possible_formula(rhs, value, var.domain)
+                )
+            target = bdd.cube(
+                {
+                    primed(bit): bit_value
+                    for bit, bit_value in var.bit_values(value).items()
+                }
+            )
+            constraint = bdd.apply("or", constraint, bdd.apply("and", guard, target))
+        t = bdd.apply("and", t, constraint)
+        # conjunctive partition member: the variable's constraint on valid
+        # states, the variable's stutter on junk states — the conjunction
+        # over all variables equals the monolithic relation exactly
+        frame_v = sym.frame(var.bits)
+        partitions.append(
+            bdd.apply(
+                "or",
+                bdd.apply("and", valid, constraint),
+                bdd.apply("and", bdd.negate(valid), frame_v),
+            )
+        )
+    # junk states (invalid bit patterns) are inert: they only self-loop.
+    # This keeps the relation total and matches the conjunctive partition
+    # exactly (without the masking, a guard like `failure : nocall` could
+    # "repair" a junk state — transitions that no finite-domain state has).
+    if valid != TRUE:
+        junk_loop = bdd.apply("and", bdd.negate(valid), sym.identity_relation())
+        t = bdd.apply("or", bdd.apply("and", valid, t), junk_loop)
+    sym.set_transition(t, reflexive=reflexive)
+    if not reflexive:
+        # the partition does not include the stutter closure, so it is
+        # only installed for the raw (SMV-faithful) relation
+        sym.partitions = partitions
+    if not sym.is_total():
+        raise ElaborationError(
+            f"module {model.name!r}: some state has no successor — a case "
+            f"expression without a default '1 :' branch falls through"
+        )
+    return sym
+
+
+def initial_bdd(model: SmvModel, sym: SymbolicSystem) -> int:
+    """The model's initial condition (validity + init assigns) as a BDD."""
+    return prop_to_bdd(sym.bdd, model.initial_formula())

@@ -1,0 +1,99 @@
+"""Tokenizer for the SMV subset.
+
+Comments run from ``--`` to end of line (SMV style).  Keywords are
+recognized case-sensitively as in SMV.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "MODULE",
+    "VAR",
+    "ASSIGN",
+    "SPEC",
+    "FAIRNESS",
+    "INIT",
+    "DEFINE",
+    "process",
+    "case",
+    "esac",
+    "next",
+    "init",
+    "boolean",
+    "TRUE",
+    "FALSE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>--[^\n]*)
+  | (?P<ws>\s+)
+  | (?P<assign>:=)
+  | (?P<iff><->)
+  | (?P<imp>->)
+  | (?P<neq>!=)
+  | (?P<le><=)
+  | (?P<ge>>=)
+  | (?P<lt><)
+  | (?P<gt>>)
+  | (?P<eq>=)
+  | (?P<dotdot>\.\.)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>!)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<lbrk>\[)
+  | (?P<rbrk>\])
+  | (?P<semi>;)
+  | (?P<colon>:)
+  | (?P<comma>,)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$#-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn SMV source text into a token list (comments/space dropped)."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}",
+                line,
+                pos - line_start + 1,
+            )
+        kind = m.lastgroup or ""
+        text = m.group()
+        if kind not in ("ws", "comment"):
+            if kind == "ident" and text in KEYWORDS:
+                kind = text  # keyword tokens carry their own kind
+            tokens.append(Token(kind, text, line, m.start() - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = m.start() + text.rfind("\n") + 1
+        pos = m.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

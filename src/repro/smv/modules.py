@@ -1,0 +1,189 @@
+"""Module hierarchy: instantiation and flattening (extension E3).
+
+Real SMV programs structure systems as parameterized modules::
+
+    MODULE main
+    VAR ch : {null, req};
+        s  : server(ch);
+    MODULE server(link)
+    VAR busy : boolean;
+    ASSIGN next(busy) := case link = req : 1; 1 : busy; esac;
+
+This module flattens such a program into a single ``main``: instance
+variables are prefixed with the instance path (``s.busy``), formal
+parameters are substituted by their actual argument expressions, and
+submodule ``DEFINE``/``ASSIGN``/``SPEC``/``FAIRNESS``/``INIT`` sections
+are carried up.  The semantics is SMV's default *synchronous* composition
+(all instances step together); the paper-style interleaving composition
+is what :mod:`repro.compositional` provides between separately-compiled
+components.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ElaborationError
+from repro.smv.ast import (
+    Assign,
+    BinOp,
+    Case,
+    Expr,
+    InstanceType,
+    Module,
+    Name,
+    SetLit,
+    SpecAtom,
+    SpecBinary,
+    SpecNode,
+    SpecUnary,
+    UnaryOp,
+    VarDecl,
+)
+
+
+def flatten(program: dict[str, Module], root: str = "main") -> Module:
+    """Flatten a multi-module program into one root module."""
+    if root not in program:
+        raise ElaborationError(f"program has no module {root!r}")
+    out = Module(name=root)
+    _flatten_into(program, root, "", {}, (), out)
+    return out
+
+
+def _rename_expr(
+    expr: Expr,
+    prefix: str,
+    params: dict[str, Expr],
+    local_names: set[str],
+) -> Expr:
+    if isinstance(expr, Name):
+        ident = expr.ident
+        if ident in params:
+            return params[ident]
+        head, _, rest = ident.partition(".")
+        if head in params:
+            base = params[head]
+            if not isinstance(base, Name):
+                raise ElaborationError(
+                    f"dotted access {ident!r} through non-name argument"
+                )
+            return Name(f"{base.ident}.{rest}")
+        if head in local_names:
+            return Name(prefix + ident)
+        return expr  # enum symbol or name from an enclosing scope
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rename_expr(expr.operand, prefix, params, local_names))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rename_expr(expr.left, prefix, params, local_names),
+            _rename_expr(expr.right, prefix, params, local_names),
+        )
+    if isinstance(expr, SetLit):
+        return SetLit(
+            tuple(_rename_expr(c, prefix, params, local_names) for c in expr.choices)
+        )
+    if isinstance(expr, Case):
+        return Case(
+            tuple(
+                (
+                    _rename_expr(c, prefix, params, local_names),
+                    _rename_expr(v, prefix, params, local_names),
+                )
+                for c, v in expr.branches
+            )
+        )
+    return expr
+
+
+def _rename_spec(
+    node: SpecNode,
+    prefix: str,
+    params: dict[str, Expr],
+    local_names: set[str],
+) -> SpecNode:
+    if isinstance(node, SpecAtom):
+        return SpecAtom(_rename_expr(node.expr, prefix, params, local_names))
+    if isinstance(node, SpecUnary):
+        return SpecUnary(node.op, _rename_spec(node.operand, prefix, params, local_names))
+    if isinstance(node, SpecBinary):
+        return SpecBinary(
+            node.op,
+            _rename_spec(node.left, prefix, params, local_names),
+            _rename_spec(node.right, prefix, params, local_names),
+        )
+    raise ElaborationError(f"unknown spec node {type(node).__name__}")
+
+
+def _flatten_into(
+    program: dict[str, Module],
+    name: str,
+    prefix: str,
+    params: dict[str, Expr],
+    stack: tuple[str, ...],
+    out: Module,
+) -> None:
+    if name in stack:
+        raise ElaborationError(
+            "recursive module instantiation: " + "".join(stack + (name,))
+        )
+    module = program[name]
+    local_names = {decl.name for decl in module.variables} | set(module.defines)
+
+    def ren(expr: Expr) -> Expr:
+        return _rename_expr(expr, prefix, params, local_names)
+
+    for decl in module.variables:
+        if decl.is_instance:
+            inst = decl.type
+            assert isinstance(inst, InstanceType)
+            if inst.process:
+                raise ElaborationError(
+                    f"instance {prefix + decl.name!r} uses `process` "
+                    f"(interleaving) semantics — load it with "
+                    f"repro.smv.processes.load_processes, not flatten"
+                )
+            if inst.module not in program:
+                raise ElaborationError(
+                    f"instance {prefix + decl.name!r} of unknown module "
+                    f"{inst.module!r}"
+                )
+            target = program[inst.module]
+            if len(inst.args) != len(target.params):
+                raise ElaborationError(
+                    f"module {inst.module!r} expects {len(target.params)} "
+                    f"argument(s), instance {prefix + decl.name!r} passes "
+                    f"{len(inst.args)}"
+                )
+            bound = {
+                formal: ren(actual)
+                for formal, actual in zip(target.params, inst.args)
+            }
+            _flatten_into(
+                program,
+                inst.module,
+                f"{prefix}{decl.name}.",
+                bound,
+                stack + (name,),
+                out,
+            )
+        else:
+            out.variables.append(VarDecl(prefix + decl.name, decl.type))
+    for def_name, body in module.defines.items():
+        out.defines[prefix + def_name] = ren(body)
+    for assign in module.assigns:
+        # the target renames like a variable reference: local names get the
+        # instance prefix, formal parameters resolve to their actual
+        # variable (assigning through a non-variable argument is an error)
+        target = _rename_expr(Name(assign.target), prefix, params, local_names)
+        if not isinstance(target, Name):
+            raise ElaborationError(
+                f"cannot assign through non-variable argument "
+                f"{assign.target!r} in instance {prefix.rstrip('.')!r}"
+            )
+        out.assigns.append(Assign(assign.kind, target.ident, ren(assign.rhs)))
+    for constraint in module.init_constraints:
+        out.init_constraints.append(ren(constraint))
+    for spec in module.specs:
+        out.specs.append(_rename_spec(spec, prefix, params, local_names))
+    for fair in module.fairness:
+        out.fairness.append(_rename_spec(fair, prefix, params, local_names))

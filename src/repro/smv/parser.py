@@ -1,0 +1,391 @@
+"""Recursive-descent parser for the SMV subset.
+
+Produces :class:`repro.smv.ast.Module` values.  ``parse_module`` handles a
+single module (how the paper checks each component); ``parse_program``
+accepts multi-module sources with parameterized instantiation, flattened
+by :mod:`repro.smv.modules`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.smv.ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Case,
+    Expr,
+    InstanceType,
+    IntLit,
+    Module,
+    Name,
+    SetLit,
+    SpecAtom,
+    SpecBinary,
+    SpecNode,
+    SpecUnary,
+    UnaryOp,
+    VarDecl,
+)
+from repro.smv.lexer import Token, tokenize
+
+_TEMPORAL_UNARY = {"AX", "EX", "AF", "EF", "AG", "EG"}
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.i = 0
+
+    # --- token plumbing ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.i + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {tok.text!r}", tok.line, tok.column
+            )
+        return tok
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    # --- program structure --------------------------------------------------
+    def module(self) -> Module:
+        self.expect("MODULE")
+        name = self.expect("ident").text
+        params: list[str] = []
+        if self.at("lpar"):
+            self.next()
+            while True:
+                params.append(self.expect("ident").text)
+                if self.at("comma"):
+                    self.next()
+                    continue
+                break
+            self.expect("rpar")
+        mod = Module(name=name, params=tuple(params))
+        while not self.at("eof") and not self.at("MODULE"):
+            tok = self.peek()
+            if tok.kind == "VAR":
+                self.next()
+                self._var_section(mod)
+            elif tok.kind == "ASSIGN":
+                self.next()
+                self._assign_section(mod)
+            elif tok.kind == "SPEC":
+                self.next()
+                mod.specs.append(self.spec())
+            elif tok.kind == "FAIRNESS":
+                self.next()
+                mod.fairness.append(self.spec())
+            elif tok.kind == "DEFINE":
+                self.next()
+                self._define_section(mod)
+            elif tok.kind == "INIT":
+                self.next()
+                mod.init_constraints.append(self.expr())
+            else:
+                raise ParseError(
+                    f"unexpected token {tok.text!r} at module level",
+                    tok.line,
+                    tok.column,
+                )
+        return mod
+
+    def _var_section(self, mod: Module) -> None:
+        while self.at("ident"):
+            name = self.next().text
+            self.expect("colon")
+            if self.at("boolean"):
+                self.next()
+                decl = VarDecl(name, "boolean")
+            elif self.at("number"):
+                # integer range type: `name : lo..hi;`
+                lo = int(self.next().text)
+                self.expect("dotdot")
+                hi_tok = self.expect("number")
+                hi = int(hi_tok.text)
+                if hi < lo:
+                    raise ParseError(
+                        f"empty range {lo}..{hi}", hi_tok.line, hi_tok.column
+                    )
+                decl = VarDecl(name, tuple(range(lo, hi + 1)))
+            elif self.at("ident") or self.at("process"):
+                # submodule instantiation: `name : [process] module(args);`
+                is_process = False
+                if self.at("process"):
+                    self.next()
+                    is_process = True
+                module_name = self.expect("ident").text
+                args: list[Expr] = []
+                if self.at("lpar"):
+                    self.next()
+                    if not self.at("rpar"):
+                        args.append(self.expr())
+                        while self.at("comma"):
+                            self.next()
+                            args.append(self.expr())
+                    self.expect("rpar")
+                decl = VarDecl(
+                    name, InstanceType(module_name, tuple(args), is_process)
+                )
+            else:
+                self.expect("lbrace")
+                values: list[str | int] = []
+                while True:
+                    tok = self.next()
+                    if tok.kind == "ident":
+                        values.append(tok.text)
+                    elif tok.kind == "number":
+                        values.append(int(tok.text))
+                    else:
+                        raise ParseError(
+                            f"bad enum value {tok.text!r}", tok.line, tok.column
+                        )
+                    if self.at("comma"):
+                        self.next()
+                        continue
+                    break
+                self.expect("rbrace")
+                decl = VarDecl(name, tuple(values))
+            self.expect("semi")
+            mod.variables.append(decl)
+
+    def _define_section(self, mod: Module) -> None:
+        while self.at("ident"):
+            name = self.next().text
+            self.expect("assign")
+            body = self.expr()
+            self.expect("semi")
+            if name in mod.defines:
+                raise ParseError(f"duplicate DEFINE for {name!r}")
+            mod.defines[name] = body
+
+    def _assign_section(self, mod: Module) -> None:
+        while self.at("next") or self.at("init"):
+            kind = self.next().kind
+            self.expect("lpar")
+            target = self.expect("ident").text
+            self.expect("rpar")
+            self.expect("assign")
+            rhs = self.expr()
+            self.expect("semi")
+            mod.assigns.append(Assign(kind, target, rhs))
+
+    # --- expressions ----------------------------------------------------
+    def expr(self) -> Expr:
+        return self._iff()
+
+    def _iff(self) -> Expr:
+        left = self._imp()
+        while self.at("iff"):
+            self.next()
+            left = BinOp("<->", left, self._imp())
+        return left
+
+    def _imp(self) -> Expr:
+        left = self._disj()
+        if self.at("imp"):
+            self.next()
+            return BinOp("->", left, self._imp())
+        return left
+
+    def _disj(self) -> Expr:
+        left = self._conj()
+        while self.at("or"):
+            self.next()
+            left = BinOp("|", left, self._conj())
+        return left
+
+    def _conj(self) -> Expr:
+        left = self._cmp()
+        while self.at("and"):
+            self.next()
+            left = BinOp("&", left, self._cmp())
+        return left
+
+    _CMP_OPS = {"eq": "=", "neq": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+    def _cmp(self) -> Expr:
+        left = self._unary()
+        kind = self.peek().kind
+        if kind in self._CMP_OPS:
+            self.next()
+            return BinOp(self._CMP_OPS[kind], left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self.at("not"):
+            self.next()
+            return UnaryOp("!", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "lpar":
+            inner = self.expr()
+            self.expect("rpar")
+            return inner
+        if tok.kind == "case":
+            branches: list[tuple[Expr, Expr]] = []
+            while not self.at("esac"):
+                cond = self.expr()
+                self.expect("colon")
+                value = self.expr()
+                self.expect("semi")
+                branches.append((cond, value))
+            self.expect("esac")
+            return Case(tuple(branches))
+        if tok.kind == "lbrace":
+            choices = [self.expr()]
+            while self.at("comma"):
+                self.next()
+                choices.append(self.expr())
+            self.expect("rbrace")
+            return SetLit(tuple(choices))
+        if tok.kind == "number":
+            return IntLit(int(tok.text))
+        if tok.kind == "TRUE":
+            return BoolLit(True)
+        if tok.kind == "FALSE":
+            return BoolLit(False)
+        if tok.kind == "ident":
+            return Name(tok.text)
+        raise ParseError(
+            f"unexpected token {tok.text!r} in expression", tok.line, tok.column
+        )
+
+    # --- SPEC formulas ----------------------------------------------------
+    def spec(self) -> SpecNode:
+        return self._siff()
+
+    def _siff(self) -> SpecNode:
+        left = self._simp()
+        while self.at("iff"):
+            self.next()
+            left = SpecBinary("<->", left, self._simp())
+        return left
+
+    def _simp(self) -> SpecNode:
+        left = self._sor()
+        if self.at("imp"):
+            self.next()
+            return SpecBinary("->", left, self._simp())
+        return left
+
+    def _sor(self) -> SpecNode:
+        left = self._sand()
+        while self.at("or"):
+            self.next()
+            left = SpecBinary("|", left, self._sand())
+        return left
+
+    def _sand(self) -> SpecNode:
+        left = self._sunary()
+        while self.at("and"):
+            self.next()
+            left = SpecBinary("&", left, self._sunary())
+        return left
+
+    def _sunary(self) -> SpecNode:
+        tok = self.peek()
+        if tok.kind == "not":
+            self.next()
+            return SpecUnary("!", self._sunary())
+        if tok.kind == "ident":
+            if tok.text in _TEMPORAL_UNARY:
+                self.next()
+                return SpecUnary(tok.text, self._sunary())
+            if tok.text in ("A", "E") and self.peek(1).kind == "lbrk":
+                quant = self.next().text
+                self.expect("lbrk")
+                left = self.spec()
+                u = self.next()
+                if not (u.kind == "ident" and u.text == "U"):
+                    raise ParseError("expected 'U' in until", u.line, u.column)
+                right = self.spec()
+                self.expect("rbrk")
+                return SpecBinary(quant + "U", left, right)
+        return self._satom()
+
+    def _satom(self) -> SpecNode:
+        if self.at("lpar"):
+            self.next()
+            inner = self.spec()
+            self.expect("rpar")
+            # allow `(x) = v` by folding a trailing comparison into the atom
+            if self.peek().kind in self._CMP_OPS and isinstance(inner, SpecAtom):
+                op = self._CMP_OPS[self.next().kind]
+                rhs = self._unary()
+                return SpecAtom(BinOp(op, inner.expr, rhs))
+            return inner
+        # a bare comparison / literal / variable
+        left = self._unary()
+        if self.peek().kind in self._CMP_OPS:
+            op = self._CMP_OPS[self.next().kind]
+            return SpecAtom(BinOp(op, left, self._unary()))
+        return SpecAtom(left)
+
+
+def parse_module(source: str) -> Module:
+    """Parse one SMV module from source text.
+
+    >>> mod = parse_module('''
+    ... MODULE main
+    ... VAR x : boolean;
+    ... ASSIGN next(x) := !x;
+    ... SPEC x -> AX !x
+    ... ''')
+    >>> mod.variables[0].name
+    'x'
+    """
+    parser = _Parser(source)
+    mod = parser.module()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(
+            "multiple modules in source; use parse_program", tok.line, tok.column
+        )
+    return mod
+
+
+def parse_program(source: str) -> dict[str, Module]:
+    """Parse a multi-module SMV program into {module name: Module}."""
+    parser = _Parser(source)
+    program: dict[str, Module] = {}
+    while not parser.at("eof"):
+        mod = parser.module()
+        if mod.name in program:
+            raise ParseError(f"duplicate module {mod.name!r}")
+        program[mod.name] = mod
+    if not program:
+        raise ParseError("source contains no modules")
+    return program
+
+
+def parse_spec(source: str) -> SpecNode:
+    """Parse a standalone SPEC formula (CTL over SMV expressions)."""
+    parser = _Parser(source)
+    node = parser.spec()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.column)
+    return node
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a standalone SMV expression."""
+    parser = _Parser(source)
+    node = parser.expr()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.column)
+    return node

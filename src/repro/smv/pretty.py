@@ -1,0 +1,74 @@
+"""Pretty-printers for SMV expressions and SPEC formulas.
+
+Used by :class:`repro.smv.run.SmvReport` so verdict lines show the source
+syntax (``belief = valid -> AX belief = valid``) rather than the encoded
+boolean atoms, matching the paper's output figures.
+"""
+
+from __future__ import annotations
+
+from repro.smv.ast import (
+    BinOp,
+    BoolLit,
+    Case,
+    Expr,
+    IntLit,
+    Name,
+    SetLit,
+    SpecAtom,
+    SpecBinary,
+    SpecNode,
+    SpecUnary,
+    UnaryOp,
+)
+
+_BIN_PREC = {"<->": 1, "->": 2, "|": 3, "&": 4, "=": 5, "!=": 5, "<": 5, "<=": 5, ">": 5, ">=": 5}
+
+
+def expr_to_str(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an SMV expression; parenthesizes by precedence."""
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, BoolLit):
+        return "1" if expr.value else "0"
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, UnaryOp):
+        return f"!{expr_to_str(expr.operand, 6)}"
+    if isinstance(expr, BinOp):
+        prec = _BIN_PREC[expr.op]
+        text = (
+            f"{expr_to_str(expr.left, prec)} {expr.op} "
+            f"{expr_to_str(expr.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, SetLit):
+        return "{" + ", ".join(expr_to_str(c) for c in expr.choices) + "}"
+    if isinstance(expr, Case):
+        branches = " ".join(
+            f"{expr_to_str(c)} : {expr_to_str(v)};" for c, v in expr.branches
+        )
+        return f"case {branches} esac"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def spec_to_str(node: SpecNode, parent_prec: int = 0) -> str:
+    """Render a SPEC formula in SMV syntax."""
+    if isinstance(node, SpecAtom):
+        return expr_to_str(node.expr, parent_prec)
+    if isinstance(node, SpecUnary):
+        inner = spec_to_str(node.operand, 6)
+        if node.op == "!":
+            return f"!{inner}"
+        return f"{node.op} {inner}"
+    if isinstance(node, SpecBinary):
+        if node.op in ("AU", "EU"):
+            quant = node.op[0]
+            return f"{quant}[{spec_to_str(node.left)} U {spec_to_str(node.right)}]"
+        prec = _BIN_PREC[node.op]
+        text = (
+            f"{spec_to_str(node.left, prec)} {node.op} "
+            f"{spec_to_str(node.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"unknown spec node {type(node).__name__}")

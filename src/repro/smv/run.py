@@ -1,0 +1,203 @@
+"""End-to-end SMV driver: parse → elaborate → compile → check → report.
+
+:func:`check_source` is the equivalent of running ``./smv model.smv`` in
+the paper's Figures 7, 10, 15 and 17: it checks every ``SPEC`` of the
+module (under the module's ``FAIRNESS`` declarations and the validity /
+``init()`` initial condition) and produces a report whose ``format()``
+mimics SMV's output, including the resource statistics block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.checking.result import CheckResult
+from repro.checking.symbolic import SymbolicChecker
+from repro.checking.symbolic_witness import ef_witness_symbolic
+from repro.logic.ctl import AG, AX, Formula, Implies, Not, TRUE, is_propositional
+from repro.logic.restriction import Restriction
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_module
+from repro.systems.symbolic import SymbolicSystem
+
+
+@dataclass
+class SmvReport:
+    """Verdicts for every SPEC of a module plus SMV-style statistics."""
+
+    module_name: str
+    results: list[CheckResult] = field(default_factory=list)
+    spec_texts: list[str] = field(default_factory=list)
+    #: Per-spec counterexample traces (decoded variable assignments);
+    #: None for true specs or shapes without trace support.
+    counterexamples: list[list[dict] | None] = field(default_factory=list)
+    user_time: float = 0.0
+    bdd_nodes_allocated: int = 0
+    transition_nodes: int = 0
+    num_fairness: int = 0
+
+    @property
+    def all_true(self) -> bool:
+        """True when every SPEC holds (the paper's outputs are all true)."""
+        return all(r.holds for r in self.results)
+
+    def _verdict_line(self, i: int) -> str:
+        text = self.spec_texts[i] if i < len(self.spec_texts) else str(
+            self.results[i].formula
+        )
+        if len(text) > 46:
+            text = text[:43] + "..."
+        verdict = "true" if self.results[i].holds else "false"
+        return f"-- spec. {text} is {verdict}"
+
+    def format(self, with_counterexamples: bool = True) -> str:
+        """SMV-like console output (verdict lines + resources block)."""
+        lines = []
+        for i in range(len(self.results)):
+            lines.append(self._verdict_line(i))
+            trace = (
+                self.counterexamples[i]
+                if with_counterexamples and i < len(self.counterexamples)
+                else None
+            )
+            if trace:
+                lines.append("-- as demonstrated by the following execution sequence")
+                previous: dict = {}
+                for j, assignment in enumerate(trace):
+                    lines.append(f"state {j + 1}.{i + 1}:")
+                    for name, value in assignment.items():
+                        if previous.get(name) != value:
+                            shown = {True: "1", False: "0"}.get(value, value)
+                            lines.append(f"  {name} = {shown}")
+                    previous = assignment
+        lines.append("")
+        lines.append("resources used:")
+        lines.append(f"user time: {self.user_time:g} s, system time: 0 s")
+        lines.append(f"BDD nodes allocated: {self.bdd_nodes_allocated}")
+        lines.append(
+            "BDD nodes representing transition relation: "
+            f"{self.transition_nodes} + {self.num_fairness}"
+        )
+        return "\n".join(lines)
+
+
+def _counterexample_trace(
+    model: SmvModel,
+    sym: SymbolicSystem,
+    spec: Formula,
+    result: CheckResult,
+) -> list[dict] | None:
+    """A decoded execution sequence refuting a failed spec, when the
+    spec's shape supports path counterexamples (``AG p``, ``p ⇒ AX q``)."""
+    if result.holds or not result.failing_states:
+        return None
+    start = result.failing_states[0]
+
+    def decode_path(path: list[frozenset] | None) -> list[dict] | None:
+        if path is None:
+            return None
+        decoded = [model.encoding.decode(s) for s in path]
+        return None if any(d is None for d in decoded) else decoded
+
+    if isinstance(spec, AG) and is_propositional(spec.operand):
+        return decode_path(
+            ef_witness_symbolic(sym, start, Not(spec.operand))
+        )
+    if (
+        isinstance(spec, Implies)
+        and isinstance(spec.right, AX)
+        and is_propositional(spec.left)
+        and is_propositional(spec.right.operand)
+    ):
+        # the failing state plus one offending successor
+        from repro.bdd.formula import prop_to_bdd
+        from repro.bdd.manager import FALSE
+
+        successors = sym.post_image(sym.state_cube(start))
+        bad = sym.bdd.apply(
+            "and", successors, prop_to_bdd(sym.bdd, Not(spec.right.operand))
+        )
+        if bad != FALSE:
+            assignment = next(sym.bdd.iter_sat(bad, list(sym.atoms)))
+            offender = frozenset(a for a in sym.atoms if assignment[a])
+            return decode_path([start, offender])
+        return decode_path([start])
+    return decode_path([start])
+
+
+def check_model(
+    model: SmvModel,
+    reflexive: bool = False,
+    extra_fairness: tuple[Formula, ...] = (),
+    extra_init: Formula | None = None,
+) -> tuple[SmvReport, SymbolicSystem]:
+    """Check every SPEC of an elaborated model with the symbolic checker.
+
+    The initial condition is the model's validity+init formula (conjoined
+    with ``extra_init`` when given); fairness is the module's ``FAIRNESS``
+    declarations plus ``extra_fairness``.
+    """
+    started = time.perf_counter()
+    sym = to_symbolic(model, reflexive=reflexive)
+    checker = SymbolicChecker(sym)
+    init = model.initial_formula()
+    if extra_init is not None:
+        from repro.logic.ctl import And
+
+        init = And(init, extra_init)
+    fairness = tuple(model.fairness) + tuple(extra_fairness)
+    if not fairness:
+        fairness = (TRUE,)
+    restriction = Restriction(init=init, fairness=fairness)
+    from repro.smv.pretty import spec_to_str
+
+    report = SmvReport(
+        module_name=model.name,
+        spec_texts=[spec_to_str(s) for s in model.module.specs],
+    )
+    for spec in model.specs:
+        result = checker.holds(spec, restriction)
+        report.results.append(result)
+        report.counterexamples.append(
+            _counterexample_trace(model, sym, spec, result)
+        )
+    report.user_time = time.perf_counter() - started
+    report.bdd_nodes_allocated = sym.bdd.nodes_allocated
+    report.transition_nodes = sym.node_count()
+    report.num_fairness = len([f for f in fairness if f != TRUE])
+    return report, sym
+
+
+def check_source(source: str, **kwargs) -> SmvReport:
+    """Parse, elaborate and check SMV source text; return the report.
+
+    >>> report = check_source('''
+    ... MODULE main
+    ... VAR x : boolean;
+    ... ASSIGN next(x) := 1;
+    ... SPEC x -> AX x
+    ... ''')
+    >>> report.all_true
+    True
+    """
+    report, _ = check_model(load_model(source), **kwargs)
+    return report
+
+
+def load_model(source: str) -> SmvModel:
+    """Parse and elaborate SMV source text.
+
+    Multi-module programs are flattened into ``main`` first (synchronous
+    instantiation semantics, see :mod:`repro.smv.modules`).
+    """
+    from repro.smv.modules import flatten
+    from repro.smv.parser import parse_program
+
+    program = parse_program(source)
+    if list(program) == ["main"] and not any(
+        decl.is_instance for decl in program["main"].variables
+    ):
+        return SmvModel(program["main"])
+    return SmvModel(flatten(program))

@@ -1,0 +1,101 @@
+"""Convenience constructors for systems.
+
+Three ways to get a :class:`~repro.systems.system.System` without writing
+SMV or enumerating edges by hand:
+
+* :func:`system_from_function` — model the component as a plain Python
+  step function over decoded variable assignments; the builder enumerates
+  the finite domain and encodes the relation (the programmatic analogue
+  of the SMV compiler);
+* small stock shapes (:func:`toggle`, :func:`riser`, :func:`chain`,
+  :func:`cycle`) used throughout tests, examples, and documentation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Hashable
+
+from repro.errors import SystemError_
+from repro.systems.encode import Encoding
+from repro.systems.system import System
+
+Value = Hashable
+Assignment = dict[str, Value]
+
+#: Guard on the number of finite-domain states enumerated.
+MAX_FUNCTION_STATES = 1 << 16
+
+
+def system_from_function(
+    encoding: Encoding,
+    step: Callable[[Assignment], Iterable[Assignment]],
+    reflexive: bool = True,
+) -> System:
+    """Build a system from a Python successor function.
+
+    ``step`` receives each total assignment of the encoding's variables
+    and returns the assignments reachable in one move (the builder adds
+    stuttering when ``reflexive``).  Returned assignments must be total
+    and in-domain.
+
+    Example
+    -------
+    >>> from repro.systems.encode import Encoding, FiniteVar
+    >>> enc = Encoding([FiniteVar("n", (0, 1, 2))])
+    >>> counter = system_from_function(
+    ...     enc, lambda s: [{"n": (s["n"] + 1) % 3}])
+    >>> counter.num_transitions()
+    11
+    """
+    assignments = encoding.all_assignments()
+    if len(assignments) > MAX_FUNCTION_STATES:
+        raise SystemError_(
+            f"{len(assignments)} finite-domain states is too large for the "
+            f"function builder"
+        )
+    edges = []
+    for env in assignments:
+        src = encoding.state_of(env)
+        for nxt in step(dict(env)):
+            edges.append((src, encoding.state_of(nxt)))
+    return System(encoding.atoms, edges, reflexive=reflexive)
+
+
+def toggle(name: str = "x") -> System:
+    """One boolean that may flip either way (plus stutter) — Figure 1's M."""
+    return System.from_pairs(
+        {name}, [((), (name,)), ((name,), ())]
+    )
+
+
+def riser(name: str = "x") -> System:
+    """One boolean that can only rise; the stock Rule-4 helpful component."""
+    return System.from_pairs({name}, [((), (name,))])
+
+
+def chain(names: list[str]) -> System:
+    """Atoms that rise strictly in sequence: a₀, then a₁, …
+
+    State k (first k atoms set) steps to state k+1; useful for leads-to
+    chains of arbitrary length in tests.
+    """
+    if not names:
+        raise SystemError_("chain needs at least one atom")
+    pairs = []
+    for k in range(len(names)):
+        src = frozenset(names[:k])
+        dst = frozenset(names[: k + 1])
+        pairs.append((src, dst))
+    return System(names, pairs)
+
+
+def cycle(encoding: Encoding, var: str) -> System:
+    """A single variable stepping cyclically through its domain."""
+    domain = encoding.var(var).domain
+    return system_from_function(
+        encoding,
+        lambda s: [
+            {**s, var: domain[(domain.index(s[var]) + 1) % len(domain)]}
+        ],
+    )

@@ -1,0 +1,301 @@
+"""Boolean encoding of finite-domain variables (paper Figure 3, §3.4).
+
+The theory is developed for systems whose variables are boolean (atomic
+propositions).  Section 3.4 notes that any finite-state system can be
+modeled with booleans only: a variable ranging over ``k`` values becomes
+``⌈log₂ k⌉`` atomic propositions, and every propositional formula over the
+original variable maps to a boolean formula over the bits.  Symbolic model
+checkers do this automatically; this module is our version of that
+machinery, shared by the SMV front end.
+
+Conventions
+-----------
+* A variable ``x`` with domain ``(v₀, …, v_{k-1})`` is encoded by the bits
+  ``x.0 … x.{b-1}`` (little-endian: bit ``i`` of the value's *index*).
+* A boolean variable (domain exactly ``(False, True)``) is encoded by the
+  single atom ``x`` itself — so boolean models need no renaming.
+* Domains whose size is not a power of two leave *junk* bit patterns;
+  :meth:`Encoding.valid_formula` characterizes the non-junk states and is
+  typically conjoined into initial conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import LogicError
+from repro.logic.ctl import Atom, Formula, Not, TRUE, land, lor
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class FiniteVar:
+    """A named variable over an explicit finite domain.
+
+    The order of ``domain`` fixes the encoding (value ↦ its index).
+    """
+
+    name: str
+    domain: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.domain) < 1:
+            raise LogicError(f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise LogicError(f"variable {self.name!r} has duplicate domain values")
+
+    @property
+    def is_boolean(self) -> bool:
+        """True when the domain is exactly ``(False, True)``."""
+        return self.domain == (False, True)
+
+    @property
+    def nbits(self) -> int:
+        """Number of atomic propositions used to encode this variable."""
+        if self.is_boolean:
+            return 1
+        return max(1, (len(self.domain) - 1).bit_length())
+
+    @property
+    def bits(self) -> tuple[str, ...]:
+        """The atomic-proposition names encoding this variable."""
+        if self.is_boolean:
+            return (self.name,)
+        return tuple(f"{self.name}.{i}" for i in range(self.nbits))
+
+    def index_of(self, value: Value) -> int:
+        """Index of ``value`` in the domain."""
+        try:
+            return self.domain.index(value)
+        except ValueError:
+            raise LogicError(
+                f"{value!r} is not in the domain of {self.name!r}"
+            ) from None
+
+    def bit_values(self, value: Value) -> dict[str, bool]:
+        """The {bit-name: bool} assignment encoding ``value``."""
+        idx = self.index_of(value)
+        return {bit: bool((idx >> i) & 1) for i, bit in enumerate(self.bits)}
+
+
+class Encoding:
+    """A set of finite-domain variables and their boolean image.
+
+    Example
+    -------
+    >>> enc = Encoding([FiniteVar("x", (0, 1, 2, 3))])
+    >>> sorted(enc.atoms)
+    ['x.0', 'x.1']
+    >>> str(enc.eq_formula("x", 2))
+    '(!(x.0) & x.1)'
+    """
+
+    def __init__(self, variables: list[FiniteVar] | tuple[FiniteVar, ...]):
+        self._vars: tuple[FiniteVar, ...] = tuple(variables)
+        names = [v.name for v in self._vars]
+        if len(set(names)) != len(names):
+            raise LogicError("duplicate variable names in encoding")
+        self._by_name: dict[str, FiniteVar] = {v.name: v for v in self._vars}
+        self._atoms: tuple[str, ...] = tuple(
+            bit for v in self._vars for bit in v.bits
+        )
+
+    @property
+    def variables(self) -> tuple[FiniteVar, ...]:
+        """The variables, in declaration order."""
+        return self._vars
+
+    @property
+    def atoms(self) -> tuple[str, ...]:
+        """All atomic propositions, grouped by variable, declaration order."""
+        return self._atoms
+
+    def var(self, name: str) -> FiniteVar:
+        """Look up a variable by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LogicError(f"unknown variable {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # formulas
+    # ------------------------------------------------------------------
+    def eq_formula(self, name: str, value: Value) -> Formula:
+        """Boolean formula of the atom-level meaning of ``name = value``."""
+        v = self.var(name)
+        bits = v.bit_values(value)
+        literals = [
+            Atom(bit) if bits[bit] else Not(Atom(bit)) for bit in v.bits
+        ]
+        return land(*literals)
+
+    def in_formula(self, name: str, values: list[Value] | tuple[Value, ...]) -> Formula:
+        """Boolean formula for ``name ∈ values``."""
+        return lor(*(self.eq_formula(name, val) for val in values))
+
+    def valid_formula(self, names: list[str] | None = None) -> Formula:
+        """Formula characterizing non-junk states of the given variables.
+
+        True in every state where each variable's bits decode to an index
+        inside its domain.  ``TRUE`` when every domain is a power of two.
+        """
+        names = [v.name for v in self._vars] if names is None else names
+        parts = []
+        for name in names:
+            v = self.var(name)
+            if len(v.domain) == (1 << v.nbits):
+                continue
+            parts.append(self.in_formula(name, list(v.domain)))
+        return land(*parts) if parts else TRUE
+
+    # ------------------------------------------------------------------
+    # states
+    # ------------------------------------------------------------------
+    def state_of(self, assignment: dict[str, Value]) -> frozenset[str]:
+        """Boolean state (set of true atoms) for a total variable assignment."""
+        atoms: set[str] = set()
+        for v in self._vars:
+            if v.name not in assignment:
+                raise LogicError(f"assignment missing variable {v.name!r}")
+            for bit, val in v.bit_values(assignment[v.name]).items():
+                if val:
+                    atoms.add(bit)
+        return frozenset(atoms)
+
+    def decode(self, state: frozenset[str]) -> dict[str, Value] | None:
+        """Variable assignment for a boolean state, or None for junk states."""
+        out: dict[str, Value] = {}
+        for v in self._vars:
+            idx = 0
+            for i, bit in enumerate(v.bits):
+                if bit in state:
+                    idx |= 1 << i
+            if idx >= len(v.domain):
+                return None
+            out[v.name] = v.domain[idx]
+        return out
+
+    def all_assignments(self) -> list[dict[str, Value]]:
+        """Every total assignment of the variables (cartesian product)."""
+        out: list[dict[str, Value]] = [{}]
+        for v in self._vars:
+            out = [dict(a, **{v.name: val}) for a in out for val in v.domain]
+        return out
+
+    # ------------------------------------------------------------------
+    # readable rendering (bit formulas back to variable talk)
+    # ------------------------------------------------------------------
+    def describe(self, f: Formula, max_disjuncts: int = 6) -> str:
+        """Render a formula over encoded atoms in variable-level syntax.
+
+        Propositional parts are decoded back to ``var = value`` /
+        ``var ∈ {…}`` talk (per-variable product form when possible, a
+        short DNF otherwise); temporal operators are kept structural.
+        Falls back to the raw bit-level text when decoding would not be
+        faithful or compact.
+        """
+        from repro.logic.ctl import (
+            AF,
+            AG,
+            AU,
+            AX,
+            EF,
+            EG,
+            EU,
+            EX,
+            And,
+            Iff,
+            Implies,
+            Not,
+            Or,
+            is_propositional,
+        )
+
+        if is_propositional(f):
+            described = self._describe_propositional(f, max_disjuncts)
+            if described != str(f):
+                return described
+            # no compact variable-level form: recurse structurally so the
+            # sub-formulas still decode
+        unary = {AX: "AX", EX: "EX", AF: "AF", EF: "EF", AG: "AG", EG: "EG"}
+        for node, symbol in unary.items():
+            if isinstance(f, node):
+                return f"{symbol} ({self.describe(f.operand, max_disjuncts)})"
+        if isinstance(f, Not):
+            return f"!({self.describe(f.operand, max_disjuncts)})"
+        binary = {And: "&", Or: "|", Implies: "->", Iff: "<->"}
+        for node, symbol in binary.items():
+            if isinstance(f, node):
+                return (
+                    f"({self.describe(f.left, max_disjuncts)} {symbol} "
+                    f"{self.describe(f.right, max_disjuncts)})"
+                )
+        if isinstance(f, AU) or isinstance(f, EU):
+            quantifier = "A" if isinstance(f, AU) else "E"
+            return (
+                f"{quantifier}[{self.describe(f.left, max_disjuncts)} U "
+                f"{self.describe(f.right, max_disjuncts)}]"
+            )
+        return str(f)
+
+    def _describe_propositional(self, f: Formula, max_disjuncts: int) -> str:
+        from repro.logic.evaluate import evaluate_propositional
+
+        owners = [
+            v for v in self._vars if set(v.bits) & set(f.atoms())
+        ]
+        if not owners:
+            return str(f)
+        if any(a for a in f.atoms() if a not in self._atoms):
+            return str(f)  # mentions atoms outside this encoding
+        # project onto the owning variables only (others cannot matter)
+        size = 1
+        for v in owners:
+            size *= len(v.domain)
+            if size > 4096:
+                return str(f)  # too wide to decode by enumeration
+        combos: list[dict[str, Value]] = [{}]
+        for v in owners:
+            combos = [dict(c, **{v.name: val}) for c in combos for val in v.domain]
+        background = {
+            v.name: v.domain[0] for v in self._vars if v not in owners
+        }
+        sat = [
+            c
+            for c in combos
+            if evaluate_propositional(f, self.state_of({**background, **c}))
+        ]
+        if not sat:
+            return "false"
+        if len(sat) == len(combos):
+            return "true"
+
+        def render_values(v: FiniteVar, values: list[Value]) -> str | None:
+            if len(values) == len(v.domain):
+                return None  # unconstrained
+            if v.domain == (False, True):
+                return v.name if values == [True] else f"!{v.name}"
+            if len(values) == 1:
+                return f"{v.name} = {values[0]}"
+            return f"{v.name} in {{{', '.join(str(x) for x in values)}}}"
+
+        # product form: sat = Π S_v ?
+        per_var = {
+            v.name: [val for val in v.domain if any(c[v.name] == val for c in sat)]
+            for v in owners
+        }
+        product_size = 1
+        for values in per_var.values():
+            product_size *= len(values)
+        if product_size == len(sat):
+            parts = [
+                text
+                for v in owners
+                if (text := render_values(v, per_var[v.name])) is not None
+            ]
+            return " & ".join(parts) if parts else "true"
+        # not a per-variable product: let the caller recurse structurally
+        # (connectives render sub-terms, which do decode)
+        return str(f)

@@ -1,0 +1,102 @@
+"""Graph views of systems: networkx export, DOT rendering, isomorphism.
+
+Used to reproduce and check the paper's state-transition-graph figures
+(Figures 1, 2, 4 and 11).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import networkx as nx
+
+from repro.systems.encode import Encoding
+from repro.systems.system import System
+
+
+def to_networkx(
+    m: System,
+    include_stutter: bool = False,
+    label: Callable[[frozenset[str]], str] | None = None,
+) -> "nx.DiGraph":
+    """The transition graph of ``m`` as a networkx DiGraph.
+
+    Nodes are labelled by the sorted true atoms (or a custom ``label``);
+    self-loops are omitted unless ``include_stutter`` is set since the paper
+    draws its figures without the implicit stuttering.
+    """
+    if label is None:
+        label = lambda s: "{" + ",".join(sorted(s)) + "}"
+    g = nx.DiGraph()
+    for s in m.states():
+        g.add_node(label(s), atoms=s)
+    for s, t in m.edges:
+        g.add_edge(label(s), label(t))
+    if include_stutter:
+        for s in m.states():
+            g.add_edge(label(s), label(s))
+    return g
+
+
+def reachable_subgraph(m: System, initial: set[frozenset[str]]) -> "nx.DiGraph":
+    """Transition graph restricted to states reachable from ``initial``."""
+    g = nx.DiGraph()
+    frontier = list(initial)
+    seen: set[frozenset[str]] = set(initial)
+    while frontier:
+        s = frontier.pop()
+        for t in m.successors(s):
+            g.add_edge(tuple(sorted(s)), tuple(sorted(t)))
+            if t not in seen:
+                seen.add(t)
+                frontier.append(t)
+    return g
+
+
+def decoded_graph(m: System, enc: Encoding, include_junk: bool = False) -> "nx.DiGraph":
+    """Transition graph with nodes decoded back to finite-domain assignments.
+
+    Junk states (bit patterns outside every variable's domain) are dropped
+    unless ``include_junk``; this reproduces the protocol diagrams the paper
+    draws over ``(belief, r)`` pairs.
+    """
+    g = nx.DiGraph()
+
+    def node(s: frozenset[str]):
+        dec = enc.decode(s)
+        if dec is None:
+            return None
+        return tuple((k, dec[k]) for k in sorted(dec))
+
+    for s, t in m.edges:
+        a, b = node(s), node(t)
+        if a is None or b is None:
+            if not include_junk:
+                continue
+            a = a or ("junk", tuple(sorted(s)))
+            b = b or ("junk", tuple(sorted(t)))
+        g.add_edge(a, b)
+    return g
+
+
+def to_dot(m: System, include_stutter: bool = False) -> str:
+    """Quick DOT rendering of the non-stutter transition graph."""
+    lines = ["digraph system {"]
+    for s in sorted(m.states(), key=sorted):
+        name = "{" + ",".join(sorted(s)) + "}"
+        lines.append(f'  "{name}";')
+    for s, t in sorted(m.edges, key=lambda e: (sorted(e[0]), sorted(e[1]))):
+        a = "{" + ",".join(sorted(s)) + "}"
+        b = "{" + ",".join(sorted(t)) + "}"
+        lines.append(f'  "{a}" -> "{b}";')
+    if include_stutter:
+        for s in m.states():
+            a = "{" + ",".join(sorted(s)) + "}"
+            lines.append(f'  "{a}" -> "{a}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def isomorphic(g1: "nx.DiGraph", g2: "nx.DiGraph") -> bool:
+    """Digraph isomorphism (labels ignored) — for figure-shape tests."""
+    return nx.is_isomorphic(g1, g2)

@@ -1,0 +1,185 @@
+"""Executable versions of the paper's Lemmas 1–11 (Sections 3.1–3.2).
+
+Each ``lemma_n`` function checks the lemma's statement on *concrete*
+arguments and returns ``True`` when it holds for that instance.  The
+hypothesis-based test suite instantiates them with randomized systems and
+formulas, machine-checking the paper's meta-theory; the compositional
+proof engine cites them as justification for transfer steps.
+
+Implication-shaped lemmas (8, 9, 11) return ``True`` vacuously when their
+premise fails on the instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.logic.ctl import (
+    AX,
+    EX,
+    And,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    is_propositional,
+)
+from repro.logic.restriction import Restriction
+from repro.systems.compose import compose, expand
+from repro.systems.system import System, identity_system
+
+
+def _checker(m: System):
+    from repro.checking.explicit import ExplicitChecker
+
+    return ExplicitChecker(m)
+
+
+def lemma_1_commutative(m1: System, m2: System) -> bool:
+    """``∘`` is commutative: ``M ∘ M' = M' ∘ M``."""
+    return compose(m1, m2) == compose(m2, m1)
+
+
+def lemma_1_associative(m1: System, m2: System, m3: System) -> bool:
+    """``∘`` is associative: ``(M ∘ M') ∘ M'' = M ∘ (M' ∘ M'')``."""
+    return compose(compose(m1, m2), m3) == compose(m1, compose(m2, m3))
+
+
+def lemma_2_same_alphabet_union(m1: System, m2: System) -> bool:
+    """For equal alphabets, ``(Σ,R) ∘ (Σ,R') = (Σ, R ∪ R')``."""
+    if m1.sigma != m2.sigma:
+        raise ValueError("lemma 2 requires equal alphabets")
+    union = System(m1.sigma, set(m1.edges) | set(m2.edges))
+    return compose(m1, m2) == union
+
+
+def lemma_3_identity(m: System) -> bool:
+    """``(Σ, I)`` is the identity element: ``(Σ,R) ∘ (Σ,I) = (Σ,R)``."""
+    return compose(m, identity_system(m.sigma)) == m
+
+
+def lemma_4_expansion_composition(m1: System, m2: System) -> bool:
+    """``M ∘ M' = (M ∘ (Σ',I)) ∘ (M' ∘ (Σ,I))``."""
+    lhs = compose(m1, m2)
+    rhs = compose(expand(m1, m2.sigma), expand(m2, m1.sigma))
+    return lhs == rhs
+
+
+def lemma_5_expansion_preserves(m: System, extra: Iterable[str], f: Formula) -> bool:
+    """Expansion preserves ``C(Σ)`` properties: ``M ⊨ f ⇔ M∘(Σ',I) ⊨ f``.
+
+    ``f`` must mention only atoms of ``m`` (it is in ``C(Σ)``).
+    """
+    if not f.atoms() <= m.sigma:
+        raise ValueError("lemma 5 requires f ∈ C(Σ)")
+    before = bool(_checker(m).holds(f))
+    after = bool(_checker(expand(m, extra)).holds(f))
+    return before == after
+
+
+def lemma_6_ax_structural(m: System, f: Formula, g: Formula) -> bool:
+    """``M ⊨ (f ⇒ AXg)  ⇔  ∀s ⊨ f. ∀t ∈ R(s). t ⊨ g`` (f, g propositional)."""
+    if not (is_propositional(f) and is_propositional(g)):
+        raise ValueError("lemma 6 requires propositional formulas")
+    checker = _checker(m)
+    semantic = bool(checker.holds(Implies(f, AX(g))))
+    f_set = checker.states_satisfying(f)
+    g_set = checker.states_satisfying(g)
+    structural = True
+    for s in m.states():
+        if not f_set[checker._index(s)]:
+            continue
+        for t in m.successors(s):
+            if not g_set[checker._index(t)]:
+                structural = False
+                break
+        if not structural:
+            break
+    return semantic == structural
+
+
+def lemma_7_ex_structural(m: System, f: Formula, g: Formula) -> bool:
+    """``M ⊨ (f ⇒ EXg)  ⇔  ∀s ⊨ f. ∃t ∈ R(s). t ⊨ g`` (f, g propositional)."""
+    if not (is_propositional(f) and is_propositional(g)):
+        raise ValueError("lemma 7 requires propositional formulas")
+    checker = _checker(m)
+    semantic = bool(checker.holds(Implies(f, EX(g))))
+    f_set = checker.states_satisfying(f)
+    g_set = checker.states_satisfying(g)
+    structural = all(
+        any(g_set[checker._index(t)] for t in m.successors(s))
+        for s in m.states()
+        if f_set[checker._index(s)]
+    )
+    return semantic == structural
+
+
+def lemma_8_conjunctive_transfer(
+    m: System, p: Formula, q: Formula, p_prime: Formula, extra: Iterable[str]
+) -> bool:
+    """Expansion preserves next-step properties conjoined with frame facts.
+
+    If ``M ⊨ p ⇒ AXq`` then ``M∘(Σ',I) ⊨ (p ∧ p') ⇒ AX(q ∧ p')`` — and
+    likewise for ``EX`` — where ``p'`` is propositional over ``Σ' − Σ``.
+    """
+    extra = frozenset(extra)
+    if not p_prime.atoms() <= (extra - m.sigma):
+        raise ValueError("lemma 8 requires p' over the nonlocal variables Σ'−Σ")
+    expanded = expand(m, extra)
+    base, big = _checker(m), _checker(expanded)
+    ok = True
+    if base.holds(Implies(p, AX(q))):
+        ok &= bool(big.holds(Implies(And(p, p_prime), AX(And(q, p_prime)))))
+    if base.holds(Implies(p, EX(q))):
+        ok &= bool(big.holds(Implies(And(p, p_prime), EX(And(q, p_prime)))))
+    return ok
+
+
+def lemma_9_disjunctive_transfer(
+    m: System, p: Formula, q: Formula, p_prime: Formula, extra: Iterable[str]
+) -> bool:
+    """Disjunctive variant of Lemma 8: ``(p ∨ p') ⇒ AX(q ∨ p')`` transfers."""
+    extra = frozenset(extra)
+    if not p_prime.atoms() <= (extra - m.sigma):
+        raise ValueError("lemma 9 requires p' over the nonlocal variables Σ'−Σ")
+    expanded = expand(m, extra)
+    base, big = _checker(m), _checker(expanded)
+    ok = True
+    if base.holds(Implies(p, AX(q))):
+        ok &= bool(big.holds(Implies(Or(p, p_prime), AX(Or(q, p_prime)))))
+    if base.holds(Implies(p, EX(q))):
+        ok &= bool(big.holds(Implies(Or(p, p_prime), EX(Or(q, p_prime)))))
+    return ok
+
+
+def lemma_10_state_projection(
+    m: System, m_prime: System, p: Formula
+) -> bool:
+    """Propositional satisfaction depends only on the shared atoms.
+
+    For ``Σ ⊆ Σ'`` and propositional ``p ∈ C(Σ)``: any states ``s ∈ 2^Σ``,
+    ``s' ∈ 2^Σ'`` with ``s = s' ∩ Σ`` agree on ``p``.
+    """
+    if not m.sigma <= m_prime.sigma:
+        raise ValueError("lemma 10 requires Σ ⊆ Σ'")
+    if not (is_propositional(p) and p.atoms() <= m.sigma):
+        raise ValueError("lemma 10 requires propositional p ∈ C(Σ)")
+    small, big = _checker(m), _checker(m_prime)
+    p_small = small.states_satisfying(p)
+    p_big = big.states_satisfying(p)
+    for s_prime in m_prime.states():
+        s = s_prime & m.sigma
+        if p_small[small._index(s)] != p_big[big._index(s_prime)]:
+            return False
+    return True
+
+
+def lemma_11_fairness_strengthening(
+    m: System, f: Formula, g: Formula, fairness: tuple[Formula, ...]
+) -> bool:
+    """``M ⊨ (f ⇒ AXg)`` implies ``M ⊨_(true,F) (f ⇒ AXg)`` for any ``F``."""
+    checker = _checker(m)
+    prop = Implies(f, AX(g))
+    if not checker.holds(prop):
+        return True  # vacuous
+    return bool(checker.holds(prop, Restriction(fairness=fairness)))

@@ -1,0 +1,242 @@
+"""Finite-state systems ``M = (Σ, R)`` — the paper's semantic universe.
+
+A *system* (Section 2.1) is a finite set ``Σ`` of atomic propositions
+together with a transition relation ``R`` over states, where a state is
+exactly the set of propositions true in it — i.e. the state space is the
+full powerset ``2^Σ``.  The paper assumes ``R`` is reflexive (every state
+can stutter), which also makes it total; reflexivity is what lets the
+interleaving composition ``M ∘ M'`` represent one component stepping while
+the other idles.
+
+Representation
+--------------
+States are ``frozenset[str]``.  In the default *reflexive* mode we store
+only the non-stuttering edges and treat the identity relation as
+implicitly present; this keeps systems canonical (equal alphabet + equal
+non-stutter edges ⇒ equal systems) and avoids materializing ``2^|Σ|``
+self-loops.  ``reflexive=False`` stores the relation verbatim (self-loops
+included only where given) — used for checking SMV models with their raw
+synchronous-assignment semantics, exactly as SMV itself would.
+
+The explicit state space is exponential in ``|Σ|``; operations that
+enumerate it are guarded by :data:`MAX_EXPLICIT_ATOMS` so mistakes fail
+fast instead of freezing.  Larger systems go through the symbolic
+representation (:mod:`repro.systems.symbolic`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from itertools import combinations
+
+from repro.errors import SystemError_
+
+State = frozenset
+#: Guard for operations that enumerate all ``2^|Σ|`` states.
+MAX_EXPLICIT_ATOMS = 22
+
+
+def all_states(sigma: Iterable[str]) -> Iterator[frozenset[str]]:
+    """All subsets of ``sigma`` — the state space ``2^Σ`` (canonical order)."""
+    atoms = sorted(set(sigma))
+    if len(atoms) > MAX_EXPLICIT_ATOMS:
+        raise SystemError_(
+            f"refusing to enumerate 2^{len(atoms)} states; "
+            f"use the symbolic representation"
+        )
+    for k in range(len(atoms) + 1):
+        for combo in combinations(atoms, k):
+            yield frozenset(combo)
+
+
+class System:
+    """An explicit finite-state system ``(Σ, R)``.
+
+    Parameters
+    ----------
+    sigma:
+        The atomic propositions.  Every subset of ``sigma`` is a state.
+    transitions:
+        Pairs ``(s, t)`` of states; states must be subsets of ``sigma``.
+    reflexive:
+        When True (the default, matching the paper's assumption), the
+        identity relation is implicitly part of ``R`` and explicit
+        self-loops are dropped as redundant.  When False the relation is
+        exactly ``transitions``.
+
+    Example
+    -------
+    >>> m = System({"x"}, [(frozenset(), frozenset({"x"}))])
+    >>> sorted(map(sorted, m.successors(frozenset())))
+    [[], ['x']]
+    """
+
+    __slots__ = ("_sigma", "_edges", "_reflexive", "_succ", "_pred")
+
+    def __init__(
+        self,
+        sigma: Iterable[str],
+        transitions: Iterable[tuple[frozenset[str], frozenset[str]]] = (),
+        reflexive: bool = True,
+    ) -> None:
+        self._sigma: frozenset[str] = frozenset(sigma)
+        self._reflexive = bool(reflexive)
+        edges: set[tuple[frozenset[str], frozenset[str]]] = set()
+        for s, t in transitions:
+            s, t = frozenset(s), frozenset(t)
+            if not s <= self._sigma or not t <= self._sigma:
+                extra = (s | t) - self._sigma
+                raise SystemError_(
+                    f"transition mentions propositions outside Σ: {sorted(extra)}"
+                )
+            if s != t or not self._reflexive:
+                edges.add((s, t))
+        self._edges: frozenset[tuple[frozenset[str], frozenset[str]]] = frozenset(edges)
+        self._succ: dict[frozenset[str], set[frozenset[str]]] | None = None
+        self._pred: dict[frozenset[str], set[frozenset[str]]] | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def sigma(self) -> frozenset[str]:
+        """The alphabet Σ of atomic propositions."""
+        return self._sigma
+
+    @property
+    def reflexive(self) -> bool:
+        """Whether the identity relation is implicitly part of ``R``."""
+        return self._reflexive
+
+    @property
+    def edges(self) -> frozenset[tuple[frozenset[str], frozenset[str]]]:
+        """The explicitly stored transitions.
+
+        In reflexive mode these are the non-stuttering edges (self-loops
+        are implicit); otherwise they are the whole relation.
+        """
+        return self._edges
+
+    def num_states(self) -> int:
+        """``2^|Σ|``."""
+        return 2 ** len(self._sigma)
+
+    def states(self) -> Iterator[frozenset[str]]:
+        """Iterate over the full state space ``2^Σ``."""
+        return all_states(self._sigma)
+
+    def num_transitions(self) -> int:
+        """Size of ``R`` including any implicit self-loops."""
+        return len(self._edges) + (self.num_states() if self._reflexive else 0)
+
+    # ------------------------------------------------------------------
+    # relation queries
+    # ------------------------------------------------------------------
+    def _successor_map(self) -> dict[frozenset[str], set[frozenset[str]]]:
+        if self._succ is None:
+            succ: dict[frozenset[str], set[frozenset[str]]] = {}
+            for s, t in self._edges:
+                succ.setdefault(s, set()).add(t)
+            self._succ = succ
+        return self._succ
+
+    def _predecessor_map(self) -> dict[frozenset[str], set[frozenset[str]]]:
+        if self._pred is None:
+            pred: dict[frozenset[str], set[frozenset[str]]] = {}
+            for s, t in self._edges:
+                pred.setdefault(t, set()).add(s)
+            self._pred = pred
+        return self._pred
+
+    def successors(self, s: frozenset[str]) -> set[frozenset[str]]:
+        """All R-successors of ``s`` (includes ``s`` in reflexive mode)."""
+        out = set(self._successor_map().get(s, ()))
+        if self._reflexive:
+            out.add(s)
+        return out
+
+    def predecessors(self, t: frozenset[str]) -> set[frozenset[str]]:
+        """All R-predecessors of ``t`` (includes ``t`` in reflexive mode)."""
+        out = set(self._predecessor_map().get(t, ()))
+        if self._reflexive:
+            out.add(t)
+        return out
+
+    def has_transition(self, s: frozenset[str], t: frozenset[str]) -> bool:
+        """Membership test in ``R``."""
+        s, t = frozenset(s), frozenset(t)
+        if self._reflexive and s == t:
+            return True
+        return (s, t) in self._edges
+
+    def relation(self) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
+        """Iterate over the *full* relation ``R``, implicit loops included."""
+        yield from self._edges
+        if self._reflexive:
+            for s in self.states():
+                yield (s, s)
+
+    def is_total(self) -> bool:
+        """Every state has at least one successor.
+
+        Trivially true in reflexive mode; otherwise checked by enumeration
+        (guarded by :data:`MAX_EXPLICIT_ATOMS`).
+        """
+        if self._reflexive:
+            return True
+        succ = self._successor_map()
+        return all(succ.get(s) for s in self.states())
+
+    def reflexive_closure(self) -> "System":
+        """The same relation with all self-loops added (a paper-system)."""
+        if self._reflexive:
+            return self
+        return System(self._sigma, self._edges, reflexive=True)
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, System):
+            return NotImplemented
+        return (
+            self._sigma == other._sigma
+            and self._edges == other._edges
+            and self._reflexive == other._reflexive
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._sigma, self._edges, self._reflexive))
+
+    def __repr__(self) -> str:
+        loops = "+id" if self._reflexive else ""
+        return (
+            f"System(|Σ|={len(self._sigma)}, states={self.num_states()}, "
+            f"edges={len(self._edges)}{loops})"
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_pairs(
+        sigma: Iterable[str],
+        pairs: Iterable[tuple[Iterable[str], Iterable[str]]],
+        reflexive: bool = True,
+    ) -> "System":
+        """Build a system from transitions given as iterables of atom names.
+
+        Convenience for writing paper examples literally, e.g. Figure 1::
+
+            M = System.from_pairs({"x"}, [((), ("x",)), (("x",), ())])
+        """
+        return System(
+            sigma,
+            [(frozenset(s), frozenset(t)) for s, t in pairs],
+            reflexive=reflexive,
+        )
+
+
+def identity_system(sigma: Iterable[str]) -> System:
+    """``(Σ, I)`` — the identity (stutter-only) system; see Lemma 3."""
+    return System(sigma, ())

@@ -1,0 +1,51 @@
+"""Tests for DOT export and the propositional-formula bridge."""
+
+import pytest
+
+from repro.bdd.dot import to_dot
+from repro.bdd.formula import prop_to_bdd
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.errors import LogicError
+from repro.logic.parser import parse_ctl
+
+
+def test_dot_contains_all_nodes_and_edges():
+    b = BDD()
+    b.declare("x", "y")
+    f = b.apply("and", b.var("x"), b.var("y"))
+    text = to_dot(b, [f], names=["f"])
+    assert text.startswith("digraph")
+    assert '"f"' in text or "f" in text
+    assert text.count("label=\"x\"") == 1
+    assert text.count("label=\"y\"") == 1
+    assert "style=dashed" in text
+
+
+def test_dot_terminal_roots():
+    b = BDD()
+    text = to_dot(b, [TRUE, FALSE])
+    assert "-> t" in text and "-> f" in text
+
+
+class TestPropToBdd:
+    def setup_method(self):
+        self.b = BDD()
+        self.b.declare("p", "q")
+
+    def test_all_connectives(self):
+        f = parse_ctl("(p & !q) | (p <-> q)")
+        node = prop_to_bdd(self.b, f)
+        # truth table: p&!q: (1,0); p<->q: (0,0),(1,1) → sat = all but (0,1)
+        assert self.b.sat_count(node) == 3.0
+
+    def test_implication(self):
+        node = prop_to_bdd(self.b, parse_ctl("p -> q"))
+        assert self.b.sat_count(node) == 3.0
+
+    def test_constants(self):
+        assert prop_to_bdd(self.b, parse_ctl("true")) == TRUE
+        assert prop_to_bdd(self.b, parse_ctl("false")) == FALSE
+
+    def test_temporal_rejected(self):
+        with pytest.raises(LogicError):
+            prop_to_bdd(self.b, parse_ctl("AX p"))

@@ -1,0 +1,96 @@
+"""Tests for derived BDD operations (transfer, entailment, DNF)."""
+
+import pytest
+
+from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.ops import dnf, evaluate, implies, transfer
+from repro.errors import BddError
+
+
+def _xor_manager():
+    b = BDD()
+    b.declare("x", "y")
+    return b, b.apply("xor", b.var("x"), b.var("y"))
+
+
+class TestTransfer:
+    def test_transfer_same_order(self):
+        src, f = _xor_manager()
+        dst = BDD()
+        dst.declare("x", "y")
+        g = transfer(f, src, dst)
+        for x in (False, True):
+            for y in (False, True):
+                assert evaluate(dst, g, {"x": x, "y": y}) == (x != y)
+
+    def test_transfer_reversed_order(self):
+        src, f = _xor_manager()
+        dst = BDD()
+        dst.declare("y", "x")  # opposite order — ite canonicalizes
+        g = transfer(f, src, dst)
+        for x in (False, True):
+            for y in (False, True):
+                assert evaluate(dst, g, {"x": x, "y": y}) == (x != y)
+
+    def test_transfer_terminals(self):
+        src, _ = _xor_manager()
+        dst = BDD()
+        assert transfer(TRUE, src, dst) == TRUE
+        assert transfer(FALSE, src, dst) == FALSE
+
+    def test_transfer_missing_variable(self):
+        src, f = _xor_manager()
+        dst = BDD()
+        dst.declare("x")
+        with pytest.raises(BddError):
+            transfer(f, src, dst)
+
+
+class TestEntailment:
+    def test_implies_holds(self):
+        b = BDD()
+        b.declare("x", "y")
+        conj = b.apply("and", b.var("x"), b.var("y"))
+        assert implies(b, conj, b.var("x"))
+
+    def test_implies_fails(self):
+        b = BDD()
+        b.declare("x", "y")
+        assert not implies(b, b.var("x"), b.var("y"))
+
+
+class TestEvaluate:
+    def test_missing_assignment(self):
+        b, f = _xor_manager()
+        with pytest.raises(BddError):
+            evaluate(b, f, {"x": True})
+
+    def test_constants_need_no_assignment(self):
+        b = BDD()
+        assert evaluate(b, TRUE, {}) is True
+        assert evaluate(b, FALSE, {}) is False
+
+
+class TestDnf:
+    def test_cubes_cover_exactly(self):
+        b, f = _xor_manager()
+        cubes = dnf(b, f)
+        # each cube, completed arbitrarily, satisfies f; and together they
+        # cover every satisfying assignment
+        sat = set()
+        for cube in cubes:
+            for x in (False, True):
+                for y in (False, True):
+                    full = {"x": x, "y": y}
+                    if all(full[k] == v for k, v in cube.items()):
+                        assert evaluate(b, f, full)
+                        sat.add((x, y))
+        assert sat == {(True, False), (False, True)}
+
+    def test_dnf_of_false_is_empty(self):
+        b, _ = _xor_manager()
+        assert dnf(b, FALSE) == []
+
+    def test_dnf_of_true_is_one_empty_cube(self):
+        b, _ = _xor_manager()
+        assert dnf(b, TRUE) == [{}]

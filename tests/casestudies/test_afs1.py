@@ -1,0 +1,179 @@
+"""AFS-1 case-study tests: figures, proofs, and failure injection."""
+
+import pytest
+
+from repro.casestudies.afs1 import (
+    AFS1_CLIENT_FIGURE,
+    AFS1_SERVER_FIGURE,
+    Afs1,
+    check_client_figure,
+    check_server_figure,
+    prove_afs1_liveness,
+    prove_afs1_safety,
+)
+from repro.smv.run import check_source
+
+
+class TestFigure7ServerOutput:
+    """Figure 7: all five server specs are true."""
+
+    def test_all_specs_true(self):
+        report = check_server_figure()
+        assert len(report.results) == 5
+        assert report.all_true
+
+    def test_output_format(self):
+        text = check_server_figure().format()
+        assert text.count("is true") == 5
+        assert "BDD nodes allocated" in text
+
+    def test_bdd_nodes_same_order_as_paper(self):
+        """Paper reports 403 allocated / 43+7 for the transition."""
+        report = check_server_figure()
+        assert 100 < report.bdd_nodes_allocated < 4000
+        assert 10 < report.transition_nodes < 500
+
+
+class TestFigure10ClientOutput:
+    """Figure 10: all six client specs are true."""
+
+    def test_all_specs_true(self):
+        report = check_client_figure()
+        assert len(report.results) == 6
+        assert report.all_true
+
+    def test_bdd_nodes_same_order_as_paper(self):
+        """Paper reports 330 allocated / 34+7 for the transition."""
+        report = check_client_figure()
+        assert 100 < report.bdd_nodes_allocated < 4000
+        assert report.transition_nodes < report.bdd_nodes_allocated
+
+
+class TestFigure4TransitionGraphs:
+    """Figure 4: the protocol state-transition graphs."""
+
+    def test_server_nonstutter_moves(self):
+        """Server graph: 5 labeled transitions (2 fetch paths share shape)."""
+        from repro.casestudies.afs1 import SERVER
+        from repro.systems.graph import decoded_graph
+
+        g = decoded_graph(
+            SERVER.system(reflexive=False), SERVER.model.encoding
+        )
+        real = [(s, t) for s, t in g.edges if s != t]
+        # (none,fetch)→(valid,val), (invalid,fetch)→(valid,val),
+        # (valid,fetch)→(valid,val), (none,validate)→(valid,val)|(invalid,inval)
+        # each for both values of validFile where applicable
+        assert len(real) >= 5
+
+    def test_client_run_structure(self):
+        """Client graph contains both protocol runs of Figure 4."""
+        from repro.casestudies.afs1 import CLIENT
+
+        model = CLIENT.model
+        system = CLIENT.system(reflexive=False)
+        enc = model.encoding
+        st = lambda b, r: enc.state_of({"Client.belief": b, "r": r})
+        # nofile run
+        assert system.has_transition(st("nofile", "null"), st("nofile", "fetch"))
+        assert system.has_transition(st("nofile", "val"), st("valid", "val"))
+        # suspect run
+        assert system.has_transition(st("suspect", "null"), st("suspect", "validate"))
+        assert system.has_transition(st("suspect", "val"), st("valid", "val"))
+        assert system.has_transition(st("suspect", "inval"), st("nofile", "null"))
+        # no invented transitions
+        assert not system.has_transition(st("nofile", "null"), st("valid", "val"))
+
+
+class TestSafetyProof:
+    def test_proof_succeeds(self):
+        pf, afs1 = prove_afs1_safety()
+        assert "AG" in str(afs1.formula)
+
+    def test_every_conclusion_validates_monolithically(self):
+        pf, _ = prove_afs1_safety()
+        for proven, check in pf.verify_monolithic():
+            assert bool(check), str(proven)
+
+    def test_symbolic_backend(self):
+        pf, afs1 = prove_afs1_safety(backend="symbolic")
+        for proven, check in pf.verify_monolithic():
+            assert bool(check)
+
+    def test_obligations_are_per_component(self):
+        pf, _ = prove_afs1_safety()
+        # the invariant rule checks Inv ⇒ AX Inv on both expansions only
+        unique_obligations = {
+            id(o)
+            for s in pf.log
+            for leaf in s.leaves()
+            for o in leaf.obligations
+        }
+        assert len(unique_obligations) == len(pf.components)
+
+
+class TestLivenessProof:
+    def test_proof_succeeds(self):
+        pf, afs2 = prove_afs1_liveness()
+        assert "AF" in str(afs2.formula)
+
+    def test_every_conclusion_validates_monolithically(self):
+        pf, _ = prove_afs1_liveness()
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_conclusion_is_the_paper_afs2(self):
+        study = Afs1()
+        pf, afs2 = study.prove_liveness()
+        # the conclusion: from the paper's I, AF(Client.belief = valid)
+        assert afs2.restriction.init == study.initial
+        assert str(study.cb("valid")) in str(afs2.formula)
+
+
+class TestFailureInjection:
+    """Broken protocol variants must fail their specs."""
+
+    def test_lying_server_fails_srv2(self):
+        # server answers val for validate even when the file is invalid
+        broken = AFS1_SERVER_FIGURE.replace(
+            "(belief = none) & (r = validate) & !validFile : inval;",
+            "(belief = none) & (r = validate) & !validFile : val;",
+        )
+        report = check_source(broken)
+        assert not report.all_true
+
+    def test_forgetful_server_fails_srv1(self):
+        # server may forget its valid belief
+        broken = AFS1_SERVER_FIGURE.replace(
+            "1 : belief;", "(belief = valid) & (r = val) : none;\n      1 : belief;"
+        )
+        report = check_source(broken)
+        assert not report.results[0].holds  # Srv1
+
+    def test_impatient_client_fails_cli1(self):
+        # client believes valid without a val response
+        broken = AFS1_CLIENT_FIGURE.replace(
+            "(belief = suspect) & (r = inval) : nofile;",
+            "(belief = suspect) & (r = inval) : valid;",
+        )
+        report = check_source(broken)
+        assert not report.results[0].holds  # Cli1
+
+    def test_broken_safety_proof_rejected(self):
+        """The proof engine refuses the invariant on a lying server."""
+        from repro.casestudies.afs_common import ProtocolComponent
+        from repro.casestudies import afs1 as afs1mod
+        from repro.compositional.proof import CompositionProof
+        from repro.errors import ProofError
+
+        broken_src = afs1mod._SERVER_PROOF_SOURCE.replace(
+            "(Server.belief = none) & (r = validate) & !validFile : inval;",
+            "(Server.belief = none) & (r = validate) & !validFile : val;",
+        )
+        study = Afs1()
+        broken = ProtocolComponent("server", broken_src)
+        pf = CompositionProof(
+            {"server": broken.system(), "client": study.client.system()}
+        )
+        with pytest.raises(ProofError):
+            pf.invariant(study.initial, study.safety_invariant())

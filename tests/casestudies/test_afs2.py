@@ -1,0 +1,142 @@
+"""AFS-2 case-study tests: figures, parametric safety proof, failure injection."""
+
+import pytest
+
+from repro.casestudies.afs2 import (
+    Afs2,
+    check_client_figure,
+    check_server_figure,
+    client_source,
+    prove_afs2_safety,
+    server_source,
+)
+from repro.smv.run import check_source
+
+
+class TestFigure15ServerOutput:
+    def test_srv1_srv2_true(self):
+        report = check_server_figure()
+        assert len(report.results) == 2
+        assert report.all_true
+
+    def test_bdd_nodes_same_order_as_paper(self):
+        """Paper reports 2737 allocated / 1145+6 for the transition."""
+        report = check_server_figure()
+        assert 500 < report.bdd_nodes_allocated < 30000
+
+    def test_single_client_variant(self):
+        assert check_server_figure(n=1).all_true
+
+
+class TestFigure17ClientOutput:
+    def test_cli1_true(self):
+        report = check_client_figure()
+        assert len(report.results) == 1
+        assert report.all_true
+
+    def test_bdd_nodes_same_order_as_paper(self):
+        """Paper reports 592 allocated / 120+6 for the transition."""
+        report = check_client_figure()
+        assert 100 < report.bdd_nodes_allocated < 6000
+
+
+class TestSourceGenerators:
+    def test_server_scales_with_n(self):
+        assert "belief3" in server_source(3, rename=False)
+        assert "belief3" not in server_source(2, rename=False)
+
+    def test_update_revokes_other_callbacks(self):
+        src = server_source(2, rename=False)
+        assert "(request2 = update)" in src  # in belief1's cases
+
+    def test_rename_prefixes(self):
+        src = server_source(2)
+        assert "Server.belief1" in src
+        cl = client_source(2)
+        assert "Client2.belief" in cl and "request2" in cl
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            server_source(0)
+
+
+class TestSafetyProof:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_proof_succeeds(self, n):
+        pf, afs1 = prove_afs2_safety(n=n)
+        assert "AG" in str(afs1.formula)
+
+    def test_conclusions_validate_monolithically(self):
+        pf, _ = prove_afs2_safety(n=2)
+        for proven, check in pf.verify_monolithic():
+            assert bool(check), str(proven)
+
+    def test_obligations_linear_in_components(self):
+        pf, _ = prove_afs2_safety(n=3)
+        unique = {
+            id(o)
+            for s in pf.log
+            for leaf in s.leaves()
+            for o in leaf.obligations
+        }
+        assert len(unique) == 4  # server + 3 clients
+
+    def test_invariant_mentions_every_client(self):
+        study = Afs2(3)
+        inv = study.invariant()
+        atoms = inv.atoms()
+        for i in (1, 2, 3):
+            assert any(f"Client{i}.belief" in a for a in atoms)
+
+
+class TestTransmissionDelay:
+    """The AFS-1 invariant is *not* valid for AFS-2 (§4.3.1) — the
+    weakened, time-aware invariant is required."""
+
+    def test_unweakened_invariant_rejected(self):
+        from repro.compositional.proof import CompositionProof
+        from repro.errors import ProofError
+        from repro.logic.ctl import Implies, land
+
+        study = Afs2(2)
+        pf = study.proof()
+        # AFS-1 style: client-valid ⇒ server-valid, without the ¬time escape
+        naive = land(
+            *(
+                Implies(study.cb(i, "valid"), study.sb(i, "valid"))
+                for i in (1, 2)
+            )
+        )
+        with pytest.raises(ProofError):
+            pf.invariant(study.initial(), naive)
+
+
+class TestFailureInjection:
+    def test_server_ignoring_updates_fails_proof(self):
+        """Remove the callback revocation: the invariant is no longer inductive."""
+        from repro.casestudies.afs_common import ProtocolComponent
+        from repro.compositional.proof import CompositionProof
+        from repro.errors import ProofError
+
+        study = Afs2(2)
+        broken_src = server_source(2).replace(
+            "(Server.belief1 = valid) & ((request2 = update)) : 0;", ""
+        )
+        assert broken_src != server_source(2)
+        broken = ProtocolComponent("server", broken_src)
+        components = {"server": broken.symbolic()}
+        for i, c in enumerate(study.clients, start=1):
+            components[f"client{i}"] = c.symbolic()
+        pf = CompositionProof(components, backend="symbolic")
+        with pytest.raises(ProofError):
+            pf.invariant(study.initial(), study.invariant())
+
+    def test_eager_client_fails_cli1(self):
+        broken = client_source(rename=False).replace(
+            "(belief = suspect) & (response = inval) : nofile;",
+            "(belief = suspect) & (response = inval) : valid;",
+        )
+        from repro.casestudies.afs2 import CLIENT_SPECS_FIGURE
+
+        report = check_source(broken + CLIENT_SPECS_FIGURE)
+        assert not report.all_true

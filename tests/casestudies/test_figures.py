@@ -1,0 +1,78 @@
+"""Tests for the illustrative-figure systems (Figures 1, 2, 3)."""
+
+from repro.casestudies.figures import (
+    FIGURE2_CYCLE,
+    figure1_expected_composition,
+    figure1_m,
+    figure1_m_prime,
+    figure2_encoding,
+    figure2_p,
+    figure2_p_disjuncts,
+    figure2_q,
+    figure2_system,
+    figure3_encoding,
+    figure3_system,
+)
+from repro.checking.explicit import ExplicitChecker
+from repro.compositional.rules import progress_restriction
+from repro.logic.ctl import AF, AU, Implies, Not
+from repro.systems.compose import compose
+
+
+class TestFigure1:
+    def test_paper_figure1_composition(self):
+        assert compose(figure1_m(), figure1_m_prime()) == figure1_expected_composition()
+
+    def test_expected_edge_count(self):
+        # the paper lists 8 moving transitions + 4 stutters
+        c = figure1_expected_composition()
+        assert len(c.edges) == 8
+        assert c.num_transitions() == 12
+
+
+class TestFigure2:
+    def test_cycle_structure(self):
+        m = figure2_system()
+        enc = figure2_encoding()
+        st = lambda v: enc.state_of({"loc": v})
+        for i in range(1, FIGURE2_CYCLE + 1):
+            nxt = f"p{i % FIGURE2_CYCLE + 1}"
+            assert m.has_transition(st(f"p{i}"), st(nxt))
+        assert m.has_transition(st("p1"), st("q"))
+        assert not m.has_transition(st("p3"), st("q"))
+
+    def test_progress_needs_fairness(self):
+        m = figure2_system()
+        ck = ExplicitChecker(m)
+        p, q = figure2_p(), figure2_q()
+        # without fairness the cycle spins forever
+        assert not ck.holds(Implies(p, AF(q)))
+        # with the progress restriction it terminates
+        r = progress_restriction(p, q)
+        assert ck.holds(Implies(p, AU(p, q)), r)
+
+    def test_disjuncts_cover_p(self):
+        from repro.compositional.prop_logic import equivalent
+        from repro.logic.ctl import lor
+
+        assert equivalent(figure2_p(), lor(*figure2_p_disjuncts()))
+
+    def test_q_disjoint_from_p(self):
+        from repro.compositional.prop_logic import is_tautology
+        from repro.logic.ctl import And, Not
+
+        assert is_tautology(Not(And(figure2_p(), figure2_q())))
+
+
+class TestFigure3:
+    def test_counter_cycles(self):
+        m = figure3_system()
+        enc = figure3_encoding()
+        ck = ExplicitChecker(m)
+        # from x=0 the only fair way forward is 1 (EF x=3 still true)
+        from repro.logic.ctl import EF
+
+        res = ck.holds(
+            Implies(enc.eq_formula("x", 0), EF(enc.eq_formula("x", 3)))
+        )
+        assert res

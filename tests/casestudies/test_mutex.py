@@ -1,0 +1,69 @@
+"""Tests for the token-ring mutual-exclusion case study."""
+
+import pytest
+
+from repro.casestudies.mutex import TokenRing
+from repro.checking.explicit import ExplicitChecker
+from repro.logic.ctl import AG, And, Not
+
+
+class TestStructure:
+    def test_process_alphabet(self):
+        ring = TokenRing(2)
+        p0 = ring.process(0)
+        assert "c0" in p0.sigma
+        assert all(a.startswith(("tok", "c0")) for a in p0.sigma)
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            TokenRing(1)
+
+    def test_token_passes_around_ring(self):
+        ring = TokenRing(3)
+        composite = ring.composite()
+        ck = ExplicitChecker(composite)
+        from repro.logic.ctl import EF, Implies
+
+        # from tok=0 every other holder value is reachable
+        for i in (1, 2):
+            assert ck.holds(Implies(ring.tok(0), EF(ring.tok(i))))
+
+
+class TestSafety:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_mutual_exclusion_proven(self, n):
+        ring = TokenRing(n)
+        pf, safety = ring.prove_safety()
+        assert isinstance(safety.formula, AG)
+        for proven, check in pf.verify_monolithic():
+            assert bool(check), str(proven)
+
+    def test_invariant_is_necessary(self):
+        """A variant where a process enters without the token breaks it."""
+        from repro.compositional.proof import CompositionProof
+        from repro.errors import ProofError
+        from repro.systems.system import System
+
+        ring = TokenRing(2)
+        components = ring.components()
+        rogue_sigma = components["proc1"].sigma
+        rogue_edges = set(components["proc1"].edges)
+        # rogue: enters critical section regardless of the token
+        rogue_edges.add((frozenset(), frozenset({"c1"})))
+        components["proc1"] = System(rogue_sigma, rogue_edges)
+        pf = CompositionProof(components)
+        with pytest.raises(ProofError):
+            pf.invariant(ring.initial(), ring.mutex_invariant())
+
+
+class TestLiveness:
+    def test_token_holder_enters(self):
+        ring = TokenRing(2)
+        pf, live = ring.prove_enter_liveness(0)
+        for proven, check in pf.verify_monolithic():
+            assert bool(check), str(proven)
+
+    def test_any_process_index(self):
+        ring = TokenRing(3)
+        _, live = ring.prove_enter_liveness(2)
+        assert "c2" in str(live.formula)

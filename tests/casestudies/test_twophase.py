@@ -1,0 +1,129 @@
+"""Tests for the two-phase-commit case study."""
+
+import pytest
+
+from repro.casestudies.twophase import (
+    TwoPhaseCommit,
+    coordinator_source,
+    participant_source,
+)
+from repro.smv.run import check_source
+
+
+class TestSources:
+    def test_coordinator_scales(self):
+        assert "vote3" in coordinator_source(3)
+        assert "vote3" not in coordinator_source(2)
+
+    def test_participant_owns_its_vote(self):
+        src = participant_source(2)
+        assert "next(vote2)" in src
+        assert "next(decision) := decision" in src
+
+    def test_n_positive(self):
+        with pytest.raises(ValueError):
+            coordinator_source(0)
+        with pytest.raises(ValueError):
+            TwoPhaseCommit(0)
+
+    def test_coordinator_commit_requires_all_yes(self):
+        src = coordinator_source(2) + """
+SPEC (decision = none & vote1 = yes & vote2 = no) -> AX decision = abort
+SPEC (decision = none & vote1 = yes & vote2 = yes) -> AX decision = commit
+SPEC decision = commit -> AX decision = commit
+"""
+        assert check_source(src).all_true
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_proven_compositionally(self, n):
+        pf, result = TwoPhaseCommit(n).prove_atomicity()
+        assert "AG" in str(result.formula)
+
+    def test_conclusions_validate_monolithically(self):
+        pf, _ = TwoPhaseCommit(2).prove_atomicity()
+        for proven, check in pf.verify_monolithic():
+            assert bool(check), str(proven)
+
+    def test_obligations_linear(self):
+        pf, _ = TwoPhaseCommit(3).prove_atomicity()
+        unique = {
+            id(o)
+            for s in pf.log
+            for leaf in s.leaves()
+            for o in leaf.obligations
+        }
+        assert len(unique) == 4  # coordinator + 3 participants
+
+    def test_symbolic_backend(self):
+        pf, result = TwoPhaseCommit(2, backend="symbolic").prove_atomicity()
+        for proven, check in pf.verify_monolithic():
+            assert bool(check)
+
+
+class TestTermination:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_proven_compositionally(self, n):
+        pf, result = TwoPhaseCommit(n).prove_termination()
+        assert "AF" in str(result.formula)
+
+    def test_conclusions_validate_monolithically(self):
+        pf, _ = TwoPhaseCommit(2).prove_termination()
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_conclusion_shape(self):
+        study = TwoPhaseCommit(2)
+        pf, result = study.prove_termination()
+        assert result.restriction.init == study.initial()
+        # fairness: one progress constraint per participant + coordinator
+        assert len(result.restriction.fairness) == 3
+
+
+class TestFailureInjection:
+    def test_rogue_coordinator_breaks_invariant(self):
+        """A coordinator that commits on any vote violates atomicity."""
+        from repro.casestudies.afs_common import ProtocolComponent
+        from repro.compositional.proof import CompositionProof
+        from repro.errors import ProofError
+
+        study = TwoPhaseCommit(2)
+        broken_src = coordinator_source(2).replace(
+            "(decision = none) & (vote1 = yes) & (vote2 = yes) : commit;",
+            "(decision = none) : commit;",
+        )
+        components = {
+            "coordinator": ProtocolComponent("coordinator", broken_src).system()
+        }
+        for i, p in enumerate(study.participants, start=1):
+            components[f"participant{i}"] = p.system()
+        pf = CompositionProof(components)
+        with pytest.raises(ProofError):
+            pf.invariant(study.initial(), study.invariant())
+
+    def test_stubborn_participant_breaks_termination_premise(self):
+        """A participant that never votes fails its Rule-4 premise."""
+        from repro.casestudies.afs_common import ProtocolComponent
+        from repro.compositional.proof import CompositionProof
+        from repro.errors import ProofError
+        from repro.logic.ctl import Or, land
+
+        study = TwoPhaseCommit(2)
+        broken_src = participant_source(1).replace(
+            "next(vote1) := case vote1 = none : {yes, no}; 1 : vote1; esac;",
+            "next(vote1) := vote1;",
+        )
+        components = {
+            "coordinator": study.coordinator.system(),
+            "participant1": ProtocolComponent("participant1", broken_src).system(),
+            "participant2": study.participants[1].system(),
+        }
+        pf = CompositionProof(components)
+        V = study.valid()
+        with pytest.raises(ProofError):
+            pf.guarantee_rule4(
+                "participant1",
+                land(study.vote(1, "none"), V),
+                land(Or(study.vote(1, "yes"), study.vote(1, "no")), V),
+            )

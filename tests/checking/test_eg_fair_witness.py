@@ -1,0 +1,93 @@
+"""Tests for fair-EG lasso witnesses."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import prop_formulas, systems
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.witness import eg_fair_witness
+from repro.logic.ctl import Const, EG, Not, TRUE, atom, substitute
+from repro.systems.system import System
+
+E = frozenset()
+A = frozenset({"a"})
+B = frozenset({"b"})
+
+
+def _validate_lasso(system, stem, cycle, checker, p, fairness):
+    """A lasso must be a real run, stay in p, and hit every constraint."""
+    p_set = checker.states_satisfying(p)
+    run = stem + cycle[1:] if stem[-1] == cycle[0] else stem + cycle
+    for s, t in zip(run, run[1:]):
+        assert system.has_transition(s, t)
+    # the cycle must close
+    assert system.has_transition(cycle[-1], cycle[0]) or cycle[-1] == cycle[0]
+    for s in stem + cycle:
+        assert p_set[checker._index(s)]
+    for c in fairness:
+        c_set = checker.states_satisfying(c)
+        assert any(c_set[checker._index(s)] for s in cycle)
+
+
+class TestLassoShape:
+    def test_stutter_lasso(self):
+        m = System.from_pairs({"a"}, [((), ("a",))])
+        ck = ExplicitChecker(m)
+        found = eg_fair_witness(ck, E, Not(atom("a")), (TRUE,))
+        assert found is not None
+        stem, cycle = found
+        _validate_lasso(m, stem, cycle, ck, Not(atom("a")), (TRUE,))
+
+    def test_constraint_forces_cycle_through_state(self):
+        # two-state toggle: the fair cycle must visit {a}
+        m = System.from_pairs({"a"}, [((), ("a",)), (("a",), ())])
+        ck = ExplicitChecker(m)
+        found = eg_fair_witness(ck, E, TRUE, (atom("a"),))
+        assert found is not None
+        stem, cycle = found
+        _validate_lasso(m, stem, cycle, ck, TRUE, (atom("a"),))
+
+    def test_no_fair_path(self):
+        # staying in ¬a forever cannot satisfy fairness constraint a
+        m = System.from_pairs({"a"}, [])
+        ck = ExplicitChecker(m)
+        assert eg_fair_witness(ck, E, Not(atom("a")), (atom("a"),)) is None
+
+    def test_start_outside_p(self):
+        m = System.from_pairs({"a"}, [])
+        ck = ExplicitChecker(m)
+        assert eg_fair_witness(ck, A, Not(atom("a")), (TRUE,)) is None
+
+    def test_multiple_constraints_all_visited(self):
+        # 2-bit toggle ring visiting all four states
+        pairs = [
+            ((), ("a",)),
+            (("a",), ("a", "b")),
+            (("a", "b"), ("b",)),
+            (("b",), ()),
+        ]
+        m = System.from_pairs({"a", "b"}, pairs)
+        ck = ExplicitChecker(m)
+        fairness = (atom("a"), atom("b"))
+        found = eg_fair_witness(ck, E, TRUE, fairness)
+        assert found is not None
+        stem, cycle = found
+        _validate_lasso(m, stem, cycle, ck, TRUE, fairness)
+
+
+class TestAgainstChecker:
+    @given(systems(max_atoms=2), prop_formulas(atoms=("a", "b"), max_depth=2),
+           prop_formulas(atoms=("a", "b"), max_depth=2))
+    @settings(max_examples=50, deadline=None)
+    def test_witness_exists_iff_eg_fair_holds(self, system, p, fair):
+        sub = lambda h: substitute(
+            h, {x: Const(True) for x in h.atoms() - system.sigma}
+        )
+        p, fair = sub(p), sub(fair)
+        ck = ExplicitChecker(system)
+        sat = ck.states_satisfying(EG(p), fairness=(fair,))
+        for start in system.states():
+            found = eg_fair_witness(ck, start, p, (fair,))
+            assert (found is not None) == bool(sat[ck._index(start)])
+            if found:
+                _validate_lasso(system, found[0], found[1], ck, p, (fair,))

@@ -1,0 +1,175 @@
+"""Semantics tests for the explicit fair-CTL checker.
+
+Cross-validated against the independent SCC/reachability oracle in
+``tests/oracle.py`` plus hand-computed verdicts on small systems.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+import tests.oracle as oracle
+from tests.conftest import ctl_formulas, prop_formulas, systems
+from repro.checking.explicit import ExplicitChecker
+from repro.errors import CheckError
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    Const,
+    EF,
+    EG,
+    EU,
+    EX,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    atom,
+    substitute,
+)
+from repro.logic.parser import parse_ctl
+from repro.logic.restriction import Restriction
+from repro.systems.system import System
+
+E = frozenset()
+X = frozenset({"x"})
+
+
+@pytest.fixture
+def one_way():
+    return System.from_pairs({"x"}, [((), ("x",))])
+
+
+class TestBasicOperators:
+    def test_atom_sets(self, one_way):
+        ck = ExplicitChecker(one_way)
+        sat = ck.states_satisfying(atom("x"))
+        assert not sat[ck._index(E)] and sat[ck._index(X)]
+
+    def test_ex_includes_stutter(self, one_way):
+        ck = ExplicitChecker(one_way)
+        sat = ck.states_satisfying(EX(Not(atom("x"))))
+        # only ∅ can stay at ¬x
+        assert sat[ck._index(E)] and not sat[ck._index(X)]
+
+    def test_ax_absorbing(self, one_way):
+        ck = ExplicitChecker(one_way)
+        sat = ck.states_satisfying(AX(atom("x")))
+        assert sat[ck._index(X)] and not sat[ck._index(E)]
+
+    def test_ef_reachability(self, one_way):
+        assert ExplicitChecker(one_way).holds(EF(atom("x")))
+
+    def test_af_defeated_by_stuttering(self, one_way):
+        # ∅ can stutter forever, so AF x fails without fairness
+        assert not ExplicitChecker(one_way).holds(AF(atom("x")))
+
+    def test_eg_with_reflexivity_is_identity(self, one_way):
+        ck = ExplicitChecker(one_way)
+        sat = ck.states_satisfying(EG(Not(atom("x"))))
+        assert sat[ck._index(E)] and not sat[ck._index(X)]
+
+    def test_au_strong_until(self, one_way):
+        ck = ExplicitChecker(one_way)
+        # A[¬x U x] fails at ∅ (may stutter forever) but holds at {x}
+        sat = ck.states_satisfying(AU(Not(atom("x")), atom("x")))
+        assert not sat[ck._index(E)] and sat[ck._index(X)]
+
+    def test_unknown_atom_rejected(self, one_way):
+        with pytest.raises(CheckError):
+            ExplicitChecker(one_way).holds(atom("zzz"))
+
+
+class TestFairness:
+    def test_fairness_forces_progress(self, one_way):
+        r = Restriction(fairness=(atom("x"),))
+        assert ExplicitChecker(one_way).holds(AF(atom("x")), r)
+
+    def test_fair_eg(self):
+        # toggle: under fairness {x}, EG ¬x is false everywhere
+        m = System.from_pairs({"x"}, [((), ("x",)), (("x",), ())])
+        ck = ExplicitChecker(m)
+        sat = ck.states_satisfying(EG(Not(atom("x"))), fairness=(atom("x"),))
+        assert not sat.any()
+
+    def test_unsatisfiable_fairness_empties_existentials(self, one_way):
+        r = Restriction(fairness=(Const(False),))
+        ck = ExplicitChecker(one_way)
+        assert not ck.states_satisfying(EX(TRUE), r.fairness).any()
+        # and universal duals become vacuously true
+        assert ck.holds(AX(Const(False)), r)
+
+    def test_rule4_style_progress(self, one_way):
+        """The paper's r = (true, {¬p ∨ q}) makes A(p U q) hold."""
+        p, q = Not(atom("x")), atom("x")
+        r = Restriction(fairness=(Or(Not(p), q),))
+        assert ExplicitChecker(one_way).holds(Implies(p, AU(p, q)), r)
+
+
+class TestRestrictionInit:
+    def test_init_narrows_checked_states(self, one_way):
+        ck = ExplicitChecker(one_way)
+        assert not ck.holds(atom("x"))
+        assert ck.holds(atom("x"), Restriction(init=atom("x")))
+
+    def test_failing_states_reported(self, one_way):
+        res = ExplicitChecker(one_way).holds(atom("x"))
+        assert not res
+        assert res.num_failing == 1
+        assert res.failing_states == (E,)
+
+    def test_result_truthiness_and_format(self, one_way):
+        res = ExplicitChecker(one_way).holds(EF(atom("x")))
+        assert res
+        assert "is true" in res.format()
+        assert "resources used" in res.stats.format()
+
+    def test_explain_mentions_failures(self, one_way):
+        res = ExplicitChecker(one_way).holds(atom("x"))
+        assert "failing state" in res.explain()
+
+
+class TestAgainstOracle:
+    @given(systems(), ctl_formulas(max_depth=2))
+    @settings(max_examples=120, deadline=None)
+    def test_unfair_semantics_matches_oracle(self, system, f):
+        f = substitute(f, {a: Const(True) for a in f.atoms() - system.sigma})
+        ck = ExplicitChecker(system)
+        got = ck.states_satisfying(f)
+        want = oracle.sat_states(system, f)
+        got_states = {ck.state_of_index(i) for i in np.flatnonzero(got)}
+        assert got_states == want
+
+    @given(systems(max_atoms=2), ctl_formulas(atoms=("a", "b"), max_depth=2),
+           prop_formulas(atoms=("a", "b"), max_depth=2))
+    @settings(max_examples=80, deadline=None)
+    def test_fair_semantics_matches_oracle(self, system, f, fair):
+        sub = lambda h: substitute(
+            h, {a: Const(True) for a in h.atoms() - system.sigma}
+        )
+        f, fair = sub(f), sub(fair)
+        ck = ExplicitChecker(system)
+        got = ck.states_satisfying(f, fairness=(fair,))
+        want = oracle.sat_states(system, f, fairness=(fair,))
+        got_states = {ck.state_of_index(i) for i in np.flatnonzero(got)}
+        assert got_states == want
+
+
+class TestNonReflexive:
+    def test_raw_relation_semantics(self):
+        # 2-state cycle WITHOUT stutter: AF x holds at ∅
+        m = System.from_pairs(
+            {"x"}, [((), ("x",)), (("x",), ())], reflexive=False
+        )
+        ck = ExplicitChecker(m)
+        assert ck.holds(AF(atom("x")))
+
+    def test_deadlock_state_vacuous_ax(self):
+        # ∅ → {x}, {x} has no successors: AX false holds at {x}
+        m = System.from_pairs({"x"}, [((), ("x",))], reflexive=False)
+        ck = ExplicitChecker(m)
+        sat = ck.states_satisfying(AX(Const(False)))
+        assert sat[ck._index(X)]
+        assert not sat[ck._index(E)]

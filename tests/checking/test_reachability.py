@@ -1,0 +1,85 @@
+"""Tests for forward reachability analysis (explicit and symbolic)."""
+
+import numpy as np
+import pytest
+
+from repro.checking.reachability import (
+    check_invariant_explicit,
+    check_invariant_symbolic,
+    reachable_explicit,
+    reachable_symbolic,
+)
+from repro.errors import CheckError
+from repro.logic.ctl import AX, Not, Or, TRUE, atom
+from repro.smv.compile_explicit import to_system
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.run import load_model
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System
+
+E = frozenset()
+A = frozenset({"a"})
+AB = frozenset({"a", "b"})
+
+
+def _chain():
+    """∅ → {a} → {a,b}; {b} is unreachable from ∅."""
+    return System.from_pairs({"a", "b"}, [((), ("a",)), (("a",), ("a", "b"))])
+
+
+class TestExplicit:
+    def test_reachable_set(self):
+        reached, layers = reachable_explicit(_chain(), Not(atom("a")) & Not(atom("b")))
+        from repro.checking.explicit import ExplicitChecker
+
+        ck = ExplicitChecker(_chain())
+        states = {ck.state_of_index(int(i)) for i in np.flatnonzero(reached)}
+        assert states == {E, A, AB}
+        assert layers == 2  # the chain's diameter
+
+    def test_invariant_holds_on_reachable(self):
+        # b ⇒ a holds on everything reachable from ∅ (never {b} alone)
+        report = check_invariant_explicit(
+            _chain(),
+            Not(atom("a")) & Not(atom("b")),
+            Or(Not(atom("b")), atom("a")),
+        )
+        assert report.violations is None
+        assert report.num_reachable == 3
+        assert report.fraction_reachable == pytest.approx(0.75)
+
+    def test_invariant_violation_counted(self):
+        report = check_invariant_explicit(_chain(), TRUE, Not(atom("b")))
+        assert report.violations == 2  # {b} and {a,b} are (trivially) reachable
+
+    def test_temporal_invariant_rejected(self):
+        with pytest.raises(CheckError):
+            check_invariant_explicit(_chain(), TRUE, AX(atom("a")))
+
+
+class TestSymbolic:
+    def test_agrees_with_explicit(self):
+        system = _chain()
+        init = Not(atom("a")) & Not(atom("b"))
+        explicit = check_invariant_explicit(system, init, Or(Not(atom("b")), atom("a")))
+        symbolic = check_invariant_symbolic(
+            SymbolicSystem.from_explicit(system), init, Or(Not(atom("b")), atom("a"))
+        )
+        assert symbolic.num_reachable == explicit.num_reachable
+        assert symbolic.iterations == explicit.iterations
+        assert symbolic.violations == explicit.violations
+
+    def test_smv_model_reachability(self):
+        model = load_model(
+            """
+MODULE main
+VAR n : {0, 1, 2};
+ASSIGN init(n) := 0; next(n) := case n = 0 : 1; n = 1 : 2; 1 : 2; esac;
+"""
+        )
+        report = check_invariant_symbolic(
+            to_symbolic(model), model.initial_formula(), model.valid_formula()
+        )
+        assert report.num_reachable == 3
+        assert report.iterations == 2
+        assert report.violations is None

@@ -1,0 +1,115 @@
+"""Tests for the symbolic (BDD) checker — agreement with the explicit one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import ctl_formulas, prop_formulas, systems
+from repro.bdd.manager import FALSE
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.symbolic import SymbolicChecker
+from repro.errors import CheckError
+from repro.logic.ctl import (
+    AF,
+    AU,
+    Const,
+    EF,
+    Implies,
+    Not,
+    Or,
+    atom,
+    substitute,
+)
+from repro.logic.restriction import Restriction
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System
+
+
+def _both(system):
+    return ExplicitChecker(system), SymbolicChecker(
+        SymbolicSystem.from_explicit(system)
+    )
+
+
+def _sat_set_symbolic(system, sck, bdd_node):
+    out = set()
+    for assignment in sck.bdd.iter_sat(bdd_node, list(sck.system.atoms)):
+        out.add(frozenset(a for a in sck.system.atoms if assignment[a]))
+    return out
+
+
+class TestAgreementWithExplicit:
+    @given(systems(), ctl_formulas(max_depth=2))
+    @settings(max_examples=100, deadline=None)
+    def test_unfair_state_sets_agree(self, system, f):
+        f = substitute(f, {a: Const(True) for a in f.atoms() - system.sigma})
+        eck, sck = _both(system)
+        explicit = {
+            eck.state_of_index(i)
+            for i in np.flatnonzero(eck.states_satisfying(f))
+        }
+        symbolic = _sat_set_symbolic(system, sck, sck.states_satisfying(f))
+        assert explicit == symbolic
+
+    @given(
+        systems(max_atoms=2),
+        ctl_formulas(atoms=("a", "b"), max_depth=2),
+        prop_formulas(atoms=("a", "b"), max_depth=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fair_state_sets_agree(self, system, f, fair):
+        sub = lambda h: substitute(
+            h, {a: Const(True) for a in h.atoms() - system.sigma}
+        )
+        f, fair = sub(f), sub(fair)
+        eck, sck = _both(system)
+        explicit = {
+            eck.state_of_index(i)
+            for i in np.flatnonzero(eck.states_satisfying(f, fairness=(fair,)))
+        }
+        symbolic = _sat_set_symbolic(
+            system, sck, sck.states_satisfying(f, fairness=(fair,))
+        )
+        assert explicit == symbolic
+
+    @given(systems(), ctl_formulas(max_depth=2), prop_formulas(max_depth=2))
+    @settings(max_examples=60, deadline=None)
+    def test_verdicts_agree_under_restriction(self, system, f, init):
+        sub = lambda h: substitute(
+            h, {a: Const(True) for a in h.atoms() - system.sigma}
+        )
+        r = Restriction(init=sub(init))
+        eck, sck = _both(system)
+        assert bool(eck.holds(sub(f), r)) == bool(sck.holds(sub(f), r))
+
+
+class TestVerdicts:
+    def test_progress_under_rule4_restriction(self, one_way_x):
+        sck = SymbolicChecker(SymbolicSystem.from_explicit(one_way_x))
+        p, q = Not(atom("x")), atom("x")
+        r = Restriction(fairness=(Or(Not(p), q),))
+        assert sck.holds(Implies(p, AU(p, q)), r)
+
+    def test_failing_states_decoded(self, one_way_x):
+        sck = SymbolicChecker(SymbolicSystem.from_explicit(one_way_x))
+        res = sck.holds(atom("x"))
+        assert not res
+        assert res.failing_states == (frozenset(),)
+        assert res.num_failing == 1
+
+    def test_stats_report_bdd_metrics(self, one_way_x):
+        sck = SymbolicChecker(SymbolicSystem.from_explicit(one_way_x))
+        res = sck.holds(EF(atom("x")))
+        assert res.stats.bdd_nodes_allocated > 0
+        assert res.stats.transition_nodes > 0
+        assert "BDD nodes allocated" in res.stats.format()
+
+    def test_unknown_atom_rejected(self, one_way_x):
+        sck = SymbolicChecker(SymbolicSystem.from_explicit(one_way_x))
+        with pytest.raises(CheckError):
+            sck.holds(atom("zzz"))
+
+    def test_af_defeated_by_stutter(self, one_way_x):
+        sck = SymbolicChecker(SymbolicSystem.from_explicit(one_way_x))
+        assert not sck.holds(AF(atom("x")))
+        assert sck.holds(AF(atom("x")), Restriction(fairness=(atom("x"),)))

@@ -1,0 +1,88 @@
+"""Tests for symbolic witness extraction — cross-checked vs the explicit one."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import prop_formulas, systems
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.symbolic_witness import (
+    ag_counterexample_symbolic,
+    ef_witness_symbolic,
+    eu_witness_symbolic,
+)
+from repro.checking.witness import eu_witness
+from repro.errors import CheckError
+from repro.logic.ctl import AX, Const, Not, TRUE, atom, substitute
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System
+
+E = frozenset()
+A = frozenset({"a"})
+AB = frozenset({"a", "b"})
+
+
+def _chain():
+    return System.from_pairs({"a", "b"}, [((), ("a",)), (("a",), ("a", "b"))])
+
+
+class TestEuWitnessSymbolic:
+    def test_shortest_path(self):
+        sym = SymbolicSystem.from_explicit(_chain())
+        path = eu_witness_symbolic(sym, E, TRUE, atom("b"))
+        assert path == [E, A, AB]
+
+    def test_start_satisfies_goal(self):
+        sym = SymbolicSystem.from_explicit(_chain())
+        assert eu_witness_symbolic(sym, AB, TRUE, atom("b")) == [AB]
+
+    def test_p_constrains_path(self):
+        sym = SymbolicSystem.from_explicit(_chain())
+        assert eu_witness_symbolic(sym, E, Not(atom("a")), atom("b")) is None
+
+    def test_unreachable(self):
+        m = System.from_pairs({"a", "b"}, [((), ("a",))])
+        sym = SymbolicSystem.from_explicit(m)
+        assert eu_witness_symbolic(sym, E, TRUE, atom("b")) is None
+
+    def test_temporal_arguments_rejected(self):
+        sym = SymbolicSystem.from_explicit(_chain())
+        with pytest.raises(CheckError):
+            eu_witness_symbolic(sym, E, TRUE, AX(atom("b")))
+
+    def test_path_is_valid_run(self):
+        system = _chain()
+        sym = SymbolicSystem.from_explicit(system)
+        path = ef_witness_symbolic(sym, E, atom("b"))
+        for s, t in zip(path, path[1:]):
+            assert system.has_transition(s, t)
+
+    @given(systems(max_atoms=2), prop_formulas(atoms=("a", "b"), max_depth=2))
+    @settings(max_examples=50, deadline=None)
+    def test_same_length_as_explicit_bfs(self, system, goal):
+        goal = substitute(
+            goal, {x: Const(True) for x in goal.atoms() - system.sigma}
+        )
+        sym = SymbolicSystem.from_explicit(system)
+        eck = ExplicitChecker(system)
+        start = frozenset()
+        explicit = eu_witness(eck, start, TRUE, goal)
+        symbolic = ef_witness_symbolic(sym, start, goal)
+        if explicit is None:
+            assert symbolic is None
+        else:
+            assert symbolic is not None
+            assert len(symbolic) == len(explicit)  # both shortest
+            for s, t in zip(symbolic, symbolic[1:]):
+                assert system.has_transition(s, t)
+
+
+class TestAgCounterexampleSymbolic:
+    def test_path_to_violation(self):
+        sym = SymbolicSystem.from_explicit(_chain())
+        path = ag_counterexample_symbolic(sym, E, Not(atom("b")))
+        assert path is not None and path[-1] == AB
+
+    def test_none_when_invariant_holds(self):
+        m = System.from_pairs({"a", "b"}, [((), ("a",))])
+        sym = SymbolicSystem.from_explicit(m)
+        assert ag_counterexample_symbolic(sym, E, Not(atom("b"))) is None

@@ -1,0 +1,93 @@
+"""Tests for witness and counterexample extraction."""
+
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.witness import (
+    ag_counterexample,
+    counterexample,
+    ef_witness,
+    eu_witness,
+    ex_witness,
+)
+from repro.logic.ctl import AG, AX, Implies, Not, TRUE, atom
+from repro.systems.system import System
+
+E = frozenset()
+A = frozenset({"a"})
+B = frozenset({"b"})
+AB = frozenset({"a", "b"})
+
+
+def _chain():
+    """∅ → {a} → {a,b}, plus stutters."""
+    return System.from_pairs(
+        {"a", "b"}, [((), ("a",)), (("a",), ("a", "b"))]
+    )
+
+
+class TestEuWitness:
+    def test_shortest_path_found(self):
+        ck = ExplicitChecker(_chain())
+        path = eu_witness(ck, E, TRUE, atom("b"))
+        assert path == [E, A, AB]
+
+    def test_start_already_satisfies_goal(self):
+        ck = ExplicitChecker(_chain())
+        assert eu_witness(ck, AB, TRUE, atom("b")) == [AB]
+
+    def test_p_constrains_intermediate_states(self):
+        ck = ExplicitChecker(_chain())
+        # require ¬a along the way: cannot pass through {a}
+        assert eu_witness(ck, E, Not(atom("a")), atom("b")) is None
+
+    def test_unreachable_goal(self):
+        m = System.from_pairs({"a", "b"}, [((), ("a",))])
+        ck = ExplicitChecker(m)
+        assert eu_witness(ck, E, TRUE, atom("b")) is None
+
+    def test_start_violates_p_and_goal(self):
+        ck = ExplicitChecker(_chain())
+        assert eu_witness(ck, B, atom("a"), atom("a")) is None
+
+
+class TestOtherWitnesses:
+    def test_ef_witness(self):
+        ck = ExplicitChecker(_chain())
+        path = ef_witness(ck, E, atom("a"))
+        assert path is not None and "a" in path[-1]
+
+    def test_ex_witness(self):
+        ck = ExplicitChecker(_chain())
+        assert ex_witness(ck, E, atom("a")) == A
+        assert ex_witness(ck, E, atom("b")) is None
+
+    def test_ag_counterexample(self):
+        ck = ExplicitChecker(_chain())
+        path = ag_counterexample(ck, E, Not(atom("b")))
+        assert path is not None and path[-1] == AB
+
+    def test_ag_counterexample_none_when_invariant_holds(self):
+        m = System.from_pairs({"a", "b"}, [((), ("a",))])
+        ck = ExplicitChecker(m)
+        assert ag_counterexample(ck, E, Not(atom("b"))) is None
+
+
+class TestCounterexampleDispatch:
+    def test_holds_returns_none(self):
+        ck = ExplicitChecker(_chain())
+        assert counterexample(ck, AG(TRUE), E) is None
+
+    def test_ag_shape(self):
+        ck = ExplicitChecker(_chain())
+        path = counterexample(ck, AG(Not(atom("b"))), E)
+        assert path[0] == E and path[-1] == AB
+
+    def test_ax_shape(self):
+        ck = ExplicitChecker(_chain())
+        f = Implies(atom("a"), AX(Not(atom("b"))))
+        path = counterexample(ck, f, A)
+        assert path == [A, AB]
+
+    def test_unsupported_shape_returns_single_state(self):
+        ck = ExplicitChecker(_chain())
+        path = counterexample(ck, atom("b"), E)
+        assert path == [E]

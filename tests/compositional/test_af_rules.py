@@ -1,0 +1,97 @@
+"""Tests for the AF-reflexivity axiom and stable-goal conjunction rule."""
+
+import pytest
+
+from repro.compositional.proof import CompositionProof
+from repro.errors import ProofError
+from repro.logic.ctl import AF, AX, And, Implies, Not, TRUE, atom
+from repro.logic.restriction import Restriction
+from repro.systems.system import System
+
+a, b = atom("a"), atom("b")
+
+
+def two_risers():
+    """Two independent one-way bits; both eventually rise under fairness."""
+    riser_a = System.from_pairs({"a"}, [((), ("a",))])
+    riser_b = System.from_pairs({"b"}, [((), ("b",))])
+    return CompositionProof({"ra": riser_a, "rb": riser_b})
+
+
+class TestAfReflexive:
+    def test_axiom_shape(self):
+        pf = two_risers()
+        proven = pf.af_reflexive(a)
+        assert proven.formula == Implies(a, AF(a))
+
+    def test_carries_restriction(self):
+        pf = two_risers()
+        r = Restriction(fairness=(b,))
+        assert pf.af_reflexive(a, r).restriction == r
+
+    def test_semantically_valid(self):
+        pf = two_risers()
+        pf.af_reflexive(And(a, b))
+        for proven, check in pf.verify_monolithic():
+            assert bool(check)
+
+
+class TestAfConjoinStable:
+    def _setup(self, pf):
+        links = [
+            pf.project(pf.discharge(pf.guarantee_rule4("ra", Not(a), a)), 0),
+            pf.project(pf.discharge(pf.guarantee_rule4("rb", Not(b), b)), 0),
+        ]
+        aligned = pf.align_fairness(links)
+        r = aligned[0].restriction
+        afs = []
+        for goal, link in zip((a, b), aligned):
+            af_link = pf.au_to_af(link)
+            now = pf.af_reflexive(goal, r)
+            afs.append(pf.implication_cases(TRUE, [af_link, now]))
+        stables = [
+            pf.universal(Implies(a, AX(a))),
+            pf.universal(Implies(b, AX(b))),
+        ]
+        return afs, stables
+
+    def test_conjunction_reached(self):
+        pf = two_risers()
+        afs, stables = self._setup(pf)
+        result = pf.af_conjoin_stable(afs, stables)
+        assert result.formula == Implies(TRUE, AF(And(a, b)))
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_rejects_mismatched_stability(self):
+        pf = two_risers()
+        afs, stables = self._setup(pf)
+        with pytest.raises(ProofError):
+            pf.af_conjoin_stable(afs, list(reversed(stables)))
+
+    def test_rejects_differing_antecedents(self):
+        pf = two_risers()
+        afs, stables = self._setup(pf)
+        r = afs[0].restriction
+        odd = pf.af_reflexive(b, r)  # antecedent b, not TRUE
+        with pytest.raises(ProofError):
+            pf.af_conjoin_stable([afs[0], odd], stables)
+
+    def test_rejects_empty(self):
+        pf = two_risers()
+        with pytest.raises(ProofError):
+            pf.af_conjoin_stable([], [])
+
+    def test_rejects_non_af_premise(self):
+        pf = two_risers()
+        afs, stables = self._setup(pf)
+        u = pf.universal(Implies(a, AX(a)))
+        with pytest.raises(ProofError):
+            pf.af_conjoin_stable([u, afs[1]], stables)
+
+    def test_unstable_goal_rejected_by_side_condition(self):
+        """A goal that can fall must fail the stability obligation."""
+        toggle = System.from_pairs({"a"}, [((), ("a",)), (("a",), ())])
+        pf = CompositionProof({"toggle": toggle})
+        with pytest.raises(ProofError):
+            pf.universal(Implies(a, AX(a)))  # not stable in a toggle

@@ -1,0 +1,129 @@
+"""Tests for syntactic property classification (Rules 1–3)."""
+
+import pytest
+
+from repro.compositional.classify import (
+    classify,
+    conjuncts,
+    is_ax_step,
+    is_epath_step,
+    is_ex_step,
+    is_existential_form,
+    is_universal_form,
+)
+from repro.compositional.properties import (
+    Guarantees,
+    PropertyClass,
+    RestrictedProperty,
+)
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AX,
+    EF,
+    EU,
+    EX,
+    And,
+    Implies,
+    Not,
+    Or,
+    atom,
+)
+from repro.logic.restriction import Restriction
+
+p, q, s = atom("p"), atom("q"), atom("s")
+
+
+class TestShapes:
+    def test_ax_step(self):
+        assert is_ax_step(Implies(p, AX(q)))
+        assert is_ax_step(Implies(And(p, q), AX(Or(p, q))))
+        assert not is_ax_step(Implies(p, AX(AX(q))))
+        assert not is_ax_step(Implies(EX(p), AX(q)))
+        assert not is_ax_step(AX(q))
+
+    def test_ex_step(self):
+        assert is_ex_step(Implies(p, EX(q)))
+        assert not is_ex_step(Implies(p, AX(q)))
+
+    def test_epath_steps(self):
+        assert is_epath_step(Implies(p, EX(q)))
+        assert is_epath_step(Implies(p, EF(q)))
+        assert is_epath_step(Implies(p, EU(q, s)))
+        assert not is_epath_step(Implies(p, AF(q)))
+        assert not is_epath_step(Implies(p, EF(EX(q))))
+
+    def test_conjuncts_flatten(self):
+        f = And(And(p, q), s)
+        assert conjuncts(f) == [p, q, s]
+
+
+class TestUniversalForm:
+    def test_single_and_conjunction(self):
+        assert is_universal_form(RestrictedProperty(Implies(p, AX(q))))
+        f = And(Implies(p, AX(q)), Implies(q, AX(p)))
+        assert is_universal_form(RestrictedProperty(f))
+
+    def test_propositional_parts_allowed(self):
+        f = And(Or(p, Not(p)), Implies(p, AX(q)))
+        assert is_universal_form(RestrictedProperty(f))
+
+    def test_requires_trivial_restriction(self):
+        prop = RestrictedProperty(
+            Implies(p, AX(q)), Restriction(fairness=(p,))
+        )
+        assert not is_universal_form(prop)
+
+    def test_rejects_other_temporal(self):
+        assert not is_universal_form(RestrictedProperty(AG(p)))
+        assert not is_universal_form(RestrictedProperty(Implies(p, AF(q))))
+
+
+class TestExistentialForm:
+    def test_rule3_shapes(self):
+        assert is_existential_form(RestrictedProperty(Implies(p, EX(q))))
+        f = And(Implies(p, EX(q)), Implies(q, EF(p)))
+        assert is_existential_form(RestrictedProperty(f))
+
+    def test_rule1_propositional_with_init(self):
+        prop = RestrictedProperty(Implies(p, q), Restriction(init=s))
+        assert is_existential_form(prop)
+
+    def test_rule1_rejects_temporal_init(self):
+        prop = RestrictedProperty(p, Restriction(init=AX(s)))
+        assert not is_existential_form(prop)
+
+    def test_rule1_rejects_nontrivial_fairness(self):
+        prop = RestrictedProperty(p, Restriction(init=s, fairness=(q,)))
+        assert not is_existential_form(prop)
+
+    def test_rejects_universal_temporal(self):
+        assert not is_existential_form(RestrictedProperty(Implies(p, AX(q))))
+
+
+class TestClassify:
+    def test_guarantees_are_existential(self):
+        g = Guarantees(
+            RestrictedProperty(Implies(p, AX(q))),
+            RestrictedProperty(Implies(p, AF(q))),
+        )
+        assert classify(g) == {PropertyClass.EXISTENTIAL}
+
+    def test_propositional_is_both(self):
+        got = classify(RestrictedProperty(Or(p, Not(p))))
+        assert got == {PropertyClass.UNIVERSAL, PropertyClass.EXISTENTIAL}
+
+    def test_unclassified(self):
+        assert classify(RestrictedProperty(AG(p))) == {
+            PropertyClass.UNCLASSIFIED
+        }
+
+    def test_rule2_only(self):
+        assert classify(RestrictedProperty(Implies(p, AX(q)))) == {
+            PropertyClass.UNIVERSAL
+        }
+
+    def test_rule3_only(self):
+        assert classify(RestrictedProperty(Implies(p, EX(q)))) == {
+            PropertyClass.EXISTENTIAL
+        }

@@ -1,0 +1,63 @@
+"""Tests for proof-certificate export (text trees, DOT, obligations)."""
+
+from repro.compositional.export import obligations_report, proof_to_dot, proof_tree
+from repro.compositional.proof import CompositionProof
+from repro.logic.ctl import AX, Implies, Not, atom
+from repro.systems.system import System
+
+a = atom("a")
+
+
+def _proof():
+    riser = System.from_pairs({"a"}, [((), ("a",))])
+    env = System.from_pairs({"b"}, [((), ("b",))])
+    pf = CompositionProof({"riser": riser, "env": env})
+    g = pf.guarantee_rule4("riser", Not(a), a)
+    return pf, pf.discharge(g)
+
+
+class TestProofTree:
+    def test_contains_rule_kinds(self):
+        _, proven = _proof()
+        text = proof_tree(proven)
+        assert "guarantee-apply" in text
+        assert "rule4" in text
+        assert "rule2-universal" in text
+
+    def test_shows_obligations(self):
+        _, proven = _proof()
+        assert "checked:" in proof_tree(proven)
+
+    def test_clipping(self):
+        _, proven = _proof()
+        for line in proof_tree(proven, max_width=40).splitlines():
+            assert len(line) <= 40 + 20  # indent allowance
+
+
+class TestProofDot:
+    def test_well_formed(self):
+        _, proven = _proof()
+        dot = proof_to_dot(proven)
+        assert dot.startswith("digraph proof")
+        assert "goal" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_shared_steps_deduplicated(self):
+        pf, proven = _proof()
+        dot = proof_to_dot(proven)
+        # rule4 appears once even though reachable from multiple paths
+        assert dot.count('label="rule4') == 1
+
+
+class TestObligationsReport:
+    def test_lists_every_unique_obligation(self):
+        pf, _ = _proof()
+        report = obligations_report(pf)
+        assert "total: 3" in report  # 1 EX premise + 2 universal checks
+
+    def test_deduplicates_repeats(self):
+        pf, _ = _proof()
+        pf.universal(Implies(a, AX(a)))
+        pf.universal(Implies(a, AX(a)))  # re-checked → new results
+        report = obligations_report(pf)
+        assert "total: 7" in report

@@ -1,0 +1,82 @@
+"""Tests for incremental proof extension (CompositionProof.extend)."""
+
+import pytest
+
+from repro.compositional.proof import CompositionProof
+from repro.errors import ProofError
+from repro.logic.ctl import AX, Implies, Not, atom
+from repro.systems.system import System
+
+a, b, z = atom("a"), atom("b"), atom("z")
+
+
+def base_proof():
+    riser = System.from_pairs({"a"}, [((), ("a",))])
+    env = System.from_pairs({"b"}, [((), ("b",)), (("b",), ())])
+    pf = CompositionProof({"riser": riser, "env": env})
+    pf.universal(Implies(a, AX(a)))  # a is absorbing — unless a saboteur joins
+    g = pf.guarantee_rule4("riser", Not(a), a)
+    rhs = pf.discharge(g)
+    pf.chain([pf.project(rhs, 0)])
+    return pf
+
+
+class TestExtend:
+    def test_conclusions_inherited_by_passive_component(self):
+        pf = base_proof()
+        observer = System.from_pairs({"z"}, [((), ("z",))])
+        grown = pf.extend({"observer": observer})
+        assert len(grown.conclusions) == len(pf.conclusions)
+        assert grown.sigma_star == {"a", "b", "z"}
+        failures = [p for p, c in grown.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_hostile_component_rejected(self):
+        pf = base_proof()
+        # saboteur can clear `a`, breaking the universal left side
+        saboteur = System.from_pairs({"a"}, [(("a",), ())])
+        with pytest.raises(ProofError) as info:
+            pf.extend({"saboteur": saboteur})
+        assert "saboteur" in str(info.value)
+
+    def test_duplicate_name_rejected(self):
+        pf = base_proof()
+        with pytest.raises(ProofError):
+            pf.extend({"riser": System.from_pairs({"z"}, [])})
+
+    def test_extension_steps_cite_original_derivations(self):
+        pf = base_proof()
+        grown = pf.extend({"obs": System.from_pairs({"z"}, [])})
+        for proven in grown.conclusions:
+            assert proven.step.kind == "extend"
+            assert proven.step.premises  # links back to the old proof
+
+    def test_chained_extension(self):
+        pf = base_proof()
+        grown = pf.extend({"o1": System.from_pairs({"z"}, [])})
+        grown2 = grown.extend(
+            {"o2": System.from_pairs({"w"}, [((), ("w",))])}
+        )
+        assert grown2.sigma_star == {"a", "b", "z", "w"}
+        failures = [p for p, c in grown2.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_new_work_possible_after_extension(self):
+        pf = base_proof()
+        grown = pf.extend({"zr": System.from_pairs({"z"}, [((), ("z",))])})
+        g = grown.guarantee_rule4("zr", Not(z), z)
+        rhs = grown.discharge(g)
+        grown.chain([grown.project(rhs, 0)])
+        failures = [p for p, c in grown.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_afs1_extends_with_observer(self):
+        """The whole AFS-1 liveness proof carries over to a larger system."""
+        from repro.casestudies.afs1 import Afs1
+
+        study = Afs1()
+        pf, afs2 = study.prove_liveness()
+        observer = System.from_pairs({"Observer.watching"}, [])
+        grown = pf.extend({"observer": observer})
+        failures = [p for p, c in grown.verify_monolithic() if not c]
+        assert failures == []

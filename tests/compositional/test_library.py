@@ -1,0 +1,123 @@
+"""Tests for component spec sheets (publish / serialize / adopt)."""
+
+import pytest
+
+from repro.compositional.library import (
+    AdoptedComponent,
+    GuaranteeDecl,
+    SpecSheet,
+    adopt,
+    publish,
+)
+from repro.compositional.proof import CompositionProof
+from repro.errors import ProofError
+
+RISER = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := case !x : {0, 1}; 1 : x; esac;
+"""
+
+ENV = """
+MODULE main
+VAR y : boolean;
+ASSIGN next(y) := !y;
+"""
+
+
+def riser_sheet() -> SpecSheet:
+    return SpecSheet(
+        name="riser",
+        source=RISER,
+        universal=["x -> AX x"],
+        existential=["!x -> EX x"],
+        guarantees=[GuaranteeDecl(p="!x", q="x")],
+    )
+
+
+class TestPublish:
+    def test_valid_sheet_publishes(self):
+        assert publish(riser_sheet()) is not None
+
+    def test_false_universal_rejected(self):
+        sheet = riser_sheet()
+        sheet.universal = ["!x -> AX !x"]  # the riser may rise
+        with pytest.raises(ProofError):
+            publish(sheet)
+
+    def test_false_guarantee_premise_rejected(self):
+        sheet = riser_sheet()
+        sheet.guarantees = [GuaranteeDecl(p="x", q="!x")]
+        with pytest.raises(ProofError):
+            publish(sheet)
+
+    def test_rule5_guarantee_published(self):
+        sheet = riser_sheet()
+        sheet.guarantees = [
+            GuaranteeDecl(p="!x", q="x", disjuncts=("!x",), helpful=0)
+        ]
+        assert publish(sheet) is not None
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sheet = riser_sheet()
+        clone = SpecSheet.from_json(sheet.to_json())
+        assert clone == sheet
+
+    def test_malformed_formula_rejected_on_load(self):
+        import json
+
+        data = json.loads(riser_sheet().to_json())
+        data["universal"] = ["x -> -> x"]
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            SpecSheet.from_json(json.dumps(data))
+
+
+class TestAdopt:
+    def _proof(self, sheet):
+        from repro.casestudies.afs_common import ProtocolComponent
+
+        env = ProtocolComponent("env", ENV)
+        return CompositionProof(
+            {
+                "riser": sheet.component().system(),
+                "env": env.system(),
+            }
+        )
+
+    def test_adoption_reestablishes_everything(self):
+        sheet = publish(riser_sheet())
+        pf = self._proof(sheet)
+        adopted = adopt(pf, sheet)
+        assert isinstance(adopted, AdoptedComponent)
+        assert len(adopted.universal) == 1
+        assert len(adopted.existential) == 1
+        assert len(adopted.guarantees) == 1
+
+    def test_adopted_guarantee_is_usable(self):
+        sheet = publish(riser_sheet())
+        pf = self._proof(sheet)
+        adopted = adopt(pf, sheet)
+        rhs = pf.discharge(adopted.guarantees[0])
+        live = pf.chain([pf.project(rhs, 0)])
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_unregistered_component_rejected(self):
+        sheet = publish(riser_sheet())
+        env_only = CompositionProof(
+            {"env": sheet.component().system()}  # wrong name
+        )
+        with pytest.raises(ProofError):
+            adopt(env_only, sheet)
+
+    def test_lying_sheet_caught_at_adoption(self):
+        """Even an (unsoundly) published sheet is re-checked by the composer."""
+        sheet = riser_sheet()
+        sheet.universal = ["!x -> AX !x"]  # skip publish(): lie directly
+        pf = self._proof(sheet)
+        with pytest.raises(ProofError):
+            adopt(pf, sheet)

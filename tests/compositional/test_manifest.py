@@ -1,0 +1,69 @@
+"""Tests for conclusion manifests (save / load / re-check)."""
+
+import json
+
+from repro.compositional.manifest import (
+    check_manifest,
+    load_conclusions,
+    save_conclusions,
+)
+from repro.compositional.proof import CompositionProof
+from repro.logic.ctl import AX, Implies, Not, atom
+from repro.systems.system import System
+
+a = atom("a")
+
+
+def finished_proof():
+    riser = System.from_pairs({"a"}, [((), ("a",))])
+    env = System.from_pairs({"b"}, [((), ("b",)), (("b",), ())])
+    pf = CompositionProof({"riser": riser, "env": env})
+    pf.universal(Implies(a, AX(a)))
+    g = pf.guarantee_rule4("riser", Not(a), a)
+    pf.chain([pf.project(pf.discharge(g), 0)])
+    return pf
+
+
+class TestRoundTrip:
+    def test_save_is_valid_json(self):
+        text = save_conclusions(finished_proof())
+        data = json.loads(text)
+        assert data["components"] == ["env", "riser"]
+        assert len(data["conclusions"]) >= 3
+
+    def test_load_reconstructs_pairs(self):
+        pf = finished_proof()
+        pairs = load_conclusions(save_conclusions(pf))
+        assert len(pairs) == len(pf.conclusions)
+        for (formula, restriction), proven in zip(pairs, pf.conclusions):
+            assert formula == proven.formula
+            assert restriction == proven.restriction
+
+    def test_manifest_records_derivation_kinds(self):
+        data = json.loads(save_conclusions(finished_proof()))
+        kinds = {e["derived_by"] for e in data["conclusions"]}
+        assert "rule2-universal" in kinds
+
+
+class TestRecheck:
+    def test_same_components_all_hold(self):
+        pf = finished_proof()
+        text = save_conclusions(pf)
+        results = check_manifest(text, pf.components)
+        assert all(holds for _, _, holds in results)
+
+    def test_symbolic_backend_agrees(self):
+        pf = finished_proof()
+        text = save_conclusions(pf)
+        explicit = check_manifest(text, pf.components)
+        symbolic = check_manifest(text, pf.components, backend="symbolic")
+        assert [h for *_, h in explicit] == [h for *_, h in symbolic]
+
+    def test_regression_detected(self):
+        """Swapping in a broken component makes the manifest fail."""
+        pf = finished_proof()
+        text = save_conclusions(pf)
+        broken = dict(pf.components)
+        broken["env"] = System.from_pairs({"a", "b"}, [(("a",), ())])
+        results = check_manifest(text, broken)
+        assert any(not holds for _, _, holds in results)

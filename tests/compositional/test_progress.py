@@ -1,0 +1,97 @@
+"""Tests for the ProgressChain high-level API."""
+
+import pytest
+
+from repro.compositional.progress import ProgressChain
+from repro.compositional.proof import CompositionProof
+from repro.errors import ProofError
+from repro.logic.ctl import AF, And, Not, atom, land
+from repro.systems.system import System
+
+a, b = atom("a"), atom("b")
+
+
+def two_stage_proof():
+    """stage1 raises a; stage2 raises b once a holds."""
+    stage1 = System.from_pairs({"a"}, [((), ("a",))])
+    stage2 = System.from_pairs(
+        {"a", "b"}, [(("a",), ("a", "b"))]
+    )
+    return CompositionProof({"stage1": stage1, "stage2": stage2})
+
+
+class TestProgressChain:
+    def test_two_step_chain(self):
+        pf = two_stage_proof()
+        chain = ProgressChain(pf)
+        result = (
+            chain.step("stage1", And(Not(a), Not(b)), And(a, Not(b)))
+            .step("stage2", And(a, Not(b)), And(a, b))
+            .conclude(b)
+        )
+        assert isinstance(result.formula.right, AF)
+        assert result.formula.right.operand == b
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_single_step(self):
+        pf = two_stage_proof()
+        result = ProgressChain(pf).step("stage1", Not(a), a).conclude()
+        assert isinstance(result.formula.right, AF)
+
+    def test_empty_chain_rejected(self):
+        pf = two_stage_proof()
+        with pytest.raises(ProofError):
+            ProgressChain(pf).conclude()
+
+    def test_broken_step_rejected(self):
+        pf = two_stage_proof()
+        with pytest.raises(ProofError):
+            # stage1 cannot lower a
+            ProgressChain(pf).step("stage1", a, Not(a))
+
+    def test_rule5_step(self):
+        from repro.casestudies.figures import (
+            figure2_p_disjuncts,
+            figure2_q,
+            figure2_system,
+        )
+
+        pf = CompositionProof(
+            {
+                "cycle": figure2_system(),
+                "env": System.from_pairs({"z"}, [((), ("z",))]),
+            }
+        )
+        result = (
+            ProgressChain(pf)
+            .step_rule5("cycle", figure2_p_disjuncts(), figure2_q(), 0)
+            .conclude()
+        )
+        assert isinstance(result.formula.right, AF)
+        failures = [p for p, c in pf.verify_monolithic() if not c]
+        assert failures == []
+
+    def test_append_external_link(self):
+        pf = two_stage_proof()
+        chain1 = ProgressChain(pf).step("stage1", And(Not(a), Not(b)), And(a, Not(b)))
+        external = pf.project(
+            pf.discharge(pf.guarantee_rule4("stage2", And(a, Not(b)), And(a, b))),
+            0,
+        )
+        result = chain1.append(external).conclude(b)
+        assert result.formula.right.operand == b
+
+
+class TestMutexViaChain:
+    def test_token_ring_liveness_with_chain(self):
+        """Re-derive the mutex entry liveness via the fluent API."""
+        from repro.casestudies.mutex import TokenRing
+
+        ring = TokenRing(2)
+        pf = CompositionProof(ring.components())
+        p = land(ring.tok(0), Not(ring.crit(0)), ring.valid())
+        q = land(ring.tok(0), ring.crit(0), ring.valid())
+        result = ProgressChain(pf).step("proc0", p, q).conclude(ring.crit(0))
+        failures = [x for x, c in pf.verify_monolithic() if not c]
+        assert failures == []

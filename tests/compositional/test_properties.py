@@ -1,0 +1,59 @@
+"""Tests for the property dataclasses (RestrictedProperty, Guarantees)."""
+
+from repro.compositional.properties import (
+    Guarantees,
+    PropertyClass,
+    RestrictedProperty,
+)
+from repro.logic.ctl import AF, AX, Implies, atom
+from repro.logic.restriction import Restriction
+
+p, q = atom("p"), atom("q")
+
+
+class TestRestrictedProperty:
+    def test_default_restriction_is_trivial(self):
+        prop = RestrictedProperty(p)
+        assert prop.restriction.is_trivial
+
+    def test_atoms_include_restriction(self):
+        prop = RestrictedProperty(p, Restriction(init=q, fairness=(atom("r"),)))
+        assert prop.atoms() == {"p", "q", "r"}
+
+    def test_str_trivial(self):
+        assert str(RestrictedProperty(p)) == "⊨ p"
+
+    def test_str_with_restriction(self):
+        text = str(RestrictedProperty(p, Restriction(init=q)))
+        assert text.startswith("⊨_")
+        assert "q" in text
+
+    def test_hashable_and_equal(self):
+        a = RestrictedProperty(Implies(p, AX(q)))
+        b = RestrictedProperty(Implies(p, AX(q)))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestGuarantees:
+    def test_str_shows_both_sides(self):
+        g = Guarantees(
+            RestrictedProperty(Implies(p, AX(q))),
+            RestrictedProperty(Implies(p, AF(q))),
+        )
+        text = str(g)
+        assert "guarantees" in text
+        assert "AX" in text and "AF" in text
+
+    def test_structural_equality(self):
+        make = lambda: Guarantees(
+            RestrictedProperty(p), RestrictedProperty(q)
+        )
+        assert make() == make()
+
+
+class TestPropertyClassEnum:
+    def test_values(self):
+        assert PropertyClass.UNIVERSAL.value == "universal"
+        assert PropertyClass.EXISTENTIAL.value == "existential"
+        assert PropertyClass.UNCLASSIFIED.value == "unclassified"

@@ -1,0 +1,188 @@
+"""Semantic validation of the paper's Rules 1–5 on randomized systems.
+
+These are the load-bearing tests of the reproduction: each rule's *claim*
+(a property class membership, or a guarantee) is checked against actual
+composites built with the ∘ operator.  Hypothesis instantiates the rules
+with random systems and propositional formulas; implications are tested
+unconditionally (vacuously true instances also pass through, but the
+deterministic cases pin non-vacuous coverage).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import prop_formulas, systems
+from repro.checking.explicit import ExplicitChecker
+from repro.compositional.rules import (
+    progress_restriction,
+    rule4_guarantee,
+    rule4_premise,
+    rule5_guarantee,
+    rule5_premise,
+)
+from repro.errors import LogicError
+from repro.logic.ctl import (
+    AX,
+    Const,
+    EF,
+    EU,
+    EX,
+    Implies,
+    Not,
+    Or,
+    atom,
+    substitute,
+)
+from repro.logic.restriction import Restriction
+from repro.systems.compose import compose, expand
+from repro.systems.system import System
+
+ATOMS = ("a", "b")
+
+
+def _ground(f, sigma):
+    return substitute(f, {x: Const(True) for x in f.atoms() - sigma})
+
+
+def _holds(system, f, restriction=None):
+    ck = ExplicitChecker(system)
+    if restriction is None:
+        return bool(ck.holds(f))
+    return bool(ck.holds(f, restriction))
+
+
+class TestRule1Semantics:
+    @given(systems(atoms=ATOMS), systems(atoms=ATOMS),
+           prop_formulas(atoms=ATOMS), prop_formulas(atoms=ATOMS))
+    @settings(max_examples=60, deadline=None)
+    def test_propositional_properties_are_existential(self, m1, m2, i, f):
+        sigma = frozenset(m1.sigma) | frozenset(m2.sigma)
+        i, f = _ground(i, m1.sigma), _ground(f, m1.sigma)
+        r = Restriction(init=i)
+        if _holds(m1, f, r):
+            assert _holds(compose(m1, m2), f, r)
+
+
+class TestRule2Semantics:
+    @given(systems(atoms=ATOMS), systems(atoms=ATOMS),
+           prop_formulas(atoms=ATOMS), prop_formulas(atoms=ATOMS))
+    @settings(max_examples=60, deadline=None)
+    def test_ax_step_is_universal(self, m1, m2, p, q):
+        sigma = frozenset(m1.sigma) | frozenset(m2.sigma)
+        p, q = _ground(p, sigma), _ground(q, sigma)
+        f = Implies(p, AX(q))
+        e1, e2 = expand(m1, sigma), expand(m2, sigma)
+        if _holds(e1, f) and _holds(e2, f):
+            assert _holds(compose(m1, m2), f)
+
+    def test_non_vacuous_instance(self):
+        m1 = System.from_pairs({"a"}, [((), ("a",))])
+        m2 = System.from_pairs({"b"}, [((), ("b",))])
+        f = Implies(atom("a"), AX(atom("a")))  # a is absorbing in both
+        assert _holds(expand(m1, {"a", "b"}), f)
+        assert _holds(expand(m2, {"a", "b"}), f)
+        assert _holds(compose(m1, m2), f)
+
+    def test_universal_needs_all_components(self):
+        """One component can defeat a universal property of the other."""
+        keeps_a = System.from_pairs({"a"}, [])
+        drops_a = System.from_pairs({"a"}, [(("a",), ())])
+        f = Implies(atom("a"), AX(atom("a")))
+        assert _holds(expand(keeps_a, {"a"}), f)
+        assert not _holds(compose(keeps_a, drops_a), f)
+
+
+class TestRule3Semantics:
+    @given(systems(atoms=ATOMS), systems(atoms=ATOMS),
+           prop_formulas(atoms=ATOMS), prop_formulas(atoms=ATOMS))
+    @settings(max_examples=60, deadline=None)
+    def test_ex_step_is_existential(self, m1, m2, p, q):
+        sigma = frozenset(m1.sigma) | frozenset(m2.sigma)
+        p, q = _ground(p, sigma), _ground(q, sigma)
+        f = Implies(p, EX(q))
+        if _holds(expand(m1, sigma), f):
+            assert _holds(compose(m1, m2), f)
+
+    @given(systems(atoms=ATOMS), systems(atoms=ATOMS),
+           prop_formulas(atoms=ATOMS), prop_formulas(atoms=ATOMS))
+    @settings(max_examples=60, deadline=None)
+    def test_extension_e1_ef_lifts(self, m1, m2, p, q):
+        """Extension E1: positive E-path steps are existential too."""
+        sigma = frozenset(m1.sigma) | frozenset(m2.sigma)
+        p, q = _ground(p, sigma), _ground(q, sigma)
+        for f in (Implies(p, EF(q)), Implies(p, EU(p, q))):
+            if _holds(expand(m1, sigma), f):
+                assert _holds(compose(m1, m2), f)
+
+    def test_non_vacuous_instance(self):
+        m1 = System.from_pairs({"a"}, [((), ("a",))])
+        m2 = System.from_pairs({"b"}, [])
+        f = Implies(Not(atom("a")), EX(atom("a")))
+        assert _holds(expand(m1, {"a", "b"}), f)
+        assert _holds(compose(m1, m2), f)
+
+
+class TestRule4Semantics:
+    @given(systems(atoms=ATOMS), systems(atoms=ATOMS),
+           prop_formulas(atoms=ATOMS), prop_formulas(atoms=ATOMS))
+    @settings(max_examples=40, deadline=None)
+    def test_guarantee_claim(self, m1, m2, p, q):
+        sigma = frozenset(m1.sigma) | frozenset(m2.sigma)
+        p, q = _ground(p, sigma), _ground(q, sigma)
+        if not _holds(expand(m1, sigma), rule4_premise(p, q)):
+            return  # rule not applicable to this instance
+        g = rule4_guarantee(p, q)
+        composite = compose(m1, m2)
+        if _holds(composite, g.lhs.formula, g.lhs.restriction):
+            assert _holds(composite, g.rhs.formula, g.rhs.restriction)
+
+    def test_paper_shape(self):
+        g = rule4_guarantee(atom("p"), atom("q"))
+        assert g.lhs.formula == Implies(atom("p"), AX(Or(atom("p"), atom("q"))))
+        r = g.rhs.restriction
+        assert r.fairness == (Or(Not(atom("p")), atom("q")),)
+
+    def test_requires_propositional(self):
+        with pytest.raises(LogicError):
+            rule4_premise(EX(atom("p")), atom("q"))
+
+    def test_non_vacuous_instance(self):
+        helpful = System.from_pairs({"a"}, [((), ("a",))])
+        env = System.from_pairs({"b"}, [((), ("b",)), (("b",), ())])
+        p, q = Not(atom("a")), atom("a")
+        assert _holds(helpful, rule4_premise(p, q))
+        g = rule4_guarantee(p, q)
+        composite = compose(helpful, env)
+        assert _holds(composite, g.lhs.formula)
+        assert _holds(composite, g.rhs.formula, g.rhs.restriction)
+
+
+class TestRule5Semantics:
+    def test_figure2_instance(self):
+        from repro.casestudies.figures import (
+            figure2_p,
+            figure2_p_disjuncts,
+            figure2_q,
+            figure2_system,
+        )
+
+        m = figure2_system()
+        env = System.from_pairs({"z"}, [((), ("z",))])
+        disjuncts, q = figure2_p_disjuncts(), figure2_q()
+        # Rule 4 is NOT applicable (premise fails) …
+        assert not _holds(m, rule4_premise(figure2_p(), q))
+        # … but Rule 5 is
+        assert _holds(m, rule5_premise(disjuncts, q, 0))
+        g = rule5_guarantee(disjuncts, q, 0)
+        composite = compose(m, env)
+        assert _holds(composite, g.lhs.formula)
+        assert _holds(composite, g.rhs.formula, g.rhs.restriction)
+
+    def test_helpful_index_validated(self):
+        with pytest.raises(LogicError):
+            rule5_premise((atom("p"),), atom("q"), 3)
+
+    def test_progress_restriction_shape(self):
+        r = progress_restriction(atom("p"), atom("q"))
+        assert r.init == Const(True)
+        assert len(r.fairness) == 1

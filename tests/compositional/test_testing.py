@@ -1,0 +1,63 @@
+"""Tests for the guarantee-attack validation tooling."""
+
+from repro.compositional.properties import Guarantees, RestrictedProperty
+from repro.compositional.rules import rule4_guarantee
+from repro.compositional.testing import (
+    attack_guarantee,
+    random_environments,
+    refutations,
+)
+from repro.logic.ctl import AF, AX, Implies, Not, Or, atom
+from repro.systems.system import System
+
+a, b = atom("a"), atom("b")
+
+
+class TestRandomEnvironments:
+    def test_deterministic_with_seed(self):
+        e1 = random_environments(["a", "b"], 5, seed=42)
+        e2 = random_environments(["a", "b"], 5, seed=42)
+        assert e1 == e2
+
+    def test_all_reflexive_over_requested_atoms(self):
+        for env in random_environments(["a"], 10, seed=1):
+            assert env.reflexive
+            assert env.sigma == {"a"}
+
+
+class TestAttack:
+    RISER = System.from_pairs({"a"}, [((), ("a",))])
+
+    def test_sound_rule4_certificate_survives(self):
+        guarantee = rule4_guarantee(Not(a), a)
+        outcomes = attack_guarantee(
+            self.RISER, guarantee, random_environments(["a", "b"], 40, seed=7)
+        )
+        assert refutations(outcomes) == []
+
+    def test_both_branches_exercised(self):
+        # with q strictly inside p∨q the lhs is falsifiable, so the sweep
+        # must contain environments on both sides of the conditional
+        from repro.logic.ctl import And
+
+        p = And(Not(a), Not(b))
+        q = And(a, Not(b))
+        helper = System.from_pairs({"a", "b"}, [((), ("a",))])
+        guarantee = rule4_guarantee(p, q)
+        outcomes = attack_guarantee(
+            helper, guarantee, random_environments(["a", "b"], 60, seed=3)
+        )
+        assert refutations(outcomes) == []
+        assert any(o.lhs_holds for o in outcomes)
+        assert any(not o.lhs_holds for o in outcomes)
+
+    def test_bogus_guarantee_refuted(self):
+        """An unconditional made-up claim is caught immediately."""
+        bogus = Guarantees(
+            RestrictedProperty(Implies(a, AX(Or(a, b)))),  # weak lhs
+            RestrictedProperty(Implies(Not(a), AF(b))),    # unearned rhs
+        )
+        outcomes = attack_guarantee(
+            self.RISER, bogus, random_environments(["a", "b"], 40, seed=11)
+        )
+        assert refutations(outcomes)

@@ -1,0 +1,102 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import hypothesis.strategies as st
+import pytest
+
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    And,
+    Atom,
+    Const,
+    Implies,
+    Not,
+    Or,
+)
+from repro.systems.system import System
+
+#: Small atom pools keep the explicit state spaces tiny but interesting.
+ATOMS = ("a", "b", "c")
+
+
+def _all_states(atoms: tuple[str, ...]):
+    out = []
+    for k in range(len(atoms) + 1):
+        for combo in combinations(atoms, k):
+            out.append(frozenset(combo))
+    return out
+
+
+@st.composite
+def systems(draw, atoms: tuple[str, ...] = ATOMS, max_atoms: int = 3):
+    """A random reflexive system over a random sub-alphabet."""
+    n = draw(st.integers(min_value=1, max_value=min(max_atoms, len(atoms))))
+    sigma = atoms[:n]
+    states = _all_states(sigma)
+    pairs = [(s, t) for s in states for t in states if s != t]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), max_size=min(len(pairs), 10), unique=True)
+        if pairs
+        else st.just([])
+    )
+    return System(sigma, edges)
+
+
+@st.composite
+def prop_formulas(draw, atoms: tuple[str, ...] = ATOMS, max_depth: int = 3):
+    """A random propositional formula over ``atoms``."""
+    leaf = st.one_of(
+        st.sampled_from([Atom(a) for a in atoms]),
+        st.sampled_from([Const(True), Const(False)]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            st.tuples(children, children).map(lambda p: Implies(*p)),
+        )
+
+    return draw(st.recursive(leaf, extend, max_leaves=2**max_depth))
+
+
+@st.composite
+def ctl_formulas(draw, atoms: tuple[str, ...] = ATOMS, max_depth: int = 3):
+    """A random CTL formula over ``atoms`` (all operators)."""
+    leaf = st.one_of(
+        st.sampled_from([Atom(a) for a in atoms]),
+        st.sampled_from([Const(True), Const(False)]),
+    )
+
+    def extend(children):
+        unary = st.sampled_from([Not, EX, AX, EF, AF, EG, AG])
+        binary = st.sampled_from([And, Or, Implies, EU, AU])
+        return st.one_of(
+            st.tuples(unary, children).map(lambda p: p[0](p[1])),
+            st.tuples(binary, children, children).map(lambda p: p[0](p[1], p[2])),
+        )
+
+    return draw(st.recursive(leaf, extend, max_leaves=2**max_depth))
+
+
+@pytest.fixture
+def toggle_x() -> System:
+    """Figure-1 style one-bit toggle over {x}."""
+    return System.from_pairs({"x"}, [((), ("x",)), (("x",), ())])
+
+
+@pytest.fixture
+def one_way_x() -> System:
+    """{x}: only ∅ → {x} (plus stutter); x is absorbing."""
+    return System.from_pairs({"x"}, [((), ("x",))])

@@ -1,0 +1,176 @@
+"""Unit and property tests for the CTL abstract syntax."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+import tests.oracle as oracle
+from tests.conftest import ctl_formulas, systems
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    atom,
+    dual,
+    expand_derived,
+    is_propositional,
+    land,
+    lor,
+    subformulas,
+    substitute,
+)
+
+
+class TestConstruction:
+    def test_structural_equality(self):
+        assert And(Atom("p"), Atom("q")) == And(Atom("p"), Atom("q"))
+        assert And(Atom("p"), Atom("q")) != And(Atom("q"), Atom("p"))
+
+    def test_hashable(self):
+        d = {EU(Atom("p"), Atom("q")): 1}
+        assert d[EU(atom("p"), atom("q"))] == 1
+
+    def test_operator_sugar(self):
+        p, q = atom("p"), atom("q")
+        assert (p & q) == And(p, q)
+        assert (p | q) == Or(p, q)
+        assert (~p) == Not(p)
+        assert (p >> q) == Implies(p, q)
+
+    def test_land_lor_empty(self):
+        assert land() == TRUE
+        assert lor() == FALSE
+
+    def test_land_order(self):
+        p, q, r = atom("p"), atom("q"), atom("r")
+        assert land(p, q, r) == And(And(p, q), r)
+
+
+class TestHashCaching:
+    """Structural hashes are cached per node (hot path in the checkers)."""
+
+    def test_equal_trees_share_hash(self):
+        f1 = AU(And(atom("p"), atom("q")), EX(atom("r")))
+        f2 = AU(And(atom("p"), atom("q")), EX(atom("r")))
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+        assert {f1: "x"}[f2] == "x"
+
+    def test_cache_attribute_materializes(self):
+        f = And(atom("p"), atom("q"))
+        hash(f)
+        assert "_hash_cache" in f.__dict__
+        assert hash(f) == f.__dict__["_hash_cache"]
+
+    def test_cache_does_not_leak_into_equality(self):
+        f1, f2 = atom("p"), atom("p")
+        hash(f1)  # only f1 caches
+        assert f1 == f2
+
+
+class TestAtoms:
+    def test_atoms_collects_all(self):
+        f = Implies(atom("p"), AX(Or(atom("q"), Not(atom("p")))))
+        assert f.atoms() == {"p", "q"}
+
+    def test_const_has_no_atoms(self):
+        assert TRUE.atoms() == frozenset()
+
+    def test_substitute(self):
+        f = And(atom("p"), EX(atom("q")))
+        g = substitute(f, {"p": Not(atom("r"))})
+        assert g == And(Not(atom("r")), EX(atom("q")))
+
+    def test_subformulas_preorder_contains_self(self):
+        f = AU(atom("p"), atom("q"))
+        subs = list(subformulas(f))
+        assert f in subs and atom("p") in subs and atom("q") in subs
+
+
+class TestPropositionality:
+    def test_boolean_only(self):
+        assert is_propositional(Implies(atom("p"), And(atom("q"), TRUE)))
+
+    @pytest.mark.parametrize(
+        "f",
+        [
+            EX(atom("p")),
+            AX(atom("p")),
+            EU(atom("p"), atom("q")),
+            AU(atom("p"), atom("q")),
+            EF(atom("p")),
+            AG(atom("p")),
+            Not(EG(atom("p"))),
+            And(atom("p"), AF(atom("q"))),
+        ],
+    )
+    def test_temporal_rejected(self, f):
+        assert not is_propositional(f)
+
+
+class TestStr:
+    def test_paper_like_rendering(self):
+        assert str(EU(atom("p"), atom("q"))) == "E[p U q]"
+        assert str(AU(atom("p"), atom("q"))) == "A[p U q]"
+        assert str(AX(atom("p"))) == "AX(p)"
+        assert str(TRUE) == "true"
+
+
+class TestExpandDerived:
+    def test_ef_definition(self):
+        assert expand_derived(EF(atom("p"))) == EU(TRUE, atom("p"))
+
+    def test_af_definition(self):
+        assert expand_derived(AF(atom("p"))) == AU(TRUE, atom("p"))
+
+    def test_ag_definition(self):
+        assert expand_derived(AG(atom("p"))) == Not(EU(TRUE, Not(atom("p"))))
+
+    def test_eg_definition(self):
+        assert expand_derived(EG(atom("p"))) == Not(AU(TRUE, Not(atom("p"))))
+
+    def test_or_definition(self):
+        got = expand_derived(Or(atom("p"), atom("q")))
+        assert got == Not(And(Not(atom("p")), Not(atom("q"))))
+
+    @given(systems(), ctl_formulas(max_depth=2))
+    @settings(max_examples=60, deadline=None)
+    def test_expansion_is_semantically_equivalent(self, system, f):
+        """The derived-operator table preserves meaning on real systems."""
+        from repro.checking.explicit import ExplicitChecker
+
+        ck = ExplicitChecker(system)
+        f = substitute(f, {a: Const(True) for a in f.atoms() - system.sigma})
+        original = ck.states_satisfying(f)
+        expanded = ck.states_satisfying(expand_derived(f))
+        assert (original == expanded).all()
+
+
+class TestDual:
+    @given(systems(), ctl_formulas(max_depth=2))
+    @settings(max_examples=60, deadline=None)
+    def test_dual_preserves_meaning(self, system, f):
+        from repro.checking.explicit import ExplicitChecker
+
+        ck = ExplicitChecker(system)
+        f = substitute(f, {a: Const(True) for a in f.atoms() - system.sigma})
+        assert (ck.states_satisfying(f) == ck.states_satisfying(dual(f))).all()
+
+    def test_dual_only_rewrites_a_operators(self):
+        f = EX(atom("p"))
+        assert dual(f) == f
+        assert dual(AX(atom("p"))) == Not(EX(Not(atom("p"))))

@@ -1,0 +1,130 @@
+"""Tests for the CTL text parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    And,
+    Atom,
+    Const,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.logic.parser import parse_ctl
+
+
+class TestPrimary:
+    def test_atom(self):
+        assert parse_ctl("p") == Atom("p")
+
+    def test_dotted_atom(self):
+        assert parse_ctl("Server.belief.0") == Atom("Server.belief.0")
+
+    def test_constants(self):
+        assert parse_ctl("true") == Const(True)
+        assert parse_ctl("TRUE") == Const(True)
+        assert parse_ctl("false") == Const(False)
+        assert parse_ctl("1") == Const(True)
+        assert parse_ctl("0") == Const(False)
+
+    def test_parentheses(self):
+        assert parse_ctl("((p))") == Atom("p")
+
+
+class TestPrecedence:
+    def test_and_over_or(self):
+        assert parse_ctl("p | q & r") == Or(Atom("p"), And(Atom("q"), Atom("r")))
+
+    def test_or_over_implies(self):
+        assert parse_ctl("p | q -> r") == Implies(
+            Or(Atom("p"), Atom("q")), Atom("r")
+        )
+
+    def test_implies_right_associative(self):
+        assert parse_ctl("p -> q -> r") == Implies(
+            Atom("p"), Implies(Atom("q"), Atom("r"))
+        )
+
+    def test_iff_lowest(self):
+        assert parse_ctl("p -> q <-> r") == Iff(
+            Implies(Atom("p"), Atom("q")), Atom("r")
+        )
+
+    def test_not_tightest(self):
+        assert parse_ctl("!p & q") == And(Not(Atom("p")), Atom("q"))
+
+    def test_double_negation(self):
+        assert parse_ctl("!!p") == Not(Not(Atom("p")))
+
+
+class TestTemporal:
+    @pytest.mark.parametrize(
+        "text,node",
+        [
+            ("AX p", AX), ("EX p", EX), ("AF p", AF),
+            ("EF p", EF), ("AG p", AG), ("EG p", EG),
+        ],
+    )
+    def test_unary_temporal(self, text, node):
+        assert parse_ctl(text) == node(Atom("p"))
+
+    def test_temporal_binds_tighter_than_and(self):
+        assert parse_ctl("AX p & q") == And(AX(Atom("p")), Atom("q"))
+
+    def test_nested_temporal(self):
+        assert parse_ctl("AG (p -> AF q)") == AG(
+            Implies(Atom("p"), AF(Atom("q")))
+        )
+
+    def test_until_brackets(self):
+        assert parse_ctl("A[p U q]") == AU(Atom("p"), Atom("q"))
+        assert parse_ctl("E[p U q]") == EU(Atom("p"), Atom("q"))
+
+    def test_until_parens_paper_style(self):
+        assert parse_ctl("A(p U q)") == AU(Atom("p"), Atom("q"))
+        assert parse_ctl("E(p U q)") == EU(Atom("p"), Atom("q"))
+
+    def test_until_nested_formulas(self):
+        got = parse_ctl("E[p & q U AX r]")
+        assert got == EU(And(Atom("p"), Atom("q")), AX(Atom("r")))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "p &", "(p", "A[p U", "A[p q]", "p q", "p @ q", "A(p U q]"],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_ctl(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_ctl("p &\n& q")
+        assert "line 2" in str(info.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p -> AX (p | q)",
+            "AG (p -> AF q)",
+            "E[!p U (q & r)]",
+            "!(p <-> q)",
+            "A[true U x]",
+        ],
+    )
+    def test_str_reparses_to_same_tree(self, text):
+        tree = parse_ctl(text)
+        assert parse_ctl(str(tree)) == tree

@@ -1,0 +1,62 @@
+"""Tests for restrictions r = (I, F)."""
+
+from repro.logic.ctl import AX, Atom, Implies, Not, Or, TRUE, atom
+from repro.logic.restriction import UNRESTRICTED, Restriction
+
+
+class TestNormalization:
+    def test_default_is_trivial(self):
+        assert UNRESTRICTED.is_trivial
+        assert UNRESTRICTED.init == TRUE
+        assert UNRESTRICTED.fairness == (TRUE,)
+
+    def test_empty_fairness_normalizes_to_true(self):
+        assert Restriction(fairness=()).fairness == (TRUE,)
+
+    def test_true_members_dropped(self):
+        r = Restriction(fairness=(TRUE, atom("p"), TRUE))
+        assert r.fairness == (atom("p"),)
+
+    def test_duplicates_dropped_order_preserved(self):
+        r = Restriction(fairness=(atom("p"), atom("q"), atom("p")))
+        assert r.fairness == (atom("p"), atom("q"))
+
+    def test_structural_equality_after_normalization(self):
+        assert Restriction(fairness=(TRUE, atom("p"))) == Restriction(
+            fairness=(atom("p"),)
+        )
+
+
+class TestPredicates:
+    def test_trivial_fairness_with_init(self):
+        r = Restriction(init=atom("p"))
+        assert not r.is_trivial
+        assert r.has_trivial_fairness
+
+    def test_is_propositional(self):
+        assert Restriction(init=atom("p"), fairness=(Or(atom("q"), atom("r")),)).is_propositional()
+        assert not Restriction(init=AX(atom("p"))).is_propositional()
+        assert not Restriction(fairness=(AX(atom("p")),)).is_propositional()
+
+
+class TestBuilders:
+    def test_with_init(self):
+        r = UNRESTRICTED.with_init(atom("p"))
+        assert r.init == atom("p")
+        assert r.fairness == (TRUE,)
+
+    def test_with_fairness_replaces(self):
+        r = Restriction(fairness=(atom("p"),)).with_fairness(atom("q"))
+        assert r.fairness == (atom("q"),)
+
+    def test_and_fairness_appends(self):
+        r = Restriction(fairness=(atom("p"),)).and_fairness(atom("q"))
+        assert r.fairness == (atom("p"), atom("q"))
+
+    def test_atoms_union(self):
+        r = Restriction(init=atom("p"), fairness=(Implies(atom("q"), atom("r")),))
+        assert r.atoms() == {"p", "q", "r"}
+
+    def test_str_shows_both_parts(self):
+        r = Restriction(init=atom("p"), fairness=(Not(atom("q")),))
+        assert "p" in str(r) and "q" in str(r)

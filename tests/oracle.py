@@ -1,0 +1,181 @@
+"""An independent fair-CTL oracle built on networkx graph algorithms.
+
+The production checkers compute fixpoints (NumPy bitsets / BDDs).  This
+oracle instead evaluates formulas with explicit graph reachability and
+SCC analysis, so agreement between the two is strong evidence both are
+right.  Only usable on tiny systems — it materializes the whole state
+space as a digraph.
+
+Fair-path characterization used here: a state has an F-fair path iff it
+can reach a cycle that visits, for every constraint ``c ∈ F``, at least
+one state satisfying ``c``.  Within one strongly connected component that
+contains a cycle, such a combined cycle exists iff the SCC intersects
+every constraint's satisfaction set.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.logic.ctl import (
+    AF,
+    AG,
+    AU,
+    AX,
+    EF,
+    EG,
+    EU,
+    EX,
+    And,
+    Atom,
+    Const,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.systems.system import System
+
+State = frozenset
+
+
+def _graph(system: System) -> "nx.DiGraph":
+    g = nx.DiGraph()
+    for s in system.states():
+        g.add_node(s)
+    for s, t in system.relation():
+        g.add_edge(s, t)
+    return g
+
+
+def _has_cycle_through(g: "nx.DiGraph", scc: set[State]) -> bool:
+    """Does the SCC contain at least one edge (i.e. an actual cycle)?"""
+    if len(scc) > 1:
+        return True
+    (s,) = scc
+    return g.has_edge(s, s)
+
+
+def fair_states(
+    system: System, constraint_sets: list[set[State]]
+) -> set[State]:
+    """States from which some path visits every constraint infinitely often."""
+    g = _graph(system)
+    fair_cores: set[State] = set()
+    for scc in nx.strongly_connected_components(g):
+        scc = set(scc)
+        if not _has_cycle_through(g, scc):
+            continue
+        if all(scc & cset for cset in constraint_sets):
+            fair_cores |= scc
+    out: set[State] = set()
+    for s in g.nodes:
+        if s in fair_cores or any(
+            nx.has_path(g, s, core) for core in fair_cores
+        ):
+            out.add(s)
+    return out
+
+
+def _restricted_graph(system: System, allowed: set[State]) -> "nx.DiGraph":
+    g = nx.DiGraph()
+    for s in allowed:
+        g.add_node(s)
+    for s, t in system.relation():
+        if s in allowed and t in allowed:
+            g.add_edge(s, t)
+    return g
+
+
+def sat_states(
+    system: System,
+    formula: Formula,
+    fairness: tuple[Formula, ...] = (TRUE,),
+) -> set[State]:
+    """The set of states satisfying ``formula`` over ``fairness``-fair paths."""
+    all_states = set(system.states())
+    # TRUE constraints are satisfied everywhere; special-casing them also
+    # grounds the recursion (constraints are themselves evaluated with the
+    # default (TRUE,) fairness).
+    constraint_sets = [
+        set(all_states) if c == TRUE else sat_states(system, c)
+        for c in fairness
+    ]
+    fair = fair_states(system, constraint_sets)
+    g = _graph(system)
+
+    def ev(f: Formula) -> set[State]:
+        if isinstance(f, Const):
+            return set(all_states) if f.value else set()
+        if isinstance(f, Atom):
+            return {s for s in all_states if f.name in s}
+        if isinstance(f, Not):
+            return all_states - ev(f.operand)
+        if isinstance(f, And):
+            return ev(f.left) & ev(f.right)
+        if isinstance(f, Or):
+            return ev(f.left) | ev(f.right)
+        if isinstance(f, Implies):
+            return (all_states - ev(f.left)) | ev(f.right)
+        if isinstance(f, Iff):
+            l, r = ev(f.left), ev(f.right)
+            return (l & r) | (all_states - l - r)
+        if isinstance(f, EX):
+            target = ev(f.operand) & fair
+            return {s for s in all_states if any(t in target for t in g.successors(s))}
+        if isinstance(f, AX):
+            return ev(Not(EX(Not(f.operand))))
+        if isinstance(f, EF):
+            return ev(EU(TRUE, f.operand))
+        if isinstance(f, AF):
+            return ev(Not(EG(Not(f.operand))))
+        if isinstance(f, AG):
+            return ev(Not(EU(TRUE, Not(f.operand))))
+        if isinstance(f, EU):
+            p, q = ev(f.left), ev(f.right) & fair
+            # backward reachability to q through p-states
+            out = set(q)
+            changed = True
+            while changed:
+                changed = False
+                for s in all_states - out:
+                    if s in p and any(t in out for t in g.successors(s)):
+                        out.add(s)
+                        changed = True
+            return out
+        if isinstance(f, AU):
+            p, q = f.left, f.right
+            bad = Or(EU(Not(q), And(Not(p), Not(q))), EG(Not(q)))
+            return all_states - ev(bad)
+        if isinstance(f, EG):
+            p = ev(f.operand)
+            sub = _restricted_graph(system, p)
+            cores: set[State] = set()
+            for scc in nx.strongly_connected_components(sub):
+                scc = set(scc)
+                if not _has_cycle_through(sub, scc):
+                    continue
+                if all(scc & cset for cset in constraint_sets):
+                    cores |= scc
+            out = set()
+            for s in sub.nodes:
+                if s in cores or any(nx.has_path(sub, s, c) for c in cores):
+                    out.add(s)
+            return out
+        raise TypeError(f"oracle cannot evaluate {type(f).__name__}")
+
+    return ev(formula)
+
+
+def holds(
+    system: System,
+    formula: Formula,
+    init: Formula = TRUE,
+    fairness: tuple[Formula, ...] = (TRUE,),
+) -> bool:
+    """Oracle version of ``M ⊨_(init, fairness) formula``."""
+    init_states = sat_states(system, init)
+    good = sat_states(system, formula, fairness)
+    return init_states <= good

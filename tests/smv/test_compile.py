@@ -1,0 +1,138 @@
+"""Tests for SMV compilation: explicit and symbolic backends must agree."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.logic.ctl import AX, EX, Implies, Not, atom
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.symbolic import SymbolicChecker
+from repro.smv.compile_explicit import to_system
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_module
+
+TOGGLE = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := !x;
+"""
+
+COUNTER = """
+MODULE main
+VAR n : {0, 1, 2};
+ASSIGN next(n) := case n = 0 : 1; n = 1 : 2; 1 : 0; esac;
+"""
+
+CHOICE = """
+MODULE main
+VAR s : {idle, busy};
+ASSIGN next(s) := case s = idle : {idle, busy}; 1 : idle; esac;
+"""
+
+FREE = """
+MODULE main
+VAR x : boolean;
+    inp : boolean;
+ASSIGN next(x) := inp;
+"""
+
+
+def model(src: str) -> SmvModel:
+    return SmvModel(parse_module(src))
+
+
+class TestExplicitCompilation:
+    def test_toggle_relation(self):
+        m = to_system(model(TOGGLE), reflexive=False)
+        E, X = frozenset(), frozenset({"x"})
+        assert set(m.edges) == {(E, X), (X, E)}
+        assert not m.reflexive
+
+    def test_reflexive_closure_option(self):
+        m = to_system(model(TOGGLE), reflexive=True)
+        assert m.reflexive
+
+    def test_counter_skips_junk_states(self):
+        m = to_system(model(COUNTER), reflexive=False)
+        # 3 valid states, each with exactly one successor
+        assert len(m.edges) == 3
+
+    def test_nondeterministic_choice(self):
+        m = to_system(model(CHOICE), reflexive=False)
+        enc = model(CHOICE).encoding
+        idle = enc.state_of({"s": "idle"})
+        busy = enc.state_of({"s": "busy"})
+        assert m.successors(idle) == {idle, busy}
+        assert m.successors(busy) == {idle}
+
+    def test_free_variable_unconstrained(self):
+        m = to_system(model(FREE), reflexive=False)
+        # every state has 2 successors (inp free)
+        for s in [frozenset(), frozenset({"inp"})]:
+            assert len(m.successors(s)) == 2
+
+    def test_fallthrough_case_rejected(self):
+        src = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := case x : 0; esac;
+"""
+        with pytest.raises(ElaborationError):
+            to_system(model(src))
+
+    def test_size_guard(self):
+        decls = "\n".join(f"v{i} : {{a,b,c,d,e}};" for i in range(10))
+        src = f"MODULE main\nVAR\n{decls}"
+        with pytest.raises(ElaborationError):
+            to_system(model(src))
+
+
+class TestSymbolicCompilation:
+    @pytest.mark.parametrize("src", [TOGGLE, COUNTER, CHOICE, FREE])
+    def test_agrees_with_explicit(self, src):
+        m = model(src)
+        explicit = to_system(m, reflexive=False)
+        symbolic = to_symbolic(m, reflexive=False)
+        decoded = symbolic.to_explicit()
+        # junk states get self-loops only in the symbolic backend (to keep
+        # the relation total); the relations must agree on valid states
+        symbolic_valid = {
+            (s, t)
+            for s, t in decoded.edges
+            if m.encoding.decode(s) is not None
+        }
+        assert symbolic_valid == set(explicit.edges)
+
+    @pytest.mark.parametrize("src", [TOGGLE, COUNTER, CHOICE])
+    def test_checker_verdicts_agree(self, src):
+        m = model(src)
+        from repro.logic.restriction import Restriction
+
+        r = Restriction(init=m.initial_formula())
+        eck = ExplicitChecker(to_system(m, reflexive=False))
+        sck = SymbolicChecker(to_symbolic(m, reflexive=False))
+        for var in m.variables:
+            for value in var.domain:
+                f = Implies(
+                    m.encoding.eq_formula(var.name, value),
+                    EX(m.encoding.eq_formula(var.name, value)),
+                )
+                assert bool(eck.holds(f, r)) == bool(sck.holds(f, r))
+
+    def test_relation_is_total(self):
+        sym = to_symbolic(model(COUNTER), reflexive=False)
+        assert sym.is_total()
+
+    def test_fallthrough_rejected(self):
+        src = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := case x : 0; esac;
+"""
+        with pytest.raises(ElaborationError):
+            to_symbolic(model(src))
+
+    def test_reflexive_closure(self):
+        sym = to_symbolic(model(TOGGLE), reflexive=True)
+        back = sym.to_explicit()
+        assert back.reflexive

@@ -1,0 +1,66 @@
+"""Tests for SMV-style counterexample traces in check reports."""
+
+from repro.smv.run import check_source
+
+CHAIN = """
+MODULE main
+VAR s : {idle, busy, broken};
+ASSIGN next(s) := case s = idle : busy; s = busy : broken; 1 : s; esac;
+"""
+
+
+class TestAgCounterexample:
+    def test_trace_reaches_violation(self):
+        report = check_source(CHAIN + "SPEC AG (s != broken)")
+        trace = report.counterexamples[0]
+        assert trace is not None
+        assert trace[-1] == {"s": "broken"}
+
+    def test_trace_is_shortest(self):
+        report = check_source(CHAIN + "SPEC AG (s != broken)")
+        # shortest violating run from a failing initial state
+        assert len(report.counterexamples[0]) <= 3
+
+    def test_consecutive_states_are_transitions(self):
+        from repro.smv.compile_explicit import to_system
+        from repro.smv.run import load_model
+
+        model = load_model(CHAIN + "SPEC AG (s != broken)")
+        report = check_source(CHAIN + "SPEC AG (s != broken)")
+        system = to_system(model, reflexive=False)
+        trace = report.counterexamples[0]
+        for a, b in zip(trace, trace[1:]):
+            assert system.has_transition(
+                model.encoding.state_of(a), model.encoding.state_of(b)
+            )
+
+    def test_format_includes_sequence(self):
+        text = check_source(CHAIN + "SPEC AG (s != broken)").format()
+        assert "execution sequence" in text
+        assert "state 1.1:" in text
+        assert "s = broken" in text
+
+    def test_format_can_suppress_traces(self):
+        report = check_source(CHAIN + "SPEC AG (s != broken)")
+        assert "execution sequence" not in report.format(
+            with_counterexamples=False
+        )
+
+
+class TestAxCounterexample:
+    def test_failing_state_plus_offender(self):
+        report = check_source(CHAIN + "SPEC s = idle -> AX s = idle")
+        trace = report.counterexamples[0]
+        assert trace == [{"s": "idle"}, {"s": "busy"}]
+
+
+class TestNoTraceCases:
+    def test_true_spec_has_none(self):
+        report = check_source(CHAIN + "SPEC EF s = broken")
+        assert report.counterexamples[0] is None
+
+    def test_unsupported_shape_gets_single_state(self):
+        # AF is not a supported trace shape: fall back to a failing state
+        report = check_source(CHAIN + "SPEC s = broken")
+        trace = report.counterexamples[0]
+        assert trace is not None and len(trace) == 1

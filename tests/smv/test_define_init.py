@@ -1,0 +1,107 @@
+"""Tests for the DEFINE and INIT extensions of the SMV subset."""
+
+import pytest
+
+from repro.errors import ElaborationError, ParseError
+from repro.smv.parser import parse_module
+from repro.smv.run import check_source, load_model
+
+WITH_DEFINE = """
+MODULE main
+VAR x : boolean;
+    s : {idle, busy};
+DEFINE ready := x & s = idle;
+       stalled := !ready;
+ASSIGN
+  next(x) := x;
+  next(s) := case ready : busy; 1 : s; esac;
+SPEC ready -> AX s = busy
+SPEC stalled & s = idle -> AX s = idle
+"""
+
+
+class TestDefine:
+    def test_macro_used_in_assign_and_spec(self):
+        report = check_source(WITH_DEFINE)
+        assert report.all_true
+
+    def test_nested_defines(self):
+        src = """
+MODULE main
+VAR x : boolean;
+DEFINE a := x;
+       b := !a;
+ASSIGN next(x) := b;
+SPEC x -> AX !x
+"""
+        assert check_source(src).all_true
+
+    def test_cyclic_define_rejected(self):
+        src = """
+MODULE main
+VAR x : boolean;
+DEFINE a := b; b := a;
+ASSIGN next(x) := a;
+"""
+        with pytest.raises(ElaborationError):
+            load_model(src)
+
+    def test_define_shadowing_variable_rejected(self):
+        src = """
+MODULE main
+VAR x : boolean;
+DEFINE x := 1;
+"""
+        with pytest.raises(ElaborationError):
+            load_model(src)
+
+    def test_duplicate_define_rejected(self):
+        src = """
+MODULE main
+VAR x : boolean;
+DEFINE a := 1; a := 0;
+"""
+        with pytest.raises(ParseError):
+            parse_module(src)
+
+    def test_defines_not_part_of_state(self):
+        model = load_model(WITH_DEFINE)
+        assert {v.name for v in model.variables} == {"x", "s"}
+
+
+class TestInitConstraint:
+    def test_init_narrows_checked_states(self):
+        src = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := x;
+INIT x
+SPEC x
+"""
+        assert check_source(src).all_true
+
+    def test_without_init_spec_fails(self):
+        src = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := x;
+SPEC x
+"""
+        assert not check_source(src).all_true
+
+    def test_multiple_init_constraints_conjoined(self):
+        src = """
+MODULE main
+VAR a : boolean; b : boolean;
+ASSIGN next(a) := a; next(b) := b;
+INIT a
+INIT b
+SPEC a & b
+"""
+        assert check_source(src).all_true
+
+    def test_init_appears_in_initial_formula(self):
+        model = load_model(
+            "MODULE main VAR a : boolean; INIT !a"
+        )
+        assert "a" in model.initial_formula().atoms()

@@ -1,0 +1,179 @@
+"""Tests for SMV elaboration (typing, resolution, formula translation)."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.logic.ctl import AX, Const, Implies, Not, TRUE
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_expr, parse_module, parse_spec
+
+
+def model(source: str) -> SmvModel:
+    return SmvModel(parse_module(source))
+
+
+BASE = """
+MODULE main
+VAR
+  b : boolean;
+  s : {red, green, blue};
+"""
+
+
+class TestDeclarations:
+    def test_boolean_encodes_to_own_atom(self):
+        m = model(BASE)
+        assert "b" in m.encoding.atoms
+
+    def test_enum_encodes_to_bits(self):
+        m = model(BASE)
+        assert "s.0" in m.encoding.atoms and "s.1" in m.encoding.atoms
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(ElaborationError):
+            model("MODULE main VAR x : boolean; x : boolean;")
+
+    def test_assign_to_undeclared_rejected(self):
+        with pytest.raises(ElaborationError):
+            model("MODULE main VAR x : boolean; ASSIGN next(y) := 0;")
+
+    def test_duplicate_assign_rejected(self):
+        with pytest.raises(ElaborationError):
+            model("MODULE main VAR x : boolean; ASSIGN next(x) := 0; next(x) := 1;")
+
+    def test_free_variables_reported(self):
+        m = model(BASE + "ASSIGN next(b) := b;")
+        assert m.free_variables() == ("s",)
+
+
+class TestBoolFormula:
+    def test_comparisons(self):
+        m = model(BASE)
+        f = m.bool_formula(parse_expr("s = red"))
+        assert f.atoms() == {"s.0", "s.1"}
+
+    def test_neq_is_negation(self):
+        m = model(BASE)
+        f = m.bool_formula(parse_expr("s != red"))
+        assert isinstance(f, Not)
+
+    def test_boolean_var_as_condition(self):
+        m = model(BASE)
+        assert m.bool_formula(parse_expr("b")).atoms() == {"b"}
+
+    def test_enum_var_in_boolean_position_rejected(self):
+        m = model(BASE)
+        with pytest.raises(ElaborationError):
+            m.bool_formula(parse_expr("s"))
+
+    def test_value_outside_domain_rejected(self):
+        m = model(BASE)
+        with pytest.raises(ElaborationError):
+            m.bool_formula(parse_expr("s = purple"))
+
+    def test_var_var_comparison(self):
+        m = model(
+            "MODULE main VAR a : {x, y}; c : {y, z};"
+        )
+        f = m.bool_formula(parse_expr("a = c"))
+        # only the shared value y can make them equal
+        assert f.atoms() == {"a.0", "c.0"}
+
+    def test_numbers_as_booleans(self):
+        m = model(BASE)
+        assert m.bool_formula(parse_expr("b = 1")).atoms() == {"b"}
+        assert m.bool_formula(parse_expr("1")) == Const(True)
+
+
+class TestSpecTranslation:
+    def test_temporal_structure_preserved(self):
+        m = model(BASE)
+        f = m.spec_formula(parse_spec("b -> AX b"))
+        assert isinstance(f, Implies) and isinstance(f.right, AX)
+
+    def test_until_translation(self):
+        from repro.logic.ctl import AU
+
+        m = model(BASE)
+        f = m.spec_formula(parse_spec("A[b U s = red]"))
+        assert isinstance(f, AU)
+
+
+class TestValueAnalysis:
+    def test_value_set_of_set_literal(self):
+        m = model(BASE)
+        vals = m.value_set(parse_expr("{red, blue}"), ("red", "green", "blue"))
+        assert vals == ["red", "blue"]
+
+    def test_value_set_of_case_unions_branches(self):
+        m = model(BASE)
+        vals = m.value_set(
+            parse_expr("case b : red; 1 : green; esac"),
+            ("red", "green", "blue"),
+        )
+        assert set(vals) == {"red", "green"}
+
+    def test_value_out_of_domain_rejected(self):
+        m = model(BASE)
+        with pytest.raises(ElaborationError):
+            m.value_set(parse_expr("purple"), ("red",))
+
+    def test_boolean_expression_assigned_to_enum_rejected(self):
+        m = model(BASE)
+        with pytest.raises(ElaborationError):
+            m.value_set(parse_expr("!b"), ("red", "green"))
+
+    def test_possible_formula_case_first_match_wins(self):
+        m = model(BASE + "ASSIGN next(s) := case b : red; 1 : green; esac;")
+        cond = m.possible_formula(
+            parse_expr("case b : red; 1 : red; esac"), "green", ("red", "green", "blue")
+        )
+        from repro.compositional.prop_logic import is_tautology
+        from repro.logic.ctl import Not as LNot
+
+        # green is never produced
+        assert is_tautology(LNot(cond))
+
+
+class TestEvaluation:
+    def test_eval_bool(self):
+        m = model(BASE)
+        env = {"b": True, "s": "red"}
+        assert m.eval_bool(parse_expr("b & s = red"), env)
+        assert not m.eval_bool(parse_expr("s != red"), env)
+
+    def test_eval_values_deterministic(self):
+        m = model(BASE)
+        env = {"b": False, "s": "red"}
+        assert m.eval_values(parse_expr("s"), env, ("red", "green", "blue")) == ["red"]
+
+    def test_eval_values_nondeterministic(self):
+        m = model(BASE)
+        env = {"b": False, "s": "red"}
+        vals = m.eval_values(
+            parse_expr("{green, blue}"), env, ("red", "green", "blue")
+        )
+        assert vals == ["green", "blue"]
+
+    def test_eval_values_case_fallthrough_empty(self):
+        m = model(BASE)
+        env = {"b": False, "s": "red"}
+        assert m.eval_values(
+            parse_expr("case b : red; esac"), env, ("red",)
+        ) == []
+
+
+class TestInitialFormula:
+    def test_init_assign_becomes_constraint(self):
+        m = model(BASE + "ASSIGN init(b) := 1;")
+        f = m.initial_formula()
+        assert "b" in f.atoms()
+
+    def test_validity_included_for_non_power_of_two(self):
+        m = model(BASE)
+        f = m.initial_formula()
+        assert "s.0" in f.atoms()  # s has 3 of 4 patterns valid
+
+    def test_trivial_when_no_junk_no_init(self):
+        m = model("MODULE main VAR x : boolean; y : {a, b};")
+        assert m.initial_formula() == TRUE

@@ -1,0 +1,165 @@
+"""Tests for module instantiation and flattening (extension E3)."""
+
+import pytest
+
+from repro.errors import ElaborationError, ParseError
+from repro.smv.ast import InstanceType
+from repro.smv.modules import flatten
+from repro.smv.parser import parse_module, parse_program
+from repro.smv.run import check_source, load_model
+
+PROGRAM = """
+MODULE main
+VAR
+  ch : {null, req};
+  s : server(ch);
+ASSIGN
+  next(ch) := case !s.busy : req; 1 : null; esac;
+INIT !s.busy & s.count = zero
+SPEC AG (s.busy -> s.count = one)
+
+MODULE server(link)
+VAR
+  busy : boolean;
+  count : {zero, one};
+ASSIGN
+  next(busy) := case link = req : 1; 1 : busy; esac;
+  next(count) := case link = req : one; 1 : count; esac;
+SPEC busy -> AX busy
+"""
+
+
+class TestParsing:
+    def test_parse_program_collects_modules(self):
+        program = parse_program(PROGRAM)
+        assert set(program) == {"main", "server"}
+        assert program["server"].params == ("link",)
+
+    def test_instance_decl_parsed(self):
+        program = parse_program(PROGRAM)
+        decl = program["main"].variables[1]
+        assert decl.is_instance
+        assert isinstance(decl.type, InstanceType)
+        assert decl.type.module == "server"
+
+    def test_parse_module_rejects_multi(self):
+        with pytest.raises(ParseError):
+            parse_module(PROGRAM)
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("MODULE main\nMODULE main\n")
+
+
+class TestFlattening:
+    def test_variables_prefixed(self):
+        flat = flatten(parse_program(PROGRAM))
+        names = {v.name for v in flat.variables}
+        assert names == {"ch", "s.busy", "s.count"}
+
+    def test_parameters_substituted(self):
+        model = load_model(PROGRAM)
+        # s.busy rises when ch = req — the `link` formal became `ch`
+        report = check_source(PROGRAM)
+        assert report.all_true
+
+    def test_submodule_specs_carried_up(self):
+        flat = flatten(parse_program(PROGRAM))
+        assert len(flat.specs) == 2  # main's AG + server's AX spec
+
+    def test_nested_instances(self):
+        nested = """
+MODULE main
+VAR outer : middle;
+SPEC outer.inner.x -> AX outer.inner.x
+
+MODULE middle
+VAR inner : leaf;
+
+MODULE leaf
+VAR x : boolean;
+ASSIGN next(x) := case x : 1; 1 : x; esac;
+"""
+        flat = flatten(parse_program(nested))
+        assert {v.name for v in flat.variables} == {"outer.inner.x"}
+        assert check_source(nested).all_true
+
+    def test_two_instances_are_independent(self):
+        twin = """
+MODULE main
+VAR a : cell; b : cell;
+ASSIGN next(a.v) := 1;
+SPEC b.v -> AX b.v
+
+MODULE cell
+VAR v : boolean;
+"""
+        flat = flatten(parse_program(twin))
+        assert {v.name for v in flat.variables} == {"a.v", "b.v"}
+        # b.v is free (unassigned) so the spec must fail
+        assert not check_source(twin).all_true
+
+    def test_shared_parameter_couples_instances(self):
+        coupled = """
+MODULE main
+VAR bus : boolean;
+    p : watcher(bus);
+    q : watcher(bus);
+ASSIGN next(bus) := bus;
+SPEC (bus -> AX (p.seen | !bus)) & (p.seen -> AX p.seen)
+
+MODULE watcher(sig)
+VAR seen : boolean;
+ASSIGN next(seen) := case sig : 1; 1 : seen; esac;
+"""
+        assert check_source(coupled).all_true
+
+
+class TestErrors:
+    def test_unknown_module(self):
+        with pytest.raises(ElaborationError):
+            flatten(parse_program("MODULE main\nVAR x : ghost;\n"))
+
+    def test_arity_mismatch(self):
+        bad = """
+MODULE main
+VAR s : server(1, 2);
+MODULE server(link)
+VAR b : boolean;
+"""
+        with pytest.raises(ElaborationError):
+            flatten(parse_program(bad))
+
+    def test_process_instances_rejected_by_flatten(self):
+        src = """
+MODULE main
+VAR p : process leaf;
+MODULE leaf
+VAR x : boolean;
+"""
+        with pytest.raises(ElaborationError) as info:
+            flatten(parse_program(src))
+        assert "load_processes" in str(info.value)
+
+    def test_recursive_instantiation(self):
+        loop = """
+MODULE main
+VAR a : ouroboros;
+MODULE ouroboros
+VAR inner : ouroboros;
+"""
+        with pytest.raises(ElaborationError):
+            flatten(parse_program(loop))
+
+    def test_defines_inside_modules(self):
+        src = """
+MODULE main
+VAR c : counter;
+SPEC c.top -> AX c.top
+
+MODULE counter
+VAR n : {zero, one};
+DEFINE top := n = one;
+ASSIGN next(n) := case top : n; 1 : one; esac;
+"""
+        assert check_source(src).all_true

@@ -1,0 +1,108 @@
+"""Tests for integer range types and ordering comparisons (Fig. 3 talk)."""
+
+import pytest
+
+from repro.errors import ElaborationError, ParseError
+from repro.smv.parser import parse_module
+from repro.smv.run import check_source, load_model
+
+COUNTER = """
+MODULE main
+VAR x : 0..3;
+ASSIGN
+  next(x) := case x < 3 : {0, 1, 2, 3}; 1 : 0; esac;
+"""
+
+
+class TestRangeDeclarations:
+    def test_range_becomes_integer_domain(self):
+        model = load_model(COUNTER)
+        assert model.encoding.var("x").domain == (0, 1, 2, 3)
+
+    def test_two_bits_for_four_values(self):
+        model = load_model(COUNTER)
+        assert model.encoding.var("x").bits == ("x.0", "x.1")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("MODULE main VAR x : 3..1;")
+
+    def test_singleton_range(self):
+        model = load_model("MODULE main VAR x : 5..5;")
+        assert model.encoding.var("x").domain == (5,)
+
+
+class TestOrderingComparisons:
+    def test_figure3_x_less_than_2(self):
+        """The paper's §3.4 example: (x < 2) maps to ¬x.1."""
+        from repro.compositional.prop_logic import equivalent
+        from repro.logic.ctl import Atom, Not
+        from repro.smv.parser import parse_expr
+
+        model = load_model("MODULE main VAR x : 0..3;")
+        mapped = model.bool_formula(parse_expr("x < 2"))
+        assert equivalent(mapped, Not(Atom("x.1")))
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("AG (x <= 3)", True),
+            ("AG (x < 3)", False),
+            ("AG (x >= 0)", True),
+            ("EF (x > 2)", True),
+            ("AG (x > 0 -> x >= 1)", True),
+            ("AG (2 <= x | x < 2)", True),
+        ],
+    )
+    def test_spec_verdicts(self, spec, expected):
+        report = check_source(COUNTER + f"SPEC {spec}\n")
+        assert report.results[0].holds == expected
+
+    def test_var_var_comparison(self):
+        src = """
+MODULE main
+VAR a : 0..2;
+    b : 0..2;
+ASSIGN next(a) := a; next(b) := b;
+SPEC (a < b & b < a) -> 0
+SPEC a < b -> a != b
+"""
+        assert check_source(src).all_true
+
+    def test_guard_comparisons_in_assignments(self):
+        src = """
+MODULE main
+VAR x : 0..2;
+ASSIGN next(x) := case x < 2 : 2; 1 : x; esac;
+SPEC x < 2 -> AX x = 2
+SPEC x = 2 -> AX x = 2
+"""
+        assert check_source(src).all_true
+
+    def test_enum_ordering_rejected(self):
+        from repro.smv.parser import parse_expr
+
+        model = load_model("MODULE main VAR s : {low, high};")
+        with pytest.raises(ElaborationError):
+            model.bool_formula(parse_expr("s < high"))
+
+    def test_simulation_with_ranges(self):
+        from repro.smv.simulate import simulate
+
+        model = load_model(COUNTER)
+        trace = simulate(model, steps=8, seed=4)
+        assert all(0 <= s["x"] <= 3 for s in trace)
+
+    def test_explicit_and_symbolic_agree(self):
+        from repro.smv.compile_explicit import to_system
+        from repro.smv.compile_symbolic import to_symbolic
+
+        model = load_model(COUNTER)
+        explicit = to_system(model, reflexive=False)
+        decoded = to_symbolic(model, reflexive=False).to_explicit()
+        valid = {
+            (s, t)
+            for s, t in decoded.edges
+            if model.encoding.decode(s) is not None
+        }
+        assert valid == set(explicit.edges)

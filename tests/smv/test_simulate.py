@@ -1,0 +1,130 @@
+"""Tests for the SMV trace simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ElaborationError
+from repro.logic.ctl import Not, atom
+from repro.smv.compile_explicit import to_system
+from repro.smv.run import load_model
+from repro.smv.simulate import (
+    check_trace,
+    format_trace,
+    initial_state,
+    simulate,
+    step,
+)
+
+TOGGLE = """
+MODULE main
+VAR x : boolean;
+ASSIGN init(x) := 0; next(x) := !x;
+"""
+
+PROTOCOL = """
+MODULE main
+VAR s : {idle, req, done};
+    go : boolean;
+ASSIGN
+  init(s) := idle;
+  next(s) := case
+    s = idle & go : req;
+    s = req : {req, done};
+    1 : s;
+  esac;
+"""
+
+CONSTRAINED = """
+MODULE main
+VAR a : boolean;
+    b : boolean;
+INIT a = b
+ASSIGN next(a) := a; next(b) := b;
+"""
+
+
+class TestDeterministicRuns:
+    def test_toggle_alternates(self):
+        trace = simulate(load_model(TOGGLE), steps=5, seed=0)
+        values = [s["x"] for s in trace]
+        assert values == [False, True, False, True, False, True]
+
+    def test_seed_reproducible(self):
+        model = load_model(PROTOCOL)
+        assert simulate(model, 10, seed=7) == simulate(model, 10, seed=7)
+
+    def test_trace_length(self):
+        assert len(simulate(load_model(TOGGLE), steps=3, seed=0)) == 4
+
+
+class TestSemanticsAgreement:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_every_step_is_a_compiled_transition(self, seed):
+        """Simulated steps must be edges of the compiled raw relation."""
+        model = load_model(PROTOCOL)
+        system = to_system(model, reflexive=False)
+        trace = simulate(model, steps=8, seed=seed)
+        for s, t in zip(trace, trace[1:]):
+            assert system.has_transition(
+                model.encoding.state_of(s), model.encoding.state_of(t)
+            )
+
+    def test_initial_state_respects_init(self):
+        import random
+
+        model = load_model(PROTOCOL)
+        for seed in range(10):
+            state = initial_state(model, random.Random(seed))
+            assert state["s"] == "idle"
+
+    def test_init_constraint_rejection_sampling(self):
+        import random
+
+        model = load_model(CONSTRAINED)
+        for seed in range(10):
+            state = initial_state(model, random.Random(seed))
+            assert state["a"] == state["b"]
+
+
+class TestTraceChecking:
+    def test_invariant_violation_located(self):
+        model = load_model(TOGGLE)
+        trace = simulate(model, steps=4, seed=0)
+        # "x is false" breaks at state 1
+        assert check_trace(model, trace, Not(atom("x"))) == 1
+
+    def test_invariant_holds(self):
+        model = load_model(CONSTRAINED)
+        trace = simulate(model, steps=4, seed=1)
+        from repro.logic.ctl import Iff
+
+        assert check_trace(model, trace, Iff(atom("a"), atom("b"))) is None
+
+
+class TestFormatting:
+    def test_only_changes_printed(self):
+        model = load_model(PROTOCOL)
+        trace = simulate(model, steps=5, seed=3)
+        text = format_trace(trace)
+        assert text.startswith("-> State 0 <-")
+        # a state where nothing changed prints just its header
+        assert "State 5" in text
+
+    def test_booleans_rendered_as_bits(self):
+        model = load_model(TOGGLE)
+        text = format_trace(simulate(model, steps=1, seed=0))
+        assert "x = 0" in text and "x = 1" in text
+
+
+class TestErrors:
+    def test_fallthrough_step_raises(self):
+        model = load_model(
+            """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := case x : 0; esac;
+"""
+        )
+        with pytest.raises(ElaborationError):
+            simulate(model, steps=2, seed=0, start={"x": False})

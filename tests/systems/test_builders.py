@@ -1,0 +1,96 @@
+"""Tests for the convenience system builders."""
+
+import pytest
+
+from repro.checking.explicit import ExplicitChecker
+from repro.errors import SystemError_
+from repro.logic.ctl import AX, EF, EX, Implies, Not, atom
+from repro.systems.builders import (
+    chain,
+    cycle,
+    riser,
+    system_from_function,
+    toggle,
+)
+from repro.systems.encode import Encoding, FiniteVar
+
+
+class TestFunctionBuilder:
+    def setup_method(self):
+        self.enc = Encoding([FiniteVar("n", (0, 1, 2)), FiniteVar("b", (False, True))])
+
+    def test_deterministic_function(self):
+        m = system_from_function(
+            self.enc, lambda s: [{**s, "n": (s["n"] + 1) % 3}]
+        )
+        ck = ExplicitChecker(m)
+        assert ck.holds(
+            Implies(self.enc.eq_formula("n", 0), EX(self.enc.eq_formula("n", 1)))
+        )
+
+    def test_nondeterministic_function(self):
+        m = system_from_function(
+            self.enc, lambda s: [{**s, "b": True}, {**s, "b": False}],
+            reflexive=False,
+        )
+        # every finite-domain state reaches both b-values in one step
+        # (junk bit patterns have no successors in the raw relation)
+        from repro.logic.restriction import Restriction
+
+        valid = Restriction(init=self.enc.valid_formula())
+        ck = ExplicitChecker(m)
+        assert ck.holds(EX(atom("b")), valid)
+        assert ck.holds(EX(Not(atom("b"))), valid)
+
+    def test_empty_successors_mean_stutter_only(self):
+        m = system_from_function(self.enc, lambda s: [])
+        for s in [self.enc.state_of(a) for a in self.enc.all_assignments()]:
+            assert m.successors(s) == {s}
+
+    def test_out_of_domain_result_rejected(self):
+        with pytest.raises(Exception):
+            system_from_function(self.enc, lambda s: [{**s, "n": 99}])
+
+    def test_size_guard(self):
+        big = Encoding([FiniteVar(f"v{i}", tuple(range(8))) for i in range(6)])
+        with pytest.raises(SystemError_):
+            system_from_function(big, lambda s: [s])
+
+
+class TestStockShapes:
+    def test_toggle_matches_figure1(self):
+        from repro.casestudies.figures import figure1_m
+
+        assert toggle("x") == figure1_m()
+
+    def test_riser_is_one_way(self):
+        m = riser("a")
+        ck = ExplicitChecker(m)
+        assert ck.holds(Implies(atom("a"), AX(atom("a"))))
+        assert ck.holds(Implies(Not(atom("a")), EX(atom("a"))))
+
+    def test_chain_rises_in_order(self):
+        m = chain(["a", "b", "c"])
+        ck = ExplicitChecker(m)
+        start = frozenset()
+        # a before b before c along the intended run
+        assert m.has_transition(start, frozenset({"a"}))
+        assert m.has_transition(frozenset({"a"}), frozenset({"a", "b"}))
+        assert not m.has_transition(start, frozenset({"b"}))
+        from repro.logic.ctl import land
+
+        start_pred = land(Not(atom("a")), Not(atom("b")), Not(atom("c")))
+        assert ck.holds(Implies(start_pred, EF(atom("c"))))
+
+    def test_chain_needs_atoms(self):
+        with pytest.raises(SystemError_):
+            chain([])
+
+    def test_cycle_visits_whole_domain(self):
+        enc = Encoding([FiniteVar("s", ("p", "q", "r"))])
+        m = cycle(enc, "s")
+        ck = ExplicitChecker(m)
+        for value in ("q", "r"):
+            assert ck.holds(
+                Implies(enc.eq_formula("s", "p"), EF(enc.eq_formula("s", value)))
+            )

@@ -1,0 +1,101 @@
+"""Tests for interleaving composition and expansion — incl. paper Figure 1."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import systems
+from repro.casestudies.figures import (
+    figure1_expected_composition,
+    figure1_m,
+    figure1_m_prime,
+)
+from repro.errors import SystemError_
+from repro.systems.compose import compose, compose_all, expand
+from repro.systems.system import System, identity_system
+
+E = frozenset()
+X = frozenset({"x"})
+Y = frozenset({"y"})
+XY = frozenset({"x", "y"})
+
+
+class TestPaperFigure1:
+    def test_composition_matches_paper_exactly(self):
+        got = compose(figure1_m(), figure1_m_prime())
+        assert got == figure1_expected_composition()
+
+    def test_alphabet_is_union(self):
+        got = compose(figure1_m(), figure1_m_prime())
+        assert got.sigma == {"x", "y"}
+
+    def test_each_step_moves_one_component(self):
+        got = compose(figure1_m(), figure1_m_prime())
+        for s, t in got.edges:
+            changed_x = ("x" in s) != ("x" in t)
+            changed_y = ("y" in s) != ("y" in t)
+            assert changed_x != changed_y  # exactly one moves
+
+
+class TestFrameLifting:
+    def test_private_atoms_stutter(self):
+        m = System({"x"}, [(E, X)])
+        n = identity_system({"y"})
+        c = compose(m, n)
+        # x can rise with y in either value, y never changes on m-steps
+        assert (E, X) in c.edges
+        assert (Y, XY) in c.edges
+        assert (E, XY) not in c.edges
+
+    def test_shared_atoms_not_lifted(self):
+        m = System({"x", "s"}, [(frozenset({"s"}), E)])
+        n = System({"y", "s"}, [])
+        c = compose(m, n)
+        src = frozenset({"s"})
+        assert (src, E) in c.edges
+        assert (frozenset({"s", "y"}), Y) in c.edges
+        # m's step cannot silently change y at the same time
+        assert (frozenset({"s", "y"}), E) not in c.edges
+
+
+class TestAlgebra:
+    @given(systems(), systems())
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, m1, m2):
+        assert compose(m1, m2) == compose(m2, m1)
+
+    @given(systems(atoms=("a", "b")), systems(atoms=("b", "c")), systems(atoms=("c", "a")))
+    @settings(max_examples=30, deadline=None)
+    def test_associative(self, m1, m2, m3):
+        assert compose(compose(m1, m2), m3) == compose(m1, compose(m2, m3))
+
+    @given(systems())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_element(self, m):
+        assert compose(m, identity_system(m.sigma)) == m
+
+    def test_compose_all_folds(self):
+        m = figure1_m()
+        n = figure1_m_prime()
+        assert compose_all([m, n]) == compose(m, n)
+
+    def test_compose_all_empty_rejected(self):
+        with pytest.raises(SystemError_):
+            compose_all([])
+
+
+class TestExpansion:
+    def test_expand_adds_frame_atoms(self):
+        m = System({"x"}, [(E, X)])
+        ex = expand(m, {"y"})
+        assert ex.sigma == {"x", "y"}
+        assert (Y, XY) in ex.edges
+
+    def test_expand_with_no_new_atoms_is_identity(self):
+        m = System({"x"}, [(E, X)])
+        assert expand(m, {"x"}) == m
+
+    def test_alphabet_guard(self):
+        m = System({f"a{i}" for i in range(12)})
+        n = System({f"b{i}" for i in range(12)})
+        with pytest.raises(SystemError_):
+            compose(m, n)

@@ -1,0 +1,137 @@
+"""Tests for the finite-domain boolean encoding — incl. paper Figure 3."""
+
+import pytest
+
+from repro.casestudies.figures import (
+    figure3_encoding,
+    figure3_less_than_2,
+    figure3_system,
+)
+from repro.checking.explicit import ExplicitChecker
+from repro.errors import LogicError
+from repro.logic.ctl import AX, Atom, Implies, Not, TRUE
+from repro.systems.encode import Encoding, FiniteVar
+
+
+class TestFiniteVar:
+    def test_nbits(self):
+        assert FiniteVar("x", (0,)).nbits == 1
+        assert FiniteVar("x", (0, 1)).nbits == 1
+        assert FiniteVar("x", (0, 1, 2)).nbits == 2
+        assert FiniteVar("x", tuple(range(9))).nbits == 4
+
+    def test_boolean_uses_bare_name(self):
+        v = FiniteVar("flag", (False, True))
+        assert v.is_boolean
+        assert v.bits == ("flag",)
+
+    def test_enum_bit_names(self):
+        v = FiniteVar("x", ("a", "b", "c"))
+        assert v.bits == ("x.0", "x.1")
+
+    def test_bit_values_little_endian(self):
+        v = FiniteVar("x", ("a", "b", "c", "d"))
+        assert v.bit_values("c") == {"x.0": False, "x.1": True}
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(LogicError):
+            FiniteVar("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(LogicError):
+            FiniteVar("x", ("a", "a"))
+
+    def test_index_of_unknown_value(self):
+        with pytest.raises(LogicError):
+            FiniteVar("x", ("a",)).index_of("z")
+
+
+class TestEncoding:
+    def setup_method(self):
+        self.enc = Encoding(
+            [FiniteVar("x", (0, 1, 2)), FiniteVar("b", (False, True))]
+        )
+
+    def test_atoms_grouped_in_order(self):
+        assert self.enc.atoms == ("x.0", "x.1", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LogicError):
+            Encoding([FiniteVar("x", (0,)), FiniteVar("x", (1,))])
+
+    def test_state_of_roundtrips_decode(self):
+        for assignment in self.enc.all_assignments():
+            state = self.enc.state_of(assignment)
+            assert self.enc.decode(state) == assignment
+
+    def test_decode_junk_returns_none(self):
+        junk = frozenset({"x.0", "x.1"})  # index 3 ∉ {0,1,2}
+        assert self.enc.decode(junk) is None
+
+    def test_state_of_missing_variable(self):
+        with pytest.raises(LogicError):
+            self.enc.state_of({"x": 0})
+
+    def test_all_assignments_cartesian(self):
+        assert len(self.enc.all_assignments()) == 6
+
+    def test_eq_formula_pins_all_bits(self):
+        f = self.enc.eq_formula("x", 2)
+        assert f.atoms() == {"x.0", "x.1"}
+
+    def test_in_formula(self):
+        f = self.enc.in_formula("x", [0, 1])
+        # x ∈ {0,1} iff ¬x.1
+        assert "x.1" in f.atoms()
+
+    def test_valid_formula_skips_power_of_two(self):
+        enc = Encoding([FiniteVar("y", ("a", "b"))])
+        assert enc.valid_formula() == TRUE
+
+    def test_valid_formula_excludes_junk(self):
+        f = self.enc.valid_formula()
+        states = [self.enc.state_of(a) for a in self.enc.all_assignments()]
+        # every real assignment satisfies it, the junk pattern does not
+        from repro.systems.system import System
+
+        ck = ExplicitChecker(System(self.enc.atoms))
+        sat = ck.states_satisfying(f)
+        for s in states:
+            assert sat[ck._index(s)]
+        assert not sat[ck._index(frozenset({"x.0", "x.1"}))]
+
+
+class TestPaperFigure3:
+    def test_two_bits_for_four_values(self):
+        enc = figure3_encoding()
+        assert enc.atoms == ("x.0", "x.1")
+
+    def test_counter_preserves_transitions(self):
+        """The boolean system has exactly the 0→1→2→3→0 structure."""
+        m = figure3_system()
+        enc = figure3_encoding()
+        state = lambda v: enc.state_of({"x": v})
+        for v in range(4):
+            assert m.has_transition(state(v), state((v + 1) % 4))
+        assert not m.has_transition(state(0), state(2))
+
+    def test_x_less_than_2_maps_to_not_high_bit(self):
+        """Paper: the formula (x < 2) is mapped to (¬x₁)."""
+        from repro.compositional.prop_logic import equivalent
+
+        assert equivalent(figure3_less_than_2(), Not(Atom("x.1")))
+
+    def test_mapped_formula_agrees_with_original(self):
+        enc = figure3_encoding()
+        ck = ExplicitChecker(figure3_system())
+        sat = ck.states_satisfying(figure3_less_than_2())
+        for v in range(4):
+            assert sat[ck._index(enc.state_of({"x": v}))] == (v < 2)
+
+    def test_next_step_property_is_universal_form(self):
+        """p ⇒ AXq over the mapped propositions — §3.4's point."""
+        from repro.compositional.classify import is_ax_step
+
+        enc = figure3_encoding()
+        f = Implies(enc.eq_formula("x", 0), AX(enc.eq_formula("x", 1)))
+        assert is_ax_step(f)

@@ -1,0 +1,73 @@
+"""Tests for graph views of systems."""
+
+import networkx as nx
+
+from repro.casestudies.figures import figure1_m, figure3_encoding, figure3_system
+from repro.systems.graph import (
+    decoded_graph,
+    isomorphic,
+    reachable_subgraph,
+    to_dot,
+    to_networkx,
+)
+from repro.systems.system import System
+
+E = frozenset()
+X = frozenset({"x"})
+
+
+class TestNetworkx:
+    def test_nodes_and_edges(self):
+        g = to_networkx(figure1_m())
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 2  # both directions, no stutter
+
+    def test_include_stutter(self):
+        g = to_networkx(figure1_m(), include_stutter=True)
+        assert g.number_of_edges() == 4
+
+    def test_custom_label(self):
+        g = to_networkx(figure1_m(), label=lambda s: len(s))
+        assert set(g.nodes) == {0, 1}
+
+
+class TestReachable:
+    def test_only_reachable_states(self):
+        m = System.from_pairs({"x", "y"}, [((), ("x",))])
+        g = reachable_subgraph(m, {E})
+        # from ∅ we reach only ∅ and {x}
+        assert set(g.nodes) == {(), ("x",)}
+
+
+class TestDecodedGraph:
+    def test_decodes_to_assignments(self):
+        g = decoded_graph(figure3_system(), figure3_encoding())
+        assert (("x", 0),) in g.nodes
+        assert g.has_edge((("x", 0),), (("x", 1),))
+
+    def test_junk_dropped_by_default(self):
+        enc = figure3_encoding()
+        assert all(n[0][0] == "x" for n in decoded_graph(figure3_system(), enc).nodes)
+
+
+class TestDot:
+    def test_dot_well_formed(self):
+        text = to_dot(figure1_m())
+        assert text.startswith("digraph")
+        assert '"{}" -> "{x}";' in text
+
+    def test_dot_with_stutter(self):
+        text = to_dot(figure1_m(), include_stutter=True)
+        assert '"{x}" -> "{x}";' in text
+
+
+class TestIsomorphism:
+    def test_isomorphic_relabelings(self):
+        m1 = System.from_pairs({"x"}, [((), ("x",))])
+        m2 = System.from_pairs({"y"}, [(("y",), ())])
+        assert isomorphic(to_networkx(m1), to_networkx(m2))
+
+    def test_non_isomorphic(self):
+        m1 = System.from_pairs({"x"}, [((), ("x",)), (("x",), ())])
+        m2 = System.from_pairs({"x"}, [((), ("x",))])
+        assert not isomorphic(to_networkx(m1), to_networkx(m2))

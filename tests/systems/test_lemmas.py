@@ -1,0 +1,162 @@
+"""Machine-checks of the paper's Lemmas 1–11 on concrete and random systems."""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.conftest import prop_formulas, systems
+from repro.logic.ctl import Atom, Not, Or, TRUE, atom
+from repro.systems import lemmas
+from repro.systems.system import System
+
+E = frozenset()
+X = frozenset({"x"})
+
+
+@pytest.fixture
+def m_pair():
+    m1 = System.from_pairs({"a", "b"}, [((), ("a",)), (("a",), ("a", "b"))])
+    m2 = System.from_pairs({"b", "c"}, [(("b",), ("c",)), (("c",), ())])
+    return m1, m2
+
+
+class TestAlgebraicLemmas:
+    def test_lemma1_concrete(self, m_pair):
+        assert lemmas.lemma_1_commutative(*m_pair)
+        assert lemmas.lemma_1_associative(*m_pair, System({"d"}, [(E, frozenset({"d"}))]))
+
+    @given(systems(), systems())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_random(self, m1, m2):
+        assert lemmas.lemma_1_commutative(m1, m2)
+
+    def test_lemma2_union(self):
+        m1 = System({"x"}, [(E, X)])
+        m2 = System({"x"}, [(X, E)])
+        assert lemmas.lemma_2_same_alphabet_union(m1, m2)
+
+    def test_lemma2_requires_equal_alphabets(self):
+        with pytest.raises(ValueError):
+            lemmas.lemma_2_same_alphabet_union(System({"x"}), System({"y"}))
+
+    @given(systems())
+    @settings(max_examples=30, deadline=None)
+    def test_lemma3_identity(self, m):
+        assert lemmas.lemma_3_identity(m)
+
+    @given(systems(atoms=("a", "b")), systems(atoms=("b", "c")))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma4_expansions(self, m1, m2):
+        assert lemmas.lemma_4_expansion_composition(m1, m2)
+
+
+class TestPreservationLemmas:
+    @given(systems(atoms=("a", "b"), max_atoms=2), prop_formulas(atoms=("a", "b")))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma5_random_propositional(self, m, f):
+        from repro.logic.ctl import substitute, Const
+
+        f = substitute(f, {x: Const(True) for x in f.atoms() - m.sigma})
+        assert lemmas.lemma_5_expansion_preserves(m, {"z"}, f)
+
+    def test_lemma5_temporal(self):
+        from repro.logic.ctl import AF, EX, Implies
+
+        m = System.from_pairs({"x"}, [((), ("x",))])
+        assert lemmas.lemma_5_expansion_preserves(
+            m, {"y"}, Implies(Not(atom("x")), EX(atom("x")))
+        )
+
+    def test_lemma5_rejects_foreign_atoms(self):
+        with pytest.raises(ValueError):
+            lemmas.lemma_5_expansion_preserves(System({"x"}), {"y"}, atom("y"))
+
+    @given(systems(max_atoms=2), prop_formulas(atoms=("a", "b")), prop_formulas(atoms=("a", "b")))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma6_and_7_random(self, m, f, g):
+        from repro.logic.ctl import Const, substitute
+
+        f = substitute(f, {x: Const(False) for x in f.atoms() - m.sigma})
+        g = substitute(g, {x: Const(False) for x in g.atoms() - m.sigma})
+        assert lemmas.lemma_6_ax_structural(m, f, g)
+        assert lemmas.lemma_7_ex_structural(m, f, g)
+
+    def test_lemma6_rejects_temporal(self):
+        from repro.logic.ctl import EX
+
+        with pytest.raises(ValueError):
+            lemmas.lemma_6_ax_structural(System({"x"}), EX(atom("x")), atom("x"))
+
+
+class TestTransferLemmas:
+    def test_lemma8_concrete(self):
+        m = System.from_pairs({"x"}, [((), ("x",))])
+        assert lemmas.lemma_8_conjunctive_transfer(
+            m, Not(atom("x")), Or(atom("x"), Not(atom("x"))), atom("z"), {"z"}
+        )
+
+    @given(
+        systems(atoms=("a", "b"), max_atoms=2),
+        prop_formulas(atoms=("a", "b")),
+        prop_formulas(atoms=("a", "b")),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lemma8_random(self, m, p, q):
+        from repro.logic.ctl import Const, substitute
+
+        p = substitute(p, {x: Const(True) for x in p.atoms() - m.sigma})
+        q = substitute(q, {x: Const(True) for x in q.atoms() - m.sigma})
+        assert lemmas.lemma_8_conjunctive_transfer(m, p, q, atom("z"), {"z"})
+
+    @given(
+        systems(atoms=("a", "b"), max_atoms=2),
+        prop_formulas(atoms=("a", "b")),
+        prop_formulas(atoms=("a", "b")),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lemma9_random(self, m, p, q):
+        from repro.logic.ctl import Const, substitute
+
+        p = substitute(p, {x: Const(True) for x in p.atoms() - m.sigma})
+        q = substitute(q, {x: Const(True) for x in q.atoms() - m.sigma})
+        assert lemmas.lemma_9_disjunctive_transfer(m, p, q, Not(atom("z")), {"z"})
+
+    def test_lemma8_rejects_local_p_prime(self):
+        m = System({"x"})
+        with pytest.raises(ValueError):
+            lemmas.lemma_8_conjunctive_transfer(m, atom("x"), atom("x"), atom("x"), {"z"})
+
+
+class TestProjectionLemma:
+    @given(systems(atoms=("a", "b"), max_atoms=2), prop_formulas(atoms=("a",)))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma10_random(self, m_small, p):
+        m_big = System(
+            set(m_small.sigma) | {"z"},
+            [],
+        )
+        m = System(("a",))
+        from repro.logic.ctl import Const, substitute
+
+        p = substitute(p, {x: Const(True) for x in p.atoms() - m.sigma})
+        assert lemmas.lemma_10_state_projection(m, m_big, p)
+
+    def test_lemma10_requires_subset(self):
+        with pytest.raises(ValueError):
+            lemmas.lemma_10_state_projection(System({"x"}), System({"y"}), atom("x"))
+
+
+class TestFairnessLemma:
+    @given(
+        systems(max_atoms=2),
+        prop_formulas(atoms=("a", "b")),
+        prop_formulas(atoms=("a", "b")),
+        prop_formulas(atoms=("a", "b")),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lemma11_random(self, m, f, g, fair):
+        from repro.logic.ctl import Const, substitute
+
+        sub = lambda h: substitute(h, {x: Const(True) for x in h.atoms() - m.sigma})
+        assert lemmas.lemma_11_fairness_strengthening(
+            m, sub(f), sub(g), (sub(fair),)
+        )

@@ -1,0 +1,85 @@
+"""Tests for the conjunctive transition-relation partition."""
+
+import pytest
+
+from repro.errors import SystemError_
+from repro.logic.ctl import Implies, EX
+from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.elaborate import SmvModel
+from repro.smv.parser import parse_module
+from repro.systems.symbolic import SymbolicSystem
+
+MODEL = """
+MODULE main
+VAR a : {x, y, z};
+    b : boolean;
+    inp : boolean;
+ASSIGN
+  next(a) := case b : x; a = x : y; 1 : a; esac;
+  next(b) := !b;
+"""
+
+
+def _sym():
+    return to_symbolic(SmvModel(parse_module(MODEL)))
+
+
+class TestPartitionStructure:
+    def test_one_partition_per_variable(self):
+        sym = _sym()
+        assert sym.partitions is not None
+        assert len(sym.partitions) == 3  # a, b, inp
+
+    def test_conjunction_equals_monolithic(self):
+        sym = _sym()
+        assert sym.bdd.conj(sym.partitions) == sym.transition
+
+    def test_reflexive_compile_has_no_partition(self):
+        sym = to_symbolic(SmvModel(parse_module(MODEL)), reflexive=True)
+        assert sym.partitions is None
+
+
+class TestPartitionedPreImage:
+    def test_matches_monolithic_on_state_sets(self):
+        sym = _sym()
+        bdd = sym.bdd
+        # a spread of target sets: literals, cubes, xor-chains
+        targets = [bdd.var("b"), bdd.nvar("inp")]
+        targets.append(bdd.apply("and", bdd.var("a.0"), bdd.nvar("a.1")))
+        xor = bdd.var(sym.atoms[0])
+        for atom_name in sym.atoms[1:]:
+            xor = bdd.apply("xor", xor, bdd.var(atom_name))
+        targets.append(xor)
+        for target in targets:
+            assert sym.pre_image_partitioned(target) == sym.pre_image(target)
+
+    def test_prefer_partitions_switch(self):
+        sym = _sym()
+        target = sym.bdd.var("b")
+        expected = sym.pre_image(target)
+        sym.prefer_partitions = True
+        assert sym.pre_image(target) == expected
+
+    def test_missing_partition_raises(self):
+        plain = SymbolicSystem({"a"})
+        with pytest.raises(SystemError_):
+            plain.pre_image_partitioned(plain.bdd.var("a"))
+
+
+class TestCheckerWithPartitions:
+    def test_verdicts_identical(self):
+        from repro.checking.symbolic import SymbolicChecker
+        from repro.logic.restriction import Restriction
+
+        model = SmvModel(parse_module(MODEL))
+        mono = to_symbolic(model)
+        part = to_symbolic(model)
+        part.prefer_partitions = True
+        r = Restriction(init=model.initial_formula())
+        spec = Implies(
+            model.encoding.eq_formula("a", "x"),
+            EX(model.encoding.eq_formula("a", "y")),
+        )
+        assert bool(SymbolicChecker(mono).holds(spec, r)) == bool(
+            SymbolicChecker(part).holds(spec, r)
+        )

@@ -1,0 +1,104 @@
+"""Tests for the explicit System representation."""
+
+import pytest
+
+from repro.errors import SystemError_
+from repro.systems.system import (
+    MAX_EXPLICIT_ATOMS,
+    System,
+    all_states,
+    identity_system,
+)
+
+E = frozenset()
+X = frozenset({"x"})
+Y = frozenset({"y"})
+XY = frozenset({"x", "y"})
+
+
+class TestConstruction:
+    def test_self_loops_dropped_in_reflexive_mode(self):
+        m = System({"x"}, [(X, X), (E, X)])
+        assert m.edges == frozenset({(E, X)})
+
+    def test_self_loops_kept_in_raw_mode(self):
+        m = System({"x"}, [(X, X), (E, X)], reflexive=False)
+        assert (X, X) in m.edges
+
+    def test_foreign_atoms_rejected(self):
+        with pytest.raises(SystemError_):
+            System({"x"}, [(E, Y)])
+
+    def test_from_pairs(self):
+        m = System.from_pairs({"x"}, [((), ("x",))])
+        assert m.edges == frozenset({(E, X)})
+
+    def test_equality_includes_flag(self):
+        a = System({"x"}, [(E, X)])
+        b = System({"x"}, [(E, X)], reflexive=False)
+        assert a != b
+        assert a == System({"x"}, [(E, X)])
+
+    def test_hashable(self):
+        assert len({System({"x"}), System({"x"})}) == 1
+
+
+class TestStateSpace:
+    def test_all_states_is_powerset(self):
+        assert set(all_states({"x", "y"})) == {E, X, Y, XY}
+
+    def test_num_states(self):
+        assert System({"x", "y"}).num_states() == 4
+
+    def test_all_states_guard(self):
+        with pytest.raises(SystemError_):
+            list(all_states([f"a{i}" for i in range(MAX_EXPLICIT_ATOMS + 1)]))
+
+
+class TestRelation:
+    def test_successors_include_self_when_reflexive(self):
+        m = System({"x"}, [(E, X)])
+        assert m.successors(E) == {E, X}
+        assert m.successors(X) == {X}
+
+    def test_successors_raw_mode(self):
+        m = System({"x"}, [(E, X)], reflexive=False)
+        assert m.successors(E) == {X}
+        assert m.successors(X) == set()
+
+    def test_predecessors(self):
+        m = System({"x"}, [(E, X)])
+        assert m.predecessors(X) == {E, X}
+
+    def test_has_transition(self):
+        m = System({"x"}, [(E, X)])
+        assert m.has_transition(E, X)
+        assert m.has_transition(X, X)  # implicit stutter
+        assert not m.has_transition(X, E)
+
+    def test_relation_includes_implicit_loops(self):
+        m = System({"x"}, [(E, X)])
+        assert set(m.relation()) == {(E, X), (E, E), (X, X)}
+
+    def test_num_transitions(self):
+        m = System({"x"}, [(E, X)])
+        assert m.num_transitions() == 3
+
+    def test_is_total(self):
+        assert System({"x"}, [(E, X)]).is_total()
+        assert not System({"x"}, [(E, X)], reflexive=False).is_total()
+        full = System({"x"}, [(E, X), (X, X), (X, E), (E, E)], reflexive=False)
+        assert full.is_total()
+
+    def test_reflexive_closure(self):
+        raw = System({"x"}, [(E, X), (X, X)], reflexive=False)
+        closed = raw.reflexive_closure()
+        assert closed.reflexive
+        assert closed.edges == frozenset({(E, X)})
+        assert closed.reflexive_closure() is closed
+
+
+def test_identity_system_has_no_edges():
+    m = identity_system({"x", "y"})
+    assert m.edges == frozenset()
+    assert m.successors(XY) == {XY}

@@ -1,0 +1,31 @@
+"""The generated API index stays current and every module is documented."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tools"))
+
+import gen_api_docs  # noqa: E402
+
+
+def test_every_module_has_a_docstring():
+    import importlib
+
+    for name in gen_api_docs.iter_modules():
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} is undocumented"
+
+
+def test_committed_index_is_current():
+    committed = (
+        pathlib.Path(__file__).parent.parent / "docs" / "API.md"
+    ).read_text()
+    assert committed == gen_api_docs.generate(), (
+        "docs/API.md is stale — run python tools/gen_api_docs.py"
+    )
+
+
+def test_first_sentence_extraction():
+    assert gen_api_docs.first_sentence("Hello world. More.") == "Hello world."
+    assert gen_api_docs.first_sentence(None) == "(undocumented)"
+    assert gen_api_docs.first_sentence("No trailing stop") == "No trailing stop."

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+"""
+
+BAD = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := {0, 1};
+SPEC x -> AX x
+"""
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.smv"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.smv"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestCheck:
+    def test_exit_zero_when_true(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "is true" in out and "BDD nodes allocated" in out
+
+    def test_exit_one_when_false(self, bad_file, capsys):
+        assert main(["check", bad_file]) == 1
+        assert "is false" in capsys.readouterr().out
+
+    def test_explicit_engine(self, good_file, capsys):
+        assert main(["check", "--explicit", good_file]) == 0
+        assert "is true" in capsys.readouterr().out
+
+    def test_reflexive_flag_changes_semantics(self, tmp_path, capsys):
+        path = tmp_path / "m.smv"
+        path.write_text(
+            "MODULE main\nVAR x : boolean;\nASSIGN next(x) := 1;\nSPEC !x -> AX x\n"
+        )
+        assert main(["check", str(path)]) == 0
+        assert main(["check", "--reflexive", str(path)]) == 1
+
+
+class TestSimulate:
+    def test_prints_states(self, good_file, capsys):
+        assert main(["simulate", good_file, "-n", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "-> State 0 <-" in out and "-> State 3 <-" in out
+
+
+class TestGraph:
+    def test_dot_output(self, good_file, capsys):
+        assert main(["graph", good_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_decoded_output(self, good_file, capsys):
+        assert main(["graph", "--decoded", good_file]) == 0
+        assert "x=" in capsys.readouterr().out
+
+
+class TestReachable:
+    def test_stats(self, good_file, capsys):
+        assert main(["reachable", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "reachable states" in out
+        assert "diameter" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_missing_file_exits_2(capsys):
+    assert main(["check", "/nonexistent/model.smv"]) == 2
+    assert "repro:" in capsys.readouterr().err
+
+
+def test_syntax_error_exits_2(tmp_path, capsys):
+    path = tmp_path / "broken.smv"
+    path.write_text("MODULE main VAR x :")
+    assert main(["check", str(path)]) == 2
+    assert "repro:" in capsys.readouterr().err

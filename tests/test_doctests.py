@@ -1,0 +1,38 @@
+"""Run the doctests embedded in public modules' docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.bdd.manager
+import repro.checking.explicit
+import repro.checking.symbolic
+import repro.compositional.prop_logic
+import repro.logic.evaluate
+import repro.logic.parser
+import repro.smv.parser
+import repro.smv.run
+import repro.systems.encode
+import repro.systems.system
+
+MODULES = [
+    repro.bdd.manager,
+    repro.logic.parser,
+    repro.logic.evaluate,
+    repro.systems.system,
+    repro.systems.encode,
+    repro.checking.explicit,
+    repro.checking.symbolic,
+    repro.smv.parser,
+    repro.smv.run,
+    repro.compositional.prop_logic,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )[:2]
+    assert attempted > 0, f"{module.__name__} lost its doctests"
+    assert failures == 0

@@ -1,0 +1,107 @@
+"""Edge cases across the stack: degenerate alphabets, empty sections."""
+
+import pytest
+
+from repro.checking.explicit import ExplicitChecker
+from repro.checking.symbolic import SymbolicChecker
+from repro.errors import ReproError
+from repro.logic.ctl import AF, AG, Const, EX, TRUE
+from repro.logic.restriction import Restriction
+from repro.systems.compose import compose
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System, identity_system
+
+
+class TestEmptyAlphabet:
+    """Σ = ∅ gives a single-state system — everything must still work."""
+
+    def test_single_state(self):
+        m = System(set())
+        assert m.num_states() == 1
+        assert list(m.states()) == [frozenset()]
+
+    def test_explicit_checking(self):
+        ck = ExplicitChecker(System(set()))
+        assert ck.holds(TRUE)
+        assert ck.holds(AG(TRUE))
+        assert not ck.holds(Const(False))
+        assert ck.holds(EX(TRUE))  # the stutter loop
+
+    def test_symbolic_checking(self):
+        sym = SymbolicSystem.from_explicit(System(set()))
+        sck = SymbolicChecker(sym)
+        assert sck.holds(AF(TRUE))
+        assert not sck.holds(Const(False))
+
+    def test_composition_with_empty(self):
+        m = System.from_pairs({"x"}, [((), ("x",))])
+        assert compose(m, System(set())) == m
+
+    def test_identity_of_nothing(self):
+        e = identity_system(set())
+        assert e.num_transitions() == 1
+
+
+class TestDegenerateRestrictions:
+    def test_false_init_makes_everything_hold(self, one_way_x):
+        ck = ExplicitChecker(one_way_x)
+        r = Restriction(init=Const(False))
+        assert ck.holds(Const(False), r)
+
+    def test_false_fairness_no_fair_paths(self, one_way_x):
+        ck = ExplicitChecker(one_way_x)
+        r = Restriction(fairness=(Const(False),))
+        # universally quantified properties hold vacuously
+        assert ck.holds(AF(Const(False)), r)
+        # existentially quantified ones are everywhere false
+        assert not ck.holds(EX(TRUE), r)
+
+
+class TestSmvDegenerate:
+    def test_model_without_specs(self):
+        from repro.smv.run import check_source
+
+        report = check_source("MODULE main\nVAR x : boolean;\n")
+        assert report.all_true  # vacuously
+        assert report.results == []
+        assert "resources used" in report.format()
+
+    def test_model_without_assigns_is_fully_free(self):
+        from repro.smv.run import check_source
+
+        # with x unconstrained, EX x holds everywhere, AX x nowhere useful
+        report = check_source(
+            "MODULE main\nVAR x : boolean;\nSPEC EX x\nSPEC EX !x\n"
+        )
+        assert report.all_true
+
+    def test_single_value_enum(self):
+        from repro.smv.run import check_source
+
+        report = check_source(
+            "MODULE main\nVAR s : {only};\nSPEC AG s = only\n"
+        )
+        assert report.all_true
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in (
+            "BddError",
+            "LogicError",
+            "ParseError",
+            "SystemError_",
+            "ElaborationError",
+            "CheckError",
+            "ProofError",
+        ):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_parse_error_position_formatting(self):
+        from repro.errors import ParseError
+
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert err.line == 3 and err.column == 7
