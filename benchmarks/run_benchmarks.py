@@ -1,0 +1,188 @@
+"""Run the BDD-engine benchmark suite and record a trajectory entry.
+
+Runs the engine microbenches plus the two suites most sensitive to the
+apply-kernel rewrite, extracts the per-test timing statistics from
+pytest-benchmark's JSON output, and appends one labeled entry to
+``BENCH_bdd_engine.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --label after
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick
+
+Each entry records mean/median/stddev (µs) and rounds per benchmark, the
+git revision, and — when a ``seed`` entry exists — the speedup of every
+benchmark relative to it.  ``--from-json`` ingests a previously captured
+``pytest --benchmark-json`` file instead of running (used to register the
+pre-rewrite baseline as the ``seed`` entry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_bdd_engine.json"
+
+#: suites a full run measures, in order
+SUITES = (
+    "benchmarks/bench_bdd_engine.py",
+    "benchmarks/bench_ablation_relational_product.py",
+    "benchmarks/bench_scaling_compositional_vs_monolithic.py",
+)
+
+#: the acceptance microbench: relational-product image step
+KEY_BENCH = "test_bdd_image_step"
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_pytest(suites: list[str], json_path: str, extra: list[str]) -> None:
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *suites,
+        "-q",
+        "--benchmark-json",
+        json_path,
+        *extra,
+    ]
+    print("+", " ".join(cmd))
+    result = subprocess.run(cmd, cwd=ROOT)
+    if result.returncode != 0:
+        raise SystemExit(result.returncode)
+
+
+def extract(benchmark_json: dict) -> dict[str, dict]:
+    """Per-test stats (µs) from a pytest-benchmark JSON document."""
+    results = {}
+    for bench in benchmark_json.get("benchmarks", []):
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "mean_us": round(stats["mean"] * 1e6, 2),
+            "median_us": round(stats["median"] * 1e6, 2),
+            "stddev_us": round(stats["stddev"] * 1e6, 2),
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def load_trajectory(path: pathlib.Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {
+        "description": "BDD engine benchmark trajectory "
+        "(µs per operation; lower is better)",
+        "key_benchmark": KEY_BENCH,
+        "entries": [],
+    }
+
+
+def seed_entry(trajectory: dict) -> dict | None:
+    for entry in trajectory["entries"]:
+        if entry["label"] == "seed":
+            return entry
+    return None
+
+
+def append_entry(
+    trajectory: dict, label: str, results: dict[str, dict]
+) -> dict:
+    entry = {
+        "label": label,
+        "git_rev": git_rev(),
+        "date": datetime.date.today().isoformat(),
+        "results": results,
+    }
+    seed = seed_entry(trajectory)
+    if seed is not None and label != "seed":
+        speedups = {}
+        for name, stats in results.items():
+            base = seed["results"].get(name)
+            if base and stats["mean_us"]:
+                speedups[name] = round(base["mean_us"] / stats["mean_us"], 2)
+        entry["speedup_vs_seed"] = speedups
+    trajectory["entries"] = [
+        e for e in trajectory["entries"] if e["label"] != label
+    ]
+    trajectory["entries"].append(entry)
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label",
+        default="after",
+        help="trajectory entry name (an existing entry with the same "
+        "label is replaced)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the engine microbenches (bench_bdd_engine.py)",
+    )
+    parser.add_argument(
+        "--from-json",
+        metavar="FILE",
+        help="ingest an existing pytest --benchmark-json file instead "
+        "of running the suites",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(DEFAULT_OUTPUT),
+        help="trajectory file to append to (default: BENCH_bdd_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.from_json:
+        document = json.loads(pathlib.Path(args.from_json).read_text())
+    else:
+        suites = [SUITES[0]] if args.quick else list(SUITES)
+        with tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False
+        ) as handle:
+            json_path = handle.name
+        run_pytest(suites, json_path, extra=[])
+        document = json.loads(pathlib.Path(json_path).read_text())
+        pathlib.Path(json_path).unlink()
+
+    results = extract(document)
+    if not results:
+        print("no benchmark results found", file=sys.stderr)
+        return 1
+
+    output = pathlib.Path(args.output)
+    trajectory = load_trajectory(output)
+    entry = append_entry(trajectory, args.label, results)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print(f"recorded entry {entry['label']!r} ({len(results)} benchmarks) "
+          f"in {output}")
+    if KEY_BENCH in results:
+        line = f"{KEY_BENCH}: mean {results[KEY_BENCH]['mean_us']} µs"
+        speedup = entry.get("speedup_vs_seed", {}).get(KEY_BENCH)
+        if speedup:
+            line += f" ({speedup}x vs seed)"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,26 +8,44 @@ hash-consed ROBDD implementation:
   constant TRUE;
 * every internal node is a triple ``(level, low, high)`` interned in a
   *unique table*, so structural equality is pointer (integer) equality;
-* all boolean operations are built on a memoized ``ite`` (if-then-else);
+* the boolean connectives run on **specialized recursive kernels**
+  (:meth:`BDD._and_rec`, :meth:`BDD._or_rec`, :meth:`BDD._xor_rec`) with
+  commutativity-canonicalized per-op caches; the universal memoized
+  ``ite`` (if-then-else) is kept for ternary composition and transfer;
+* negation is a **memoized involution**: a dedicated bidirectional table
+  maps ``u ↔ ¬u``, so repeated :meth:`BDD.negate` calls are O(1) dict
+  probes instead of a recursive ``ite`` traversal (the first negation of
+  a function is one linear pass that records both directions);
 * quantification, renaming and the fused relational product
   (:meth:`BDD.and_exists`) are provided for image computation.
 
 The manager keeps the statistics the paper's figures report: the total
 number of nodes ever allocated (``nodes_allocated``) mirrors SMV's
 "BDD nodes allocated" line, and :meth:`BDD.node_count` of a transition
-relation mirrors "BDD nodes representing transition relation".
+relation mirrors "BDD nodes representing transition relation".  On top of
+that, :attr:`BDD.stats` (a :class:`repro.bdd.stats.BDDStats`) tracks
+per-operation cache lookups/hits/inserts, ``_mk`` calls and the peak
+unique-table size, which the checkers surface in their
+``resources used:`` blocks.
 
-Performance notes (per the project's HPC guidelines): the hot path is the
-``ite`` recursion; it uses flat list storage for node fields (no per-node
-objects), dict-based memoization, and avoids any copying of intermediate
-structures.  Recursion depth is bounded by the number of variables, which
-is small (tens) for the systems in this domain.
+Performance notes (per the project's HPC guidelines): the hot paths are
+the binary-op recursions and the fused relational product.  They use flat
+list storage for node fields (no per-node objects), dict-based
+memoization with two-element canonical keys for the commutative ops, and
+inlined cofactor computation (no helper calls in the recursion).
+:meth:`BDD.conj` / :meth:`BDD.disj` fold **balanced trees** over their
+operands — a linear left-fold drags one growing accumulator through every
+step, which is directly visible in transition-relation construction
+(``frame``/``symbolic_compose``); the balanced fold keeps intermediates
+small and cache keys diverse.  Recursion depth is bounded by the number
+of variables, which is small (tens) for the systems in this domain.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
 
+from repro.bdd.stats import BDDStats
 from repro.errors import BddError
 
 #: Constant node id for FALSE.
@@ -65,15 +83,35 @@ class BDD:
         self._unique: dict[tuple[int, int, int], int] = {}
         # memo tables
         self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._quant_cache: dict[tuple[int, int, frozenset[int]], int] = {}
-        self._and_exists_cache: dict[tuple[int, int, frozenset[int]], int] = {}
-        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
+        self._and_cache: dict[tuple[int, int], int] = {}
+        self._or_cache: dict[tuple[int, int], int] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+        # bidirectional u <-> not(u); the terminals are permanent entries
+        self._neg_cache: dict[int, int] = {FALSE: TRUE, TRUE: FALSE}
+        # quantification/rename caches are two-level: one sub-table per
+        # (operation context), so the per-node keys are plain ints/pairs
+        self._quant_cache: dict[tuple[int, frozenset[int]], dict[int, int]] = {}
+        self._and_exists_cache: dict[frozenset[int], dict[tuple[int, int], int]] = {}
+        self._rename_cache: dict[tuple[tuple[int, int], ...], dict[int, int]] = {}
         # variables
         self._var_names: list[str] = []
         self._var_index: dict[str, int] = {}
         # statistics
         self.nodes_allocated: int = 2  # terminals count, like SMV's base cost
         self.cache_enabled: bool = True
+        #: Op-level counters (lookups/hits/inserts per memo table, _mk
+        #: calls, peak unique-table size).  Cumulative; snapshot/delta to
+        #: attribute costs to a single run.
+        self.stats = BDDStats()
+        ops = self.stats.ops
+        self._c_ite = ops["ite"]
+        self._c_and = ops["and"]
+        self._c_or = ops["or"]
+        self._c_xor = ops["xor"]
+        self._c_neg = ops["neg"]
+        self._c_quant = ops["quant"]
+        self._c_and_exists = ops["and_exists"]
+        self._c_rename = ops["rename"]
 
     # ------------------------------------------------------------------
     # variables
@@ -127,15 +165,20 @@ class BDD:
         """Find-or-create the node ``(level, low, high)`` (reduction applied)."""
         if low == high:
             return low
+        st = self.stats
+        st.mk_calls += 1
         key = (level, low, high)
-        node = self._unique.get(key)
+        unique = self._unique
+        node = unique.get(key)
         if node is None:
             node = len(self._level)
             self._level.append(level)
             self._low.append(low)
             self._high.append(high)
-            self._unique[key] = node
+            unique[key] = node
             self.nodes_allocated += 1
+            if len(unique) > st.peak_unique_nodes:
+                st.peak_unique_nodes = len(unique)
         return node
 
     def level(self, u: int) -> int:
@@ -175,9 +218,19 @@ class BDD:
         """Total internal nodes currently interned (no GC is performed)."""
         return len(self._level) - 2
 
+    def unique_size(self) -> int:
+        """Current number of entries in the unique table."""
+        return len(self._unique)
+
     def clear_caches(self) -> None:
         """Drop all memoization tables (unique table is kept)."""
         self._ite_cache.clear()
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
+        self._neg_cache.clear()
+        self._neg_cache[FALSE] = TRUE
+        self._neg_cache[TRUE] = FALSE
         self._quant_cache.clear()
         self._and_exists_cache.clear()
         self._rename_cache.clear()
@@ -197,19 +250,37 @@ class BDD:
         if g == TRUE and h == FALSE:
             return f
         key = (f, g, h)
-        if self.cache_enabled:
+        caching = self.cache_enabled
+        if caching:
+            c = self._c_ite
+            c.lookups += 1
             cached = self._ite_cache.get(key)
             if cached is not None:
+                c.hits += 1
                 return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        h0, h1 = self._cofactors(h, level)
+        level_, low_, high_ = self._level, self._low, self._high
+        lf, lg, lh = level_[f], level_[g], level_[h]
+        level = lf if lf <= lg else lg
+        if lh < level:
+            level = lh
+        if lf == level:
+            f0, f1 = low_[f], high_[f]
+        else:
+            f0 = f1 = f
+        if lg == level:
+            g0, g1 = low_[g], high_[g]
+        else:
+            g0 = g1 = g
+        if lh == level:
+            h0, h1 = low_[h], high_[h]
+        else:
+            h0 = h1 = h
         low = self.ite(f0, g0, h0)
         high = self.ite(f1, g1, h1)
         result = self._mk(level, low, high)
-        if self.cache_enabled:
+        if caching:
             self._ite_cache[key] = result
+            c.inserts += 1
         return result
 
     def _cofactors(self, u: int, level: int) -> tuple[int, int]:
@@ -219,55 +290,220 @@ class BDD:
         return u, u
 
     # ------------------------------------------------------------------
+    # specialized binary kernels
+    # ------------------------------------------------------------------
+    def _and_rec(self, u: int, v: int) -> int:
+        """Conjunction kernel (canonicalized cache key, inlined cofactors)."""
+        if u <= 1:
+            return v if u else FALSE
+        if v <= 1:
+            return u if v else FALSE
+        if u == v:
+            return u
+        if u > v:  # AND is commutative: canonicalize the cache key
+            u, v = v, u
+        caching = self.cache_enabled
+        if caching:
+            c = self._c_and
+            c.lookups += 1
+            cached = self._and_cache.get((u, v))
+            if cached is not None:
+                c.hits += 1
+                return cached
+        level_, low_, high_ = self._level, self._low, self._high
+        lu, lv = level_[u], level_[v]
+        if lu <= lv:
+            top, u0, u1 = lu, low_[u], high_[u]
+        else:
+            top, u0, u1 = lv, u, u
+        if lv <= lu:
+            v0, v1 = low_[v], high_[v]
+        else:
+            v0, v1 = v, v
+        low = self._and_rec(u0, v0)
+        high = self._and_rec(u1, v1)
+        result = self._mk(top, low, high)
+        if caching:
+            self._and_cache[(u, v)] = result
+            c.inserts += 1
+        return result
+
+    def _or_rec(self, u: int, v: int) -> int:
+        """Disjunction kernel (canonicalized cache key, inlined cofactors)."""
+        if u <= 1:
+            return TRUE if u else v
+        if v <= 1:
+            return TRUE if v else u
+        if u == v:
+            return u
+        if u > v:  # OR is commutative
+            u, v = v, u
+        caching = self.cache_enabled
+        if caching:
+            c = self._c_or
+            c.lookups += 1
+            cached = self._or_cache.get((u, v))
+            if cached is not None:
+                c.hits += 1
+                return cached
+        level_, low_, high_ = self._level, self._low, self._high
+        lu, lv = level_[u], level_[v]
+        if lu <= lv:
+            top, u0, u1 = lu, low_[u], high_[u]
+        else:
+            top, u0, u1 = lv, u, u
+        if lv <= lu:
+            v0, v1 = low_[v], high_[v]
+        else:
+            v0, v1 = v, v
+        low = self._or_rec(u0, v0)
+        high = self._or_rec(u1, v1)
+        result = self._mk(top, low, high)
+        if caching:
+            self._or_cache[(u, v)] = result
+            c.inserts += 1
+        return result
+
+    def _xor_rec(self, u: int, v: int) -> int:
+        """Exclusive-or kernel; terminal negations go through the neg table."""
+        if u == v:
+            return FALSE
+        if u <= 1:
+            return self.negate(v) if u else v
+        if v <= 1:
+            return self.negate(u) if v else u
+        if u > v:  # XOR is commutative
+            u, v = v, u
+        caching = self.cache_enabled
+        if caching:
+            c = self._c_xor
+            c.lookups += 1
+            cached = self._xor_cache.get((u, v))
+            if cached is not None:
+                c.hits += 1
+                return cached
+        level_, low_, high_ = self._level, self._low, self._high
+        lu, lv = level_[u], level_[v]
+        if lu <= lv:
+            top, u0, u1 = lu, low_[u], high_[u]
+        else:
+            top, u0, u1 = lv, u, u
+        if lv <= lu:
+            v0, v1 = low_[v], high_[v]
+        else:
+            v0, v1 = v, v
+        low = self._xor_rec(u0, v0)
+        high = self._xor_rec(u1, v1)
+        result = self._mk(top, low, high)
+        if caching:
+            self._xor_cache[(u, v)] = result
+            c.inserts += 1
+        return result
+
+    # ------------------------------------------------------------------
     # derived boolean operations
     # ------------------------------------------------------------------
     def negate(self, u: int) -> int:
-        """Logical negation."""
-        return self.ite(u, FALSE, TRUE)
+        """Logical negation — an amortized-O(1) memoized involution.
+
+        The table stores ``u ↔ ¬u`` in both directions, so negating a
+        previously seen function (or a previous negation result) is a
+        single dict probe.  The first negation of a function is one pass
+        over its DAG, not an ``ite`` recursion.
+        """
+        cache = self._neg_cache
+        c = self._c_neg
+        c.lookups += 1
+        cached = cache.get(u)
+        if cached is not None:
+            c.hits += 1
+            return cached
+        if not self.cache_enabled:
+            # local memo only: still linear in the DAG, nothing retained
+            cache = dict(cache)
+        level_, low_, high_ = self._level, self._low, self._high
+        mk = self._mk
+
+        def rec(n: int) -> int:
+            r = cache.get(n)
+            if r is None:
+                r = mk(level_[n], rec(low_[n]), rec(high_[n]))
+                cache[n] = r
+                cache[r] = n
+                c.inserts += 2
+            return r
+
+        return rec(u)
 
     def apply(self, op: str, u: int, v: int) -> int:
         """Apply a binary boolean operator by name.
 
-        Supported: ``and or xor nand nor xnor iff implies diff``.
+        Supported: ``and or xor nand nor xnor iff implies diff``.  Each
+        operator dispatches to a specialized kernel (plus the negation
+        table) — no throwaway ``ite`` intermediates are built.
         """
         if op == "and":
-            return self.ite(u, v, FALSE)
+            return self._and_rec(u, v)
         if op == "or":
-            return self.ite(u, TRUE, v)
+            return self._or_rec(u, v)
         if op == "xor":
-            return self.ite(u, self.negate(v), v)
+            return self._xor_rec(u, v)
         if op == "nand":
-            return self.ite(u, self.negate(v), TRUE)
+            return self.negate(self._and_rec(u, v))
         if op == "nor":
-            return self.ite(u, FALSE, self.negate(v))
+            return self.negate(self._or_rec(u, v))
         if op in ("xnor", "iff"):
-            return self.ite(u, v, self.negate(v))
+            return self.negate(self._xor_rec(u, v))
         if op in ("implies", "imp"):
-            return self.ite(u, v, TRUE)
+            return self._or_rec(self.negate(u), v)
         if op == "diff":  # u and not v
-            return self.ite(u, self.negate(v), FALSE)
+            return self._and_rec(u, self.negate(v))
         raise BddError(f"unknown operator {op!r}")
 
     def conj(self, us: Iterable[int]) -> int:
-        """Conjunction of an iterable of BDDs (TRUE when empty)."""
-        acc = TRUE
-        for u in us:
-            acc = self.apply("and", acc, u)
-        return acc
+        """Conjunction of an iterable of BDDs (TRUE when empty).
+
+        Folds a balanced tree over the operands: pairwise rounds instead
+        of a left-fold, so no single lopsided accumulator is dragged
+        through every combination step.
+        """
+        items = [u for u in us if u != TRUE]
+        if not items:
+            return TRUE
+        land = self._and_rec
+        while len(items) > 1:
+            paired = [
+                land(items[i], items[i + 1]) for i in range(0, len(items) - 1, 2)
+            ]
+            if len(items) & 1:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
 
     def disj(self, us: Iterable[int]) -> int:
-        """Disjunction of an iterable of BDDs (FALSE when empty)."""
-        acc = FALSE
-        for u in us:
-            acc = self.apply("or", acc, u)
-        return acc
+        """Disjunction of an iterable of BDDs (FALSE when empty).
+
+        Balanced-tree fold, like :meth:`conj`.
+        """
+        items = [u for u in us if u != FALSE]
+        if not items:
+            return FALSE
+        lor = self._or_rec
+        while len(items) > 1:
+            paired = [
+                lor(items[i], items[i + 1]) for i in range(0, len(items) - 1, 2)
+            ]
+            if len(items) & 1:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
 
     def cube(self, assignment: Mapping[str, bool]) -> int:
         """Conjunction of literals described by a {name: bool} mapping."""
         acc = TRUE
         for name in sorted(assignment, key=self.level_of, reverse=True):
             lit = self.var(name) if assignment[name] else self.nvar(name)
-            acc = self.apply("and", lit, acc)
+            acc = self._and_rec(lit, acc)
         return acc
 
     # ------------------------------------------------------------------
@@ -287,24 +523,50 @@ class BDD:
             return u
         return self._quantify(u, levels, conj=True)
 
+    def _quantifier(self, levels: frozenset[int], conj: bool):
+        """A memoized one-argument quantifier closure for ``levels``.
+
+        Hoists the per-context state (sub-cache, max level, combiner) out
+        of the per-node recursion; :meth:`_and_exists` builds one closure
+        per relational product and reuses it on every TRUE-branch.
+        """
+        ckey = (1 if conj else 0, levels)
+        cache = self._quant_cache.get(ckey)
+        if cache is None:
+            cache = self._quant_cache[ckey] = {}
+        maxlvl = max(levels)
+        c = self._c_quant
+        level_, low_, high_ = self._level, self._low, self._high
+        combine = self._and_rec if conj else self._or_rec
+        mk = self._mk
+
+        def rec(n: int) -> int:
+            if n <= 1:
+                return n
+            lvl = level_[n]
+            if lvl > maxlvl:
+                return n
+            c.lookups += 1
+            result = cache.get(n)
+            if result is not None:
+                c.hits += 1
+                return result
+            low = rec(low_[n])
+            high = rec(high_[n])
+            if lvl in levels:
+                result = combine(low, high)
+            else:
+                result = mk(lvl, low, high)
+            cache[n] = result
+            c.inserts += 1
+            return result
+
+        return rec
+
     def _quantify(self, u: int, levels: frozenset[int], conj: bool) -> int:
         if u <= 1:
             return u
-        lvl = self._level[u]
-        if lvl > max(levels):
-            return u
-        key = (u, 1 if conj else 0, levels)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            return cached
-        low = self._quantify(self._low[u], levels, conj)
-        high = self._quantify(self._high[u], levels, conj)
-        if lvl in levels:
-            result = self.apply("and" if conj else "or", low, high)
-        else:
-            result = self._mk(lvl, low, high)
-        self._quant_cache[key] = result
-        return result
+        return self._quantifier(levels, conj)(u)
 
     def and_exists(self, u: int, v: int, names: Iterable[str]) -> int:
         """Fused ``exists names. (u and v)`` — the relational product.
@@ -314,40 +576,58 @@ class BDD:
         image-computation optimization in symbolic model checkers.
         """
         levels = frozenset(self.level_of(n) for n in names)
+        if not levels:
+            return self._and_rec(u, v)
         return self._and_exists(u, v, levels)
 
     def _and_exists(self, u: int, v: int, levels: frozenset[int]) -> int:
-        if u == FALSE or v == FALSE:
-            return FALSE
-        if u == TRUE and v == TRUE:
-            return TRUE
-        if u == TRUE:
-            return self._quantify(v, levels, conj=False) if levels else v
-        if v == TRUE:
-            return self._quantify(u, levels, conj=False) if levels else u
-        if u == v:
-            return self._quantify(u, levels, conj=False) if levels else u
-        if u > v:  # canonicalize for the cache: AND is commutative
-            u, v = v, u
-        key = (u, v, levels)
-        cached = self._and_exists_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[u], self._level[v])
-        u0, u1 = self._cofactors(u, level)
-        v0, v1 = self._cofactors(v, level)
-        low = self._and_exists(u0, v0, levels)
-        if level in levels:
-            if low == TRUE:
-                result = TRUE
+        cache = self._and_exists_cache.get(levels)
+        if cache is None:
+            cache = self._and_exists_cache[levels] = {}
+        c = self._c_and_exists
+        level_, low_, high_ = self._level, self._low, self._high
+        lor = self._or_rec
+        mk = self._mk
+        quantify = self._quantifier(levels, conj=False)
+
+        def rec(a: int, b: int) -> int:
+            if a > b:  # canonicalize for the cache: AND is commutative
+                a, b = b, a
+            # a is now the smaller id: a == 0 covers either side FALSE
+            if a == FALSE:
+                return FALSE
+            if a == TRUE:
+                return TRUE if b == TRUE else quantify(b)
+            if a == b:
+                return quantify(a)
+            key = (a, b)
+            c.lookups += 1
+            result = cache.get(key)
+            if result is not None:
+                c.hits += 1
+                return result
+            la, lb = level_[a], level_[b]
+            if la <= lb:
+                level, a0, a1 = la, low_[a], high_[a]
             else:
-                high = self._and_exists(u1, v1, levels)
-                result = self.apply("or", low, high)
-        else:
-            high = self._and_exists(u1, v1, levels)
-            result = self._mk(level, low, high)
-        self._and_exists_cache[key] = result
-        return result
+                level, a0, a1 = lb, a, a
+            if lb <= la:
+                b0, b1 = low_[b], high_[b]
+            else:
+                b0, b1 = b, b
+            low = rec(a0, b0)
+            if level in levels:
+                if low == TRUE:
+                    result = TRUE
+                else:
+                    result = lor(low, rec(a1, b1))
+            else:
+                result = mk(level, low, rec(a1, b1))
+            cache[key] = result
+            c.inserts += 1
+            return result
+
+        return rec(u, v)
 
     # ------------------------------------------------------------------
     # renaming and cofactoring
@@ -377,16 +657,29 @@ class BDD:
     ) -> int:
         if u <= 1:
             return u
-        key = (u, key_map)
-        cached = self._rename_cache.get(key)
-        if cached is not None:
-            return cached
-        lvl = self._level[u]
-        low = self._rename(self._low[u], level_map, key_map)
-        high = self._rename(self._high[u], level_map, key_map)
-        result = self._mk(level_map.get(lvl, lvl), low, high)
-        self._rename_cache[key] = result
-        return result
+        cache = self._rename_cache.get(key_map)
+        if cache is None:
+            cache = self._rename_cache[key_map] = {}
+        c = self._c_rename
+        level_, low_, high_ = self._level, self._low, self._high
+        mk = self._mk
+        get_level = level_map.get
+
+        def rec(n: int) -> int:
+            if n <= 1:
+                return n
+            c.lookups += 1
+            result = cache.get(n)
+            if result is not None:
+                c.hits += 1
+                return result
+            lvl = level_[n]
+            result = mk(get_level(lvl, lvl), rec(low_[n]), rec(high_[n]))
+            cache[n] = result
+            c.inserts += 1
+            return result
+
+        return rec(u)
 
     def restrict(self, u: int, assignment: Mapping[str, bool]) -> int:
         """Cofactor: fix the given variables to constants."""

@@ -75,6 +75,10 @@ class ExplicitChecker:
         # memo: (formula, fairness-key) -> state set
         self._memo: dict[tuple[Formula, frozenset[Formula]], np.ndarray] = {}
         self._fair_memo: dict[frozenset[Formula], np.ndarray] = {}
+        # per-atom characteristic vectors, filled lazily (atoms repeat
+        # across subformulas; 2^n-element vectors are worth caching)
+        self._indices = np.arange(self._n, dtype=np.int64)
+        self._atom_cache: dict[str, np.ndarray] = {}
         self._iterations = 0
         self._evaluated = 0
 
@@ -107,12 +111,17 @@ class ExplicitChecker:
         return out
 
     def _atom_set(self, name: str) -> np.ndarray:
+        cached = self._atom_cache.get(name)
+        if cached is not None:
+            return cached
         bit = self._bit.get(name)
         if bit is None:
             raise CheckError(
                 f"formula mentions {name!r} which is not in Σ = {self._atoms}"
             )
-        return (np.arange(self._n, dtype=np.int64) >> bit) % 2 == 1
+        vec = (self._indices >> bit) % 2 == 1
+        self._atom_cache[name] = vec
+        return vec
 
     # ------------------------------------------------------------------
     # fair states (Emerson–Lei)
@@ -126,14 +135,42 @@ class ExplicitChecker:
         return cached
 
     def _eu_plain(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
-        """Least fixpoint for (unfair) ``E[p U q]``."""
+        """Least fixpoint for (unfair) ``E[p U q]`` — frontier iteration.
+
+        Each round scatters ``pre`` of only the newly added states
+        instead of the whole accumulated set (``pre`` distributes over
+        union, so older layers contribute nothing new).
+        """
         z = q.copy()
+        frontier = q
         while True:
             self._iterations += 1
-            nxt = q | (p & self._pre(z))
-            if (nxt == z).all():
+            new = p & self._pre(frontier) & ~z
+            if not new.any():
                 return z
-            z = nxt
+            z |= new
+            frontier = new
+
+    def _eg_plain(self, p: np.ndarray) -> np.ndarray:
+        """Greatest fixpoint νZ. p ∧ EX Z — removal-frontier iteration.
+
+        With a reflexive relation this is ``p`` itself (the first dead
+        set is empty), but the general fixpoint is run for safety: a
+        state is dropped once all of its successors have left ``Z``, and
+        after removing a layer only that layer's predecessors can be
+        affected next.
+        """
+        z = p.copy()
+        self._iterations += 1
+        dead = z & ~self._pre(z)
+        while dead.any():
+            self._iterations += 1
+            z &= ~dead
+            candidates = z & self._pre(dead)
+            if not candidates.any():
+                break
+            dead = candidates & ~self._pre(z)
+        return z
 
     def _eg_fair(self, p: np.ndarray, fairness: frozenset[Formula]) -> np.ndarray:
         """Emerson–Lei ``EG_fair p`` = νZ. p ∧ ⋀_c EX E[p U (Z ∧ c)]."""
@@ -212,15 +249,7 @@ class ExplicitChecker:
         if isinstance(f, EG):
             p = self._eval(f.operand, fair)
             if trivially_fair:
-                # νZ. p ∧ EX Z — with a reflexive relation this is p itself,
-                # but we run the general fixpoint for safety.
-                z = p.copy()
-                while True:
-                    self._iterations += 1
-                    nxt = p & self._pre(z)
-                    if (nxt == z).all():
-                        return z
-                    z = nxt
+                return self._eg_plain(p)
             return self._eg_fair(p, fair)
         raise CheckError(f"unsupported formula node {type(f).__name__}")
 

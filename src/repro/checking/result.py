@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.logic.ctl import Formula
@@ -13,8 +14,16 @@ class CheckStats:
     """Resource usage of one model-checking run.
 
     Mirrors the ``resources used:`` block SMV prints in the paper's output
-    figures.  ``bdd_nodes_allocated`` and ``transition_nodes`` are zero for
-    the explicit checker.
+    figures, extended with the engine's op-level counters.
+    ``bdd_nodes_allocated`` and ``transition_nodes`` are zero for
+    the explicit checker, as are the ``bdd_cache_*`` fields.
+    ``bdd_cache_lookups`` / ``bdd_cache_hits`` count computed-table
+    probes across every memoized BDD operation during this check;
+    ``bdd_mk_calls`` counts unique-table find-or-create requests and
+    ``bdd_peak_unique_nodes`` is the unique table's high-water mark.
+    ``bdd_op_counters`` holds the per-operation breakdown (one
+    lookups/hits/inserts dict per memo table, see
+    :mod:`repro.bdd.stats`).
     """
 
     user_time: float = 0.0
@@ -22,6 +31,18 @@ class CheckStats:
     subformulas_evaluated: int = 0
     bdd_nodes_allocated: int = 0
     transition_nodes: int = 0
+    bdd_cache_lookups: int = 0
+    bdd_cache_hits: int = 0
+    bdd_mk_calls: int = 0
+    bdd_peak_unique_nodes: int = 0
+    bdd_op_counters: dict = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of computed-table probes that hit (0.0 when unused)."""
+        if not self.bdd_cache_lookups:
+            return 0.0
+        return self.bdd_cache_hits / self.bdd_cache_lookups
 
     def format(self) -> str:
         """Format as the paper's ``resources used:`` block."""
@@ -35,7 +56,48 @@ class CheckStats:
                 f"BDD nodes representing transition relation: "
                 f"{self.transition_nodes} + {self.fixpoint_iterations}"
             )
+        elif self.fixpoint_iterations or self.subformulas_evaluated:
+            lines.append(
+                f"fixpoint iterations: {self.fixpoint_iterations}, "
+                f"subformulas evaluated: {self.subformulas_evaluated}"
+            )
+        if self.bdd_cache_lookups:
+            lines.append(
+                f"BDD cache: {self.bdd_cache_lookups} lookups, "
+                f"{self.cache_hit_rate:.1%} hit rate"
+            )
+        if self.bdd_peak_unique_nodes:
+            lines.append(
+                f"BDD unique table: peak {self.bdd_peak_unique_nodes} nodes "
+                f"({self.bdd_mk_calls} mk calls)"
+            )
         return "\n".join(lines)
+
+    @classmethod
+    def merged(cls, stats: Iterable["CheckStats"]) -> "CheckStats":
+        """Aggregate several per-spec stats into one resources block.
+
+        Additive fields are summed; allocation totals and peaks (which are
+        cumulative manager-level numbers) take the maximum.
+        """
+        out = cls()
+        for s in stats:
+            out.user_time += s.user_time
+            out.fixpoint_iterations += s.fixpoint_iterations
+            out.subformulas_evaluated = max(
+                out.subformulas_evaluated, s.subformulas_evaluated
+            )
+            out.bdd_nodes_allocated = max(
+                out.bdd_nodes_allocated, s.bdd_nodes_allocated
+            )
+            out.transition_nodes = max(out.transition_nodes, s.transition_nodes)
+            out.bdd_cache_lookups += s.bdd_cache_lookups
+            out.bdd_cache_hits += s.bdd_cache_hits
+            out.bdd_mk_calls += s.bdd_mk_calls
+            out.bdd_peak_unique_nodes = max(
+                out.bdd_peak_unique_nodes, s.bdd_peak_unique_nodes
+            )
+        return out
 
 
 @dataclass

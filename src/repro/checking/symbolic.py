@@ -67,24 +67,42 @@ class SymbolicChecker:
         return self.system.pre_image(s)
 
     def _eu(self, p: int, q: int) -> int:
-        """Least fixpoint μZ. q ∨ (p ∧ EX Z)."""
+        """Least fixpoint μZ. q ∨ (p ∧ EX Z) — frontier iteration.
+
+        Each round computes ``pre`` of only the states added in the
+        previous round (the frontier) instead of the whole accumulated
+        set: ``pre`` distributes over union, and predecessors of older
+        layers were already folded in when those layers were new.
+        """
+        b = self.bdd
         z = q
-        while True:
+        frontier = q
+        while frontier != FALSE:
             self._iterations += 1
-            nxt = self.bdd.apply("or", q, self.bdd.apply("and", p, self._ex(z)))
-            if nxt == z:
-                return z
-            z = nxt
+            new = b.apply("diff", b.apply("and", p, self._ex(frontier)), z)
+            z = b.apply("or", z, new)
+            frontier = new
+        return z
 
     def _eg_plain(self, p: int) -> int:
-        """Greatest fixpoint νZ. p ∧ EX Z."""
+        """Greatest fixpoint νZ. p ∧ EX Z — removal-frontier iteration.
+
+        A state leaves ``Z`` only when its last successor inside ``Z``
+        leaves, so after removing a layer ``dead`` only the predecessors
+        of ``dead`` need rechecking — not the whole of ``Z``.
+        """
+        b = self.bdd
         z = p
-        while True:
+        self._iterations += 1
+        dead = b.apply("diff", z, self._ex(z))
+        while dead != FALSE:
             self._iterations += 1
-            nxt = self.bdd.apply("and", p, self._ex(z))
-            if nxt == z:
-                return z
-            z = nxt
+            z = b.apply("diff", z, dead)
+            candidates = b.apply("and", z, self._ex(dead))
+            if candidates == FALSE:
+                break
+            dead = b.apply("diff", candidates, self._ex(z))
+        return z
 
     def _eg_fair(self, p: int, fair: frozenset[Formula]) -> int:
         """Emerson–Lei νZ. p ∧ ⋀_c EX E[p U (Z ∧ c)]."""
@@ -185,6 +203,7 @@ class SymbolicChecker:
         """Decide ``M ⊨_r f``; failing states are decoded from the BDD."""
         started = time.perf_counter()
         self._iterations = 0
+        engine_before = self.bdd.stats.snapshot()
         init = self._eval(restriction.init, frozenset({F_TRUE}))
         sat = self._eval(f, frozenset(restriction.fairness))
         failing_bdd = self.bdd.apply("diff", init, sat)
@@ -196,12 +215,20 @@ class SymbolicChecker:
                 )
                 if len(failing_states) >= MAX_REPORTED:
                     break
+        engine = self.bdd.stats.delta(engine_before)
         stats = CheckStats(
             user_time=time.perf_counter() - started,
             fixpoint_iterations=self._iterations,
             subformulas_evaluated=len(self._memo),
             bdd_nodes_allocated=self.bdd.nodes_allocated,
             transition_nodes=self.system.node_count(),
+            bdd_cache_lookups=engine.cache_lookups,
+            bdd_cache_hits=engine.cache_hits,
+            bdd_mk_calls=engine.mk_calls,
+            bdd_peak_unique_nodes=engine.peak_unique_nodes,
+            bdd_op_counters={
+                name: c.as_dict() for name, c in engine.ops.items()
+            },
         )
         num_failing = (
             0

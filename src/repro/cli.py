@@ -37,16 +37,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
             fairness=tuple(model.fairness) or (TRUE,),
         )
         ok = True
+        results = []
         for spec, text in zip(model.specs, model.module.specs):
             result = checker.holds(spec, restriction)
+            results.append(result)
             ok &= bool(result)
             from repro.smv.pretty import spec_to_str
 
             verdict = "true" if result else "false"
             print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
+        if args.stats and results:
+            from repro.checking.result import CheckStats
+
+            print()
+            print(CheckStats.merged(r.stats for r in results).format())
         return 0 if ok else 1
     report, _ = check_model(model, reflexive=args.reflexive)
-    print(report.format())
+    print(report.format(with_stats=args.stats))
     return 0 if report.all_true else 1
 
 
@@ -187,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--explicit",
         action="store_true",
         help="use the explicit-state engine instead of BDDs",
+    )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the extended resources block (cache hit rates, "
+        "peak unique-table size, fixpoint iterations)",
     )
     check.set_defaults(func=_cmd_check)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.checking.result import CheckResult
+from repro.checking.result import CheckResult, CheckStats
 from repro.checking.symbolic import SymbolicChecker
 from repro.checking.symbolic_witness import ef_witness_symbolic
 from repro.logic.ctl import AG, AX, Formula, Implies, Not, TRUE, is_propositional
@@ -39,6 +39,11 @@ class SmvReport:
     num_fairness: int = 0
 
     @property
+    def check_stats(self) -> CheckStats:
+        """Aggregated per-spec engine statistics (cache hit rates etc.)."""
+        return CheckStats.merged(r.stats for r in self.results)
+
+    @property
     def all_true(self) -> bool:
         """True when every SPEC holds (the paper's outputs are all true)."""
         return all(r.holds for r in self.results)
@@ -52,8 +57,15 @@ class SmvReport:
         verdict = "true" if self.results[i].holds else "false"
         return f"-- spec. {text} is {verdict}"
 
-    def format(self, with_counterexamples: bool = True) -> str:
-        """SMV-like console output (verdict lines + resources block)."""
+    def format(
+        self, with_counterexamples: bool = True, with_stats: bool = False
+    ) -> str:
+        """SMV-like console output (verdict lines + resources block).
+
+        ``with_stats`` appends the extended engine statistics: computed-
+        table hit rate and the unique table's peak size (the CLI's
+        ``--stats`` flag).
+        """
         lines = []
         for i in range(len(self.results)):
             lines.append(self._verdict_line(i))
@@ -80,6 +92,19 @@ class SmvReport:
             "BDD nodes representing transition relation: "
             f"{self.transition_nodes} + {self.num_fairness}"
         )
+        if with_stats and self.results:
+            merged = self.check_stats
+            lines.append(
+                f"BDD cache: {merged.bdd_cache_lookups} lookups, "
+                f"{merged.cache_hit_rate:.1%} hit rate"
+            )
+            lines.append(
+                f"BDD unique table: peak {merged.bdd_peak_unique_nodes} "
+                f"nodes ({merged.bdd_mk_calls} mk calls)"
+            )
+            lines.append(
+                f"fixpoint iterations: {merged.fixpoint_iterations}"
+            )
         return "\n".join(lines)
 
 

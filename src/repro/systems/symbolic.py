@@ -74,13 +74,11 @@ class SymbolicSystem:
         return self.frame(self.atoms)
 
     def frame(self, names: Iterable[str]) -> int:
-        """``⋀ (a ↔ a')`` over the given atoms."""
-        acc = TRUE
-        for a in sorted(names, reverse=True):
-            acc = self.bdd.apply(
-                "and", self.bdd.apply("iff", self.bdd.var(a), self.bdd.var(primed(a))), acc
-            )
-        return acc
+        """``⋀ (a ↔ a')`` over the given atoms (balanced-tree conjunction)."""
+        return self.bdd.conj(
+            self.bdd.apply("iff", self.bdd.var(a), self.bdd.var(primed(a)))
+            for a in sorted(names, reverse=True)
+        )
 
     def set_transition(self, t: int, reflexive: bool = True) -> None:
         """Install a transition relation, optionally stutter-closing it."""
@@ -102,13 +100,15 @@ class SymbolicSystem:
     def from_explicit(cls, system: System) -> "SymbolicSystem":
         """Encode an explicit system's relation edge by edge."""
         sym = cls(system.sigma)
-        t = sym.identity_relation() if system.reflexive else FALSE
-        for s, u in system.edges:
-            edge = sym.bdd.apply(
+        edges = [
+            sym.bdd.apply(
                 "and", sym.state_cube(s), sym.state_cube(u, next_state=True)
             )
-            t = sym.bdd.apply("or", t, edge)
-        sym.transition = t
+            for s, u in system.edges
+        ]
+        if system.reflexive:
+            edges.append(sym.identity_relation())
+        sym.transition = sym.bdd.disj(edges)
         return sym
 
     def to_explicit(self) -> System:

@@ -47,6 +47,23 @@ class TestCheck:
         assert main(["check", "--explicit", good_file]) == 0
         assert "is true" in capsys.readouterr().out
 
+    def test_stats_flag_symbolic(self, good_file, capsys):
+        assert main(["check", "--stats", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "BDD cache:" in out and "hit rate" in out
+        assert "BDD unique table: peak" in out
+        assert "fixpoint iterations:" in out
+
+    def test_stats_flag_explicit(self, good_file, capsys):
+        assert main(["check", "--explicit", "--stats", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "resources used:" in out
+        assert "subformulas evaluated:" in out
+
+    def test_no_stats_by_default(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "BDD cache:" not in capsys.readouterr().out
+
     def test_reflexive_flag_changes_semantics(self, tmp_path, capsys):
         path = tmp_path / "m.smv"
         path.write_text(
