@@ -13,6 +13,11 @@ git revision, and — when a ``seed`` entry exists — the speedup of every
 benchmark relative to it.  ``--from-json`` ingests a previously captured
 ``pytest --benchmark-json`` file instead of running (used to register the
 pre-rewrite baseline as the ``seed`` entry).
+
+``--trace-artifacts DIR`` additionally runs the Figure-1 example under
+the :mod:`repro.obs` tracer and drops ``figure1.trace.json`` (Chrome
+trace events), ``figure1.spans.jsonl`` and ``figure1.profile.txt`` into
+``DIR`` — the same artifacts the CI smoke job uploads.
 """
 
 from __future__ import annotations
@@ -125,6 +130,28 @@ def append_entry(
     return entry
 
 
+def write_trace_artifacts(directory: pathlib.Path) -> None:
+    """Check the Figure-1 example under the tracer; save the artifacts."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.obs import tracing
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.profile import format_profile
+    from repro.smv.run import check_source
+
+    source = (ROOT / "examples" / "figure1.smv").read_text()
+    with tracing() as tracer:
+        report = check_source(source)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(directory / "figure1.trace.json", tracer)
+    write_jsonl(directory / "figure1.spans.jsonl", tracer)
+    (directory / "figure1.profile.txt").write_text(
+        format_profile(tracer) + "\n"
+    )
+    verdict = "all true" if report.all_true else "FAILURES"
+    print(f"trace artifacts ({verdict}, {report.user_time:g} s) "
+          f"written to {directory}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -149,7 +176,16 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_OUTPUT),
         help="trajectory file to append to (default: BENCH_bdd_engine.json)",
     )
+    parser.add_argument(
+        "--trace-artifacts",
+        metavar="DIR",
+        help="also trace a Figure-1 check and write chrome trace / jsonl "
+        "spans / profile text into DIR",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_artifacts:
+        write_trace_artifacts(pathlib.Path(args.trace_artifacts))
 
     if args.from_json:
         document = json.loads(pathlib.Path(args.from_json).read_text())

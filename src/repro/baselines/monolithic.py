@@ -10,7 +10,6 @@ measures both sides.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping
 from dataclasses import dataclass
 
@@ -19,6 +18,7 @@ from repro.checking.result import CheckResult
 from repro.checking.symbolic import SymbolicChecker
 from repro.logic.ctl import Formula
 from repro.logic.restriction import UNRESTRICTED, Restriction
+from repro.obs.tracer import TRACER
 from repro.systems.compose import compose_all
 from repro.systems.symbolic import SymbolicSystem, symbolic_compose_all
 from repro.systems.system import System
@@ -46,29 +46,32 @@ def check_monolithic(
     backend: str = "explicit",
 ) -> MonolithicReport:
     """Compose everything, then model-check the property on the product."""
-    started = time.perf_counter()
-    if backend == "symbolic":
-        sym = symbolic_compose_all(
-            [
-                s if isinstance(s, SymbolicSystem) else SymbolicSystem.from_explicit(s)
+    with TRACER.span(
+        "monolithic.build", category="baseline", backend=backend
+    ) as build_span:
+        if backend == "symbolic":
+            sym = symbolic_compose_all(
+                [
+                    s
+                    if isinstance(s, SymbolicSystem)
+                    else SymbolicSystem.from_explicit(s)
+                    for s in components.values()
+                ]
+            )
+            checker = SymbolicChecker(sym)
+            num_atoms = len(sym.atoms)
+        else:
+            explicit = [
+                s.to_explicit() if isinstance(s, SymbolicSystem) else s
                 for s in components.values()
             ]
-        )
-        build_time = time.perf_counter() - started
-        checker = SymbolicChecker(sym)
-        num_atoms = len(sym.atoms)
-    else:
-        explicit = [
-            s.to_explicit() if isinstance(s, SymbolicSystem) else s
-            for s in components.values()
-        ]
-        product = compose_all(explicit)
-        build_time = time.perf_counter() - started
-        checker = ExplicitChecker(product)
-        num_atoms = len(product.sigma)
-    started = time.perf_counter()
-    result = checker.holds(formula, restriction)
-    check_time = time.perf_counter() - started
+            product = compose_all(explicit)
+            checker = ExplicitChecker(product)
+            num_atoms = len(product.sigma)
+    build_time = build_span.duration
+    with TRACER.span("monolithic.check", category="baseline") as check_span:
+        result = checker.holds(formula, restriction)
+    check_time = check_span.duration
     return MonolithicReport(
         result=result,
         num_atoms=num_atoms,

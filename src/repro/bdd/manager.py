@@ -47,6 +47,7 @@ from collections.abc import Iterable, Iterator, Mapping
 
 from repro.bdd.stats import BDDStats
 from repro.errors import BddError
+from repro.obs.tracer import TRACER
 
 #: Constant node id for FALSE.
 FALSE = 0
@@ -578,6 +579,14 @@ class BDD:
         levels = frozenset(self.level_of(n) for n in names)
         if not levels:
             return self._and_rec(u, v)
+        if TRACER.enabled:
+            # the relational-product span: one per image step, with the
+            # node traffic it caused attached as counters
+            with TRACER.span("bdd.and_exists", category="bdd") as span:
+                mk_before = self.stats.mk_calls
+                result = self._and_exists(u, v, levels)
+                span.add("mk_calls", self.stats.mk_calls - mk_before)
+            return result
         return self._and_exists(u, v, levels)
 
     def _and_exists(self, u: int, v: int, levels: frozenset[int]) -> int:

@@ -17,8 +17,6 @@ test suite.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.checking.result import CheckResult, CheckStats
@@ -43,6 +41,7 @@ from repro.logic.ctl import (
     TRUE,
 )
 from repro.logic.restriction import UNRESTRICTED, Restriction
+from repro.obs.tracer import TRACER
 from repro.systems.system import System
 
 #: Cap on reported failing states in a :class:`CheckResult`.
@@ -145,7 +144,11 @@ class ExplicitChecker:
         frontier = q
         while True:
             self._iterations += 1
-            new = p & self._pre(frontier) & ~z
+            if TRACER.enabled:
+                with TRACER.span("fixpoint.eu", category="fixpoint"):
+                    new = p & self._pre(frontier) & ~z
+            else:
+                new = p & self._pre(frontier) & ~z
             if not new.any():
                 return z
             z |= new
@@ -165,11 +168,19 @@ class ExplicitChecker:
         dead = z & ~self._pre(z)
         while dead.any():
             self._iterations += 1
-            z &= ~dead
-            candidates = z & self._pre(dead)
-            if not candidates.any():
-                break
-            dead = candidates & ~self._pre(z)
+            if TRACER.enabled:
+                with TRACER.span("fixpoint.eg", category="fixpoint"):
+                    z &= ~dead
+                    candidates = z & self._pre(dead)
+                    if not candidates.any():
+                        break
+                    dead = candidates & ~self._pre(z)
+            else:
+                z &= ~dead
+                candidates = z & self._pre(dead)
+                if not candidates.any():
+                    break
+                dead = candidates & ~self._pre(z)
         return z
 
     def _eg_fair(self, p: np.ndarray, fairness: frozenset[Formula]) -> np.ndarray:
@@ -179,9 +190,15 @@ class ExplicitChecker:
         z = p.copy()
         while True:
             self._iterations += 1
-            nxt = p.copy()
-            for cset in constraint_sets:
-                nxt &= self._pre(self._eu_plain(p, z & cset))
+            if TRACER.enabled:
+                with TRACER.span("fixpoint.eg_fair", category="fixpoint"):
+                    nxt = p.copy()
+                    for cset in constraint_sets:
+                        nxt &= self._pre(self._eu_plain(p, z & cset))
+            else:
+                nxt = p.copy()
+                for cset in constraint_sets:
+                    nxt &= self._pre(self._eu_plain(p, z & cset))
             if (nxt == z).all():
                 return z
             z = nxt
@@ -201,7 +218,15 @@ class ExplicitChecker:
         if cached is not None:
             return cached
         self._evaluated += 1
-        result = self._eval_uncached(f, fair)
+        if TRACER.enabled:
+            with TRACER.span(
+                "eval." + type(f).__name__,
+                category="explicit.eval",
+                formula=str(f),
+            ):
+                result = self._eval_uncached(f, fair)
+        else:
+            result = self._eval_uncached(f, fair)
         self._memo[key] = result
         return result
 
@@ -263,16 +288,21 @@ class ExplicitChecker:
         semantics (it is propositional in all of the paper's uses); the
         property ``f`` is evaluated over ``F``-fair paths.
         """
-        started = time.perf_counter()
-        self._iterations = 0
-        init = self._eval(restriction.init, frozenset({TRUE}))
-        sat = self._eval(f, frozenset(restriction.fairness))
-        failing = np.flatnonzero(init & ~sat)
-        stats = CheckStats(
-            user_time=time.perf_counter() - started,
-            fixpoint_iterations=self._iterations,
-            subformulas_evaluated=self._evaluated,
-        )
+        with TRACER.span(
+            "check.explicit", category="check", formula=str(f)
+        ) as span:
+            self._iterations = 0
+            init = self._eval(restriction.init, frozenset({TRUE}))
+            sat = self._eval(f, frozenset(restriction.fairness))
+            failing = np.flatnonzero(init & ~sat)
+            if span.recorded:
+                span.add("fixpoint_iterations", self._iterations)
+                span.add("subformulas_evaluated", self._evaluated)
+            stats = CheckStats(
+                user_time=span.elapsed(),
+                fixpoint_iterations=self._iterations,
+                subformulas_evaluated=self._evaluated,
+            )
         return CheckResult(
             formula=f,
             restriction=restriction,

@@ -9,8 +9,6 @@ transition relation").
 
 from __future__ import annotations
 
-import time
-
 from repro.bdd.manager import BDD, FALSE, TRUE
 from repro.checking.result import CheckResult, CheckStats
 from repro.errors import CheckError
@@ -34,6 +32,7 @@ from repro.logic.ctl import (
 )
 from repro.logic.ctl import TRUE as F_TRUE
 from repro.logic.restriction import UNRESTRICTED, Restriction
+from repro.obs.tracer import TRACER
 from repro.systems.symbolic import SymbolicSystem
 
 #: Cap on failing states decoded into a :class:`CheckResult`.
@@ -79,7 +78,13 @@ class SymbolicChecker:
         frontier = q
         while frontier != FALSE:
             self._iterations += 1
-            new = b.apply("diff", b.apply("and", p, self._ex(frontier)), z)
+            if TRACER.enabled:
+                with TRACER.span("fixpoint.eu", category="fixpoint"):
+                    new = b.apply(
+                        "diff", b.apply("and", p, self._ex(frontier)), z
+                    )
+            else:
+                new = b.apply("diff", b.apply("and", p, self._ex(frontier)), z)
             z = b.apply("or", z, new)
             frontier = new
         return z
@@ -97,11 +102,19 @@ class SymbolicChecker:
         dead = b.apply("diff", z, self._ex(z))
         while dead != FALSE:
             self._iterations += 1
-            z = b.apply("diff", z, dead)
-            candidates = b.apply("and", z, self._ex(dead))
-            if candidates == FALSE:
-                break
-            dead = b.apply("diff", candidates, self._ex(z))
+            if TRACER.enabled:
+                with TRACER.span("fixpoint.eg", category="fixpoint"):
+                    z = b.apply("diff", z, dead)
+                    candidates = b.apply("and", z, self._ex(dead))
+                    if candidates == FALSE:
+                        break
+                    dead = b.apply("diff", candidates, self._ex(z))
+            else:
+                z = b.apply("diff", z, dead)
+                candidates = b.apply("and", z, self._ex(dead))
+                if candidates == FALSE:
+                    break
+                dead = b.apply("diff", candidates, self._ex(z))
         return z
 
     def _eg_fair(self, p: int, fair: frozenset[Formula]) -> int:
@@ -110,10 +123,19 @@ class SymbolicChecker:
         z = p
         while True:
             self._iterations += 1
-            nxt = p
-            for cset in constraints:
-                target = self.bdd.apply("and", z, cset)
-                nxt = self.bdd.apply("and", nxt, self._ex(self._eu(p, target)))
+            if TRACER.enabled:
+                with TRACER.span("fixpoint.eg_fair", category="fixpoint"):
+                    nxt = p
+                    for cset in constraints:
+                        target = self.bdd.apply("and", z, cset)
+                        nxt = self.bdd.apply(
+                            "and", nxt, self._ex(self._eu(p, target))
+                        )
+            else:
+                nxt = p
+                for cset in constraints:
+                    target = self.bdd.apply("and", z, cset)
+                    nxt = self.bdd.apply("and", nxt, self._ex(self._eu(p, target)))
             if nxt == z:
                 return z
             z = nxt
@@ -139,7 +161,15 @@ class SymbolicChecker:
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        result = self._eval_uncached(f, fair)
+        if TRACER.enabled:
+            with TRACER.span(
+                "eval." + type(f).__name__,
+                category="symbolic.eval",
+                formula=str(f),
+            ):
+                result = self._eval_uncached(f, fair)
+        else:
+            result = self._eval_uncached(f, fair)
         self._memo[key] = result
         return result
 
@@ -201,35 +231,44 @@ class SymbolicChecker:
     # ------------------------------------------------------------------
     def holds(self, f: Formula, restriction: Restriction = UNRESTRICTED) -> CheckResult:
         """Decide ``M ⊨_r f``; failing states are decoded from the BDD."""
-        started = time.perf_counter()
-        self._iterations = 0
-        engine_before = self.bdd.stats.snapshot()
-        init = self._eval(restriction.init, frozenset({F_TRUE}))
-        sat = self._eval(f, frozenset(restriction.fairness))
-        failing_bdd = self.bdd.apply("diff", init, sat)
-        failing_states: list[frozenset] = []
-        if failing_bdd != FALSE:
-            for assignment in self.bdd.iter_sat(failing_bdd, list(self.system.atoms)):
-                failing_states.append(
-                    frozenset(a for a in self.system.atoms if assignment[a])
-                )
-                if len(failing_states) >= MAX_REPORTED:
-                    break
-        engine = self.bdd.stats.delta(engine_before)
-        stats = CheckStats(
-            user_time=time.perf_counter() - started,
-            fixpoint_iterations=self._iterations,
-            subformulas_evaluated=len(self._memo),
-            bdd_nodes_allocated=self.bdd.nodes_allocated,
-            transition_nodes=self.system.node_count(),
-            bdd_cache_lookups=engine.cache_lookups,
-            bdd_cache_hits=engine.cache_hits,
-            bdd_mk_calls=engine.mk_calls,
-            bdd_peak_unique_nodes=engine.peak_unique_nodes,
-            bdd_op_counters={
-                name: c.as_dict() for name, c in engine.ops.items()
-            },
-        )
+        with TRACER.span(
+            "check.symbolic", category="check", formula=str(f)
+        ) as span:
+            self._iterations = 0
+            engine_before = self.bdd.stats.snapshot()
+            init = self._eval(restriction.init, frozenset({F_TRUE}))
+            sat = self._eval(f, frozenset(restriction.fairness))
+            failing_bdd = self.bdd.apply("diff", init, sat)
+            failing_states: list[frozenset] = []
+            if failing_bdd != FALSE:
+                for assignment in self.bdd.iter_sat(
+                    failing_bdd, list(self.system.atoms)
+                ):
+                    failing_states.append(
+                        frozenset(a for a in self.system.atoms if assignment[a])
+                    )
+                    if len(failing_states) >= MAX_REPORTED:
+                        break
+            engine = self.bdd.stats.delta(engine_before)
+            if span.recorded:
+                span.add("fixpoint_iterations", self._iterations)
+                span.add("bdd.mk_calls", engine.mk_calls)
+                span.add("bdd.cache_lookups", engine.cache_lookups)
+                span.add("bdd.cache_hits", engine.cache_hits)
+            stats = CheckStats(
+                user_time=span.elapsed(),
+                fixpoint_iterations=self._iterations,
+                subformulas_evaluated=len(self._memo),
+                bdd_nodes_allocated=self.bdd.nodes_allocated,
+                transition_nodes=self.system.node_count(),
+                bdd_cache_lookups=engine.cache_lookups,
+                bdd_cache_hits=engine.cache_hits,
+                bdd_mk_calls=engine.mk_calls,
+                bdd_peak_unique_nodes=engine.peak_unique_nodes,
+                bdd_op_counters={
+                    name: c.as_dict() for name, c in engine.ops.items()
+                },
+            )
         num_failing = (
             0
             if failing_bdd == FALSE

@@ -4,17 +4,25 @@ Usage::
 
     python -m repro check model.smv            # SMV-style spec report
     python -m repro check model.smv --explicit # use the NumPy engine
+    python -m repro check model.smv --trace out.json --profile
     python -m repro simulate model.smv -n 12   # random run
     python -m repro graph model.smv            # DOT transition graph
     python -m repro reachable model.smv        # forward reachability stats
 
 Exit status is 0 when every SPEC holds, 1 otherwise (like SMV).
+
+``--trace FILE`` captures a span trace of the whole run and writes it in
+Chrome trace-event format (load in ``chrome://tracing`` / Perfetto) or,
+with ``--trace-format jsonl``, as one JSON span record per line.
+``--profile`` prints the span tree and an inclusive/exclusive time table
+after the report (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.checking.explicit import ExplicitChecker
 from repro.checking.reachability import check_invariant_symbolic
@@ -27,45 +35,96 @@ from repro.smv.simulate import format_trace, simulate
 from repro.systems.graph import decoded_graph, to_dot
 
 
+def _run_observed(args: argparse.Namespace, run) -> int:
+    """Run ``run()`` under the tracer when --trace/--profile ask for it."""
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not trace_path and not profile:
+        return run()
+    from repro.obs import tracing
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.profile import format_profile
+
+    with tracing() as tracer:
+        code = run()
+    if trace_path:
+        if getattr(args, "trace_format", "chrome") == "jsonl":
+            write_jsonl(trace_path, tracer)
+        else:
+            write_chrome_trace(trace_path, tracer)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    if profile:
+        print()
+        print(format_profile(tracer))
+    return code
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a span trace of the run (chrome://tracing-loadable "
+        "by default)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="trace file format: Chrome trace events (default) or one "
+        "JSON span record per line",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span tree and per-span-name inclusive/exclusive "
+        "time table after the report",
+    )
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    model = load_model(open(args.file).read())
-    if args.explicit:
-        system = to_system(model, reflexive=args.reflexive)
-        checker = ExplicitChecker(system)
-        restriction = Restriction(
-            init=model.initial_formula(),
-            fairness=tuple(model.fairness) or (TRUE,),
-        )
-        ok = True
-        results = []
-        for spec, text in zip(model.specs, model.module.specs):
-            result = checker.holds(spec, restriction)
-            results.append(result)
-            ok &= bool(result)
-            from repro.smv.pretty import spec_to_str
+    source = Path(args.file).read_text()
 
-            verdict = "true" if result else "false"
-            print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
-        if args.stats and results:
-            from repro.checking.result import CheckStats
+    def run() -> int:
+        model = load_model(source)
+        if args.explicit:
+            system = to_system(model, reflexive=args.reflexive)
+            checker = ExplicitChecker(system)
+            restriction = Restriction(
+                init=model.initial_formula(),
+                fairness=tuple(model.fairness) or (TRUE,),
+            )
+            ok = True
+            results = []
+            for spec, text in zip(model.specs, model.module.specs):
+                result = checker.holds(spec, restriction)
+                results.append(result)
+                ok &= bool(result)
+                from repro.smv.pretty import spec_to_str
 
-            print()
-            print(CheckStats.merged(r.stats for r in results).format())
-        return 0 if ok else 1
-    report, _ = check_model(model, reflexive=args.reflexive)
-    print(report.format(with_stats=args.stats))
-    return 0 if report.all_true else 1
+                verdict = "true" if result else "false"
+                print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
+            if args.stats and results:
+                from repro.checking.result import CheckStats
+
+                print()
+                print(CheckStats.merged(r.stats for r in results).format())
+            return 0 if ok else 1
+        report, _ = check_model(model, reflexive=args.reflexive)
+        print(report.format(with_stats=args.stats))
+        return 0 if report.all_true else 1
+
+    return _run_observed(args, run)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    model = load_model(open(args.file).read())
+    model = load_model(Path(args.file).read_text())
     trace = simulate(model, steps=args.steps, seed=args.seed)
     print(format_trace(trace))
     return 0
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
-    model = load_model(open(args.file).read())
+    model = load_model(Path(args.file).read_text())
     system = to_system(model, reflexive=False)
     if args.decoded:
         graph = decoded_graph(system, model.encoding)
@@ -81,7 +140,7 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 
 def _cmd_reachable(args: argparse.Namespace) -> int:
-    model = load_model(open(args.file).read())
+    model = load_model(Path(args.file).read_text())
     system = to_symbolic(model)
     report = check_invariant_symbolic(
         system, model.initial_formula(), model.valid_formula()
@@ -118,6 +177,10 @@ def _mutex_demo():
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    return _run_observed(args, lambda: _demo_body(args))
+
+
+def _demo_body(args: argparse.Namespace) -> int:
     from repro.casestudies.afs1 import Afs1
     from repro.casestudies.afs2 import Afs2
     from repro.casestudies.mutex import TokenRing
@@ -201,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the extended resources block (cache hit rates, "
         "peak unique-table size, fixpoint iterations)",
     )
+    _add_observability_flags(check)
     check.set_defaults(func=_cmd_check)
 
     sim = sub.add_parser("simulate", help="print a random run of the model")
@@ -233,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-check every conclusion on the monolithic product system",
     )
+    _add_observability_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     return parser

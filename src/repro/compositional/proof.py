@@ -49,6 +49,7 @@ from repro.logic.ctl import (
     lor,
 )
 from repro.logic.restriction import UNRESTRICTED, Restriction
+from repro.obs.tracer import TRACER
 from repro.compositional.classify import (
     conjuncts,
     is_existential_form,
@@ -256,7 +257,13 @@ class CompositionProof:
         self, name: str, formula: Formula, restriction: Restriction = UNRESTRICTED
     ) -> CheckResult:
         """Model-check an obligation on a component's expansion (or fail)."""
-        result = self._expansion(name).holds(formula, restriction)
+        with TRACER.span(
+            "proof.obligation",
+            category="proof",
+            component=name,
+            formula=str(formula),
+        ):
+            result = self._expansion(name).holds(formula, restriction)
         if not result:
             raise ProofError(
                 f"obligation failed on component {name!r}: "
@@ -289,9 +296,12 @@ class CompositionProof:
         prop = RestrictedProperty(formula)
         if not is_universal_form(prop):
             raise ProofError(f"not a Rule-2 universal form: {formula}")
-        obligations = tuple(
-            self._obligation(name, formula) for name in self.components
-        )
+        with TRACER.span(
+            "proof.rule2-universal", category="proof", formula=str(formula)
+        ):
+            obligations = tuple(
+                self._obligation(name, formula) for name in self.components
+            )
         step = ProofStep(
             kind="rule2-universal",
             description=f"universal property checked on all expansions: {formula}",
@@ -318,20 +328,24 @@ class CompositionProof:
             raise ProofError(f"not a Rule-1/3 existential form: {prop}")
         names = [witness] if witness is not None else list(self.components)
         failure: ProofError | None = None
-        for name in names:
-            try:
-                result = self._obligation(name, formula, restriction)
-            except ProofError as exc:
-                failure = exc
-                continue
-            step = ProofStep(
-                kind="rule1/3-existential",
-                description=(
-                    f"existential property witnessed by component {name!r}: {prop}"
-                ),
-                obligations=(result,),
-            )
-            return self._record(Proven(prop, step))
+        with TRACER.span(
+            "proof.rule1/3-existential", category="proof", formula=str(formula)
+        ):
+            for name in names:
+                try:
+                    result = self._obligation(name, formula, restriction)
+                except ProofError as exc:
+                    failure = exc
+                    continue
+                step = ProofStep(
+                    kind="rule1/3-existential",
+                    description=(
+                        f"existential property witnessed by component "
+                        f"{name!r}: {prop}"
+                    ),
+                    obligations=(result,),
+                )
+                return self._record(Proven(prop, step))
         raise ProofError(
             f"no component witnesses the existential property {prop}"
         ) from failure
@@ -347,7 +361,10 @@ class CompositionProof:
         (Lemma 8 transfers the ``EX`` step up the expansion).
         """
         premise = rule4_premise(p, q)
-        result = self._obligation(component, premise)
+        with TRACER.span(
+            "proof.rule4", category="proof", component=component
+        ):
+            result = self._obligation(component, premise)
         guarantee = rule4_guarantee(p, q)
         step = ProofStep(
             kind="rule4",
@@ -368,7 +385,10 @@ class CompositionProof:
     ) -> ProvenGuarantee:
         """Establish Rule 5's guarantee by checking ``p_helpful ⇒ EX q``."""
         premise = rule5_premise(disjuncts, q, helpful)
-        result = self._obligation(component, premise)
+        with TRACER.span(
+            "proof.rule5", category="proof", component=component
+        ):
+            result = self._obligation(component, premise)
         guarantee = rule5_guarantee(disjuncts, q, helpful)
         step = ProofStep(
             kind="rule5",
@@ -452,7 +472,10 @@ class CompositionProof:
             raise ProofError("invariant rule requires propositional I and Inv")
         if not is_tautology(Implies(init, inv)):
             raise ProofError(f"initial condition does not imply invariant: {init}{inv}")
-        preserved = self.universal(Implies(inv, AX(inv)))
+        with TRACER.span(
+            "proof.invariant", category="proof", formula=str(inv)
+        ):
+            preserved = self.universal(Implies(inv, AX(inv)))
         prop = RestrictedProperty(AG(inv), Restriction(init, fairness))
         step = ProofStep(
             kind="invariant",
@@ -799,11 +822,16 @@ class CompositionProof:
             for step in proven.step.walk():
                 if step.kind == "rule2-universal" and step.formula is not None:
                     universal_formulas.setdefault(step.formula, None)
-        new_obligations = tuple(
-            grown._obligation(name, formula)
-            for formula in universal_formulas
-            for name in extra
-        )
+        with TRACER.span(
+            "proof.extend",
+            category="proof",
+            components=",".join(sorted(extra)),
+        ):
+            new_obligations = tuple(
+                grown._obligation(name, formula)
+                for formula in universal_formulas
+                for name in extra
+            )
         for proven in self.conclusions:
             step = ProofStep(
                 kind="extend",
@@ -835,24 +863,25 @@ class CompositionProof:
         point of the calculus is that these monolithic checks are
         *redundant*.
         """
-        if self._backend.kind == "symbolic":
-            sym = symbolic_compose_all(
-                [
-                    s
-                    if isinstance(s, SymbolicSystem)
-                    else SymbolicSystem.from_explicit(s)
-                    for s in self.components.values()
-                ]
-            )
-            checker = SymbolicChecker(sym)
-        else:
-            checker = ExplicitChecker(self.composite())
-        out = []
-        for proven in self.conclusions:
-            out.append(
-                (proven, checker.holds(proven.formula, proven.restriction))
-            )
-        return out
+        with TRACER.span("proof.verify_monolithic", category="proof"):
+            if self._backend.kind == "symbolic":
+                sym = symbolic_compose_all(
+                    [
+                        s
+                        if isinstance(s, SymbolicSystem)
+                        else SymbolicSystem.from_explicit(s)
+                        for s in self.components.values()
+                    ]
+                )
+                checker = SymbolicChecker(sym)
+            else:
+                checker = ExplicitChecker(self.composite())
+            out = []
+            for proven in self.conclusions:
+                out.append(
+                    (proven, checker.holds(proven.formula, proven.restriction))
+                )
+            return out
 
     def summary(self) -> str:
         """Human-readable account of the proof so far."""

@@ -1,0 +1,45 @@
+"""Observability: span tracing, metrics aggregation, and exporters.
+
+The library's single timing mechanism.  Every instrumented layer — the
+SMV front end, both model checkers, the BDD manager's relational
+product, and the compositional proof calculus — opens spans on the
+process-wide :data:`~repro.obs.tracer.TRACER`; when it is disabled (the
+default) hot paths pay one attribute check and nothing is recorded,
+while top-level call sites still derive ``CheckStats.user_time`` from
+their (unrecorded) spans.
+
+Typical use::
+
+    from repro.obs import tracing
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.profile import format_profile
+    from repro.smv.run import check_source
+
+    with tracing() as tracer:
+        report = check_source(source)
+    write_chrome_trace("out.json", tracer)   # load in chrome://tracing
+    print(format_profile(tracer))            # inclusive/exclusive table
+
+The CLI exposes the same workflow as ``repro check model.smv
+--trace out.json --profile``.
+"""
+
+from repro.obs.tracer import (
+    TRACER,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+)
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "MetricsRegistry",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+]

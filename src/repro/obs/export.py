@@ -1,0 +1,141 @@
+"""Trace exporters: JSONL span records and Chrome trace-event JSON.
+
+Two formats, both derived from the same span trees:
+
+* **JSONL** (:func:`to_jsonl_records` / :func:`write_jsonl`) — one JSON
+  object per span with explicit ``id``/``parent`` links, microsecond
+  start offsets and durations, depth, counters and attributes.  Easy to
+  post-process with ``jq`` or pandas; round-trips through
+  :func:`read_jsonl`.
+* **Chrome trace-event** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`) — the ``chrome://tracing`` /
+  `Perfetto <https://ui.perfetto.dev>`_ flavor: one complete (``"ph":
+  "X"``) event per span with microsecond ``ts``/``dur``, category and
+  ``args``.  Load the written file directly in the browser to see the
+  check's flame graph.
+
+Timestamps are offsets (µs) from the trace's earliest root span, so
+they are small, monotonic within a parent, and independent of the
+process's wall-clock epoch (which is still recorded in the Chrome
+export's ``otherData.epoch_wall``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "to_jsonl_records",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def to_jsonl_records(tracer: Tracer) -> list[dict]:
+    """Flatten the tracer's span trees into JSONL-ready dicts.
+
+    Records appear in pre-order; ``id`` is the record's index, ``parent``
+    the parent's ``id`` (``None`` for roots), so the tree structure
+    survives the flattening.
+    """
+    origin = tracer.start_time
+    records: list[dict] = []
+
+    def emit(span: Span, parent: int | None, depth: int) -> None:
+        record = {
+            "id": len(records),
+            "parent": parent,
+            "depth": depth,
+            "name": span.name,
+            "cat": span.category,
+            "start_us": _us(span.start - origin),
+            "dur_us": _us(span.duration),
+        }
+        if span.attrs:
+            record["attrs"] = {k: str(v) for k, v in span.attrs.items()}
+        if span.counters:
+            record["counters"] = dict(span.counters)
+        records.append(record)
+        my_id = record["id"]
+        for child in span.children:
+            emit(child, my_id, depth + 1)
+
+    for root in tracer.roots:
+        emit(root, None, 0)
+    return records
+
+
+def write_jsonl(path: str | Path, tracer: Tracer) -> Path:
+    """Write one JSON object per span to ``path``; returns the path."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in to_jsonl_records(tracer):
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into its list of span records."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def to_chrome_trace(tracer: Tracer, pid: int = 1, tid: int = 1) -> dict:
+    """The tracer's spans as a Chrome trace-event JSON document.
+
+    The JSON-object flavor (``{"traceEvents": [...]}``) is used so
+    metadata can ride along; ``chrome://tracing`` and Perfetto accept
+    it directly.
+    """
+    origin = tracer.start_time
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "repro"},
+        }
+    ]
+    for span in tracer.spans():
+        args: dict = {k: str(v) for k, v in span.attrs.items()}
+        for counter, value in span.counters.items():
+            args[counter] = value
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": _us(span.start - origin),
+                "dur": _us(span.duration),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"epoch_wall": tracer.epoch_wall},
+    }
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(tracer), indent=1) + "\n")
+    return path

@@ -1,0 +1,122 @@
+"""Metrics aggregation over span trees and engine counter deltas.
+
+A :class:`MetricsRegistry` is a flat name → value accumulator with two
+structured feeders: :meth:`MetricsRegistry.record_check_stats` folds a
+:class:`repro.checking.result.CheckStats` in under a prefix, and
+:meth:`MetricsRegistry.record_bdd_delta` does the same for a
+:class:`repro.bdd.stats.BDDStats` delta (both are duck-typed so this
+module stays dependency-free).  :meth:`MetricsRegistry.collect` walks a
+tracer's span trees and aggregates every span's counters and durations
+grouped by span name — the bridge between the tracing side (where
+counters are *attached per span*) and reporting (where one table per
+run is wanted).
+
+Peaks (``peak_unique_nodes``, ``bdd_nodes_allocated``) are kept as
+maxima; everything else is summed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["MetricsRegistry"]
+
+#: Counter names aggregated with ``max`` instead of ``+`` — cumulative
+#: manager-level quantities where summing per-span values double-counts.
+_PEAK_SUFFIXES = ("peak_unique_nodes", "nodes_allocated", "transition_nodes")
+
+
+def _is_peak(name: str) -> bool:
+    return name.endswith(_PEAK_SUFFIXES)
+
+
+class MetricsRegistry:
+    """Named numeric metrics with sum/max aggregation semantics.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.add("check.fixpoint_iterations", 3)
+    >>> reg.add("check.fixpoint_iterations", 4)
+    >>> reg.get("check.fixpoint_iterations")
+    7.0
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    # -- primitive accumulation -----------------------------------------
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` into ``name`` (max for peak metrics)."""
+        if _is_peak(name):
+            self._values[name] = max(self._values.get(name, 0.0), float(value))
+        else:
+            self._values[name] = self._values.get(name, 0.0) + float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- structured feeders ---------------------------------------------
+    def record_check_stats(self, stats, prefix: str = "check") -> None:
+        """Fold a ``CheckStats``-shaped object in under ``prefix``.
+
+        Reads the public counter fields by name (duck-typed), so any
+        object with the same attributes works.
+        """
+        for field in (
+            "user_time",
+            "fixpoint_iterations",
+            "subformulas_evaluated",
+            "bdd_nodes_allocated",
+            "transition_nodes",
+            "bdd_cache_lookups",
+            "bdd_cache_hits",
+            "bdd_mk_calls",
+            "bdd_peak_unique_nodes",
+        ):
+            value = getattr(stats, field, 0)
+            if value:
+                self.add(f"{prefix}.{field}", value)
+
+    def record_bdd_delta(self, delta, prefix: str = "bdd") -> None:
+        """Fold a ``BDDStats`` delta in under ``prefix`` (per-op too)."""
+        self.add(f"{prefix}.mk_calls", getattr(delta, "mk_calls", 0))
+        self.add(
+            f"{prefix}.peak_unique_nodes",
+            getattr(delta, "peak_unique_nodes", 0),
+        )
+        for op_name, counter in getattr(delta, "ops", {}).items():
+            if counter.lookups or counter.inserts:
+                self.add(f"{prefix}.{op_name}.lookups", counter.lookups)
+                self.add(f"{prefix}.{op_name}.hits", counter.hits)
+                self.add(f"{prefix}.{op_name}.inserts", counter.inserts)
+
+    # -- span aggregation -----------------------------------------------
+    def collect(self, spans: Iterable) -> "MetricsRegistry":
+        """Aggregate spans (e.g. ``tracer.spans()``) into this registry.
+
+        Per span name: ``<name>.calls``, ``<name>.seconds`` (inclusive)
+        and ``<name>.self_seconds`` (exclusive), plus every attached
+        span counter under ``<name>.<counter>``.  Returns ``self``.
+        """
+        for span in spans:
+            self.add(f"{span.name}.calls", 1)
+            self.add(f"{span.name}.seconds", span.duration)
+            self.add(f"{span.name}.self_seconds", span.exclusive)
+            for counter, value in span.counters.items():
+                self.add(f"{span.name}.{counter}", value)
+        return self
+
+    # -- reporting ------------------------------------------------------
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of every metric, sorted by name."""
+        return dict(sorted(self._values.items()))
+
+    def format(self) -> str:
+        """One ``name = value`` line per metric, sorted by name."""
+        lines = []
+        for name, value in sorted(self._values.items()):
+            shown = f"{value:g}" if value != int(value) else f"{int(value)}"
+            lines.append(f"{name} = {shown}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Human-readable profiles of a recorded trace.
+
+:func:`format_profile` renders what ``--profile`` prints: the span
+*tree* (inclusive wall time per span, so the root line is the run's
+``user_time``) followed by a *table* aggregated by span name with
+inclusive/exclusive totals and call counts, sorted by inclusive time.
+
+Inclusive time per name counts only *outermost* spans of that name
+(recursive spans — e.g. nested ``eval.*`` frames — are not double
+counted); exclusive time sums every frame's self time, so the exclusive
+column always adds up to the total traced time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["format_profile", "format_span_tree", "format_profile_table"]
+
+#: Tree rows whose inclusive share of the root is below this fraction
+#: are elided (with a summary line) to keep deep traces readable.
+_TREE_CUTOFF = 0.001
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def format_span_tree(
+    tracer: Tracer, max_depth: int | None = None
+) -> str:
+    """The span tree with inclusive times, one indented line per span."""
+    lines: list[str] = []
+    total = sum(root.duration for root in tracer.roots) or 1.0
+
+    def render(span: Span, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        label = span.name
+        detail = next(iter(span.attrs.values()), None)
+        if detail is not None:
+            text = str(detail)
+            label += f" [{text[:40]}{'…' if len(text) > 40 else ''}]"
+        lines.append(
+            f"{'  ' * depth}{label:<{max(46 - 2 * depth, 10)}} "
+            f"{_ms(span.duration):>10} ms"
+        )
+        visible = [c for c in span.children if c.duration / total >= _TREE_CUTOFF]
+        hidden = len(span.children) - len(visible)
+        for child in visible:
+            render(child, depth + 1)
+        if hidden:
+            elided = sum(
+                c.duration
+                for c in span.children
+                if c.duration / total < _TREE_CUTOFF
+            )
+            lines.append(
+                f"{'  ' * (depth + 1)}… {hidden} spans below "
+                f"{100 * _TREE_CUTOFF:g}% elided ({_ms(elided)} ms)"
+            )
+
+    for root in tracer.roots:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def format_profile_table(tracer: Tracer) -> str:
+    """Per-name aggregate: calls, inclusive/exclusive ms, inclusive %."""
+    inclusive: dict[str, float] = {}
+    exclusive: dict[str, float] = {}
+    calls: dict[str, int] = {}
+
+    def visit(span: Span, active: frozenset[str]) -> None:
+        calls[span.name] = calls.get(span.name, 0) + 1
+        exclusive[span.name] = exclusive.get(span.name, 0.0) + span.exclusive
+        if span.name not in active:  # outermost frame of this name only
+            inclusive[span.name] = inclusive.get(span.name, 0.0) + span.duration
+        inner = active | {span.name}
+        for child in span.children:
+            visit(child, inner)
+
+    for root in tracer.roots:
+        visit(root, frozenset())
+    total = sum(root.duration for root in tracer.roots) or 1.0
+    header = (
+        f"{'span':<34} {'calls':>7} {'incl ms':>10} {'excl ms':>10} {'incl %':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(inclusive, key=lambda n: -inclusive[n]):
+        lines.append(
+            f"{name[:34]:<34} {calls[name]:>7} {_ms(inclusive[name]):>10} "
+            f"{_ms(exclusive[name]):>10} {100 * inclusive[name] / total:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_profile(tracer: Tracer, max_depth: int | None = None) -> str:
+    """The full ``--profile`` report: span tree plus aggregate table."""
+    if not tracer.roots:
+        return "trace is empty (was tracing enabled?)"
+    return (
+        "span tree (inclusive wall time):\n"
+        + format_span_tree(tracer, max_depth=max_depth)
+        + "\n\nby span name (sorted by inclusive time):\n"
+        + format_profile_table(tracer)
+    )

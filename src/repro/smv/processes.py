@@ -220,36 +220,46 @@ def check_processes(source: str, backend: str = "symbolic"):
     so this is the *monolithic* semantics for process programs — the
     compositional route is :meth:`ProcessProgram.proof`.
     """
-    import time
-
     from repro.checking.explicit import ExplicitChecker
     from repro.checking.symbolic import SymbolicChecker
     from repro.logic.restriction import Restriction
+    from repro.obs.tracer import TRACER
     from repro.smv.pretty import spec_to_str
     from repro.smv.run import SmvReport
     from repro.systems.compose import compose_all
     from repro.systems.symbolic import symbolic_compose_all
 
-    started = time.perf_counter()
-    split = load_processes(source)
-    if backend == "symbolic":
-        composite = symbolic_compose_all(list(split.symbolic_systems().values()))
-        checker = SymbolicChecker(composite)
-        nodes, transition = composite.bdd.nodes_allocated, composite.node_count()
-    else:
-        checker = ExplicitChecker(compose_all(list(split.systems().values())))
-        nodes = transition = 0
-    restriction = Restriction(
-        init=split.init, fairness=tuple(split.fairness) or (TRUE,)
-    )
-    report = SmvReport(
-        module_name="main",
-        spec_texts=[spec_to_str(s) for s in split.spec_nodes],
-    )
-    for spec in split.specs:
-        report.results.append(checker.holds(spec, restriction))
-        report.counterexamples.append(None)
-    report.user_time = time.perf_counter() - started
+    with TRACER.span(
+        "smv.check_processes", category="smv", backend=backend
+    ) as root:
+        with TRACER.span("smv.load_processes", category="smv"):
+            split = load_processes(source)
+        with TRACER.span("smv.compose", category="smv", backend=backend):
+            if backend == "symbolic":
+                composite = symbolic_compose_all(
+                    list(split.symbolic_systems().values())
+                )
+                checker = SymbolicChecker(composite)
+                nodes, transition = (
+                    composite.bdd.nodes_allocated,
+                    composite.node_count(),
+                )
+            else:
+                checker = ExplicitChecker(
+                    compose_all(list(split.systems().values()))
+                )
+                nodes = transition = 0
+        restriction = Restriction(
+            init=split.init, fairness=tuple(split.fairness) or (TRUE,)
+        )
+        report = SmvReport(
+            module_name="main",
+            spec_texts=[spec_to_str(s) for s in split.spec_nodes],
+        )
+        for spec in split.specs:
+            report.results.append(checker.holds(spec, restriction))
+            report.counterexamples.append(None)
+        report.user_time = root.elapsed()
     report.bdd_nodes_allocated = nodes
     report.transition_nodes = transition
     report.num_fairness = len([f for f in split.fairness if f != TRUE])

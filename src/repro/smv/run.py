@@ -9,7 +9,6 @@ mimics SMV's output, including the resource statistics block.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.checking.result import CheckResult, CheckStats
@@ -17,6 +16,7 @@ from repro.checking.symbolic import SymbolicChecker
 from repro.checking.symbolic_witness import ef_witness_symbolic
 from repro.logic.ctl import AG, AX, Formula, Implies, Not, TRUE, is_propositional
 from repro.logic.restriction import Restriction
+from repro.obs.tracer import TRACER
 from repro.smv.compile_symbolic import to_symbolic
 from repro.smv.elaborate import SmvModel
 from repro.smv.parser import parse_module
@@ -164,31 +164,38 @@ def check_model(
     with ``extra_init`` when given); fairness is the module's ``FAIRNESS``
     declarations plus ``extra_fairness``.
     """
-    started = time.perf_counter()
-    sym = to_symbolic(model, reflexive=reflexive)
-    checker = SymbolicChecker(sym)
-    init = model.initial_formula()
-    if extra_init is not None:
-        from repro.logic.ctl import And
+    with TRACER.span(
+        "smv.check_model", category="smv", module=model.name
+    ) as root:
+        with TRACER.span("smv.compile_symbolic", category="smv"):
+            sym = to_symbolic(model, reflexive=reflexive)
+        checker = SymbolicChecker(sym)
+        init = model.initial_formula()
+        if extra_init is not None:
+            from repro.logic.ctl import And
 
-        init = And(init, extra_init)
-    fairness = tuple(model.fairness) + tuple(extra_fairness)
-    if not fairness:
-        fairness = (TRUE,)
-    restriction = Restriction(init=init, fairness=fairness)
-    from repro.smv.pretty import spec_to_str
+            init = And(init, extra_init)
+        fairness = tuple(model.fairness) + tuple(extra_fairness)
+        if not fairness:
+            fairness = (TRUE,)
+        restriction = Restriction(init=init, fairness=fairness)
+        from repro.smv.pretty import spec_to_str
 
-    report = SmvReport(
-        module_name=model.name,
-        spec_texts=[spec_to_str(s) for s in model.module.specs],
-    )
-    for spec in model.specs:
-        result = checker.holds(spec, restriction)
-        report.results.append(result)
-        report.counterexamples.append(
-            _counterexample_trace(model, sym, spec, result)
+        report = SmvReport(
+            module_name=model.name,
+            spec_texts=[spec_to_str(s) for s in model.module.specs],
         )
-    report.user_time = time.perf_counter() - started
+        for spec in model.specs:
+            result = checker.holds(spec, restriction)
+            report.results.append(result)
+            if result.holds or not result.failing_states:
+                report.counterexamples.append(None)
+            else:
+                with TRACER.span("smv.counterexample", category="smv"):
+                    report.counterexamples.append(
+                        _counterexample_trace(model, sym, spec, result)
+                    )
+        report.user_time = root.elapsed()
     report.bdd_nodes_allocated = sym.bdd.nodes_allocated
     report.transition_nodes = sym.node_count()
     report.num_fairness = len([f for f in fairness if f != TRUE])
@@ -220,9 +227,11 @@ def load_model(source: str) -> SmvModel:
     from repro.smv.modules import flatten
     from repro.smv.parser import parse_program
 
-    program = parse_program(source)
-    if list(program) == ["main"] and not any(
-        decl.is_instance for decl in program["main"].variables
-    ):
-        return SmvModel(program["main"])
-    return SmvModel(flatten(program))
+    with TRACER.span("smv.parse", category="smv"):
+        program = parse_program(source)
+    with TRACER.span("smv.elaborate", category="smv"):
+        if list(program) == ["main"] and not any(
+            decl.is_instance for decl in program["main"].variables
+        ):
+            return SmvModel(program["main"])
+        return SmvModel(flatten(program))

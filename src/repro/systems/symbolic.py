@@ -23,6 +23,7 @@ from collections.abc import Iterable, Sequence
 from repro.bdd.manager import BDD, FALSE, TRUE
 from repro.bdd.ops import transfer
 from repro.errors import SystemError_
+from repro.obs.tracer import TRACER
 from repro.systems.system import System
 
 
@@ -135,6 +136,12 @@ class SymbolicSystem:
     # ------------------------------------------------------------------
     def pre_image(self, s: int) -> int:
         """``EX S``: states with an R-successor in ``S`` (S over current vars)."""
+        if TRACER.enabled:
+            with TRACER.span("image.pre", category="image"):
+                return self._pre_image(s)
+        return self._pre_image(s)
+
+    def _pre_image(self, s: int) -> int:
         if self.prefer_partitions and self.partitions:
             return self.pre_image_partitioned(s)
         s_next = self.bdd.rename(s, {a: primed(a) for a in self.atoms})
@@ -172,6 +179,10 @@ class SymbolicSystem:
 
     def post_image(self, s: int) -> int:
         """States reachable from ``S`` in one R-step."""
+        if TRACER.enabled:
+            with TRACER.span("image.post", category="image"):
+                image = self.bdd.and_exists(self.transition, s, list(self.atoms))
+                return self.bdd.rename(image, {primed(a): a for a in self.atoms})
         image = self.bdd.and_exists(self.transition, s, list(self.atoms))
         return self.bdd.rename(image, {primed(a): a for a in self.atoms})
 

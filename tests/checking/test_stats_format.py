@@ -1,0 +1,95 @@
+"""Edge cases for CheckStats.format() and cache_hit_rate."""
+
+import pytest
+
+from repro.checking.result import CheckStats
+
+
+class TestCacheHitRate:
+    def test_zero_lookups_is_zero_not_nan(self):
+        assert CheckStats().cache_hit_rate == 0.0
+
+    def test_ratio_when_populated(self):
+        stats = CheckStats(bdd_cache_lookups=200, bdd_cache_hits=50)
+        assert stats.cache_hit_rate == pytest.approx(0.25)
+
+    def test_all_hits(self):
+        stats = CheckStats(bdd_cache_lookups=10, bdd_cache_hits=10)
+        assert stats.cache_hit_rate == 1.0
+
+
+class TestFormat:
+    def test_empty_stats_minimal_block(self):
+        text = CheckStats().format()
+        assert text.splitlines() == [
+            "resources used:",
+            "user time: 0 s, system time: 0 s",
+        ]
+
+    def test_explicit_engine_zeros_omit_bdd_lines(self):
+        stats = CheckStats(
+            user_time=0.25, fixpoint_iterations=4, subformulas_evaluated=9
+        )
+        text = stats.format()
+        assert "fixpoint iterations: 4, subformulas evaluated: 9" in text
+        assert "BDD" not in text
+
+    def test_symbolic_stats_full_block(self):
+        stats = CheckStats(
+            user_time=0.5,
+            fixpoint_iterations=3,
+            bdd_nodes_allocated=100,
+            transition_nodes=40,
+            bdd_cache_lookups=1000,
+            bdd_cache_hits=600,
+            bdd_mk_calls=800,
+            bdd_peak_unique_nodes=120,
+        )
+        text = stats.format()
+        assert "user time: 0.5 s, system time: 0 s" in text
+        assert "BDD nodes allocated: 100" in text
+        assert "BDD nodes representing transition relation: 40 + 3" in text
+        assert "BDD cache: 1000 lookups, 60.0% hit rate" in text
+        assert "BDD unique table: peak 120 nodes (800 mk calls)" in text
+
+    def test_op_counters_survive_construction(self):
+        counters = {"and": {"lookups": 10, "hits": 5, "inserts": 5}}
+        stats = CheckStats(bdd_op_counters=counters)
+        assert stats.bdd_op_counters == counters
+        # the resources block does not explode on the dict
+        assert stats.format().startswith("resources used:")
+
+
+class TestMerged:
+    def test_sums_additive_and_maxes_peaks(self):
+        merged = CheckStats.merged(
+            [
+                CheckStats(
+                    user_time=0.1,
+                    fixpoint_iterations=2,
+                    bdd_cache_lookups=10,
+                    bdd_cache_hits=5,
+                    bdd_nodes_allocated=100,
+                    bdd_peak_unique_nodes=80,
+                ),
+                CheckStats(
+                    user_time=0.2,
+                    fixpoint_iterations=3,
+                    bdd_cache_lookups=30,
+                    bdd_cache_hits=15,
+                    bdd_nodes_allocated=150,
+                    bdd_peak_unique_nodes=60,
+                ),
+            ]
+        )
+        assert merged.user_time == pytest.approx(0.3)
+        assert merged.fixpoint_iterations == 5
+        assert merged.bdd_cache_lookups == 40
+        assert merged.cache_hit_rate == pytest.approx(0.5)
+        assert merged.bdd_nodes_allocated == 150  # cumulative: max
+        assert merged.bdd_peak_unique_nodes == 80
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = CheckStats.merged([])
+        assert merged.user_time == 0.0
+        assert merged.cache_hit_rate == 0.0

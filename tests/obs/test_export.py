@@ -1,0 +1,135 @@
+"""Round-trip tests for the JSONL and Chrome trace-event exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def traced():
+    """A tracer holding a small two-root trace with attrs and counters."""
+    t = Tracer(enabled=True)
+    with t.span("check", category="check", formula="AG p") as root:
+        root.add("iterations", 3)
+        with t.span("eval", category="eval"):
+            with t.span("image", category="bdd") as image:
+                image.add("mk_calls", 7)
+        with t.span("eval", category="eval"):
+            pass
+    with t.span("report"):
+        pass
+    return t
+
+
+class TestJsonl:
+    def test_round_trips_through_file(self, traced, tmp_path):
+        path = write_jsonl(tmp_path / "trace.jsonl", traced)
+        assert read_jsonl(path) == to_jsonl_records(traced)
+
+    def test_each_line_is_json(self, traced, tmp_path):
+        path = write_jsonl(tmp_path / "trace.jsonl", traced)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
+
+    def test_parent_links_rebuild_the_tree(self, traced):
+        records = to_jsonl_records(traced)
+        by_id = {r["id"]: r for r in records}
+        # ids are the pre-order index
+        assert [r["id"] for r in records] == list(range(len(records)))
+        roots = [r for r in records if r["parent"] is None]
+        assert [r["name"] for r in roots] == ["check", "report"]
+        image = next(r for r in records if r["name"] == "image")
+        assert by_id[image["parent"]]["name"] == "eval"
+        assert image["depth"] == by_id[image["parent"]]["depth"] + 1
+
+    def test_children_nest_within_parent_interval(self, traced):
+        records = to_jsonl_records(traced)
+        by_id = {r["id"]: r for r in records}
+        for r in records:
+            if r["parent"] is None:
+                continue
+            parent = by_id[r["parent"]]
+            assert r["start_us"] >= parent["start_us"]
+            assert (
+                r["start_us"] + r["dur_us"]
+                <= parent["start_us"] + parent["dur_us"] + 0.001
+            )
+
+    def test_timestamps_monotonic_in_preorder(self, traced):
+        records = to_jsonl_records(traced)
+        starts = [r["start_us"] for r in records]
+        assert starts == sorted(starts)
+        assert starts[0] == 0.0
+
+    def test_attrs_and_counters_survive(self, traced):
+        records = to_jsonl_records(traced)
+        root = records[0]
+        assert root["attrs"] == {"formula": "AG p"}
+        assert root["counters"] == {"iterations": 3.0}
+        image = next(r for r in records if r["name"] == "image")
+        assert image["counters"] == {"mk_calls": 7.0}
+
+    def test_empty_tracer_exports_nothing(self, tmp_path):
+        path = write_jsonl(tmp_path / "empty.jsonl", Tracer(enabled=True))
+        assert read_jsonl(path) == []
+
+
+class TestChromeTrace:
+    def test_written_file_is_valid_json(self, traced, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", traced)
+        document = json.loads(path.read_text())
+        assert document == to_chrome_trace(traced)
+
+    def test_document_shape(self, traced):
+        document = to_chrome_trace(traced)
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert document["displayTimeUnit"] == "ms"
+        assert isinstance(document["otherData"]["epoch_wall"], float)
+
+    def test_one_complete_event_per_span_plus_metadata(self, traced):
+        events = to_chrome_trace(traced)["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(metadata) == 1
+        assert metadata[0]["name"] == "process_name"
+        assert len(complete) == len(list(traced.spans()))
+
+    def test_events_carry_ts_dur_and_args(self, traced):
+        complete = [
+            e for e in to_chrome_trace(traced)["traceEvents"] if e["ph"] == "X"
+        ]
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1 and event["tid"] == 1
+        root = complete[0]
+        assert root["name"] == "check"
+        assert root["cat"] == "check"
+        assert root["args"] == {"formula": "AG p", "iterations": 3.0}
+
+    def test_uncategorized_spans_get_default_cat(self, traced):
+        complete = [
+            e for e in to_chrome_trace(traced)["traceEvents"] if e["ph"] == "X"
+        ]
+        report = next(e for e in complete if e["name"] == "report")
+        assert report["cat"] == "span"
+
+    def test_events_nest_by_interval(self, traced):
+        complete = [
+            e for e in to_chrome_trace(traced)["traceEvents"] if e["ph"] == "X"
+        ]
+        by_name = {e["name"]: e for e in complete}
+        check, image = by_name["check"], by_name["image"]
+        assert check["ts"] <= image["ts"]
+        assert image["ts"] + image["dur"] <= check["ts"] + check["dur"] + 0.001

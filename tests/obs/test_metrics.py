@@ -1,0 +1,101 @@
+"""Tests for MetricsRegistry aggregation semantics."""
+
+import pytest
+
+from repro.checking.result import CheckStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class TestAccumulation:
+    def test_plain_counters_sum(self):
+        reg = MetricsRegistry()
+        reg.add("check.fixpoint_iterations", 3)
+        reg.add("check.fixpoint_iterations", 4)
+        assert reg.get("check.fixpoint_iterations") == 7.0
+
+    def test_peak_counters_take_max(self):
+        reg = MetricsRegistry()
+        reg.add("bdd.peak_unique_nodes", 100)
+        reg.add("bdd.peak_unique_nodes", 40)
+        reg.add("check.bdd_nodes_allocated", 10)
+        reg.add("check.bdd_nodes_allocated", 25)
+        assert reg.get("bdd.peak_unique_nodes") == 100.0
+        assert reg.get("check.bdd_nodes_allocated") == 25.0
+
+    def test_get_default(self):
+        assert MetricsRegistry().get("missing") == 0.0
+        assert MetricsRegistry().get("missing", -1.0) == -1.0
+
+
+class TestStructuredFeeders:
+    def test_record_check_stats(self):
+        reg = MetricsRegistry()
+        stats = CheckStats(
+            user_time=0.5,
+            fixpoint_iterations=12,
+            bdd_cache_lookups=100,
+            bdd_cache_hits=60,
+            bdd_peak_unique_nodes=500,
+        )
+        reg.record_check_stats(stats)
+        reg.record_check_stats(stats)
+        assert reg.get("check.user_time") == pytest.approx(1.0)
+        assert reg.get("check.fixpoint_iterations") == 24.0
+        assert reg.get("check.bdd_cache_lookups") == 200.0
+        # peak: max, not sum
+        assert reg.get("check.bdd_peak_unique_nodes") == 500.0
+
+    def test_record_check_stats_skips_zero_fields(self):
+        reg = MetricsRegistry()
+        reg.record_check_stats(CheckStats())
+        assert len(reg) == 0
+
+    def test_record_bdd_delta_duck_typed(self):
+        class Counter:
+            lookups, hits, inserts = 10, 6, 4
+
+        class Delta:
+            mk_calls = 42
+            peak_unique_nodes = 7
+            ops = {"and": Counter()}
+
+        reg = MetricsRegistry()
+        reg.record_bdd_delta(Delta())
+        assert reg.get("bdd.mk_calls") == 42.0
+        assert reg.get("bdd.peak_unique_nodes") == 7.0
+        assert reg.get("bdd.and.lookups") == 10.0
+        assert reg.get("bdd.and.hits") == 6.0
+
+
+class TestSpanCollection:
+    def test_collect_groups_by_span_name(self):
+        t = Tracer(enabled=True)
+        with t.span("check") as root:
+            root.add("iterations", 2)
+            with t.span("image"):
+                pass
+            with t.span("image"):
+                pass
+        reg = MetricsRegistry().collect(t.spans())
+        assert reg.get("check.calls") == 1.0
+        assert reg.get("image.calls") == 2.0
+        assert reg.get("check.iterations") == 2.0
+        assert reg.get("check.seconds") >= reg.get("image.seconds")
+        assert reg.get("check.self_seconds") == pytest.approx(
+            reg.get("check.seconds") - reg.get("image.seconds")
+        )
+
+
+class TestReporting:
+    def test_as_dict_sorted(self):
+        reg = MetricsRegistry()
+        reg.add("b", 2)
+        reg.add("a", 1)
+        assert list(reg.as_dict()) == ["a", "b"]
+
+    def test_format_renders_ints_and_floats(self):
+        reg = MetricsRegistry()
+        reg.add("calls", 3)
+        reg.add("seconds", 0.25)
+        assert reg.format() == "calls = 3\nseconds = 0.25"

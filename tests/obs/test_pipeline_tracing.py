@@ -1,0 +1,108 @@
+"""End-to-end tracing of the instrumented pipeline.
+
+These tests exercise the real parse → compile → check path under the
+global tracer and pin down the acceptance properties: the span tree has
+the expected shape, counters are attached, ``user_time`` agrees with the
+root span, and a disabled tracer records nothing.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TRACER, tracing
+from repro.smv.run import check_source
+
+SOURCE = """
+MODULE main
+VAR x : boolean; y : boolean;
+ASSIGN
+  next(x) := !x;
+  next(y) := x;
+SPEC AG (x -> AX !x)
+SPEC AG EF x
+"""
+
+
+def test_check_source_produces_expected_span_tree():
+    with tracing() as t:
+        check_source(SOURCE)
+    names = [s.name for s in t.spans()]
+    for expected in (
+        "smv.parse",
+        "smv.elaborate",
+        "smv.check_model",
+        "smv.compile_symbolic",
+        "check.symbolic",
+        "fixpoint.eu",
+        "image.pre",
+        "bdd.and_exists",
+    ):
+        assert expected in names, f"missing span {expected!r}"
+    # one check.symbolic span per SPEC, nested under smv.check_model
+    check_model = next(r for r in t.roots if r.name == "smv.check_model")
+    checks = [c for c in check_model.children if c.name == "check.symbolic"]
+    assert len(checks) == 2
+    assert all("formula" in c.attrs for c in checks)
+
+
+def test_user_time_matches_root_span_duration():
+    with tracing() as t:
+        report = check_source(SOURCE)
+    root = next(r for r in t.roots if r.name == "smv.check_model")
+    assert report.user_time <= root.duration
+    assert report.user_time == pytest.approx(root.duration, rel=0.05)
+
+
+def test_check_span_carries_engine_counters():
+    with tracing() as t:
+        check_source(SOURCE)
+    checks = [s for s in t.spans() if s.name == "check.symbolic"]
+    first = checks[0]
+    assert first.counters.get("bdd.mk_calls", 0) > 0
+    assert first.counters.get("bdd.cache_lookups", 0) > 0
+    # AG EF x actually iterates its EU fixpoint
+    total_iter = sum(c.counters.get("fixpoint_iterations", 0) for c in checks)
+    assert total_iter > 0
+
+
+def test_disabled_tracer_records_nothing_but_times_report():
+    TRACER.reset()
+    assert not TRACER.enabled
+    report = check_source(SOURCE)
+    assert list(TRACER.spans()) == []
+    assert report.user_time > 0.0  # span timing works without recording
+
+
+def test_explicit_engine_traces_too():
+    from repro.checking.explicit import ExplicitChecker
+    from repro.logic.restriction import Restriction
+    from repro.smv.compile_explicit import to_system
+    from repro.smv.run import load_model
+
+    model = load_model(SOURCE)
+    checker = ExplicitChecker(to_system(model))
+    with tracing() as t:
+        result = checker.holds(
+            model.specs[1], Restriction(init=model.initial_formula())
+        )
+    assert result.holds
+    names = [s.name for s in t.spans()]
+    assert "check.explicit" in names
+    assert "fixpoint.eu" in names
+    check = next(s for s in t.spans() if s.name == "check.explicit")
+    assert check.counters.get("subformulas_evaluated", 0) > 0
+
+
+def test_metrics_registry_aggregates_a_real_trace():
+    with tracing() as t:
+        report = check_source(SOURCE)
+    reg = MetricsRegistry().collect(t.spans())
+    reg.record_check_stats(report.check_stats)
+    assert reg.get("check.symbolic.calls") == 2.0
+    # per-spec user times sum up under check.user_time…
+    assert reg.get("check.user_time") == pytest.approx(
+        report.check_stats.user_time, rel=1e-6
+    )
+    # …and are bounded by the whole run's wall time
+    assert reg.get("check.user_time") <= report.user_time
+    assert reg.get("bdd.and_exists.calls") > 0

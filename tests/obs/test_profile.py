@@ -1,0 +1,86 @@
+"""Tests for the --profile text renderer."""
+
+from repro.obs.profile import (
+    format_profile,
+    format_profile_table,
+    format_span_tree,
+)
+from repro.obs.tracer import Tracer
+
+
+def make_trace():
+    t = Tracer(enabled=True)
+    with t.span("check", formula="AG p"):
+        with t.span("eval"):
+            with t.span("eval"):  # recursive frame
+                pass
+        with t.span("image"):
+            pass
+    return t
+
+
+class TestSpanTree:
+    def test_indentation_follows_depth(self):
+        lines = format_span_tree(make_trace()).splitlines()
+        assert lines[0].startswith("check")
+        assert lines[1].startswith("  eval")
+        assert lines[2].startswith("    eval")
+        assert lines[3].startswith("  image")
+
+    def test_first_attr_shown_as_detail(self):
+        assert "[AG p]" in format_span_tree(make_trace()).splitlines()[0]
+
+    def test_long_detail_truncated(self):
+        t = Tracer(enabled=True)
+        with t.span("check", formula="x" * 80):
+            pass
+        line = format_span_tree(t).splitlines()[0]
+        assert "x" * 40 + "…" in line
+        assert "x" * 41 not in line
+
+    def test_max_depth_limits_tree(self):
+        text = format_span_tree(make_trace(), max_depth=0)
+        assert text.splitlines()[0].startswith("check")
+        assert "eval" not in text
+
+
+class TestProfileTable:
+    def test_calls_and_columns(self):
+        table = format_profile_table(make_trace())
+        assert table.splitlines()[0].split() == [
+            "span", "calls", "incl", "ms", "excl", "ms", "incl", "%",
+        ]
+        eval_row = next(
+            line for line in table.splitlines() if line.startswith("eval")
+        )
+        assert eval_row.split()[1] == "2"
+
+    def test_recursive_frames_not_double_counted(self):
+        t = make_trace()
+        table = format_profile_table(t)
+        root = t.roots[0]
+        outer_eval = root.children[0]
+        eval_row = next(
+            line for line in table.splitlines() if line.startswith("eval")
+        )
+        # inclusive ms equals the OUTERMOST eval frame only
+        assert float(eval_row.split()[2]) == round(
+            outer_eval.duration * 1e3, 3
+        )
+
+    def test_root_row_is_total(self):
+        table = format_profile_table(make_trace())
+        check_row = next(
+            line for line in table.splitlines() if line.startswith("check")
+        )
+        assert check_row.split()[-1] == "100.0%"
+
+
+class TestFormatProfile:
+    def test_combines_tree_and_table(self):
+        text = format_profile(make_trace())
+        assert "span tree (inclusive wall time):" in text
+        assert "by span name (sorted by inclusive time):" in text
+
+    def test_empty_trace_message(self):
+        assert "trace is empty" in format_profile(Tracer(enabled=True))

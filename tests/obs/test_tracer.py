@@ -1,0 +1,167 @@
+"""Tests for the span tracer: nesting, gating, counters, lifecycle."""
+
+import pytest
+
+from repro.obs.tracer import TRACER, Span, Tracer, tracing
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        t = Tracer(enabled=True)
+        with t.span("root"):
+            with t.span("a"):
+                with t.span("a1"):
+                    pass
+            with t.span("b"):
+                pass
+        assert [r.name for r in t.roots] == ["root"]
+        (root,) = t.roots
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+
+    def test_sibling_roots(self):
+        t = Tracer(enabled=True)
+        with t.span("first"):
+            pass
+        with t.span("second"):
+            pass
+        assert [r.name for r in t.roots] == ["first", "second"]
+
+    def test_preorder_traversal(self):
+        t = Tracer(enabled=True)
+        with t.span("root"):
+            with t.span("a"):
+                with t.span("a1"):
+                    pass
+            with t.span("b"):
+                pass
+        assert [s.name for s in t.spans()] == ["root", "a", "a1", "b"]
+
+    def test_current_tracks_innermost_open_span(self):
+        t = Tracer(enabled=True)
+        assert t.current() is None
+        with t.span("outer"):
+            assert t.current().name == "outer"
+            with t.span("inner"):
+                assert t.current().name == "inner"
+            assert t.current().name == "outer"
+        assert t.current() is None
+
+    def test_stack_recovers_when_span_leaks_across_raise(self):
+        t = Tracer(enabled=True)
+        outer = t.span("outer")
+        inner = t.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # exiting the outer span pops the leaked inner one too
+        outer.__exit__(None, None, None)
+        assert t.current() is None
+
+
+class TestEnabledGating:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        with t.span("invisible"):
+            pass
+        assert t.roots == []
+        assert list(t.spans()) == []
+
+    def test_disabled_span_still_times(self):
+        t = Tracer(enabled=False)
+        with t.span("timed") as span:
+            pass
+        assert span.recorded is False
+        assert span.end is not None
+        assert span.duration >= 0.0
+
+    def test_elapsed_usable_before_close(self):
+        t = Tracer(enabled=False)
+        with t.span("open") as span:
+            assert span.elapsed() >= 0.0
+            assert span.duration == 0.0  # not closed yet
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False
+
+
+class TestDurations:
+    def test_child_duration_within_parent(self):
+        t = Tracer(enabled=True)
+        with t.span("parent") as parent:
+            with t.span("child") as child:
+                pass
+        assert parent.start <= child.start
+        assert child.end <= parent.end
+        assert child.duration <= parent.duration
+
+    def test_exclusive_subtracts_children(self):
+        t = Tracer(enabled=True)
+        with t.span("parent") as parent:
+            with t.span("child"):
+                pass
+        assert parent.exclusive == pytest.approx(
+            parent.duration - parent.children[0].duration
+        )
+
+    def test_start_time_is_earliest_root(self):
+        t = Tracer(enabled=True)
+        with t.span("first") as first:
+            pass
+        with t.span("second"):
+            pass
+        assert t.start_time == first.start
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        span = Span(Tracer(), "s", "", {})
+        span.add("mk_calls", 3)
+        span.add("mk_calls", 4)
+        assert span.counters == {"mk_calls": 7.0}
+
+    def test_add_counter_targets_current_span(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner") as inner:
+                t.add_counter("iterations")
+                t.add_counter("iterations")
+        assert inner.counters == {"iterations": 2.0}
+
+    def test_add_counter_noop_when_idle(self):
+        t = Tracer(enabled=True)
+        t.add_counter("iterations")  # no open span: silently dropped
+        assert list(t.spans()) == []
+
+
+class TestLifecycle:
+    def test_reset_clears_spans(self):
+        t = Tracer(enabled=True)
+        with t.span("old"):
+            pass
+        t.reset()
+        assert t.roots == []
+
+    def test_tracing_contextmanager_enables_then_disables(self):
+        assert TRACER.enabled is False
+        with tracing() as t:
+            assert t is TRACER
+            assert t.enabled is True
+            with t.span("work"):
+                pass
+        assert TRACER.enabled is False
+        assert [s.name for s in TRACER.spans()] == ["work"]
+
+    def test_tracing_resets_previous_capture(self):
+        with tracing() as t:
+            with t.span("first-run"):
+                pass
+        with tracing() as t:
+            with t.span("second-run"):
+                pass
+        assert [s.name for s in t.spans()] == ["second-run"]
+
+    def test_tracing_disables_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert TRACER.enabled is False

@@ -98,6 +98,59 @@ class TestReachable:
         assert "diameter" in out
 
 
+class TestObservability:
+    def test_trace_writes_chrome_events(self, good_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["check", good_file, "--trace", str(out)]) == 0
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert {"smv.parse", "smv.check_model", "check.symbolic"} <= names
+        assert "trace written to" in capsys.readouterr().err
+
+    def test_trace_format_jsonl(self, good_file, tmp_path):
+        import json
+
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["check", good_file, "--trace", str(out), "--trace-format", "jsonl"]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in out.read_text().splitlines() if line
+        ]
+        assert records and records[0]["id"] == 0
+        assert {"smv.parse", "check.symbolic"} <= {r["name"] for r in records}
+
+    def test_profile_prints_span_tree_and_table(self, good_file, capsys):
+        assert main(["check", good_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree (inclusive wall time):" in out
+        assert "by span name (sorted by inclusive time):" in out
+        assert "smv.check_model" in out
+
+    def test_trace_preserves_exit_code(self, bad_file, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["check", bad_file, "--trace", str(out)]) == 1
+        assert out.exists()
+
+    def test_no_trace_flags_leave_tracer_disabled(self, good_file):
+        from repro.obs.tracer import TRACER
+
+        TRACER.reset()
+        assert main(["check", good_file]) == 0
+        assert list(TRACER.spans()) == []
+
+    def test_demo_supports_profile(self, capsys):
+        assert main(["demo", "afs1-safety", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "proof.obligation" in out
+        assert "by span name (sorted by inclusive time):" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
