@@ -1,0 +1,178 @@
+"""Experiment PP — the parallel proof engine vs the sequential one.
+
+Measures full compositional proofs (AFS-1 liveness, AFS-2 safety with
+three clients) run sequentially and through 2- and 4-worker pools.  Two
+regimes matter and are recorded separately:
+
+* **cold** — first proof through a freshly started pool: pays pool
+  start-up plus one SMV compilation per (worker, component expansion);
+* **warm** — steady state of a long-lived pool (``shared_scheduler``):
+  workers reuse their cached compiled checkers, so repeated proofs skip
+  compilation entirely, while a sequential run recompiles every
+  component expansion on each fresh ``CompositionProof``.
+
+Run as a script to (re)write ``BENCH_parallel.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_proofs.py --label after
+
+The JSON records ``cpu_count``: worker pools can only beat the
+sequential engine cycle-for-cycle when real cores exist.  On a
+single-core host the honest story is the warm-cache amortization (and
+the cold numbers show the overhead); the ≥1.6x scaling target for four
+workers presumes at least four cores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.casestudies.afs1 import prove_afs1_liveness
+from repro.casestudies.afs2 import prove_afs2_safety
+from repro.parallel.pool import default_jobs, shutdown_shared
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_parallel.json"
+
+#: (case name, proof thunk taking jobs) — symbolic engine throughout:
+#: it is each case study's figure-producing configuration.
+CASES = (
+    ("afs1_liveness", lambda jobs: prove_afs1_liveness("symbolic", jobs=jobs)),
+    ("afs2_safety_n3", lambda jobs: prove_afs2_safety(3, "symbolic", jobs=jobs)),
+)
+
+JOB_COUNTS = (None, 2, 4)
+
+
+def _ids(jobs) -> str:
+    return "seq" if jobs is None else f"jobs{jobs}"
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (warm regime; pools pre-started)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", autouse=True)
+def _pools():
+    yield
+    shutdown_shared()
+
+
+@pytest.mark.parametrize("jobs", JOB_COUNTS, ids=_ids)
+def test_pp_afs1_liveness(benchmark, jobs):
+    _, proven = benchmark.pedantic(
+        CASES[0][1], args=(jobs,), rounds=3, warmup_rounds=1
+    )
+    assert "AF" in str(proven.formula)
+
+
+@pytest.mark.parametrize("jobs", JOB_COUNTS, ids=_ids)
+def test_pp_afs2_safety(benchmark, jobs):
+    _, proven = benchmark.pedantic(
+        CASES[1][1], args=(jobs,), rounds=3, warmup_rounds=1
+    )
+    assert "AG" in str(proven.formula)
+
+
+# ----------------------------------------------------------------------
+# standalone trajectory writer
+# ----------------------------------------------------------------------
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(proof, jobs: int | None, rounds: int) -> dict:
+    """Cold + warm wall times (ms) for one (case, jobs) configuration."""
+    shutdown_shared()  # a genuinely cold pool for the first round
+    t0 = time.perf_counter()
+    proof(jobs)
+    cold = time.perf_counter() - t0
+    warm = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        proof(jobs)
+        warm.append(time.perf_counter() - t0)
+    shutdown_shared()
+    return {
+        "jobs": jobs or 0,  # 0 = sequential
+        "cold_ms": round(cold * 1e3, 2),
+        "warm_min_ms": round(min(warm) * 1e3, 2),
+        "warm_mean_ms": round(sum(warm) / len(warm) * 1e3, 2),
+        "rounds": rounds,
+    }
+
+
+def run(rounds: int) -> dict[str, list[dict]]:
+    results: dict[str, list[dict]] = {}
+    for name, proof in CASES:
+        configs = [measure(proof, jobs, rounds) for jobs in JOB_COUNTS]
+        sequential = configs[0]
+        for config in configs[1:]:
+            config["warm_speedup_vs_seq"] = round(
+                sequential["warm_min_ms"] / config["warm_min_ms"], 2
+            )
+        results[name] = configs
+        for config in configs:
+            label = _ids(config["jobs"] or None)
+            print(
+                f"{name:>16} {label:>5}: cold {config['cold_ms']:8.1f} ms   "
+                f"warm {config['warm_min_ms']:8.1f} ms (min of {rounds})"
+            )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    output = pathlib.Path(args.output)
+    if output.exists():
+        document = json.loads(output.read_text())
+    else:
+        document = {
+            "description": "Parallel proof engine trajectory (wall ms; "
+            "cold = fresh pool, warm = steady-state shared pool)",
+            "note": "Worker pools beat the sequential engine "
+            "cycle-for-cycle only when cpu_count covers the workers; on "
+            "fewer cores the warm speedup measures checker-cache "
+            "amortization and the cold numbers expose the overhead.",
+            "entries": [],
+        }
+
+    entry = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "date": datetime.date.today().isoformat(),
+        "cpu_count": default_jobs(),
+        "results": run(args.rounds),
+    }
+    document["entries"] = [
+        e for e in document["entries"] if e["label"] != args.label
+    ]
+    document["entries"].append(entry)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output} (label {args.label!r}, "
+          f"cpu_count {entry['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

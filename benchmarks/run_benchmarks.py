@@ -38,6 +38,7 @@ SUITES = (
     "benchmarks/bench_bdd_engine.py",
     "benchmarks/bench_ablation_relational_product.py",
     "benchmarks/bench_scaling_compositional_vs_monolithic.py",
+    "benchmarks/bench_parallel_proofs.py",
 )
 
 #: the acceptance microbench: relational-product image step

@@ -72,7 +72,7 @@ class BDD:
     >>> x, y = b.add_var("x"), b.add_var("y")
     >>> f = b.apply("and", b.var("x"), b.var("y"))
     >>> b.sat_count(f)
-    1.0
+    1
     """
 
     def __init__(self) -> None:
@@ -716,22 +716,25 @@ class BDD:
     # ------------------------------------------------------------------
     # satisfying assignments
     # ------------------------------------------------------------------
-    def sat_count(self, u: int, nvars: int | None = None) -> float:
+    def sat_count(self, u: int, nvars: int | None = None) -> int:
         """Number of satisfying assignments over ``nvars`` variables.
 
-        Defaults to all declared variables.  Returned as ``float`` because
-        the count is exponential in ``nvars``.
+        Defaults to all declared variables.  Returns an exact ``int``:
+        the count is exponential in ``nvars``, and Python integers are
+        arbitrary-precision, so counts stay exact past the 2^53 range
+        where ``float`` arithmetic starts silently rounding (and the
+        ~2^1024 range where it overflows outright).
         """
         if nvars is None:
             nvars = self.num_vars()
-        memo: dict[int, float] = {}
+        memo: dict[int, int] = {}
 
-        def count(n: int) -> float:
+        def count(n: int) -> int:
             # count over variables strictly below level(n)'s position
             if n == FALSE:
-                return 0.0
+                return 0
             if n == TRUE:
-                return 1.0
+                return 1
             c = memo.get(n)
             if c is None:
                 lvl = self._level[n]

@@ -266,8 +266,9 @@ ASSIGN
 class Afs1:
     """Vocabulary and proofs for the composed AFS-1 protocol."""
 
-    def __init__(self, backend: str = "explicit"):
+    def __init__(self, backend: str = "explicit", jobs: int | None = None):
         self.backend = backend
+        self.jobs = jobs
         self.server = SERVER
         self.client = CLIENT
         # formula vocabulary ------------------------------------------------
@@ -309,7 +310,9 @@ class Afs1:
                 "server": self.server.system(),
                 "client": self.client.system(),
             }
-        return CompositionProof(components, backend=self.backend)  # type: ignore[arg-type]
+        return CompositionProof(
+            components, backend=self.backend, parallel=self.jobs  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     # (Afs1) safety
@@ -409,11 +412,15 @@ class Afs1:
         return pf, afs2
 
 
-def prove_afs1_safety(backend: str = "explicit") -> tuple[CompositionProof, Proven]:
+def prove_afs1_safety(
+    backend: str = "explicit", jobs: int | None = None
+) -> tuple[CompositionProof, Proven]:
     """Convenience wrapper: the (Afs1) safety proof."""
-    return Afs1(backend).prove_safety()
+    return Afs1(backend, jobs=jobs).prove_safety()
 
 
-def prove_afs1_liveness(backend: str = "explicit") -> tuple[CompositionProof, Proven]:
+def prove_afs1_liveness(
+    backend: str = "explicit", jobs: int | None = None
+) -> tuple[CompositionProof, Proven]:
     """Convenience wrapper: the (Afs2) liveness proof."""
-    return Afs1(backend).prove_liveness()
+    return Afs1(backend, jobs=jobs).prove_liveness()

@@ -201,11 +201,14 @@ def check_client_figure() -> SmvReport:
 class Afs2:
     """Vocabulary and safety proof for AFS-2 with ``n`` clients."""
 
-    def __init__(self, n: int = 2, backend: str = "symbolic"):
+    def __init__(
+        self, n: int = 2, backend: str = "symbolic", jobs: int | None = None
+    ):
         if n < 1:
             raise ValueError("need at least one client")
         self.n = n
         self.backend = backend
+        self.jobs = jobs
         self.server = ProtocolComponent("server", server_source(n))
         self.clients = [
             ProtocolComponent(f"client{i}", client_source(i))
@@ -292,7 +295,9 @@ class Afs2:
             components = {"server": self.server.system()}
             for i, c in enumerate(self.clients, start=1):
                 components[f"client{i}"] = c.system()
-        return CompositionProof(components, backend=self.backend)  # type: ignore[arg-type]
+        return CompositionProof(
+            components, backend=self.backend, parallel=self.jobs  # type: ignore[arg-type]
+        )
 
     def prove_safety(self) -> tuple[CompositionProof, Proven]:
         """Machine-checked §4.3.4: the n-client composite satisfies (Afs1).
@@ -307,7 +312,7 @@ class Afs2:
 
 
 def prove_afs2_safety(
-    n: int = 2, backend: str = "symbolic"
+    n: int = 2, backend: str = "symbolic", jobs: int | None = None
 ) -> tuple[CompositionProof, Proven]:
     """Convenience wrapper: the AFS-2 (Afs1) safety proof for n clients."""
-    return Afs2(n, backend).prove_safety()
+    return Afs2(n, backend, jobs=jobs).prove_safety()

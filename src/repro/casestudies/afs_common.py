@@ -44,8 +44,16 @@ class ProtocolComponent:
         return to_system(self.model, reflexive=reflexive)
 
     def symbolic(self, reflexive: bool = True) -> SymbolicSystem:
-        """Symbolic system; reflexive (stutter-closed) by default."""
-        return to_symbolic(self.model, reflexive=reflexive)
+        """Symbolic system; reflexive (stutter-closed) by default.
+
+        The SMV source rides along (``smv_source``/``smv_reflexive``)
+        so the parallel engine can rebuild the system in worker
+        processes (:func:`repro.parallel.workitem.spec_of_component`).
+        """
+        sym = to_symbolic(self.model, reflexive=reflexive)
+        sym.smv_source = self.source
+        sym.smv_reflexive = reflexive
+        return sym
 
     # ------------------------------------------------------------------
     # formula builders

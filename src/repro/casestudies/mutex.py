@@ -112,16 +112,18 @@ class TokenRing:
         )
 
     def prove_safety(
-        self, backend: str = "explicit"
+        self, backend: str = "explicit", jobs: int | None = None
     ) -> tuple[CompositionProof, Proven]:
         """``AG ⋀_{i<j} ¬(c_i ∧ c_j)`` from the inductive invariant."""
-        pf = CompositionProof(self.components(), backend=backend)  # type: ignore[arg-type]
+        pf = CompositionProof(
+            self.components(), backend=backend, parallel=jobs  # type: ignore[arg-type]
+        )
         ag_inv = pf.invariant(self.initial(), self.mutex_invariant())
         safety = pf.ag_weaken(ag_inv, self.mutual_exclusion())
         return pf, safety
 
     def prove_enter_liveness(
-        self, i: int = 0, backend: str = "explicit"
+        self, i: int = 0, backend: str = "explicit", jobs: int | None = None
     ) -> tuple[CompositionProof, Proven]:
         """Rule 4: a token holder eventually enters its critical section.
 
@@ -129,7 +131,9 @@ class TokenRing:
         the fairness constraint discards runs in which process i is never
         scheduled while enabled.
         """
-        pf = CompositionProof(self.components(), backend=backend)  # type: ignore[arg-type]
+        pf = CompositionProof(
+            self.components(), backend=backend, parallel=jobs  # type: ignore[arg-type]
+        )
         p = land(self.tok(i), Not(self.crit(i)), self.valid())
         q = land(self.tok(i), self.crit(i), self.valid())
         g = pf.guarantee_rule4(f"proc{i}", p, q)

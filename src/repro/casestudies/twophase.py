@@ -72,11 +72,14 @@ ASSIGN
 class TwoPhaseCommit:
     """Vocabulary and proofs for 2PC with ``n`` participants."""
 
-    def __init__(self, n: int = 2, backend: str = "explicit"):
+    def __init__(
+        self, n: int = 2, backend: str = "explicit", jobs: int | None = None
+    ):
         if n < 1:
             raise ValueError("need at least one participant")
         self.n = n
         self.backend = backend
+        self.jobs = jobs
         self.coordinator = ProtocolComponent("coordinator", coordinator_source(n))
         self.participants = [
             ProtocolComponent(f"participant{i}", participant_source(i))
@@ -165,7 +168,9 @@ class TwoPhaseCommit:
         components = {"coordinator": make(self.coordinator)}
         for i, p in enumerate(self.participants, start=1):
             components[f"participant{i}"] = make(p)
-        return CompositionProof(components, backend=self.backend)  # type: ignore[arg-type]
+        return CompositionProof(
+            components, backend=self.backend, parallel=self.jobs  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     # proofs

@@ -103,7 +103,7 @@ def check_invariant_symbolic(
     reached, layers = reachable_symbolic(system, init)
     bad = bdd.apply("diff", reached, prop_to_bdd(bdd, invariant))
     n_atoms = len(system.atoms)
-    count = lambda u: bdd.sat_count(u, len(bdd.var_names)) / (2**n_atoms)
+    count = lambda u: bdd.sat_count(u, len(bdd.var_names)) // (2**n_atoms)
     return ReachabilityReport(
         num_reachable=count(reached),
         num_total=float(2**n_atoms),

@@ -272,8 +272,10 @@ class SymbolicChecker:
         num_failing = (
             0
             if failing_bdd == FALSE
-            else int(self.bdd.sat_count(failing_bdd, len(self.bdd.var_names)) /
-                     (2 ** len(self.system.atoms)))
+            # sat_count is exact; // stays exact where float division
+            # would round past 2^53
+            else self.bdd.sat_count(failing_bdd, len(self.bdd.var_names))
+            // (2 ** len(self.system.atoms))
         )
         return CheckResult(
             formula=f,

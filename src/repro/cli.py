@@ -5,6 +5,8 @@ Usage::
     python -m repro check model.smv            # SMV-style spec report
     python -m repro check model.smv --explicit # use the NumPy engine
     python -m repro check model.smv --trace out.json --profile
+    python -m repro check model.smv --jobs 4    # parallel spec checking
+    python -m repro demo afs2-safety --jobs 2   # parallel proof obligations
     python -m repro simulate model.smv -n 12   # random run
     python -m repro graph model.smv            # DOT transition graph
     python -m repro reachable model.smv        # forward reachability stats
@@ -59,6 +61,18 @@ def _run_observed(args: argparse.Namespace, run) -> int:
     return code
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent check obligations out over N worker "
+        "processes (repro.parallel); N <= 1 keeps the sequential "
+        "in-process path",
+    )
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -86,6 +100,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     def run() -> int:
         model = load_model(source)
+        if args.jobs and args.jobs > 1:
+            return _check_parallel(args, source, model)
         if args.explicit:
             system = to_system(model, reflexive=args.reflexive)
             checker = ExplicitChecker(system)
@@ -114,6 +130,74 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if report.all_true else 1
 
     return _run_observed(args, run)
+
+
+def _check_parallel(args: argparse.Namespace, source: str, model) -> int:
+    """Fan the module's SPECs out over a worker pool (``--jobs N``).
+
+    Each spec becomes one independent work item; verdicts print in spec
+    order and the resources block aggregates the worker statistics.
+    Failing specs are re-examined in-process to decode counterexample
+    traces, so the report matches a sequential run.
+    """
+    from repro.checking.result import CheckStats
+    from repro.logic.ctl import TRUE as F_TRUE
+    from repro.obs.tracer import TRACER
+    from repro.parallel import SmvSpec, WorkItem, shared_scheduler
+    from repro.smv.pretty import spec_to_str
+    from repro.smv.run import SmvReport, _counterexample_trace
+
+    engine = "explicit" if args.explicit else "symbolic"
+    restriction = Restriction(
+        init=model.initial_formula(),
+        fairness=tuple(model.fairness) or (TRUE,),
+    )
+    system_spec = SmvSpec(source=source, reflexive=args.reflexive)
+    items = [
+        WorkItem(
+            system=system_spec,
+            formula=spec,
+            restriction=restriction,
+            engine=engine,
+            label=f"spec{i}",
+        )
+        for i, spec in enumerate(model.specs)
+    ]
+    with TRACER.span("cli.check_parallel", category="cli") as root:
+        outcomes = shared_scheduler(args.jobs).run(items)
+    results = [outcome.result for outcome in outcomes]
+    if args.explicit:
+        ok = True
+        for result, text in zip(results, model.module.specs):
+            ok &= bool(result)
+            verdict = "true" if result else "false"
+            print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
+        if args.stats and results:
+            print()
+            print(CheckStats.merged(r.stats for r in results).format())
+        return 0 if ok else 1
+    report = SmvReport(
+        module_name=model.name,
+        results=results,
+        spec_texts=[spec_to_str(s) for s in model.module.specs],
+        counterexamples=[None] * len(results),
+        user_time=root.elapsed(),
+        num_fairness=len([f for f in restriction.fairness if f != F_TRUE]),
+    )
+    if not report.all_true:
+        # decode counterexample traces in-process, as sequentially
+        sym = to_symbolic(model, reflexive=args.reflexive)
+        report.counterexamples = [
+            _counterexample_trace(model, sym, spec, result)
+            if not result.holds
+            else None
+            for spec, result in zip(model.specs, results)
+        ]
+    merged = CheckStats.merged(r.stats for r in results)
+    report.bdd_nodes_allocated = merged.bdd_nodes_allocated
+    report.transition_nodes = merged.transition_nodes
+    print(report.format(with_stats=args.stats))
+    return 0 if report.all_true else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -163,12 +247,12 @@ _DEMOS = {
 }
 
 
-def _mutex_demo():
+def _mutex_demo(jobs: int | None = None):
     from repro.casestudies.mutex import TokenRing
     from repro.systems.encode import Encoding, FiniteVar
 
     ring = TokenRing(3)
-    pf, conclusion = ring.prove_safety()
+    pf, conclusion = ring.prove_safety(jobs=jobs)
     encoding = Encoding(
         list(ring.encoding.variables)
         + [FiniteVar(f"c{i}", (False, True)) for i in range(3)]
@@ -186,24 +270,28 @@ def _demo_body(args: argparse.Namespace) -> int:
     from repro.casestudies.mutex import TokenRing
     from repro.casestudies.twophase import TwoPhaseCommit
 
+    jobs = getattr(args, "jobs", None)
+
     def with_encoding(study, prove):
         pf, conclusion = prove(study)
         return pf, conclusion, study.combined_encoding()
 
     runners = {
-        "afs1-safety": lambda: with_encoding(Afs1(), lambda s: s.prove_safety()),
+        "afs1-safety": lambda: with_encoding(
+            Afs1(jobs=jobs), lambda s: s.prove_safety()
+        ),
         "afs1-liveness": lambda: with_encoding(
-            Afs1(), lambda s: s.prove_liveness()
+            Afs1(jobs=jobs), lambda s: s.prove_liveness()
         ),
         "afs2-safety": lambda: with_encoding(
-            Afs2(2), lambda s: s.prove_safety()
+            Afs2(2, jobs=jobs), lambda s: s.prove_safety()
         ),
-        "mutex": lambda: _mutex_demo(),
+        "mutex": lambda: _mutex_demo(jobs=jobs),
         "2pc-atomicity": lambda: with_encoding(
-            TwoPhaseCommit(2), lambda s: s.prove_atomicity()
+            TwoPhaseCommit(2, jobs=jobs), lambda s: s.prove_atomicity()
         ),
         "2pc-termination": lambda: with_encoding(
-            TwoPhaseCommit(2), lambda s: s.prove_termination()
+            TwoPhaseCommit(2, jobs=jobs), lambda s: s.prove_termination()
         ),
     }
     pf, conclusion, encoding = runners[args.name]()
@@ -264,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the extended resources block (cache hit rates, "
         "peak unique-table size, fixpoint iterations)",
     )
+    _add_jobs_flag(check)
     _add_observability_flags(check)
     check.set_defaults(func=_cmd_check)
 
@@ -297,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-check every conclusion on the monolithic product system",
     )
+    _add_jobs_flag(demo)
     _add_observability_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 

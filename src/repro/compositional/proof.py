@@ -208,12 +208,23 @@ class CompositionProof:
         atoms model communication channels, as in the AFS case studies.
     backend:
         ``"explicit"`` (NumPy labeling, default) or ``"symbolic"`` (BDD).
+    parallel:
+        With ``parallel=N`` for ``N ≥ 2``, leaf obligations are
+        discharged through a shared N-worker process pool
+        (:mod:`repro.parallel`): universal rules batch all component
+        expansions at once, existential rules check candidate witnesses
+        speculatively (the first success in component order still wins),
+        and :meth:`verify_monolithic` fans the conclusion re-checks out.
+        Results, certificates and error messages are identical to a
+        sequential run.  ``None`` / ``0`` / ``1`` keep the fully
+        sequential in-process path.
     """
 
     def __init__(
         self,
         components: dict[str, Component],
         backend: Literal["explicit", "symbolic"] = "explicit",
+        parallel: int | None = None,
     ):
         if not components:
             raise ProofError("a proof needs at least one component")
@@ -230,6 +241,10 @@ class CompositionProof:
         )
         self._backend = _Backend(backend)
         self._expansion_checkers: dict[str, object] = {}
+        self.parallel: int | None = (
+            parallel if parallel is not None and parallel > 1 else None
+        )
+        self._component_specs: dict[str, object] = {}
         self.log: list[ProofStep] = []
         #: every conclusion about the composite, for monolithic re-checking
         self.conclusions: list[Proven] = []
@@ -265,11 +280,86 @@ class CompositionProof:
         ):
             result = self._expansion(name).holds(formula, restriction)
         if not result:
-            raise ProofError(
-                f"obligation failed on component {name!r}: "
-                f"{RestrictedProperty(formula, restriction)}\n{result.explain()}"
-            )
+            raise self._failed_obligation(name, formula, restriction, result)
         return result
+
+    @staticmethod
+    def _failed_obligation(
+        name: str,
+        formula: Formula,
+        restriction: Restriction,
+        result: CheckResult,
+    ) -> ProofError:
+        return ProofError(
+            f"obligation failed on component {name!r}: "
+            f"{RestrictedProperty(formula, restriction)}\n{result.explain()}"
+        )
+
+    # -- parallel discharge ---------------------------------------------
+    def _spec(self, name: str):
+        """The picklable work spec for a component (cached)."""
+        from repro.parallel.workitem import spec_of_component
+
+        spec = self._component_specs.get(name)
+        if spec is None:
+            try:
+                system = self.components[name]
+            except KeyError:
+                raise ProofError(f"unknown component {name!r}") from None
+            spec = self._component_specs[name] = spec_of_component(system)
+        return spec
+
+    def _check_batch(
+        self,
+        triples: list[tuple[str, Formula, Restriction]],
+    ) -> list[CheckResult]:
+        """Check obligations through the worker pool; no failure raises.
+
+        Each triple ``(name, formula, restriction)`` is checked on the
+        named component's expansion over the composite alphabet, exactly
+        as :meth:`_obligation` does in-process; results come back in
+        submission order.
+        """
+        from repro.parallel.pool import shared_scheduler
+        from repro.parallel.workitem import WorkItem
+
+        items = []
+        for name, formula, restriction in triples:
+            spec = self._spec(name)  # ProofError for unknown names
+            extra = self.sigma_star - _atoms_of(self.components[name])
+            items.append(
+                WorkItem(
+                    system=spec,
+                    formula=formula,
+                    restriction=restriction,
+                    engine=self._backend.kind,
+                    expand_to=tuple(sorted(extra)),
+                    label=name,
+                )
+            )
+        outcomes = shared_scheduler(self.parallel).run(items)
+        return [outcome.result for outcome in outcomes]
+
+    def _discharge(
+        self,
+        triples: list[tuple[str, Formula, Restriction]],
+    ) -> tuple[CheckResult, ...]:
+        """Discharge a batch of obligations (all must succeed).
+
+        Sequential unless the proof was built with ``parallel=N``; either
+        way the first failing obligation (in batch order) raises exactly
+        the :class:`ProofError` the sequential engine would.
+        """
+        if self.parallel is None:
+            return tuple(
+                self._obligation(name, formula, restriction)
+                for name, formula, restriction in triples
+            )
+        results = self._check_batch(triples)
+        for (name, formula, restriction), result in zip(triples, results):
+            if not result:
+                raise self._failed_obligation(name, formula, restriction, result)
+        return tuple(results)
 
     @staticmethod
     def _require_same_restriction(provens: Iterable[Proven]) -> Restriction:
@@ -299,8 +389,8 @@ class CompositionProof:
         with TRACER.span(
             "proof.rule2-universal", category="proof", formula=str(formula)
         ):
-            obligations = tuple(
-                self._obligation(name, formula) for name in self.components
+            obligations = self._discharge(
+                [(name, formula, UNRESTRICTED) for name in self.components]
             )
         step = ProofStep(
             kind="rule2-universal",
@@ -331,21 +421,47 @@ class CompositionProof:
         with TRACER.span(
             "proof.rule1/3-existential", category="proof", formula=str(formula)
         ):
-            for name in names:
-                try:
-                    result = self._obligation(name, formula, restriction)
-                except ProofError as exc:
-                    failure = exc
-                    continue
-                step = ProofStep(
-                    kind="rule1/3-existential",
-                    description=(
-                        f"existential property witnessed by component "
-                        f"{name!r}: {prop}"
-                    ),
-                    obligations=(result,),
+            if self.parallel is not None:
+                # speculative: check every candidate witness at once; the
+                # first success in component order wins, as sequentially.
+                results = self._check_batch(
+                    [(name, formula, restriction) for name in names]
                 )
-                return self._record(Proven(prop, step))
+                candidates = [
+                    (name, result)
+                    for name, result in zip(names, results)
+                    if result
+                ]
+                if not candidates:
+                    failure = self._failed_obligation(
+                        names[-1], formula, restriction, results[-1]
+                    )
+                for name, result in candidates[:1]:
+                    step = ProofStep(
+                        kind="rule1/3-existential",
+                        description=(
+                            f"existential property witnessed by component "
+                            f"{name!r}: {prop}"
+                        ),
+                        obligations=(result,),
+                    )
+                    return self._record(Proven(prop, step))
+            else:
+                for name in names:
+                    try:
+                        result = self._obligation(name, formula, restriction)
+                    except ProofError as exc:
+                        failure = exc
+                        continue
+                    step = ProofStep(
+                        kind="rule1/3-existential",
+                        description=(
+                            f"existential property witnessed by component "
+                            f"{name!r}: {prop}"
+                        ),
+                        obligations=(result,),
+                    )
+                    return self._record(Proven(prop, step))
         raise ProofError(
             f"no component witnesses the existential property {prop}"
         ) from failure
@@ -364,7 +480,7 @@ class CompositionProof:
         with TRACER.span(
             "proof.rule4", category="proof", component=component
         ):
-            result = self._obligation(component, premise)
+            (result,) = self._discharge([(component, premise, UNRESTRICTED)])
         guarantee = rule4_guarantee(p, q)
         step = ProofStep(
             kind="rule4",
@@ -388,7 +504,7 @@ class CompositionProof:
         with TRACER.span(
             "proof.rule5", category="proof", component=component
         ):
-            result = self._obligation(component, premise)
+            (result,) = self._discharge([(component, premise, UNRESTRICTED)])
         guarantee = rule5_guarantee(disjuncts, q, helpful)
         step = ProofStep(
             kind="rule5",
@@ -814,7 +930,9 @@ class CompositionProof:
         if overlap:
             raise ProofError(f"component names already in use: {sorted(overlap)}")
         grown = CompositionProof(
-            {**self.components, **extra}, backend=self._backend.kind
+            {**self.components, **extra},
+            backend=self._backend.kind,
+            parallel=self.parallel,
         )
         # every distinct universal formula in any recorded derivation
         universal_formulas: dict[Formula, None] = {}
@@ -827,10 +945,12 @@ class CompositionProof:
             category="proof",
             components=",".join(sorted(extra)),
         ):
-            new_obligations = tuple(
-                grown._obligation(name, formula)
-                for formula in universal_formulas
-                for name in extra
+            new_obligations = grown._discharge(
+                [
+                    (name, formula, UNRESTRICTED)
+                    for formula in universal_formulas
+                    for name in extra
+                ]
             )
         for proven in self.conclusions:
             step = ProofStep(
@@ -864,6 +984,8 @@ class CompositionProof:
         *redundant*.
         """
         with TRACER.span("proof.verify_monolithic", category="proof"):
+            if self.parallel is not None:
+                return self._verify_monolithic_parallel()
             if self._backend.kind == "symbolic":
                 sym = symbolic_compose_all(
                     [
@@ -882,6 +1004,36 @@ class CompositionProof:
                     (proven, checker.holds(proven.formula, proven.restriction))
                 )
             return out
+
+    def _verify_monolithic_parallel(self) -> list[tuple[Proven, CheckResult]]:
+        """Fan the conclusion re-checks out over the worker pool.
+
+        Workers build (and cache) the product system from a
+        :class:`~repro.parallel.workitem.ComposeSpec` of the component
+        specs, so the exponential composition is constructed once per
+        worker, then every conclusion is one independent work item.
+        """
+        from repro.parallel.pool import shared_scheduler
+        from repro.parallel.workitem import ComposeSpec, WorkItem
+
+        spec = ComposeSpec(
+            parts=tuple(self._spec(name) for name in self.components)
+        )
+        items = [
+            WorkItem(
+                system=spec,
+                formula=proven.formula,
+                restriction=proven.restriction,
+                engine=self._backend.kind,
+                label="verify_monolithic",
+            )
+            for proven in self.conclusions
+        ]
+        outcomes = shared_scheduler(self.parallel).run(items)
+        return [
+            (proven, outcome.result)
+            for proven, outcome in zip(self.conclusions, outcomes)
+        ]
 
     def summary(self) -> str:
         """Human-readable account of the proof so far."""

@@ -32,6 +32,7 @@ from repro.obs.tracer import (
     enable_tracing,
     tracing,
 )
+from repro.obs.merge import graft_records
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "MetricsRegistry",
     "enable_tracing",
     "disable_tracing",
+    "graft_records",
     "tracing",
 ]

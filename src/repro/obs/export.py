@@ -99,7 +99,11 @@ def to_chrome_trace(tracer: Tracer, pid: int = 1, tid: int = 1) -> dict:
 
     The JSON-object flavor (``{"traceEvents": [...]}``) is used so
     metadata can ride along; ``chrome://tracing`` and Perfetto accept
-    it directly.
+    it directly.  Spans grafted from worker processes by
+    :func:`repro.obs.merge.graft_records` carry a ``pid`` attribute;
+    those are emitted under that process id (with its own
+    ``process_name`` metadata track) so a merged parallel trace shows
+    each worker on a separate row.
     """
     origin = tracer.start_time
     events: list[dict] = [
@@ -111,10 +115,27 @@ def to_chrome_trace(tracer: Tracer, pid: int = 1, tid: int = 1) -> dict:
             "args": {"name": "repro"},
         }
     ]
+    named_pids = {pid}
     for span in tracer.spans():
         args: dict = {k: str(v) for k, v in span.attrs.items()}
         for counter, value in span.counters.items():
             args[counter] = value
+        span_pid = span.attrs.get("pid", pid)
+        try:
+            span_pid = int(span_pid)
+        except (TypeError, ValueError):
+            span_pid = pid
+        if span_pid not in named_pids:
+            named_pids.add(span_pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span_pid,
+                    "tid": tid,
+                    "args": {"name": f"repro worker {span_pid}"},
+                }
+            )
         events.append(
             {
                 "name": span.name,
@@ -122,7 +143,7 @@ def to_chrome_trace(tracer: Tracer, pid: int = 1, tid: int = 1) -> dict:
                 "ph": "X",
                 "ts": _us(span.start - origin),
                 "dur": _us(span.duration),
-                "pid": pid,
+                "pid": span_pid,
                 "tid": tid,
                 "args": args,
             }

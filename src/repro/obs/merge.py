@@ -1,0 +1,78 @@
+"""Stitching worker span trees into the parent process's trace.
+
+The parallel engine's workers record their own span trees (on their own
+``perf_counter`` clocks) and ship them to the parent as the JSONL record
+layout of :func:`repro.obs.export.to_jsonl_records`.
+:func:`graft_records` rebuilds :class:`~repro.obs.tracer.Span` objects
+from those records, tags every span with the worker ``pid``, rebases the
+timestamps onto the parent tracer's clock (via the wall-clock origin the
+worker reported), and links the rebuilt roots under the parent's current
+open span — so one merged trace shows the scheduler's fan-out with each
+worker on its own track (:func:`repro.obs.export.to_chrome_trace` maps
+the ``pid`` attribute to the Chrome trace-event process id).
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["graft_records", "rebase_records"]
+
+
+def rebase_records(
+    tracer: Tracer, records: list[dict], wall_origin: float
+) -> float:
+    """The parent perf-counter time corresponding to the records' origin.
+
+    Worker record ``start_us`` offsets are relative to the worker's
+    earliest root span, whose wall-clock time the worker reports as
+    ``wall_origin``; the tracer pairs its own perf origin with a wall
+    epoch at reset, giving a common axis.  Clock skew between processes
+    on one host is far below span durations of interest.
+    """
+    if not wall_origin:
+        return tracer.start_time
+    return tracer.epoch_perf + (wall_origin - tracer.epoch_wall)
+
+
+def graft_records(
+    tracer: Tracer,
+    records: list[dict],
+    pid: int | None = None,
+    wall_origin: float = 0.0,
+) -> list[Span]:
+    """Rebuild spans from JSONL records and attach them to ``tracer``.
+
+    Returns the grafted root spans (empty list for empty records).  The
+    roots are linked under the tracer's innermost open span when one
+    exists, otherwise appended to the tracer's root list; linking only
+    happens while the tracer is enabled, mirroring live span recording.
+    """
+    if not records:
+        return []
+    base = rebase_records(tracer, records, wall_origin)
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for record in records:
+        attrs = dict(record.get("attrs", ()))
+        if pid is not None:
+            attrs["pid"] = pid
+        span = Span(tracer, record["name"], record.get("cat", ""), attrs)
+        span.start = base + record["start_us"] / 1e6
+        span.end = span.start + record["dur_us"] / 1e6
+        span.recorded = True
+        for counter, value in record.get("counters", {}).items():
+            span.counters[counter] = value
+        by_id[record["id"]] = span
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    if tracer.enabled:
+        current = tracer.current()
+        if current is not None:
+            current.children.extend(roots)
+        else:
+            tracer.roots.extend(roots)
+    return roots

@@ -80,7 +80,25 @@ class MetricsRegistry:
                 self.add(f"{prefix}.{field}", value)
 
     def record_bdd_delta(self, delta, prefix: str = "bdd") -> None:
-        """Fold a ``BDDStats`` delta in under ``prefix`` (per-op too)."""
+        """Fold a ``BDDStats`` delta in under ``prefix`` (per-op too).
+
+        Accepts the live dataclass or its plain-dict serialization (the
+        shape worker processes ship across the pool boundary:
+        ``{"mk_calls": ..., "peak_unique_nodes": ..., "ops": {name:
+        {"lookups": ..., "hits": ..., "inserts": ...}}}``).
+        """
+        if isinstance(delta, dict):
+            self.add(f"{prefix}.mk_calls", delta.get("mk_calls", 0))
+            self.add(
+                f"{prefix}.peak_unique_nodes",
+                delta.get("peak_unique_nodes", 0),
+            )
+            for op_name, counter in delta.get("ops", {}).items():
+                if counter.get("lookups") or counter.get("inserts"):
+                    self.add(f"{prefix}.{op_name}.lookups", counter["lookups"])
+                    self.add(f"{prefix}.{op_name}.hits", counter["hits"])
+                    self.add(f"{prefix}.{op_name}.inserts", counter["inserts"])
+            return
         self.add(f"{prefix}.mk_calls", getattr(delta, "mk_calls", 0))
         self.add(
             f"{prefix}.peak_unique_nodes",

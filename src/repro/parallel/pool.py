@@ -1,0 +1,199 @@
+"""The process-pool obligation scheduler.
+
+An :class:`ObligationScheduler` owns a pool of worker processes and runs
+batches of :class:`~repro.parallel.workitem.WorkItem` through them.  The
+paper's whole payoff is that compositional proofs decompose into
+obligations checked on *individual components* — those obligations are
+mutually independent, so the scheduler fans them out across real cores
+while preserving the sequential engine's observable behavior:
+
+* **deterministic order** — results come back in submission order no
+  matter which worker finished first, so proof certificates, error
+  messages and reports are byte-identical to a sequential run;
+* **merged statistics** — every outcome's :class:`CheckStats` and BDD
+  delta is folded into the scheduler's
+  :class:`~repro.obs.metrics.MetricsRegistry`, so worker counters sum to
+  the sequential baseline;
+* **stitched traces** — when the parent tracer is recording, workers
+  record their own span trees and the scheduler grafts them (pid-tagged,
+  clock-rebased) under the parent's current span via
+  :func:`repro.obs.merge.graft_records`.
+
+Workers are long-lived and cache compiled checkers per system spec, so
+the pool amortizes SMV compilation and BDD construction across every
+obligation, proof, and repeated request it serves — use
+:func:`shared_scheduler` to share one pool per worker count across the
+whole process (workers are daemonic; they die with the parent).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from collections.abc import Iterable, Sequence
+
+from repro.obs.merge import graft_records
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TRACER
+from repro.parallel.workitem import ParallelError, WorkItem, WorkOutcome
+from repro.parallel.worker import _init_worker, run_work_item
+
+__all__ = ["ObligationScheduler", "shared_scheduler", "shutdown_shared", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the cores this process may run on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def _make_context():
+    """Prefer ``fork`` (cheap start, inherits factory registrations)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ObligationScheduler:
+    """A fixed-size process pool executing independent check work.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (≥ 1).  ``jobs=1`` still runs work in a
+        (single) worker process — callers wanting zero-overhead
+        sequential checking should simply not use a scheduler.
+
+    The pool starts lazily on the first :meth:`run` call.  Statistics of
+    every outcome accumulate in :attr:`metrics` (prefixes
+    ``parallel.check`` / ``parallel.bdd`` plus scheduler-level counters
+    ``parallel.items`` / ``parallel.checker_cache_hits``).
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ParallelError(f"need at least one worker, got {jobs}")
+        self.jobs = jobs
+        self.metrics = MetricsRegistry()
+        self._pool = None
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = _make_context()
+            self._pool = ctx.Pool(
+                processes=self.jobs, initializer=_init_worker
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ObligationScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+    def run(self, items: Sequence[WorkItem]) -> list[WorkOutcome]:
+        """Execute a batch; outcomes are returned in submission order.
+
+        When the parent tracer is recording, every item is flagged to
+        record worker-side spans, and the outcomes' span trees are
+        grafted under the parent's current span (one ``worker.item``
+        root per obligation, tagged with the worker pid).
+        """
+        items = list(items)
+        if not items:
+            return []
+        record = TRACER.enabled
+        if record:
+            items = [
+                item if item.record_spans else _with_spans(item)
+                for item in items
+            ]
+        pool = self._ensure_pool()
+        with TRACER.span(
+            "parallel.batch",
+            category="parallel",
+            jobs=self.jobs,
+            items=len(items),
+        ):
+            # one async submission per item: results are collected in
+            # submission order regardless of completion order, and a
+            # long item never blocks dispatch of the ones behind it
+            # (imap's chunking would).
+            handles = [
+                pool.apply_async(run_work_item, (item,)) for item in items
+            ]
+            outcomes = [handle.get() for handle in handles]
+            self._merge(outcomes, record)
+        return outcomes
+
+    def map_results(self, items: Sequence[WorkItem]) -> list:
+        """Shorthand: run a batch and return just the check results."""
+        return [outcome.result for outcome in self.run(items)]
+
+    # -- merging ---------------------------------------------------------
+    def _merge(self, outcomes: Iterable[WorkOutcome], record: bool) -> None:
+        for outcome in outcomes:
+            self.metrics.add("parallel.items")
+            if outcome.cached:
+                self.metrics.add("parallel.checker_cache_hits")
+            self.metrics.add("parallel.compile_seconds", outcome.compile_seconds)
+            self.metrics.add("parallel.check_seconds", outcome.check_seconds)
+            stats = getattr(outcome.result, "stats", None)
+            if stats is not None:
+                self.metrics.record_check_stats(stats, prefix="parallel.check")
+            if outcome.bdd is not None:
+                self.metrics.record_bdd_delta(outcome.bdd, prefix="parallel.bdd")
+            if record and outcome.spans:
+                graft_records(
+                    TRACER,
+                    outcome.spans,
+                    pid=outcome.pid,
+                    wall_origin=outcome.wall_origin,
+                )
+
+
+def _with_spans(item: WorkItem) -> WorkItem:
+    from dataclasses import replace
+
+    return replace(item, record_spans=True)
+
+
+#: Shared schedulers keyed by worker count (kept warm across proofs).
+_SHARED: dict[int, ObligationScheduler] = {}
+
+
+def shared_scheduler(jobs: int) -> ObligationScheduler:
+    """One process-wide scheduler per worker count.
+
+    Sharing keeps workers (and their compiled-checker caches) warm
+    across successive proofs and CLI batches — the pool behaves like a
+    small checking service.  All shared pools are torn down at
+    interpreter exit (and their workers are daemonic regardless).
+    """
+    scheduler = _SHARED.get(jobs)
+    if scheduler is None:
+        scheduler = _SHARED[jobs] = ObligationScheduler(jobs)
+    return scheduler
+
+
+def shutdown_shared() -> None:
+    """Close every shared scheduler (tests; also runs at exit)."""
+    for scheduler in _SHARED.values():
+        scheduler.close()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_shared)

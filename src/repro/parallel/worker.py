@@ -1,0 +1,205 @@
+"""Worker-process side of the parallel proof engine.
+
+:func:`run_work_item` is the function the pool executes: it builds (or
+fetches from the per-process cache) the checker described by the item's
+system spec, runs the check, and ships back a
+:class:`~repro.parallel.workitem.WorkOutcome` carrying the
+:class:`~repro.checking.result.CheckResult`, the worker BDD manager's
+stats delta, and — when the parent is tracing — the recorded span tree
+as JSONL records plus the wall-clock origin needed to rebase them.
+
+The cache is keyed by ``(spec, engine, expand_to)``: a pool worker
+compiles each component expansion at most once and reuses the checker
+(including its sub-formula memo tables) for every later obligation on
+the same system — the process-pool analogue of the sequential engine's
+per-component expansion-checker cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.obs.export import to_jsonl_records
+from repro.obs.tracer import TRACER
+from repro.parallel.workitem import (
+    ComposeSpec,
+    ExplicitSpec,
+    FACTORIES,
+    FactorySpec,
+    ParallelError,
+    SmvSpec,
+    SystemSpec,
+    WorkItem,
+    WorkOutcome,
+)
+
+__all__ = ["run_work_item", "build_system", "checker_for", "clear_worker_caches"]
+
+#: Per-process cache: (spec, engine, expand_to) → checker.
+_CHECKERS: dict = {}
+#: Per-process cache: (spec, engine) → built component/composite system.
+_SYSTEMS: dict = {}
+
+
+def clear_worker_caches() -> None:
+    """Drop every cached system and checker (tests / memory pressure)."""
+    _CHECKERS.clear()
+    _SYSTEMS.clear()
+
+
+def build_system(spec: SystemSpec, engine: str):
+    """Instantiate the component a spec describes (uncached)."""
+    from repro.smv.compile_explicit import to_system
+    from repro.smv.compile_symbolic import to_symbolic
+    from repro.smv.elaborate import SmvModel
+    from repro.smv.modules import flatten
+    from repro.smv.parser import parse_program
+    from repro.systems.compose import compose_all
+    from repro.systems.symbolic import SymbolicSystem, symbolic_compose_all
+    from repro.systems.system import System
+
+    if isinstance(spec, SmvSpec):
+        # component sources are single modules under any name; full
+        # programs (CLI models) flatten into `main` like load_model does
+        program = parse_program(spec.source)
+        if len(program) == 1 and not any(
+            decl.is_instance for decl in next(iter(program.values())).variables
+        ):
+            model = SmvModel(next(iter(program.values())))
+        else:
+            model = SmvModel(flatten(program))
+        if engine == "explicit":
+            return to_system(model, reflexive=spec.reflexive)
+        return to_symbolic(model, reflexive=spec.reflexive)
+    if isinstance(spec, ExplicitSpec):
+        return System(
+            spec.atoms,
+            [(frozenset(s), frozenset(t)) for s, t in spec.edges],
+            reflexive=spec.reflexive,
+        )
+    if isinstance(spec, FactorySpec):
+        factory = FACTORIES.get(spec.name)
+        if factory is None:
+            raise ParallelError(f"unknown system factory {spec.name!r}")
+        return factory(*spec.args)
+    if isinstance(spec, ComposeSpec):
+        parts = [_cached_system(p, engine) for p in spec.parts]
+        if engine == "symbolic":
+            return symbolic_compose_all(
+                [
+                    p
+                    if isinstance(p, SymbolicSystem)
+                    else SymbolicSystem.from_explicit(p)
+                    for p in parts
+                ]
+            )
+        explicit = [
+            p.to_explicit() if isinstance(p, SymbolicSystem) else p
+            for p in parts
+        ]
+        return compose_all(explicit)
+    raise ParallelError(f"unknown system spec {type(spec).__name__}")
+
+
+def _cached_system(spec: SystemSpec, engine: str):
+    key = (spec, engine)
+    system = _SYSTEMS.get(key)
+    if system is None:
+        system = _SYSTEMS[key] = build_system(spec, engine)
+    return system
+
+
+def checker_for(spec: SystemSpec, engine: str, expand_to: tuple[str, ...]):
+    """The (cached) checker for a spec's expansion over extra atoms."""
+    from repro.compositional.proof import _Backend
+    from repro.systems.system import System
+    from repro.systems.symbolic import SymbolicSystem
+
+    key = (spec, engine, expand_to)
+    cached = _CHECKERS.get(key)
+    if cached is not None:
+        return cached, True
+    system = _cached_system(spec, engine)
+    backend = _Backend(engine)  # type: ignore[arg-type]
+    if expand_to:
+        atoms = (
+            frozenset(system.atoms)
+            if isinstance(system, SymbolicSystem)
+            else system.sigma
+        )
+        checker = backend.expansion_checker(system, atoms | set(expand_to))
+    else:
+        checker = backend.component_checker(system)
+    assert isinstance(system, (System, SymbolicSystem))
+    _CHECKERS[key] = checker
+    return checker, False
+
+
+def run_work_item(item: WorkItem) -> WorkOutcome:
+    """Execute one work item in this process; never raises on a failed
+    check — the verdict travels back inside the :class:`CheckResult`."""
+    record = item.record_spans
+    if record:
+        TRACER.reset()
+        TRACER.enabled = True
+    else:
+        TRACER.enabled = False
+    try:
+        t0 = time.perf_counter()
+        with TRACER.span(
+            "worker.item",
+            category="parallel",
+            label=item.label,
+            engine=item.engine,
+            formula=str(item.formula),
+        ):
+            checker, cached = checker_for(
+                item.system, item.engine, item.expand_to
+            )
+            t1 = time.perf_counter()
+            bdd_before = (
+                checker.bdd.stats.snapshot()
+                if hasattr(checker, "bdd")
+                else None
+            )
+            result = checker.holds(item.formula, item.restriction)
+            t2 = time.perf_counter()
+        bdd = None
+        if bdd_before is not None:
+            delta = checker.bdd.stats.delta(bdd_before)
+            bdd = {
+                "mk_calls": delta.mk_calls,
+                "peak_unique_nodes": delta.peak_unique_nodes,
+                "ops": {
+                    name: counter.as_dict()
+                    for name, counter in delta.ops.items()
+                    if counter.lookups or counter.inserts
+                },
+            }
+        spans: list[dict] = []
+        wall_origin = 0.0
+        if record:
+            spans = to_jsonl_records(TRACER)
+            wall_origin = TRACER.epoch_wall + (
+                TRACER.start_time - TRACER.epoch_perf
+            )
+        return WorkOutcome(
+            result=result,
+            label=item.label,
+            pid=os.getpid(),
+            cached=cached,
+            compile_seconds=t1 - t0,
+            check_seconds=t2 - t1,
+            bdd=bdd,
+            spans=spans,
+            wall_origin=wall_origin,
+        )
+    finally:
+        TRACER.enabled = False
+
+
+def _init_worker() -> None:
+    """Pool initializer: start from a quiet tracer in every worker."""
+    TRACER.enabled = False
+    TRACER.reset()

@@ -1,0 +1,251 @@
+"""Picklable work items for the process-pool obligation scheduler.
+
+A :class:`WorkItem` is one self-contained model-checking request: a
+*system spec* (how to build the system in a worker process), a CTL
+formula, a restriction, an engine choice, and the extra atoms of the
+composite alphabet the component must be expanded over before checking
+(Lemmas 4/5/8–10 — the proof calculus checks obligations on component
+*expansions*).
+
+System specs come in four flavors, all frozen/hashable so worker
+processes can cache the compiled checker per spec:
+
+* :class:`SmvSpec` — SMV source text, compiled in the worker;
+* :class:`FactorySpec` — a registered case-study factory name plus
+  arguments (see :data:`FACTORIES` / :func:`register_factory`);
+* :class:`ExplicitSpec` — a serialized explicit system (atoms + edges),
+  for components built programmatically (e.g. the token ring);
+* :class:`ComposeSpec` — the ``∘``-composition of several sub-specs,
+  used by the parallel ``verify_monolithic`` re-checks.
+
+:func:`spec_of_component` derives the spec of an in-memory component:
+explicit systems serialize directly; symbolic systems must carry their
+SMV source (``smv_source``/``smv_reflexive`` attributes, attached by
+:class:`repro.casestudies.afs_common.ProtocolComponent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal, Union
+
+from repro.errors import ReproError
+from repro.logic.ctl import Formula
+from repro.logic.restriction import UNRESTRICTED, Restriction
+
+__all__ = [
+    "SmvSpec",
+    "FactorySpec",
+    "ExplicitSpec",
+    "ComposeSpec",
+    "SystemSpec",
+    "WorkItem",
+    "WorkOutcome",
+    "ParallelError",
+    "spec_of_component",
+    "register_factory",
+    "FACTORIES",
+]
+
+
+class ParallelError(ReproError):
+    """A work item could not be specified, scheduled, or executed."""
+
+
+@dataclass(frozen=True)
+class SmvSpec:
+    """Build the system by compiling SMV source text in the worker."""
+
+    source: str
+    #: Stutter-close the relation (paper-style component semantics).
+    reflexive: bool = True
+
+
+@dataclass(frozen=True)
+class FactorySpec:
+    """Build the system by calling a registered case-study factory."""
+
+    name: str
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class ExplicitSpec:
+    """A serialized explicit system: canonical atoms + edge list."""
+
+    atoms: tuple[str, ...]
+    #: Edges as ``(source, target)`` pairs of sorted atom tuples.
+    edges: tuple[tuple[tuple[str, ...], tuple[str, ...]], ...]
+    reflexive: bool = True
+
+
+@dataclass(frozen=True)
+class ComposeSpec:
+    """The interleaving composition of several sub-specs, in order."""
+
+    parts: tuple["SystemSpec", ...]
+
+
+SystemSpec = Union[SmvSpec, FactorySpec, ExplicitSpec, ComposeSpec]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One obligation: check ``formula`` under ``restriction`` on a system.
+
+    ``expand_to`` lists atoms of the composite alphabet outside the
+    component's own; the worker expands the system over them before
+    checking (the identity-component composition of Lemma 5), exactly as
+    the sequential proof engine does.
+    """
+
+    system: SystemSpec
+    formula: Formula
+    restriction: Restriction = UNRESTRICTED
+    engine: Literal["explicit", "symbolic"] = "symbolic"
+    expand_to: tuple[str, ...] = ()
+    #: Record worker-side spans and ship them back for trace stitching.
+    record_spans: bool = False
+    #: Free-form label carried through to the outcome (e.g. component name).
+    label: str = ""
+
+
+@dataclass
+class WorkOutcome:
+    """What a worker sends back for one :class:`WorkItem`.
+
+    ``result.stats`` carries the per-check :class:`CheckStats`; ``bdd``
+    is the worker manager's :class:`~repro.bdd.stats.BDDStats` delta for
+    the item (``None`` for the explicit engine), already flattened into
+    plain dicts so the parent can feed it to a
+    :class:`~repro.obs.metrics.MetricsRegistry` without importing
+    engine classes.  ``spans`` uses the JSONL record layout of
+    :func:`repro.obs.export.to_jsonl_records`; ``wall_origin`` is the
+    worker wall-clock time of the earliest span so the parent can rebase
+    them onto its own clock (:func:`repro.obs.merge.graft_records`).
+    """
+
+    result: object  # CheckResult; typed loosely to stay import-light
+    label: str = ""
+    pid: int = 0
+    #: True when the worker served the checker from its spec cache.
+    cached: bool = False
+    compile_seconds: float = 0.0
+    check_seconds: float = 0.0
+    bdd: dict | None = None
+    spans: list[dict] = field(default_factory=list)
+    wall_origin: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# the case-study factory registry
+# ----------------------------------------------------------------------
+def _afs1_server():
+    from repro.casestudies.afs1 import SERVER
+
+    return SERVER.symbolic()
+
+
+def _afs1_client():
+    from repro.casestudies.afs1 import CLIENT
+
+    return CLIENT.symbolic()
+
+
+def _afs2_server(n: int = 2):
+    from repro.casestudies.afs2 import server_source
+    from repro.casestudies.afs_common import ProtocolComponent
+
+    return ProtocolComponent("server", server_source(n)).symbolic()
+
+
+def _afs2_client(i: int = 1):
+    from repro.casestudies.afs2 import client_source
+    from repro.casestudies.afs_common import ProtocolComponent
+
+    return ProtocolComponent(f"client{i}", client_source(i)).symbolic()
+
+
+def _mutex_process(n: int, i: int):
+    from repro.casestudies.mutex import TokenRing
+
+    return TokenRing(n).process(i)
+
+
+def _twophase_coordinator(n: int = 2):
+    from repro.casestudies.twophase import coordinator_source
+    from repro.casestudies.afs_common import ProtocolComponent
+
+    return ProtocolComponent("coordinator", coordinator_source(n)).symbolic()
+
+
+def _twophase_participant(i: int = 1):
+    from repro.casestudies.twophase import participant_source
+    from repro.casestudies.afs_common import ProtocolComponent
+
+    return ProtocolComponent(f"participant{i}", participant_source(i)).symbolic()
+
+
+#: Name → factory callable returning a component (explicit or symbolic).
+FACTORIES: dict[str, Callable] = {
+    "afs1.server": _afs1_server,
+    "afs1.client": _afs1_client,
+    "afs2.server": _afs2_server,
+    "afs2.client": _afs2_client,
+    "mutex.process": _mutex_process,
+    "twophase.coordinator": _twophase_coordinator,
+    "twophase.participant": _twophase_participant,
+}
+
+
+def register_factory(name: str, factory: Callable) -> None:
+    """Register a system factory usable from :class:`FactorySpec`.
+
+    The factory must be importable in worker processes (a module-level
+    function, not a closure) only when using the ``spawn`` start method;
+    with ``fork`` (the default on Linux) registrations made before the
+    pool starts are inherited.
+    """
+    FACTORIES[name] = factory
+
+
+# ----------------------------------------------------------------------
+# deriving specs from in-memory components
+# ----------------------------------------------------------------------
+def spec_of_component(system) -> SystemSpec:
+    """The picklable spec that rebuilds ``system`` in a worker process.
+
+    Explicit :class:`~repro.systems.system.System` components serialize
+    canonically (sorted atoms, sorted edges).  Symbolic components must
+    have been built from SMV source with the source attached
+    (``smv_source``); raises :class:`ParallelError` otherwise, since
+    shipping a whole BDD manager to workers would defeat the purpose.
+    """
+    from repro.systems.symbolic import SymbolicSystem
+    from repro.systems.system import System
+
+    if isinstance(system, System):
+        edges = tuple(
+            sorted(
+                (tuple(sorted(s)), tuple(sorted(t)))
+                for s, t in system.edges
+            )
+        )
+        return ExplicitSpec(
+            atoms=tuple(sorted(system.sigma)),
+            edges=edges,
+            reflexive=system.reflexive,
+        )
+    if isinstance(system, SymbolicSystem):
+        source = getattr(system, "smv_source", None)
+        if source is not None:
+            return SmvSpec(
+                source=source,
+                reflexive=bool(getattr(system, "smv_reflexive", True)),
+            )
+        raise ParallelError(
+            "symbolic component has no attached SMV source "
+            "(smv_source); build it via ProtocolComponent or attach "
+            "the source before requesting parallel checking"
+        )
+    raise ParallelError(f"cannot derive a work spec for {type(system).__name__}")

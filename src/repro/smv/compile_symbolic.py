@@ -84,6 +84,10 @@ def to_symbolic(
         # the partition does not include the stutter closure, so it is
         # only installed for the raw (SMV-faithful) relation
         sym.partitions = partitions
+        # with a real conjunctive split, early quantification beats the
+        # monolithic relational product (measured ~4x on the AFS-2
+        # server, benchmarks/bench_ablation_partitioned_relation.py)
+        sym.prefer_partitions = len(partitions) >= 2
     if not sym.is_total():
         raise ElaborationError(
             f"module {model.name!r}: some state has no successor — a case "

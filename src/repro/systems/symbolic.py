@@ -64,8 +64,13 @@ class SymbolicSystem:
         #: pre-image with early quantification.
         self.partitions: list[int] | None = None
         #: When True and partitions are available, :meth:`pre_image` uses
-        #: the partitioned algorithm.
+        #: the partitioned algorithm.  The SMV compiler turns this on
+        #: whenever it emits a real conjunctive split (≥ 2 partitions).
         self.prefer_partitions: bool = False
+        #: Cached quantification schedule for :meth:`pre_image_partitioned`
+        #: (per-partition next-var supports + suffix unions), invalidated
+        #: when :attr:`partitions` is replaced.
+        self._partition_schedule: tuple | None = None
 
     # ------------------------------------------------------------------
     # relation builders
@@ -161,21 +166,43 @@ class SymbolicSystem:
             raise SystemError_("system has no conjunctive partition")
         bdd = self.bdd
         next_vars = {primed(a) for a in self.atoms}
-        supports = [bdd.support(p) & next_vars for p in self.partitions]
+        supports, laters = self._quantification_schedule(next_vars)
         acc = bdd.rename(s, {a: primed(a) for a in self.atoms})
-        remaining = list(range(len(self.partitions)))
-        for idx, (partition, support) in enumerate(
-            zip(self.partitions, supports)
+        for partition, support, later in zip(
+            self.partitions, supports, laters
         ):
-            later: set[str] = set()
-            for j in range(idx + 1, len(self.partitions)):
-                later |= supports[j]
             quantifiable = sorted((bdd.support(acc) | support) & next_vars - later)
             acc = bdd.and_exists(acc, partition, quantifiable)
         leftovers = sorted(bdd.support(acc) & next_vars)
         if leftovers:
             acc = bdd.exists(leftovers, acc)
         return acc
+
+    def _quantification_schedule(
+        self, next_vars: set[str]
+    ) -> tuple[list[set[str]], list[set[str]]]:
+        """Per-partition next-var supports and suffix unions (cached).
+
+        The partitions are fixed BDDs, so their supports — and the
+        "variables still needed by a later partition" suffix unions that
+        gate early quantification — are computed once, not per
+        pre-image call.
+        """
+        cached = self._partition_schedule
+        if cached is not None and cached[0] is self.partitions:
+            return cached[1], cached[2]
+        assert self.partitions is not None
+        supports = [
+            self.bdd.support(p) & next_vars for p in self.partitions
+        ]
+        laters: list[set[str]] = []
+        suffix: set[str] = set()
+        for support in reversed(supports):
+            laters.append(set(suffix))
+            suffix |= support
+        laters.reverse()
+        self._partition_schedule = (self.partitions, supports, laters)
+        return supports, laters
 
     def post_image(self, s: int) -> int:
         """States reachable from ``S`` in one R-step."""

@@ -184,6 +184,34 @@ class TestSatOperations:
         assert bdd.sat_count(TRUE) == 8.0
         assert bdd.sat_count(FALSE) == 0.0
 
+    def test_sat_count_is_exact_int(self, bdd):
+        count = bdd.sat_count(bdd.var("x"))
+        assert isinstance(count, int)
+        assert count == 4
+
+    def test_sat_count_exact_beyond_float_precision(self):
+        # a 70-variable cube: float arithmetic rounds 2^70 - 1 to 2^70
+        b = BDD()
+        n = 70
+        cube = TRUE
+        for i in range(n):
+            b.add_var(f"x{i}")
+        for i in range(n):
+            cube = b.apply("and", cube, b.var(f"x{i}"))
+        assert b.sat_count(cube) == 1
+        complement = b.negate(cube)
+        assert b.sat_count(complement) == 2**n - 1
+        assert b.sat_count(complement) != float(2**n - 1)  # not representable
+
+    def test_sat_count_beyond_float_overflow(self):
+        # past ~1023 variables 2**n overflows float('inf'); ints don't
+        b = BDD()
+        n = 1100
+        for i in range(n):
+            b.add_var(f"x{i}")
+        assert b.sat_count(TRUE) == 2**n
+        assert b.sat_count(b.var("x0")) == 2 ** (n - 1)
+
     def test_pick_satisfies(self, bdd):
         from repro.bdd.ops import evaluate
 

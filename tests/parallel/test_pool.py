@@ -1,0 +1,164 @@
+"""Scheduler behavior: ordering, stats merging, trace grafting."""
+
+import pytest
+
+from repro.casestudies.mutex import TokenRing
+from repro.logic.parser import parse_ctl
+from repro.obs.export import to_chrome_trace
+from repro.obs.tracer import TRACER
+from repro.parallel.pool import (
+    ObligationScheduler,
+    shared_scheduler,
+    shutdown_shared,
+)
+from repro.parallel.workitem import ParallelError, WorkItem, spec_of_component
+
+
+def _items(n=4):
+    ring = TokenRing(2)
+    return [
+        WorkItem(
+            system=spec_of_component(ring.process(i % 2)),
+            formula=parse_ctl("EF tok" if i % 2 == 0 else "EF (! tok)"),
+            engine="explicit",
+            label=f"item{i}",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def scheduler():
+    with ObligationScheduler(jobs=2) as sched:
+        yield sched
+
+
+class TestScheduling:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ParallelError):
+            ObligationScheduler(jobs=0)
+
+    def test_empty_batch(self, scheduler):
+        assert scheduler.run([]) == []
+
+    def test_outcomes_in_submission_order(self, scheduler):
+        outcomes = scheduler.run(_items(6))
+        assert [o.label for o in outcomes] == [f"item{i}" for i in range(6)]
+        assert all(bool(o.result) for o in outcomes)
+
+    def test_map_results(self, scheduler):
+        results = scheduler.map_results(_items(2))
+        assert len(results) == 2
+        assert all(bool(r) for r in results)
+
+    def test_work_distributed_to_worker_processes(self, scheduler):
+        import os
+
+        outcomes = scheduler.run(_items(8))
+        pids = {o.pid for o in outcomes}
+        assert os.getpid() not in pids
+        assert len(pids) >= 1  # with 2 workers, usually 2
+
+    def test_checker_cache_warms_up(self, scheduler):
+        # same specs across rounds: eventually every worker has compiled
+        # both specs and further rounds are all cache hits
+        for _ in range(6):
+            scheduler.run(_items(4))
+        hits = scheduler.metrics.get("parallel.checker_cache_hits")
+        assert hits > 0
+
+
+class TestStatsMerging:
+    def test_counts_items(self, scheduler):
+        scheduler.run(_items(3))
+        assert scheduler.metrics.get("parallel.items") == 3
+
+    def test_check_stats_accumulate(self, scheduler):
+        scheduler.run(_items(4))
+        assert scheduler.metrics.get("parallel.check.subformulas_evaluated") > 0
+
+    def test_bdd_delta_accumulates_for_symbolic(self):
+        from repro.casestudies.afs1 import CLIENT
+
+        item = WorkItem(
+            system=spec_of_component(CLIENT.symbolic()),
+            formula=parse_ctl("EF (r.0)"),
+            engine="symbolic",
+        )
+        with ObligationScheduler(jobs=1) as sched:
+            sched.run([item])
+            assert sched.metrics.get("parallel.bdd.mk_calls") > 0
+
+
+class TestTraceGrafting:
+    @pytest.fixture(autouse=True)
+    def _quiet_tracer(self):
+        was = TRACER.enabled
+        TRACER.enabled = False
+        TRACER.reset()
+        yield
+        TRACER.enabled = was
+        TRACER.reset()
+
+    def test_no_spans_when_tracer_disabled(self, scheduler):
+        outcomes = scheduler.run(_items(2))
+        assert all(o.spans == [] for o in outcomes)
+        assert list(TRACER.spans()) == []
+
+    def test_worker_spans_grafted_under_parent(self, scheduler):
+        TRACER.enabled = True
+        with TRACER.span("proof"):
+            scheduler.run(_items(2))
+        TRACER.enabled = False
+        spans = list(TRACER.spans())
+        names = [s.name for s in spans]
+        assert "parallel.batch" in names
+        worker_spans = [s for s in spans if s.name == "worker.item"]
+        assert len(worker_spans) == 2
+        for span in worker_spans:
+            assert span.attrs["pid"] != 0
+        batch = next(s for s in spans if s.name == "parallel.batch")
+        assert {s.name for s in batch.children} >= {"worker.item"}
+
+    def test_chrome_trace_has_worker_process_tracks(self, scheduler):
+        TRACER.enabled = True
+        with TRACER.span("proof"):
+            scheduler.run(_items(2))
+        TRACER.enabled = False
+        trace = to_chrome_trace(TRACER)
+        meta = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        ]
+        worker_names = {e["args"]["name"] for e in meta}
+        assert any(n.startswith("repro worker ") for n in worker_names)
+
+    def test_worker_span_times_fit_inside_batch(self, scheduler):
+        TRACER.enabled = True
+        with TRACER.span("proof"):
+            scheduler.run(_items(2))
+        TRACER.enabled = False
+        spans = list(TRACER.spans())
+        batch = next(s for s in spans if s.name == "parallel.batch")
+        for span in spans:
+            if span.name == "worker.item":
+                # rebased clocks: worker activity lies within the batch
+                # window (small scheduling slop allowed)
+                assert span.start >= batch.start - 0.05
+                assert span.end <= batch.end + 0.05
+
+
+class TestSharedScheduler:
+    def test_shared_identity_per_job_count(self):
+        try:
+            assert shared_scheduler(2) is shared_scheduler(2)
+            assert shared_scheduler(2) is not shared_scheduler(3)
+        finally:
+            shutdown_shared()
+
+    def test_shutdown_clears_registry(self):
+        shared_scheduler(2)
+        shutdown_shared()
+        assert shared_scheduler(2).metrics.get("parallel.items") == 0
+        shutdown_shared()

@@ -1,0 +1,184 @@
+"""Work-item specs: derivation, pickling, and in-process execution."""
+
+import pickle
+
+import pytest
+
+from repro.casestudies.afs1 import CLIENT
+from repro.casestudies.mutex import TokenRing
+from repro.logic.parser import parse_ctl
+from repro.parallel.workitem import (
+    ComposeSpec,
+    ExplicitSpec,
+    FACTORIES,
+    FactorySpec,
+    ParallelError,
+    SmvSpec,
+    WorkItem,
+    spec_of_component,
+)
+from repro.parallel.worker import build_system, clear_worker_caches, run_work_item
+from repro.systems.symbolic import SymbolicSystem
+from repro.systems.system import System
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_caches():
+    clear_worker_caches()
+    yield
+    clear_worker_caches()
+
+
+class TestSpecDerivation:
+    def test_explicit_system_round_trips(self):
+        original = TokenRing(2).process(0)
+        spec = spec_of_component(original)
+        assert isinstance(spec, ExplicitSpec)
+        rebuilt = build_system(spec, "explicit")
+        assert rebuilt.sigma == original.sigma
+        assert set(rebuilt.edges) == set(original.edges)
+        assert rebuilt.reflexive == original.reflexive
+
+    def test_explicit_spec_is_canonical(self):
+        a = spec_of_component(TokenRing(2).process(0))
+        b = spec_of_component(TokenRing(2).process(0))
+        assert a == b and hash(a) == hash(b)
+
+    def test_symbolic_component_carries_source(self):
+        sym = CLIENT.symbolic()
+        spec = spec_of_component(sym)
+        assert isinstance(spec, SmvSpec)
+        assert spec.reflexive
+        rebuilt = build_system(spec, "symbolic")
+        assert isinstance(rebuilt, SymbolicSystem)
+        assert rebuilt.atoms == sym.atoms
+
+    def test_symbolic_without_source_rejected(self):
+        bare = SymbolicSystem({"a"})
+        with pytest.raises(ParallelError):
+            spec_of_component(bare)
+
+    def test_unknown_factory_rejected(self):
+        with pytest.raises(ParallelError):
+            build_system(FactorySpec(name="no.such.factory"), "symbolic")
+
+    def test_registered_factories_build(self):
+        assert isinstance(
+            build_system(FactorySpec("afs1.client"), "symbolic"),
+            SymbolicSystem,
+        )
+        assert isinstance(
+            build_system(FactorySpec("mutex.process", (2, 0)), "explicit"),
+            System,
+        )
+        assert set(FACTORIES) >= {
+            "afs1.server",
+            "afs1.client",
+            "afs2.server",
+            "afs2.client",
+            "mutex.process",
+            "twophase.coordinator",
+            "twophase.participant",
+        }
+
+    def test_compose_spec_builds_product(self):
+        ring = TokenRing(2)
+        spec = ComposeSpec(
+            parts=tuple(
+                spec_of_component(ring.process(i)) for i in range(2)
+            )
+        )
+        product = build_system(spec, "explicit")
+        assert product.sigma == ring.composite().sigma
+
+
+class TestPickling:
+    def test_work_item_round_trips(self):
+        item = WorkItem(
+            system=spec_of_component(CLIENT.symbolic()),
+            formula=parse_ctl("EF (r.0)"),
+            engine="symbolic",
+            expand_to=("extra",),
+            label="client",
+        )
+        clone = pickle.loads(pickle.dumps(item))
+        assert clone == item
+
+    def test_outcome_result_round_trips(self):
+        item = WorkItem(
+            system=spec_of_component(TokenRing(2).process(0)),
+            formula=parse_ctl("EF tok"),
+            engine="explicit",
+        )
+        outcome = run_work_item(item)
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert bool(clone.result) == bool(outcome.result)
+        assert clone.result.formula == outcome.result.formula
+
+
+class TestRunWorkItem:
+    def test_symbolic_outcome_carries_bdd_delta(self):
+        item = WorkItem(
+            system=spec_of_component(CLIENT.symbolic()),
+            formula=parse_ctl("EF (r.0)"),
+            engine="symbolic",
+            label="client",
+        )
+        outcome = run_work_item(item)
+        assert outcome.label == "client"
+        assert outcome.bdd is not None
+        assert outcome.bdd["mk_calls"] >= 0
+        assert not outcome.cached
+        assert run_work_item(item).cached  # second hit uses the cache
+
+    def test_explicit_outcome_has_no_bdd_delta(self):
+        item = WorkItem(
+            system=spec_of_component(TokenRing(2).process(0)),
+            formula=parse_ctl("EF tok"),
+            engine="explicit",
+        )
+        outcome = run_work_item(item)
+        assert outcome.bdd is None
+        assert bool(outcome.result)
+
+    def test_record_spans_ships_span_records(self):
+        item = WorkItem(
+            system=spec_of_component(TokenRing(2).process(0)),
+            formula=parse_ctl("EF tok"),
+            engine="explicit",
+            record_spans=True,
+        )
+        outcome = run_work_item(item)
+        assert outcome.spans
+        assert outcome.spans[0]["name"] == "worker.item"
+        assert outcome.wall_origin > 0
+
+    def test_no_spans_by_default(self):
+        item = WorkItem(
+            system=spec_of_component(TokenRing(2).process(0)),
+            formula=parse_ctl("EF tok"),
+            engine="explicit",
+        )
+        assert run_work_item(item).spans == []
+
+    def test_expansion_over_extra_atoms(self):
+        # a formula over an atom the component does not own is only
+        # checkable on the expansion, whose alphabet includes it
+        item = WorkItem(
+            system=spec_of_component(TokenRing(2).process(0)),
+            formula=parse_ctl("other | (! other)"),
+            engine="explicit",
+            expand_to=("other",),
+        )
+        assert bool(run_work_item(item).result)
+
+    def test_expansion_extra_atom_only_stutters(self):
+        # the expansion composes with an identity system: the extra atom
+        # never changes value, so EF other fails where other is false
+        item = WorkItem(
+            system=spec_of_component(TokenRing(2).process(0)),
+            formula=parse_ctl("EF other"),
+            engine="explicit",
+            expand_to=("other",),
+        )
+        assert not bool(run_work_item(item).result)

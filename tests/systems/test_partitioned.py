@@ -1,5 +1,7 @@
 """Tests for the conjunctive transition-relation partition."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.errors import SystemError_
@@ -7,7 +9,9 @@ from repro.logic.ctl import Implies, EX
 from repro.smv.compile_symbolic import to_symbolic
 from repro.smv.elaborate import SmvModel
 from repro.smv.parser import parse_module
-from repro.systems.symbolic import SymbolicSystem
+from repro.systems.symbolic import SymbolicSystem, primed
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 MODEL = """
 MODULE main
@@ -37,11 +41,27 @@ class TestPartitionStructure:
     def test_reflexive_compile_has_no_partition(self):
         sym = to_symbolic(SmvModel(parse_module(MODEL)), reflexive=True)
         assert sym.partitions is None
+        assert not sym.prefer_partitions
+
+    def test_prefer_partitions_on_by_default(self):
+        # ≥ 2 conjunctive partitions → the compiler opts the system in
+        assert _sym().prefer_partitions
+
+    def test_single_variable_model_stays_monolithic(self):
+        sym = to_symbolic(
+            SmvModel(
+                parse_module(
+                    "MODULE main\nVAR x : boolean;\nASSIGN next(x) := !x;"
+                )
+            )
+        )
+        assert not sym.prefer_partitions
 
 
 class TestPartitionedPreImage:
     def test_matches_monolithic_on_state_sets(self):
         sym = _sym()
+        sym.prefer_partitions = False  # pin pre_image to the monolithic path
         bdd = sym.bdd
         # a spread of target sets: literals, cubes, xor-chains
         targets = [bdd.var("b"), bdd.nvar("inp")]
@@ -55,10 +75,30 @@ class TestPartitionedPreImage:
 
     def test_prefer_partitions_switch(self):
         sym = _sym()
+        sym.prefer_partitions = False
         target = sym.bdd.var("b")
         expected = sym.pre_image(target)
         sym.prefer_partitions = True
         assert sym.pre_image(target) == expected
+
+    def test_figure1_pre_images_agree(self):
+        """Partitioned and monolithic pre-images agree on every subset
+        shape of the paper's Figure 1 model."""
+        model = SmvModel(
+            parse_module((EXAMPLES / "figure1.smv").read_text())
+        )
+        sym = to_symbolic(model)
+        bdd = sym.bdd
+        targets = [bdd.var(a) for a in sym.atoms]
+        targets += [bdd.negate(t) for t in list(targets)]
+        targets.append(sym.bdd.conj(bdd.var(a) for a in sym.atoms))
+        for target in targets:
+            mono = bdd.and_exists(
+                sym.transition,
+                bdd.rename(target, {a: primed(a) for a in sym.atoms}),
+                [primed(a) for a in sym.atoms],
+            )
+            assert sym.pre_image_partitioned(target) == mono
 
     def test_missing_partition_raises(self):
         plain = SymbolicSystem({"a"})
@@ -73,8 +113,9 @@ class TestCheckerWithPartitions:
 
         model = SmvModel(parse_module(MODEL))
         mono = to_symbolic(model)
+        mono.prefer_partitions = False
         part = to_symbolic(model)
-        part.prefer_partitions = True
+        assert part.prefer_partitions  # compiler default since the flip
         r = Restriction(init=model.initial_formula())
         spec = Implies(
             model.encoding.eq_formula("a", "x"),

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""CI smoke for the parallel proof engine (used by the workflow).
+
+Runs the AFS-1 liveness proof sequentially and through a fresh 2-worker
+pool under the tracer, then fails loudly unless:
+
+* the parallel proof tree, obligation report, and summary are
+  **byte-identical** to the sequential run;
+* the scheduler dispatched exactly one work item per sequential
+  obligation (``parallel.items``);
+* the worker-reported statistics reconcile exactly: the scheduler's
+  merged ``parallel.check.*`` totals equal the sums over the parallel
+  proof's own obligation results (the same numbers, once shipped across
+  the process boundary and once recomputed in the parent);
+* the merged Chrome trace contains at least two worker pid tracks with
+  ``worker.item`` spans grafted under the proof.
+
+Memo-cumulative counters (``subformulas_evaluated``,
+``bdd_mk_calls``, …) are *not* compared across the two regimes: worker
+checker caches make them depend on which worker served which
+obligation, by design — the engine's guarantee is determinism of
+results and certificates, which is what the byte-comparison gates.
+
+Writes ``afs1_parallel.trace.json`` / ``afs1_parallel.spans.jsonl``
+into ``--artifact-dir`` (default: current directory) for upload.
+
+    PYTHONPATH=src python tools/parallel_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def obligations(pf) -> list:
+    out, seen = [], set()
+    for step in pf.log:
+        for leaf in step.leaves():
+            for o in leaf.obligations:
+                if id(o) not in seen:
+                    seen.add(id(o))
+                    out.append(o)
+    return out
+
+
+def certificates(pf, proven) -> tuple[str, str, str]:
+    from repro.compositional.export import obligations_report, proof_tree
+
+    return proof_tree(proven), obligations_report(pf), pf.summary()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--artifact-dir", default=".")
+    args = parser.parse_args(argv)
+
+    from repro.casestudies.afs1 import prove_afs1_liveness
+    from repro.obs import tracing
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.parallel.pool import shared_scheduler, shutdown_shared
+
+    print("sequential AFS-1 liveness proof ...")
+    pf_seq, proven_seq = prove_afs1_liveness("symbolic")
+    seq_obligations = obligations(pf_seq)
+    seq_certs = certificates(pf_seq, proven_seq)
+    print(f"  {len(seq_obligations)} obligations, all "
+          f"{'true' if all(map(bool, seq_obligations)) else 'FALSE?!'}")
+
+    shutdown_shared()  # a genuinely fresh pool for the smoke
+    print(f"parallel AFS-1 liveness proof (--jobs {args.jobs}) ...")
+    with tracing() as tracer:
+        pf_par, proven_par = prove_afs1_liveness("symbolic", jobs=args.jobs)
+    metrics = shared_scheduler(args.jobs).metrics
+    par_obligations = obligations(pf_par)
+    par_certs = certificates(pf_par, proven_par)
+
+    # 1. certificates byte-identical to the sequential baseline
+    for kind, seq, par in zip(
+        ("proof tree", "obligations report", "summary"), seq_certs, par_certs
+    ):
+        if seq != par:
+            fail(f"parallel {kind} differs from the sequential baseline")
+    print("  certificates byte-identical to sequential")
+
+    # 2. one dispatched work item per sequential obligation
+    items = metrics.get("parallel.items")
+    if items != len(seq_obligations):
+        fail(
+            f"scheduler dispatched {items:g} items for "
+            f"{len(seq_obligations)} sequential obligations"
+        )
+    print(f"  parallel.items == {len(seq_obligations)} obligations")
+
+    # 3. merged worker stats reconcile with the obligation results
+    for counter, total in (
+        ("parallel.check.subformulas_evaluated",
+         sum(o.stats.subformulas_evaluated for o in par_obligations)),
+        ("parallel.check.fixpoint_iterations",
+         sum(o.stats.fixpoint_iterations for o in par_obligations)),
+        ("parallel.check.bdd_mk_calls",
+         sum(o.stats.bdd_mk_calls for o in par_obligations)),
+    ):
+        merged = metrics.get(counter)
+        if merged != total:
+            fail(f"{counter} merged to {merged:g}, obligations sum to {total}")
+    print("  merged worker stats reconcile with obligation results")
+
+    # 4. trace artifacts with worker pid tracks
+    directory = pathlib.Path(args.artifact_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(
+        directory / "afs1_parallel.trace.json", tracer
+    )
+    write_jsonl(directory / "afs1_parallel.spans.jsonl", tracer)
+    document = json.loads(trace_path.read_text())
+    events = document["traceEvents"]
+    worker_pids = {
+        e["pid"]
+        for e in events
+        if e.get("ph") == "X" and e.get("name") == "worker.item"
+    }
+    if len(worker_pids) < min(2, args.jobs):
+        fail(f"expected ≥{min(2, args.jobs)} worker pid tracks, "
+             f"got {sorted(worker_pids)}")
+    named = {
+        e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    if not any(n.startswith("repro worker ") for n in named):
+        fail(f"no worker process_name metadata in trace: {sorted(named)}")
+    print(f"  trace: {len(events)} events, worker tracks {sorted(worker_pids)}")
+
+    shutdown_shared()
+    print("parallel smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
