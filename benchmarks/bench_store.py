@@ -1,0 +1,244 @@
+"""Experiment ST — the result store: cold check vs warm-cache replay.
+
+Runs ``cached_check`` over the four case studies' SMV models twice
+against a fresh :class:`~repro.store.store.ResultStore`: the **cold**
+pass compiles and model-checks every SPEC and writes the records, the
+**warm** pass must answer entirely from disk (fingerprint lookups + JSON
+loads, no BDD work).  The gap is the store's whole value proposition —
+the paper's "theorems in the documentation" reused instead of re-proved
+— and the AFS-2 row is the acceptance gate: warm must be at least 10×
+faster than cold.
+
+The mutex case study is programmatic (no SMV source in
+:mod:`repro.casestudies.mutex`), so this suite uses an equivalent
+round-robin mutual-exclusion SMV model defined here.
+
+Run as a script to (re)write ``BENCH_store.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --label after
+
+Also exposes pytest-benchmark entry points (one cold + one warm per
+case) for the harness smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.casestudies.afs1 import AFS1_CLIENT_FIGURE, AFS1_SERVER_FIGURE
+from repro.casestudies.afs2 import (
+    CLIENT_SPECS_FIGURE,
+    SERVER_SPECS_FIGURE,
+    client_source,
+    server_source,
+)
+from repro.casestudies.twophase import coordinator_source, participant_source
+from repro.store import ResultStore
+from repro.store.cached import cached_check
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_store.json"
+
+#: Round-robin mutual exclusion (the mutex case study's SMV face):
+#: process i may enter its critical section only on its turn.
+MUTEX_SOURCE = """
+MODULE main
+VAR
+  turn : {p1, p2, p3};
+  c1 : boolean;
+  c2 : boolean;
+  c3 : boolean;
+ASSIGN
+  init(c1) := 0;
+  init(c2) := 0;
+  init(c3) := 0;
+  next(turn) := case turn = p1 : p2; turn = p2 : p3; 1 : p1; esac;
+  next(c1) := case turn = p1 : {0, 1}; 1 : 0; esac;
+  next(c2) := case turn = p2 : {0, 1}; 1 : 0; esac;
+  next(c3) := case turn = p3 : {0, 1}; 1 : 0; esac;
+SPEC AG !(c1 & c2)
+SPEC AG !(c1 & c3)
+SPEC AG !(c2 & c3)
+SPEC AG EF c1
+SPEC AG EF c2
+SPEC AG EF c3
+"""
+
+#: Two-phase commit sources carry no SPEC section; the bench checks the
+#: decision/outcome monotonicity invariants on them.
+TWOPHASE_COORDINATOR = coordinator_source(2) + """
+SPEC AG ((decision = commit) -> AG !(decision = abort))
+SPEC AG ((decision = abort) -> AG !(decision = commit))
+"""
+
+TWOPHASE_PARTICIPANT = participant_source(1) + """
+SPEC AG ((outcome1 = committed) -> AG !(outcome1 = aborted))
+SPEC AG ((outcome1 = aborted) -> AG !(outcome1 = committed))
+"""
+
+#: (case name, [SMV sources checked under one store]) — the four case
+#: studies, AFS-2 being the acceptance row (warm ≥ 10× cold).
+CASES = (
+    ("afs1", [AFS1_SERVER_FIGURE, AFS1_CLIENT_FIGURE]),
+    # n=4 clients: big enough that symbolic checking dominates the cold
+    # pass (the warm replay cost is size-independent), small enough for CI
+    (
+        "afs2",
+        [
+            server_source(4, rename=False) + SERVER_SPECS_FIGURE,
+            client_source(rename=False) + CLIENT_SPECS_FIGURE,
+        ],
+    ),
+    ("mutex", [MUTEX_SOURCE]),
+    ("twophase", [TWOPHASE_COORDINATOR, TWOPHASE_PARTICIPANT]),
+)
+
+
+def check_all(sources: list[str], store: ResultStore) -> tuple[int, int]:
+    """cached_check every source; returns summed (hits, misses)."""
+    hits = misses = 0
+    for source in sources:
+        run = cached_check(source, store=store)
+        assert run.all_true, "benchmark models must hold"
+        hits += run.hits
+        misses += run.misses
+    return hits, misses
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (one fresh store per cold round, one
+# pre-populated store for warm)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,sources", CASES, ids=[c[0] for c in CASES])
+def test_store_cold(benchmark, name, sources, tmp_path):
+    counter = iter(range(10**6))
+
+    def cold():
+        store = ResultStore(tmp_path / f"s{next(counter)}")
+        return check_all(sources, store)
+
+    hits, misses = benchmark.pedantic(cold, rounds=3, warmup_rounds=0)
+    assert hits == 0 and misses > 0
+
+
+@pytest.mark.parametrize("name,sources", CASES, ids=[c[0] for c in CASES])
+def test_store_warm(benchmark, name, sources, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    check_all(sources, store)  # populate
+
+    hits, misses = benchmark.pedantic(
+        check_all, args=(sources, store), rounds=5, warmup_rounds=1
+    )
+    assert misses == 0 and hits > 0
+
+
+# ----------------------------------------------------------------------
+# standalone trajectory writer
+# ----------------------------------------------------------------------
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(sources: list[str], rounds: int) -> dict:
+    """Cold + warm wall times (ms) for one case under a fresh store."""
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = ResultStore(root)
+        t0 = time.perf_counter()
+        hits, misses = check_all(sources, store)
+        cold = time.perf_counter() - t0
+        assert hits == 0, "cold pass must start from an empty store"
+        warm = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            hits, warm_misses = check_all(sources, store)
+            warm.append(time.perf_counter() - t0)
+            assert warm_misses == 0, "warm pass must be fully cache-served"
+        return {
+            "specs": misses,
+            "cold_ms": round(cold * 1e3, 2),
+            "warm_min_ms": round(min(warm) * 1e3, 3),
+            "warm_mean_ms": round(sum(warm) / len(warm) * 1e3, 3),
+            "speedup": round(cold / min(warm), 1),
+            "rounds": rounds,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run(rounds: int) -> dict[str, dict]:
+    results = {}
+    for name, sources in CASES:
+        results[name] = measure(sources, rounds)
+        r = results[name]
+        print(
+            f"{name:>9}: {r['specs']:2d} specs   cold {r['cold_ms']:8.1f} ms"
+            f"   warm {r['warm_min_ms']:7.2f} ms   {r['speedup']:6.1f}x"
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    output = pathlib.Path(args.output)
+    if output.exists():
+        document = json.loads(output.read_text())
+    else:
+        document = {
+            "description": "Result-store trajectory (wall ms; cold = "
+            "empty store, warm = fully cache-served replay of the same "
+            "checks)",
+            "note": "The acceptance gate is the afs2 row: warm replay "
+            "must be at least 10x faster than the cold check.",
+            "entries": [],
+        }
+
+    results = run(args.rounds)
+    if results["afs2"]["speedup"] < 10:
+        print(
+            f"FAIL: afs2 warm speedup {results['afs2']['speedup']}x < 10x",
+            file=sys.stderr,
+        )
+        return 1
+
+    entry = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "date": datetime.date.today().isoformat(),
+        "results": results,
+    }
+    document["entries"] = [
+        e for e in document["entries"] if e["label"] != args.label
+    ]
+    document["entries"].append(entry)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output} (label {args.label!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

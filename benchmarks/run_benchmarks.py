@@ -39,6 +39,7 @@ SUITES = (
     "benchmarks/bench_ablation_relational_product.py",
     "benchmarks/bench_scaling_compositional_vs_monolithic.py",
     "benchmarks/bench_parallel_proofs.py",
+    "benchmarks/bench_store.py",
 )
 
 #: the acceptance microbench: relational-product image step

@@ -73,6 +73,50 @@ class CheckStats:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of every counter (see :meth:`from_dict`)."""
+        return {
+            "user_time": self.user_time,
+            "fixpoint_iterations": self.fixpoint_iterations,
+            "subformulas_evaluated": self.subformulas_evaluated,
+            "bdd_nodes_allocated": self.bdd_nodes_allocated,
+            "transition_nodes": self.transition_nodes,
+            "bdd_cache_lookups": self.bdd_cache_lookups,
+            "bdd_cache_hits": self.bdd_cache_hits,
+            "bdd_mk_calls": self.bdd_mk_calls,
+            "bdd_peak_unique_nodes": self.bdd_peak_unique_nodes,
+            "bdd_op_counters": {
+                name: dict(counter)
+                for name, counter in self.bdd_op_counters.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckStats":
+        """Rebuild stats from :meth:`to_dict` output (unknown keys ignored,
+        missing keys default — records written by older stores still load)."""
+        fields = {
+            "user_time": float,
+            "fixpoint_iterations": int,
+            "subformulas_evaluated": int,
+            "bdd_nodes_allocated": int,
+            "transition_nodes": int,
+            "bdd_cache_lookups": int,
+            "bdd_cache_hits": int,
+            "bdd_mk_calls": int,
+            "bdd_peak_unique_nodes": int,
+        }
+        kwargs = {
+            name: cast(data[name])
+            for name, cast in fields.items()
+            if name in data
+        }
+        kwargs["bdd_op_counters"] = {
+            name: dict(counter)
+            for name, counter in data.get("bdd_op_counters", {}).items()
+        }
+        return cls(**kwargs)
+
     @classmethod
     def merged(cls, stats: Iterable["CheckStats"]) -> "CheckStats":
         """Aggregate several per-spec stats into one resources block.
@@ -119,6 +163,47 @@ class CheckResult:
 
     def __bool__(self) -> bool:
         return self.holds
+
+    def to_dict(self) -> dict:
+        """JSON-safe form of the verdict (see :meth:`from_dict`).
+
+        Formulas serialize through their textual form (``str(formula)``
+        round-trips through :func:`repro.logic.parser.parse_ctl`);
+        failing states become sorted atom lists.
+        """
+        return {
+            "formula": str(self.formula),
+            "restriction": {
+                "init": str(self.restriction.init),
+                "fairness": [str(f) for f in self.restriction.fairness],
+            },
+            "holds": self.holds,
+            "failing_states": [sorted(s) for s in self.failing_states],
+            "num_failing": self.num_failing,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResult":
+        """Rebuild a verdict from :meth:`to_dict` output."""
+        from repro.logic.parser import parse_ctl
+
+        restriction = Restriction(
+            init=parse_ctl(data["restriction"]["init"]),
+            fairness=tuple(
+                parse_ctl(f) for f in data["restriction"]["fairness"]
+            ),
+        )
+        return cls(
+            formula=parse_ctl(data["formula"]),
+            restriction=restriction,
+            holds=bool(data["holds"]),
+            failing_states=tuple(
+                frozenset(s) for s in data.get("failing_states", [])
+            ),
+            num_failing=int(data.get("num_failing", 0)),
+            stats=CheckStats.from_dict(data.get("stats", {})),
+        )
 
     def format(self) -> str:
         """One verdict line in SMV's output style."""

@@ -6,6 +6,10 @@ Usage::
     python -m repro check model.smv --explicit # use the NumPy engine
     python -m repro check model.smv --trace out.json --profile
     python -m repro check model.smv --jobs 4    # parallel spec checking
+    python -m repro check model.smv --cache .repro-cache  # result store
+    python -m repro check model.smv --json     # machine-readable report
+    python -m repro serve --port 8123 --jobs 4 --cache-dir .repro-cache
+    python -m repro submit model.smv --url http://localhost:8123
     python -m repro demo afs2-safety --jobs 2   # parallel proof obligations
     python -m repro simulate model.smv -n 12   # random run
     python -m repro graph model.smv            # DOT transition graph
@@ -23,6 +27,7 @@ after the report (see :mod:`repro.obs`).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -32,6 +37,7 @@ from repro.logic.ctl import TRUE
 from repro.logic.restriction import Restriction
 from repro.smv.compile_explicit import to_system
 from repro.smv.compile_symbolic import to_symbolic
+from repro.smv.pretty import clip_spec, spec_to_str
 from repro.smv.run import check_model, load_model
 from repro.smv.simulate import format_trace, simulate
 from repro.systems.graph import decoded_graph, to_dot
@@ -99,6 +105,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
 
     def run() -> int:
+        if args.json or args.cache:
+            return _check_cached(args, source)
         model = load_model(source)
         if args.jobs and args.jobs > 1:
             return _check_parallel(args, source, model)
@@ -115,10 +123,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 result = checker.holds(spec, restriction)
                 results.append(result)
                 ok &= bool(result)
-                from repro.smv.pretty import spec_to_str
-
                 verdict = "true" if result else "false"
-                print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
+                print(f"-- spec. {clip_spec(spec_to_str(text))} is {verdict}")
             if args.stats and results:
                 from repro.checking.result import CheckStats
 
@@ -130,6 +136,54 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if report.all_true else 1
 
     return _run_observed(args, run)
+
+
+def _check_cached(args: argparse.Namespace, source: str) -> int:
+    """``repro check`` through the result store (``--cache`` / ``--json``).
+
+    Verdicts, reports and exit codes match the plain paths; the cache
+    summary goes to stderr so cached and uncached stdout stay
+    comparable, and ``--json`` emits the same report payload the
+    serving layer returns (:mod:`repro.serve.schema`).
+    """
+    from repro.serve.schema import report_payload
+    from repro.store import ResultStore
+    from repro.store.cached import cached_check
+
+    store = ResultStore(args.cache) if args.cache else None
+    scheduler = None
+    if args.jobs and args.jobs > 1:
+        from repro.parallel import shared_scheduler
+
+        scheduler = shared_scheduler(args.jobs)
+    run = cached_check(
+        source,
+        engine="explicit" if args.explicit else "symbolic",
+        reflexive=args.reflexive,
+        store=store,
+        scheduler=scheduler,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                report_payload(run, with_cache=store is not None), indent=2
+            )
+        )
+    elif args.explicit:
+        for text, result in zip(run.spec_texts, run.results):
+            verdict = "true" if result.holds else "false"
+            print(f"-- spec. {clip_spec(text)} is {verdict}")
+        if args.stats and run.results:
+            print()
+            print(run.merged_stats().format())
+    else:
+        print(run.to_report().format(with_stats=args.stats))
+    if store is not None:
+        print(
+            f"result store: {run.hits} hit(s), {run.misses} miss(es)",
+            file=sys.stderr,
+        )
+    return 0 if run.all_true else 1
 
 
 def _check_parallel(args: argparse.Namespace, source: str, model) -> int:
@@ -144,7 +198,6 @@ def _check_parallel(args: argparse.Namespace, source: str, model) -> int:
     from repro.logic.ctl import TRUE as F_TRUE
     from repro.obs.tracer import TRACER
     from repro.parallel import SmvSpec, WorkItem, shared_scheduler
-    from repro.smv.pretty import spec_to_str
     from repro.smv.run import SmvReport, _counterexample_trace
 
     engine = "explicit" if args.explicit else "symbolic"
@@ -171,7 +224,7 @@ def _check_parallel(args: argparse.Namespace, source: str, model) -> int:
         for result, text in zip(results, model.module.specs):
             ok &= bool(result)
             verdict = "true" if result else "false"
-            print(f"-- spec. {spec_to_str(text)[:46]} is {verdict}")
+            print(f"-- spec. {clip_spec(spec_to_str(text))} is {verdict}")
         if args.stats and results:
             print()
             print(CheckStats.merged(r.stats for r in results).format())
@@ -327,6 +380,75 @@ def _demo_body(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.http import create_server, serve_forever
+    from repro.serve.jobs import JobManager
+    from repro.store import ResultStore
+
+    metrics = MetricsRegistry()
+    store = (
+        ResultStore(args.cache_dir, metrics=metrics)
+        if args.cache_dir
+        else None
+    )
+    manager = JobManager(
+        jobs=args.jobs,
+        queue_size=args.queue_size,
+        store=store,
+        default_timeout=args.timeout,
+        metrics=metrics,
+    )
+    server = create_server(args.host, args.port, manager=manager)
+    where = f"http://{args.host}:{server.port}"
+    cache = f", cache {args.cache_dir}" if args.cache_dir else ""
+    print(
+        f"repro serve: listening on {where} "
+        f"({args.jobs} worker(s), queue {args.queue_size}{cache})",
+        file=sys.stderr,
+    )
+    serve_forever(server)
+    print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+    from repro.serve.schema import format_payload
+
+    checks = [
+        {
+            "source": Path(name).read_text(),
+            "engine": "explicit" if args.explicit else "symbolic",
+            "reflexive": args.reflexive,
+            "label": name,
+        }
+        for name in args.files
+    ]
+    client = ServeClient(args.url)
+    try:
+        job = client.check(checks, timeout=args.timeout, wait_timeout=args.wait)
+    except ServeClientError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    if job["state"] != "done":
+        print(
+            f"repro: job {job['id']} {job['state']}: {job.get('error')}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(job, indent=2))
+    else:
+        for i, report in enumerate(job["reports"]):
+            if i:
+                print()
+            if len(job["reports"]) > 1:
+                print(f"== {report.get('label') or f'check {i + 1}'} ==")
+            print(format_payload(report, with_stats=args.stats))
+    return 0 if all(r["all_true"] for r in job["reports"]) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -351,6 +473,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the extended resources block (cache hit rates, "
         "peak unique-table size, fixpoint iterations)",
+    )
+    check.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="consult/populate a content-addressed result store; "
+        "verdicts already recorded are replayed without re-checking",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report payload (the same "
+        "schema the serving layer returns) instead of the text report",
     )
     _add_jobs_flag(check)
     _add_observability_flags(check)
@@ -389,6 +524,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(demo)
     _add_observability_flags(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser(
+        "serve", help="run the batch model-checking HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        help="TCP port to listen on (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes behind the job queue",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="back the service with a result store at DIR (repeat "
+        "submissions are served from disk)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="bounded job queue depth; beyond it POST /v1/check "
+        "returns 429",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="default per-job deadline in seconds",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit SMV files to a running repro serve"
+    )
+    submit.add_argument("files", nargs="+")
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8123",
+        help="base URL of the service",
+    )
+    submit.add_argument(
+        "--reflexive",
+        action="store_true",
+        help="stutter-close the relation (paper-style component semantics)",
+    )
+    submit.add_argument(
+        "--explicit",
+        action="store_true",
+        help="use the explicit-state engine instead of BDDs",
+    )
+    submit.add_argument(
+        "--stats",
+        action="store_true",
+        help="append the BDD cache line to each rendered report",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw job document instead of rendered reports",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="server-side deadline for this job in seconds",
+    )
+    submit.add_argument(
+        "--wait",
+        type=float,
+        default=120.0,
+        help="client-side seconds to wait for the job to finish",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 

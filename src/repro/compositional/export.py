@@ -31,6 +31,19 @@ def proof_tree(proven: Proven, max_width: int = 100) -> str:
     return "\n".join(lines)
 
 
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT label.
+
+    Backslashes first (so the escapes below survive), then quotes and
+    literal newlines (which DOT would reject inside a quoted label).
+    """
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def proof_to_dot(proven: Proven) -> str:
     """The derivation DAG in Graphviz DOT (shared sub-proofs deduplicated)."""
     lines = [
@@ -44,7 +57,7 @@ def proof_to_dot(proven: Proven) -> str:
         key = id(step)
         if key not in ids:
             ids[key] = f"s{len(ids)}"
-            label = step.kind
+            label = _dot_escape(step.kind)
             if step.obligations:
                 label += f"\\n({len(step.obligations)} obligation(s))"
             lines.append(f'  {ids[key]} [label="{label}"];')
@@ -53,9 +66,10 @@ def proof_to_dot(proven: Proven) -> str:
         return ids[key]
 
     root = node_id(proven.step)
-    goal = str(proven.prop).replace('"', "'")
+    goal = str(proven.prop)
     if len(goal) > 80:
         goal = goal[:77] + "..."
+    goal = _dot_escape(goal)
     lines.append(f'  goal [label="{goal}", shape=ellipse];')
     lines.append(f"  {root} -> goal;")
     lines.append("}")

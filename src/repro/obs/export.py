@@ -18,11 +18,17 @@ Timestamps are offsets (µs) from the trace's earliest root span, so
 they are small, monotonic within a parent, and independent of the
 process's wall-clock epoch (which is still recorded in the Chrome
 export's ``otherData.epoch_wall``).
+
+:func:`to_prometheus_text` is the third exporter, for metrics rather
+than spans: it renders one or more
+:class:`~repro.obs.metrics.MetricsRegistry` instances in the Prometheus
+text exposition format (the serving layer's ``/metrics`` endpoint).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from repro.obs.tracer import Span, Tracer
@@ -33,6 +39,7 @@ __all__ = [
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
+    "to_prometheus_text",
 ]
 
 
@@ -160,3 +167,39 @@ def write_chrome_trace(path: str | Path, tracer: Tracer) -> Path:
     path = Path(path)
     path.write_text(json.dumps(to_chrome_trace(tracer), indent=1) + "\n")
     return path
+
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    """A metric name as a legal Prometheus identifier, prefixed."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def to_prometheus_text(*registries, prefix: str = "repro") -> str:
+    """Render metrics registries in the Prometheus text exposition format.
+
+    Each metric becomes one ``# TYPE <name> gauge`` declaration plus a
+    sample line; dots and other non-identifier characters in metric
+    names map to underscores (``store.hits`` → ``repro_store_hits``).
+    Later registries win on (sanitized-)name collisions.  The output
+    ends with a newline, as scrapers expect::
+
+        # TYPE repro_store_hits gauge
+        repro_store_hits 12
+    """
+    values: dict[str, float] = {}
+    for registry in registries:
+        for name, value in registry.as_dict().items():
+            values[_prometheus_name(name, prefix)] = value
+    lines = []
+    for name in sorted(values):
+        value = values[name]
+        shown = f"{value:g}" if value != int(value) else f"{int(value)}"
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {shown}")
+    return "\n".join(lines) + "\n"

@@ -31,6 +31,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from collections.abc import Iterable, Sequence
 
 from repro.obs.merge import graft_records
@@ -104,13 +105,22 @@ class ObligationScheduler:
         self.close()
 
     # -- execution -------------------------------------------------------
-    def run(self, items: Sequence[WorkItem]) -> list[WorkOutcome]:
+    def run(
+        self, items: Sequence[WorkItem], timeout: float | None = None
+    ) -> list[WorkOutcome]:
         """Execute a batch; outcomes are returned in submission order.
 
         When the parent tracer is recording, every item is flagged to
         record worker-side spans, and the outcomes' span trees are
         grafted under the parent's current span (one ``worker.item``
         root per obligation, tagged with the worker pid).
+
+        ``timeout`` is a deadline in seconds for the *whole batch*; when
+        it passes, :class:`ParallelError` is raised.  The pool itself
+        stays usable — items already dispatched run to completion in
+        their workers, their results are simply discarded — which is
+        what a serving layer wants: one slow job must not tear down the
+        warmed-up pool behind every other job.
         """
         items = list(items)
         if not items:
@@ -122,6 +132,7 @@ class ObligationScheduler:
                 for item in items
             ]
         pool = self._ensure_pool()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with TRACER.span(
             "parallel.batch",
             category="parallel",
@@ -135,7 +146,20 @@ class ObligationScheduler:
             handles = [
                 pool.apply_async(run_work_item, (item,)) for item in items
             ]
-            outcomes = [handle.get() for handle in handles]
+            outcomes = []
+            for handle in handles:
+                try:
+                    if deadline is None:
+                        outcomes.append(handle.get())
+                    else:
+                        remaining = max(deadline - time.monotonic(), 0.0)
+                        outcomes.append(handle.get(remaining))
+                except multiprocessing.TimeoutError:
+                    self.metrics.add("parallel.batch_timeouts")
+                    raise ParallelError(
+                        f"parallel batch timed out after {timeout:g} s "
+                        f"({len(outcomes)}/{len(items)} items finished)"
+                    ) from None
             self._merge(outcomes, record)
         return outcomes
 

@@ -1,0 +1,142 @@
+"""A thin ``urllib`` client for the checking service.
+
+:class:`ServeClient` speaks the service's JSON protocol with nothing
+beyond the standard library — it is what ``repro submit`` uses, and
+what tests drive the server with.  Errors come back as
+:class:`ServeClientError` carrying the HTTP status and the server's
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(ReproError):
+    """An HTTP error from the service, with its status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Client for one service instance at ``url`` (e.g. ``http://host:8123``)."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict | str:
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                body = resp.read().decode()
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode()
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body
+            raise ServeClientError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(0, f"cannot reach {self.url}: {exc.reason}") from None
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body
+
+    # -- API -------------------------------------------------------------
+    def submit(
+        self,
+        checks: list[dict] | dict | str,
+        timeout: float | None = None,
+    ) -> dict:
+        """``POST /v1/check``; returns the acceptance payload (``id`` ...).
+
+        ``checks`` may be an SMV source string, one check dict, or a
+        list of check dicts (a batch).
+        """
+        if isinstance(checks, str):
+            payload: dict = {"source": checks}
+        elif isinstance(checks, dict):
+            payload = dict(checks)
+        else:
+            payload = {"checks": list(checks)}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        result = self._request("POST", "/v1/check", payload)
+        assert isinstance(result, dict)
+        return result
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>``: the job's state (and reports when done)."""
+        result = self._request("GET", f"/v1/jobs/{job_id}")
+        assert isinstance(result, dict)
+        return result
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.05
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`ServeClientError` (status 0) on client-side
+        timeout — the job keeps running server-side.
+        """
+        from repro.serve.jobs import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job.get("state") in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    0, f"job {job_id} not finished after {timeout:g} s"
+                )
+            time.sleep(poll)
+
+    def check(
+        self,
+        checks: list[dict] | dict | str,
+        timeout: float | None = None,
+        wait_timeout: float = 120.0,
+    ) -> dict:
+        """Submit and wait: returns the finished job document."""
+        accepted = self.submit(checks, timeout=timeout)
+        return self.wait(accepted["id"], timeout=wait_timeout)
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /v1/jobs/<id>``; raises on 404/409."""
+        result = self._request("DELETE", f"/v1/jobs/{job_id}")
+        assert isinstance(result, dict)
+        return result
+
+    def healthz(self) -> dict:
+        result = self._request("GET", "/healthz")
+        assert isinstance(result, dict)
+        return result
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text from ``/metrics``."""
+        result = self._request("GET", "/metrics")
+        assert isinstance(result, str)
+        return result

@@ -1,0 +1,224 @@
+"""The zero-dependency HTTP front end of the checking service.
+
+Built on the stdlib :class:`~http.server.ThreadingHTTPServer` — no web
+framework, no third-party dependency, same spirit as the rest of the
+repo.  Endpoints:
+
+========================  ====================================================
+``POST /v1/check``        Submit a job: ``{"source": "MODULE main ..."}`` for
+                          a single check, or ``{"checks": [{...}, ...]}`` for
+                          a batch.  Returns ``202`` with the job id, ``400``
+                          on malformed payloads, ``429`` when the bounded
+                          queue is full, ``503`` while draining.
+``GET /v1/jobs/<id>``     Job state, and the report payloads once ``done``.
+``DELETE /v1/jobs/<id>``  Cancel — only jobs still queued (``409`` otherwise).
+``GET /healthz``          Liveness + queue depth (JSON).
+``GET /metrics``          Prometheus text: job, scheduler and store counters.
+========================  ====================================================
+
+:func:`create_server` wires a :class:`JobManager` to a
+:class:`ReproServer`; :func:`serve_forever` adds the ``SIGTERM``/
+``SIGINT`` handler that drains the queue before exiting, which is what
+``repro serve`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import JobManager, JobRequest, QueueFullError
+
+__all__ = ["ReproServer", "create_server", "serve_forever"]
+
+#: Largest accepted request body (a megabyte of SMV is a big model).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the service's state."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler_class, manager: JobManager):
+        super().__init__(address, handler_class)
+        self.manager = manager
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # quiet by default; metrics are the observability surface
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                413 if length > MAX_BODY_BYTES else 400,
+                {"error": "bad or oversized Content-Length"},
+            )
+            return None
+        return self.rfile.read(length)
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        manager = self.server.manager
+        if self.path == "/healthz":
+            stats = manager.stats()
+            stats["status"] = "draining" if manager.draining else "ok"
+            self._send_json(200 if not manager.draining else 503, stats)
+        elif self.path == "/metrics":
+            registries: list[MetricsRegistry] = [manager.metrics]
+            registries.append(manager._scheduler().metrics)
+            store = manager.store
+            if store is not None and store.metrics is not None:
+                registries.append(store.metrics)
+            self._send_text(
+                200,
+                to_prometheus_text(*registries),
+                "text/plain; version=0.0.4",
+            )
+        elif self.path.startswith("/v1/jobs/"):
+            job = manager.get(self.path[len("/v1/jobs/") :])
+            if job is None:
+                self._send_json(404, {"error": "no such job"})
+            else:
+                self._send_json(200, job.to_dict())
+        else:
+            self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/v1/check":
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            data = json.loads(body or b"{}")
+            if not isinstance(data, dict):
+                raise ValueError("payload must be a JSON object")
+            if "checks" in data:
+                raw = data["checks"]
+                if not isinstance(raw, list):
+                    raise ValueError("'checks' must be a list")
+                requests = [JobRequest.from_dict(entry) for entry in raw]
+            else:
+                requests = [JobRequest.from_dict(data)]
+            timeout = data.get("timeout")
+            if timeout is not None:
+                timeout = float(timeout)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            job = self.server.manager.submit(requests, timeout=timeout)
+        except QueueFullError as exc:
+            status = 503 if self.server.manager.draining else 429
+            self._send_json(status, {"error": str(exc)})
+            return
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(
+            202,
+            {
+                "id": job.id,
+                "state": job.state,
+                "checks": len(job.requests),
+                "href": f"/v1/jobs/{job.id}",
+            },
+        )
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.path.startswith("/v1/jobs/"):
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        job_id = self.path[len("/v1/jobs/") :]
+        state = self.server.manager.cancel(job_id)
+        if state is None:
+            self._send_json(404, {"error": "no such job"})
+        elif state == "cancelled":
+            self._send_json(200, {"id": job_id, "state": state})
+        else:
+            self._send_json(
+                409, {"id": job_id, "state": state, "error": "not cancellable"}
+            )
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    manager: JobManager | None = None,
+    **manager_kwargs,
+) -> ReproServer:
+    """Build a ready-to-run server (``port=0`` binds an ephemeral port).
+
+    Extra keyword arguments construct the :class:`JobManager` when one
+    is not supplied.  The manager's runner thread is started; call
+    ``server.serve_forever()`` (or :func:`serve_forever` for signal
+    handling) to accept requests.
+    """
+    if manager is None:
+        manager = JobManager(**manager_kwargs)
+    manager.start()
+    return ReproServer((host, port), _Handler, manager)
+
+
+def serve_forever(server: ReproServer, drain_timeout: float = 60.0) -> None:
+    """Run until ``SIGTERM``/``SIGINT``, then drain the queue and exit.
+
+    The signal handler hands shutdown to a helper thread:
+    ``server.shutdown()`` deadlocks when called from the thread running
+    ``serve_forever``, and draining inside a signal frame would block
+    delivery of further signals.
+    """
+
+    def _shutdown(signum, frame):
+        def worker():
+            server.manager.drain(timeout=drain_timeout)
+            server.shutdown()
+
+        threading.Thread(target=worker, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _shutdown)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()

@@ -1,0 +1,338 @@
+"""Job lifecycle for the batch checking service.
+
+A :class:`JobManager` owns a bounded FIFO queue of check jobs and one
+runner thread that executes them through the shared
+:class:`~repro.parallel.pool.ObligationScheduler` worker pool (so the
+service's heavy lifting happens on real cores, with warm per-worker
+checker caches) and a :class:`~repro.store.store.ResultStore` (so
+repeated submissions are served from disk without touching the pool).
+
+Lifecycle::
+
+    queued ──▶ running ──▶ done | failed | timeout
+       └──▶ cancelled            (DELETE while still queued)
+
+The queue is *bounded*: :meth:`JobManager.submit` raises
+:class:`QueueFullError` when it is full, which the HTTP layer maps to
+``429 Too Many Requests`` — load sheds at the edge instead of growing
+an unbounded backlog.  :meth:`JobManager.drain` stops intake, waits for
+the backlog to finish, and is the substrate of graceful ``SIGTERM``
+shutdown.  Every transition feeds ``serve.*`` counters in the manager's
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.workitem import ParallelError
+from repro.serve.schema import report_payload
+from repro.store.cached import cached_check
+from repro.store.store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "QueueFullError",
+    "TERMINAL_STATES",
+]
+
+
+class QueueFullError(ReproError):
+    """The job queue is at capacity; the caller should back off."""
+
+
+#: States from which a job never moves again.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "timeout"})
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One check in a job: an SMV source plus engine options."""
+
+    source: str
+    engine: str = "symbolic"
+    reflexive: bool = False
+    label: str = ""
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRequest":
+        source = data.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ValueError("each check needs a non-empty 'source' string")
+        engine = data.get("engine", "symbolic")
+        if engine not in ("symbolic", "explicit"):
+            raise ValueError(f"unknown engine {engine!r}")
+        return cls(
+            source=source,
+            engine=engine,
+            reflexive=bool(data.get("reflexive", False)),
+            label=str(data.get("label", "")),
+        )
+
+
+@dataclass
+class Job:
+    """One submitted batch of checks and its (eventual) reports."""
+
+    id: str
+    requests: tuple[JobRequest, ...]
+    timeout: float | None = None
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    error: str | None = None
+    #: One report payload (see :mod:`repro.serve.schema`) per request.
+    reports: list[dict] | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "checks": len(self.requests),
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "reports": self.reports,
+        }
+
+
+class JobManager:
+    """Bounded job queue + runner thread over the shared worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count for the underlying scheduler.
+    queue_size:
+        Maximum queued (not yet running) jobs; beyond it
+        :meth:`submit` raises :class:`QueueFullError`.
+    store:
+        Result store consulted/populated by every check (optional).
+    default_timeout:
+        Per-job deadline in seconds applied when a submission does not
+        set its own.
+    metrics:
+        Registry for ``serve.*`` counters (shared with the store so
+        ``/metrics`` renders one coherent document).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 2,
+        queue_size: int = 16,
+        store: ResultStore | None = None,
+        default_timeout: float | None = 300.0,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.jobs = jobs
+        self.store = store
+        self.default_timeout = default_timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.draining = False
+        self._queue: queue.Queue[str | None] = queue.Queue(maxsize=queue_size)
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._runner: threading.Thread | None = None
+
+    # -- scheduler -------------------------------------------------------
+    def _scheduler(self):
+        from repro.parallel.pool import shared_scheduler
+
+        return shared_scheduler(self.jobs)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "JobManager":
+        """Start the runner thread (idempotent); returns ``self``."""
+        if self._runner is None or not self._runner.is_alive():
+            self._runner = threading.Thread(
+                target=self._run_loop, name="repro-serve-runner", daemon=True
+            )
+            self._runner.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the runner after the job it is on (no queue wait)."""
+        self.draining = True
+        try:
+            self._queue.put_nowait(None)  # wake the runner
+        except queue.Full:
+            pass
+        if self._runner is not None:
+            self._runner.join(timeout=30)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop intake and wait for queued + running jobs to finish.
+
+        Returns True when the backlog emptied within ``timeout``
+        seconds (``None`` waits indefinitely).
+        """
+        self.draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            backlog = self.stats()
+            if (
+                self._queue.empty()
+                and self._idle.is_set()
+                and backlog["queued"] == 0
+                and backlog["running"] == 0
+            ):
+                self.stop()
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    # -- submission / queries --------------------------------------------
+    def submit(
+        self,
+        requests: list[JobRequest] | tuple[JobRequest, ...],
+        timeout: float | None = None,
+    ) -> Job:
+        """Enqueue a batch; raises :class:`QueueFullError` at capacity."""
+        if self.draining:
+            raise QueueFullError("server is draining; not accepting jobs")
+        if not requests:
+            raise ValueError("a job needs at least one check")
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            requests=tuple(requests),
+            timeout=self.default_timeout if timeout is None else timeout,
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+        try:
+            self._queue.put_nowait(job.id)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+            self.metrics.add("serve.queue_full_rejections")
+            raise QueueFullError(
+                f"job queue is full ({self._queue.maxsize} waiting)"
+            ) from None
+        self.metrics.add("serve.jobs_submitted")
+        self.metrics.add("serve.checks_submitted", len(requests))
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> str | None:
+        """Cancel a queued job.
+
+        Returns the job's state after the attempt (``"cancelled"`` on
+        success, the current state when it already left the queue) or
+        ``None`` for unknown ids.  Running jobs are not interrupted —
+        obligations already execute on worker processes.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == "queued":
+                job.state = "cancelled"
+                job.finished = time.time()
+                self.metrics.add("serve.jobs_cancelled")
+            return job.state
+
+    def stats(self) -> dict:
+        """Queue/job counts for ``/healthz``."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "queued": states.get("queued", 0),
+            "running": states.get("running", 0),
+            "jobs_total": sum(states.values()),
+            "states": states,
+            "draining": self.draining,
+        }
+
+    # -- execution -------------------------------------------------------
+    def _run_loop(self) -> None:
+        while True:
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self.draining:
+                    return
+                continue
+            if job_id is None:  # stop() sentinel
+                return
+            job = self.get(job_id)
+            if job is None or job.state != "queued":
+                continue  # cancelled while queued
+            self._idle.clear()
+            try:
+                self._execute(job)
+            finally:
+                self._idle.set()
+
+    def _execute(self, job: Job) -> None:
+        job.state = "running"
+        job.started = time.time()
+        deadline = (
+            None if job.timeout is None else time.monotonic() + job.timeout
+        )
+        reports: list[dict] = []
+        try:
+            for request in job.requests:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ParallelError(
+                            f"job deadline ({job.timeout:g} s) exceeded"
+                        )
+                run = cached_check(
+                    request.source,
+                    engine=request.engine,
+                    reflexive=request.reflexive,
+                    store=self.store,
+                    scheduler=self._scheduler(),
+                    timeout=remaining,
+                )
+                payload = report_payload(run, with_cache=self.store is not None)
+                if request.label:
+                    payload["label"] = request.label
+                reports.append(payload)
+                self.metrics.add("serve.specs_checked", len(run.results))
+                self.metrics.add("serve.spec_cache_hits", run.hits)
+            job.reports = reports
+            job.state = "done"
+            self.metrics.add("serve.jobs_completed")
+        except ParallelError as exc:
+            job.error = str(exc)
+            job.state = "timeout" if "timed out" in str(exc) or "deadline" in str(exc) else "failed"
+            self.metrics.add(
+                "serve.jobs_timeout"
+                if job.state == "timeout"
+                else "serve.jobs_failed"
+            )
+        except Exception as exc:  # parse/elaboration/check errors
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            self.metrics.add("serve.jobs_failed")
+        finally:
+            job.finished = time.time()
+            self.metrics.add(
+                "serve.job_seconds", (job.finished - (job.started or job.finished))
+            )

@@ -1,0 +1,142 @@
+"""The machine-readable check-report schema.
+
+One JSON shape serves every consumer: ``repro check --json`` prints it,
+the server's job results embed it (one payload per submitted check),
+and ``repro submit`` renders it back to the familiar SMV-style text.
+The payload is deterministic given the store contents — a warm-cache
+run reproduces the cold run's payload byte-for-byte (see
+:mod:`repro.store.cached`).
+
+Schema (``repro.check-report/1``)::
+
+    {
+      "schema": "repro.check-report/1",
+      "module": "main",
+      "engine": "symbolic",              # or "explicit"
+      "reflexive": false,
+      "all_true": true,
+      "user_time": 0.0123,               # seconds
+      "specs": [
+        {
+          "spec": "x -> AX x",           # source-syntax text
+          "holds": true,
+          "cached": false,               # served from the result store?
+          "fingerprint": "sha256-hex",   # content address of this check
+          "num_failing": 0,
+          "counterexample": null,        # decoded trace for failed specs
+          "stats": { ... }               # CheckStats.to_dict()
+        }, ...
+      ],
+      "resources": {
+        "bdd_nodes_allocated": 8,
+        "transition_nodes": 0,
+        "num_fairness": 0
+      },
+      "cache": {"hits": 0, "misses": 2}  # null when no store was used
+    }
+"""
+
+from __future__ import annotations
+
+from repro.smv.pretty import clip_spec
+
+__all__ = ["REPORT_SCHEMA", "report_payload", "format_payload"]
+
+REPORT_SCHEMA = "repro.check-report/1"
+
+
+def report_payload(run, with_cache: bool = True) -> dict:
+    """The JSON report payload of a :class:`~repro.store.cached.CachedRun`.
+
+    ``with_cache=False`` nulls the ``cache`` block (used when no store
+    was consulted, so hit/miss counts would be meaningless).
+    """
+    specs = []
+    for i, result in enumerate(run.results):
+        specs.append(
+            {
+                "spec": run.spec_texts[i],
+                "holds": result.holds,
+                "cached": run.cached_flags[i],
+                "fingerprint": run.fingerprints[i],
+                "num_failing": result.num_failing,
+                "counterexample": run.counterexamples[i],
+                "stats": result.stats.to_dict(),
+            }
+        )
+    return {
+        "schema": REPORT_SCHEMA,
+        "module": run.model.name,
+        "engine": run.engine,
+        "reflexive": run.reflexive,
+        "all_true": run.all_true,
+        "user_time": run.user_time,
+        "specs": specs,
+        "resources": {
+            "bdd_nodes_allocated": run.bdd_nodes_allocated,
+            "transition_nodes": run.transition_nodes,
+            "num_fairness": run.num_fairness,
+        },
+        "cache": {"hits": run.hits, "misses": run.misses}
+        if with_cache
+        else None,
+    }
+
+
+def format_payload(payload: dict, with_stats: bool = False) -> str:
+    """Render a report payload back into the SMV-style console report.
+
+    This is what ``repro submit`` prints, so a round trip through the
+    service reads exactly like a local ``repro check``.
+    """
+    lines = []
+    for i, entry in enumerate(payload.get("specs", [])):
+        verdict = "true" if entry["holds"] else "false"
+        lines.append(f"-- spec. {clip_spec(entry['spec'])} is {verdict}")
+        trace = entry.get("counterexample")
+        if trace:
+            lines.append(
+                "-- as demonstrated by the following execution sequence"
+            )
+            previous: dict = {}
+            for j, assignment in enumerate(trace):
+                lines.append(f"state {j + 1}.{i + 1}:")
+                for name, value in assignment.items():
+                    if previous.get(name) != value:
+                        shown = {True: "1", False: "0"}.get(value, value)
+                        lines.append(f"  {name} = {shown}")
+                previous = assignment
+    resources = payload.get("resources", {})
+    lines.append("")
+    lines.append("resources used:")
+    lines.append(
+        f"user time: {payload.get('user_time', 0.0):g} s, system time: 0 s"
+    )
+    lines.append(
+        f"BDD nodes allocated: {resources.get('bdd_nodes_allocated', 0)}"
+    )
+    lines.append(
+        "BDD nodes representing transition relation: "
+        f"{resources.get('transition_nodes', 0)} + "
+        f"{resources.get('num_fairness', 0)}"
+    )
+    cache = payload.get("cache")
+    if cache is not None:
+        lines.append(
+            f"result store: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es)"
+        )
+    if with_stats:
+        lookups = sum(
+            e.get("stats", {}).get("bdd_cache_lookups", 0)
+            for e in payload.get("specs", [])
+        )
+        hits = sum(
+            e.get("stats", {}).get("bdd_cache_hits", 0)
+            for e in payload.get("specs", [])
+        )
+        if lookups:
+            lines.append(
+                f"BDD cache: {lookups} lookups, {hits / lookups:.1%} hit rate"
+            )
+    return "\n".join(lines)

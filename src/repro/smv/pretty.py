@@ -13,6 +13,7 @@ from repro.smv.ast import (
     Case,
     Expr,
     IntLit,
+    Module,
     Name,
     SetLit,
     SpecAtom,
@@ -72,3 +73,63 @@ def spec_to_str(node: SpecNode, parent_prec: int = 0) -> str:
         )
         return f"({text})" if prec < parent_prec else text
     raise TypeError(f"unknown spec node {type(node).__name__}")
+
+
+def clip_spec(text: str, width: int = 46) -> str:
+    """Clip a verdict-line spec text to SMV's report width (with ellipsis)."""
+    if len(text) > width:
+        return text[: width - 3] + "..."
+    return text
+
+
+def _value_to_str(value) -> str:
+    if value is True:
+        return "1"
+    if value is False:
+        return "0"
+    return str(value)
+
+
+def module_to_str(module: Module) -> str:
+    """Render a (flattened) module in canonical SMV concrete syntax.
+
+    The output normalizes away source whitespace, comments and ``DEFINE``
+    layout, so two sources that elaborate to the same module print
+    identically — this is the text :mod:`repro.store` fingerprints.
+    """
+    header = f"MODULE {module.name}"
+    if module.params:
+        header += f"({', '.join(module.params)})"
+    lines = [header]
+    if module.variables:
+        lines.append("VAR")
+        for decl in module.variables:
+            if decl.is_boolean:
+                type_text = "boolean"
+            elif decl.is_instance:
+                inst = decl.type
+                args = ", ".join(expr_to_str(a) for a in inst.args)
+                prefix = "process " if inst.process else ""
+                type_text = f"{prefix}{inst.module}({args})"
+            else:
+                values = ", ".join(_value_to_str(v) for v in decl.type)
+                type_text = "{" + values + "}"
+            lines.append(f"  {decl.name} : {type_text};")
+    if module.defines:
+        lines.append("DEFINE")
+        for name in sorted(module.defines):
+            lines.append(f"  {name} := {expr_to_str(module.defines[name])};")
+    if module.assigns:
+        lines.append("ASSIGN")
+        for assign in module.assigns:
+            lines.append(
+                f"  {assign.kind}({assign.target}) := "
+                f"{expr_to_str(assign.rhs)};"
+            )
+    for constraint in module.init_constraints:
+        lines.append(f"INIT {expr_to_str(constraint)}")
+    for fairness in module.fairness:
+        lines.append(f"FAIRNESS {spec_to_str(fairness)}")
+    for spec in module.specs:
+        lines.append(f"SPEC {spec_to_str(spec)}")
+    return "\n".join(lines) + "\n"

@@ -49,13 +49,13 @@ class SmvReport:
         return all(r.holds for r in self.results)
 
     def _verdict_line(self, i: int) -> str:
+        from repro.smv.pretty import clip_spec
+
         text = self.spec_texts[i] if i < len(self.spec_texts) else str(
             self.results[i].formula
         )
-        if len(text) > 46:
-            text = text[:43] + "..."
         verdict = "true" if self.results[i].holds else "false"
-        return f"-- spec. {text} is {verdict}"
+        return f"-- spec. {clip_spec(text)} is {verdict}"
 
     def format(
         self, with_counterexamples: bool = True, with_stats: bool = False

@@ -1,0 +1,43 @@
+"""Content-addressed result store: verification results as artifacts.
+
+The paper's component developer ships "theorems and proofs in the
+documentation" so a composer only re-runs cheap checks — verification
+results are *reusable artifacts*.  This package makes that literal: a
+canonical fingerprint (SHA-256 over the elaborated module's
+pretty-printed form, the spec formula, the restriction, the engine kind
+and its options, salted with :data:`~repro.store.fingerprint.STORE_SCHEMA_VERSION`)
+addresses a JSON record holding the verdict, the serialized
+:class:`~repro.checking.result.CheckStats`, the decoded counterexample
+trace, and optional proof-certificate text.
+
+Entry points:
+
+* :class:`ResultStore` — the on-disk store (atomic writes, size cap
+  with mtime eviction, hit/miss/evict counters feeding a
+  :class:`~repro.obs.metrics.MetricsRegistry`);
+* :func:`cached_check` — check an SMV module through a store, reusing
+  every spec verdict whose fingerprint already has a record
+  (``repro check --cache DIR``, and the substrate of ``repro serve``);
+* :func:`spec_fingerprint` / :func:`report_fingerprint` — the
+  canonical request fingerprints.
+"""
+
+from repro.store.cached import CachedRun, cached_check
+from repro.store.fingerprint import (
+    STORE_SCHEMA_VERSION,
+    fingerprint_payload,
+    report_fingerprint,
+    spec_fingerprint,
+)
+from repro.store.store import ResultStore, StoreRecord
+
+__all__ = [
+    "CachedRun",
+    "ResultStore",
+    "StoreRecord",
+    "STORE_SCHEMA_VERSION",
+    "cached_check",
+    "fingerprint_payload",
+    "report_fingerprint",
+    "spec_fingerprint",
+]

@@ -1,0 +1,122 @@
+"""Canonical fingerprints addressing model-checking results.
+
+A result is reusable only when the request it answers is identified
+*semantically*: two SMV sources differing in whitespace, comments or
+``DEFINE`` layout must map to the same record, while any change to the
+transition structure, the spec, the restriction, the engine, or the
+engine's options must miss.  The fingerprint therefore hashes the
+elaborated module's canonical pretty-printed form
+(:func:`repro.smv.pretty.module_to_str`) rather than the raw source.
+
+Two fingerprint kinds exist:
+
+* :func:`spec_fingerprint` — one *check* ``M ⊨_r f``.  The module text
+  is rendered **without** its ``SPEC`` section, so editing the spec list
+  of a module invalidates nothing but the edited specs themselves;
+* :func:`report_fingerprint` — the report-level metadata of a whole-
+  module run (wall time, BDD totals), keyed over the full module text
+  so a replayed report is byte-identical to the run that wrote it.
+
+Every payload is salted with :data:`STORE_SCHEMA_VERSION`; bump it when
+the record layout or the canonicalization changes and old stores become
+cold rather than wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+
+from repro.logic.ctl import Formula
+from repro.logic.restriction import Restriction
+from repro.smv.elaborate import SmvModel
+from repro.smv.pretty import module_to_str
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "fingerprint_payload",
+    "spec_fingerprint",
+    "report_fingerprint",
+]
+
+#: Store layout / canonicalization version (a salt in every fingerprint).
+STORE_SCHEMA_VERSION = 1
+
+
+def fingerprint_payload(payload: dict) -> str:
+    """SHA-256 hex digest of a JSON-safe payload, canonically serialized."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _restriction_payload(restriction: Restriction) -> dict:
+    return {
+        "init": str(restriction.init),
+        "fairness": [str(f) for f in restriction.fairness],
+    }
+
+
+def _options_payload(options: dict | None) -> dict:
+    return {key: options[key] for key in sorted(options)} if options else {}
+
+
+def behavior_text(model: SmvModel) -> str:
+    """The module's canonical text with the ``SPEC`` section stripped.
+
+    This is what per-spec fingerprints hash: the transition structure,
+    fairness and initial conditions — everything a verdict depends on
+    besides the checked formula itself.
+    """
+    return module_to_str(replace(model.module, specs=[]))
+
+
+def spec_fingerprint(
+    model: SmvModel,
+    spec: Formula,
+    restriction: Restriction,
+    engine: str,
+    options: dict | None = None,
+) -> str:
+    """The content address of one check ``M ⊨_r f``.
+
+    ``spec`` is the *elaborated* CTL formula (over encoded atoms), so
+    ``DEFINE`` expansion and enum encoding are already normalized away.
+    ``options`` holds engine options (e.g. ``{"reflexive": True}``) —
+    only JSON-safe values.
+    """
+    return fingerprint_payload(
+        {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": "check",
+            "module": behavior_text(model),
+            "spec": str(spec),
+            "restriction": _restriction_payload(restriction),
+            "engine": engine,
+            "options": _options_payload(options),
+        }
+    )
+
+
+def report_fingerprint(
+    model: SmvModel,
+    restriction: Restriction,
+    engine: str,
+    options: dict | None = None,
+) -> str:
+    """The content address of a whole-module report's metadata.
+
+    Keyed over the full module text (``SPEC`` lines included): the
+    report record replays exactly when, and only when, the same spec
+    set is checked again.
+    """
+    return fingerprint_payload(
+        {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": "report",
+            "module": module_to_str(model.module),
+            "restriction": _restriction_payload(restriction),
+            "engine": engine,
+            "options": _options_payload(options),
+        }
+    )

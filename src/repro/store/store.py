@@ -1,0 +1,227 @@
+"""The on-disk content-addressed result store.
+
+A :class:`ResultStore` maps a fingerprint (see
+:mod:`repro.store.fingerprint`) to a :class:`StoreRecord` persisted as
+one JSON file under ``<root>/objects/<h[:2]>/<h>.json``.  Properties:
+
+* **atomic writes** — records are written to a temporary file in the
+  same directory and published with ``os.replace``, so readers (other
+  processes, a serving instance) never observe a torn record;
+* **bounded size** — :meth:`ResultStore.put` evicts the
+  least-recently-used records (by file mtime; :meth:`ResultStore.get`
+  touches records it serves) until the store fits ``max_bytes``;
+* **observable** — hits, misses, writes and evictions accumulate in a
+  :class:`~repro.obs.metrics.MetricsRegistry` under ``store.*``, the
+  same registry the serving layer renders at ``/metrics``.
+
+Corrupt or unreadable records are treated as misses and removed, so a
+damaged store heals itself instead of poisoning reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ResultStore", "StoreRecord"]
+
+#: Default size cap: plenty for tens of thousands of records.
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class StoreRecord:
+    """One cached result: a verdict plus everything needed to replay it.
+
+    ``result`` is the serialized :class:`~repro.checking.result.CheckResult`
+    (including its :class:`~repro.checking.result.CheckStats`);
+    ``counterexample`` the decoded execution sequence for failed specs;
+    ``certificate`` optional proof-certificate text (the paper's
+    "theorems and proofs in the documentation"); ``meta`` free-form
+    JSON-safe metadata (report-level resource numbers).
+    """
+
+    verdict: bool
+    result: dict = field(default_factory=dict)
+    spec_text: str = ""
+    counterexample: list | None = None
+    certificate: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "result": self.result,
+            "spec_text": self.spec_text,
+            "counterexample": self.counterexample,
+            "certificate": self.certificate,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreRecord":
+        return cls(
+            verdict=bool(data["verdict"]),
+            result=data.get("result", {}),
+            spec_text=data.get("spec_text", ""),
+            counterexample=data.get("counterexample"),
+            certificate=data.get("certificate"),
+            meta=data.get("meta", {}),
+        )
+
+
+class ResultStore:
+    """A content-addressed, size-capped store of check records.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).
+    max_bytes:
+        Size cap enforced after every write; least-recently-used
+        records (file mtime) are evicted first.
+    metrics:
+        Registry receiving ``store.hits`` / ``store.misses`` /
+        ``store.writes`` / ``store.evictions``; a private registry is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        max_bytes: int = _DEFAULT_MAX_BYTES,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- paths -----------------------------------------------------------
+    @property
+    def _objects(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where a fingerprint's record lives (whether or not it exists)."""
+        return self._objects / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _record_files(self) -> list[Path]:
+        if not self._objects.is_dir():
+            return []
+        return [p for p in self._objects.glob("*/*.json")]
+
+    # -- read ------------------------------------------------------------
+    def get(self, fingerprint: str) -> StoreRecord | None:
+        """The record for a fingerprint, or ``None`` (counted as a miss).
+
+        Served records are touched (mtime), so hot entries survive
+        eviction; corrupt records are removed and miss.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            record = StoreRecord.from_dict(json.loads(path.read_text()))
+        except FileNotFoundError:
+            self.metrics.add("store.misses")
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # unreadable or torn record: drop it and report a miss
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.metrics.add("store.misses")
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self.metrics.add("store.hits")
+        return record
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).is_file()
+
+    def __len__(self) -> int:
+        return len(self._record_files())
+
+    # -- write -----------------------------------------------------------
+    def put(self, fingerprint: str, record: StoreRecord) -> Path:
+        """Persist a record atomically (tmp file + ``os.replace``)."""
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record.to_dict(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.metrics.add("store.writes")
+        self._evict()
+        return path
+
+    def _evict(self) -> None:
+        """Remove least-recently-used records until the cap is met."""
+        files = self._record_files()
+        sized = []
+        total = 0
+        for path in files:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            sized.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(sized):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.metrics.add("store.evictions")
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    # -- maintenance -----------------------------------------------------
+    def clear(self) -> int:
+        """Remove every record; returns the number removed."""
+        removed = 0
+        for path in self._record_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def total_bytes(self) -> int:
+        """Bytes currently used by record files."""
+        total = 0
+        for path in self._record_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the store's own counters (hits/misses/...)."""
+        return {
+            name.split(".", 1)[1]: int(value)
+            for name, value in self.metrics.as_dict().items()
+            if name.startswith("store.")
+        }

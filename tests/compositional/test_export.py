@@ -48,6 +48,25 @@ class TestProofDot:
         # rule4 appears once even though reachable from multiple paths
         assert dot.count('label="rule4') == 1
 
+    def test_goal_label_escaped(self):
+        # atoms may contain quote-like characters (primed copies, enum
+        # encodings); the DOT label must escape them, not mangle them
+        from repro.compositional.export import _dot_escape
+
+        assert _dot_escape('say "hi"') == 'say \\"hi\\"'
+        assert _dot_escape("a\\b") == "a\\\\b"
+        assert _dot_escape("two\nlines") == "two\\nlines"
+
+    def test_dot_has_no_raw_quotes_or_newlines_in_labels(self):
+        _, proven = _proof()
+        dot = proof_to_dot(proven)
+        import re
+
+        for label in re.findall(r'label="((?:[^"\\]|\\.)*)"', dot):
+            # every quote/newline inside a label body is backslash-escaped
+            assert '"' not in label.replace('\\"', "")
+            assert "\n" not in label
+
 
 class TestObligationsReport:
     def test_lists_every_unique_obligation(self):

@@ -1,0 +1,201 @@
+"""The HTTP surface, driven through ServeClient on an ephemeral port."""
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import create_server
+from repro.serve.jobs import JobManager, JobRequest
+from repro.store import ResultStore
+
+GOOD = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+"""
+
+BAD = """
+MODULE main
+VAR x : boolean;
+INIT x
+ASSIGN next(x) := {0, 1};
+SPEC AG x
+"""
+
+
+@pytest.fixture
+def service(tmp_path):
+    store = ResultStore(tmp_path)
+    manager = JobManager(
+        jobs=1, queue_size=4, store=store, metrics=store.metrics
+    )
+    server = create_server(manager=manager)  # port 0: ephemeral
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.port}")
+    yield server, manager, client
+    server.shutdown()
+    server.server_close()
+    manager.stop()
+    thread.join(timeout=10)
+
+
+class TestCheckEndpoint:
+    def test_single_check(self, service):
+        _, _, client = service
+        accepted = client.submit(GOOD)
+        assert accepted["state"] == "queued" and accepted["checks"] == 1
+        job = client.wait(accepted["id"])
+        assert job["state"] == "done"
+        assert job["reports"][0]["all_true"] is True
+
+    def test_batch(self, service):
+        _, _, client = service
+        job = client.check([{"source": GOOD}, {"source": BAD}])
+        assert job["state"] == "done" and len(job["reports"]) == 2
+        assert job["reports"][0]["all_true"] is True
+        assert job["reports"][1]["all_true"] is False
+
+    def test_second_batch_served_from_cache(self, service):
+        _, _, client = service
+        client.check(GOOD)
+        job = client.check(GOOD)
+        assert job["reports"][0]["cache"] == {"hits": 1, "misses": 0}
+
+    def test_malformed_payloads(self, service):
+        _, _, client = service
+        for payload in ({"source": ""}, {"checks": "x"}, {"nope": 1}):
+            with pytest.raises(ServeClientError) as exc:
+                client.submit(payload)
+            assert exc.value.status == 400
+
+    def test_unknown_route_404(self, service):
+        _, _, client = service
+        with pytest.raises(ServeClientError) as exc:
+            client._request("POST", "/v2/check", {})
+        assert exc.value.status == 404
+
+    def test_queue_full_429(self, tmp_path):
+        import time
+
+        release = threading.Event()
+        manager = JobManager(jobs=1, queue_size=1)
+        # park the runner on its first job so the queue stays occupied
+        manager._execute = lambda job: release.wait(30)
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        try:
+            client.submit(GOOD)
+            deadline = time.monotonic() + 10
+            while manager._idle.is_set() and time.monotonic() < deadline:
+                time.sleep(0.01)  # wait for the runner to pick the job up
+            client.submit(GOOD)  # fills the single queue slot
+            with pytest.raises(ServeClientError) as exc:
+                client.submit(GOOD)
+            assert exc.value.status == 429
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            manager.stop()
+
+    def test_draining_503(self, service):
+        _, manager, client = service
+        manager.draining = True
+        with pytest.raises(ServeClientError) as exc:
+            client.submit(GOOD)
+        assert exc.value.status == 503
+
+
+class TestJobEndpoints:
+    def test_get_unknown_job(self, service):
+        _, _, client = service
+        with pytest.raises(ServeClientError) as exc:
+            client.job("deadbeef")
+        assert exc.value.status == 404
+
+    def test_cancel_conflict_on_done(self, service):
+        _, _, client = service
+        job = client.check(GOOD)
+        with pytest.raises(ServeClientError) as exc:
+            client.cancel(job["id"])
+        assert exc.value.status == 409
+
+    def test_cancel_queued(self, tmp_path):
+        import time
+
+        release = threading.Event()
+        manager = JobManager(jobs=1, queue_size=4)
+        # park the runner on its first job; the second stays queued
+        manager._execute = lambda job: release.wait(30)
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        try:
+            client.submit(GOOD)
+            deadline = time.monotonic() + 10
+            while manager._idle.is_set() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            queued = client.submit(GOOD)
+            assert client.cancel(queued["id"])["state"] == "cancelled"
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            manager.stop()
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, service):
+        _, _, client = service
+        health = client.healthz()
+        assert health["status"] == "ok" and health["draining"] is False
+
+    def test_metrics_exposes_store_and_serve_counters(self, service):
+        _, _, client = service
+        client.check(GOOD)
+        client.check(GOOD)
+        text = client.metrics_text()
+        assert "# TYPE repro_store_hits gauge" in text
+        # warm replay touches the spec record and the report-meta record
+        assert "repro_store_hits 2" in text
+        assert "repro_store_misses" in text
+        assert "repro_serve_jobs_completed 2" in text
+
+    def test_drain_then_healthz_503(self, service):
+        _, manager, client = service
+        assert manager.drain(timeout=30)
+        with pytest.raises(ServeClientError) as exc:
+            client.healthz()
+        assert exc.value.status == 503
+
+
+class TestJobManagerScheduler:
+    def test_scheduled_execution(self, tmp_path):
+        # jobs=2 exercises the worker-pool path end to end
+        from repro.parallel import shutdown_shared
+
+        store = ResultStore(tmp_path)
+        manager = JobManager(jobs=2, queue_size=4, store=store)
+        manager.start()
+        try:
+            job = manager.submit(
+                [JobRequest(source=GOOD), JobRequest(source=BAD)]
+            )
+            import time
+
+            deadline = time.monotonic() + 120
+            while not job.terminal and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert job.state == "done"
+            assert job.reports[0]["all_true"] is True
+            assert job.reports[1]["all_true"] is False
+            assert job.reports[1]["specs"][0]["counterexample"]
+        finally:
+            manager.stop()
+            shutdown_shared()

@@ -1,0 +1,151 @@
+"""JobManager lifecycle: queueing, backpressure, cancel, drain."""
+
+import pytest
+
+from repro.serve.jobs import Job, JobManager, JobRequest, QueueFullError
+from repro.store import ResultStore
+
+GOOD = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+"""
+
+BROKEN = "MODULE main\nVAR x : nonsense_type;\n"
+
+
+@pytest.fixture
+def manager(tmp_path):
+    manager = JobManager(
+        jobs=1, queue_size=2, store=ResultStore(tmp_path), default_timeout=60
+    )
+    yield manager
+    manager.stop()
+
+
+def _wait(manager, job, timeout=60.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not job.terminal:
+        assert time.monotonic() < deadline, f"job stuck in {job.state}"
+        time.sleep(0.01)
+    return job
+
+
+class TestJobRequest:
+    def test_from_dict_minimal(self):
+        request = JobRequest.from_dict({"source": GOOD})
+        assert request.engine == "symbolic" and not request.reflexive
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(ValueError):
+            JobRequest.from_dict({"source": "  "})
+        with pytest.raises(ValueError):
+            JobRequest.from_dict({})
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            JobRequest.from_dict({"source": GOOD, "engine": "quantum"})
+
+
+class TestExecution:
+    def test_job_runs_to_done(self, manager):
+        manager.start()
+        job = manager.submit([JobRequest(source=GOOD)])
+        assert isinstance(job, Job) and job.state == "queued"
+        _wait(manager, job)
+        assert job.state == "done"
+        (report,) = job.reports
+        assert report["all_true"] is True
+        assert report["cache"] == {"hits": 0, "misses": 1}
+
+    def test_second_submission_hits_cache(self, manager):
+        manager.start()
+        first = _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        second = _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        assert first.reports[0]["cache"]["misses"] == 1
+        assert second.reports[0]["cache"] == {"hits": 1, "misses": 0}
+
+    def test_bad_source_fails_cleanly(self, manager):
+        manager.start()
+        job = _wait(manager, manager.submit([JobRequest(source=BROKEN)]))
+        assert job.state == "failed"
+        assert job.error and job.reports is None
+
+    def test_label_rides_along(self, manager):
+        manager.start()
+        job = _wait(
+            manager,
+            manager.submit([JobRequest(source=GOOD, label="toggle")]),
+        )
+        assert job.reports[0]["label"] == "toggle"
+
+
+class TestBackpressure:
+    def test_queue_full_raises(self, tmp_path):
+        # no runner thread: jobs stay queued, so the third submit bounces
+        manager = JobManager(jobs=1, queue_size=2)
+        manager.submit([JobRequest(source=GOOD)])
+        manager.submit([JobRequest(source=GOOD)])
+        with pytest.raises(QueueFullError):
+            manager.submit([JobRequest(source=GOOD)])
+        assert manager.metrics.as_dict()["serve.queue_full_rejections"] == 1
+
+    def test_empty_batch_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.submit([])
+
+    def test_draining_rejects(self, manager):
+        manager.draining = True
+        with pytest.raises(QueueFullError):
+            manager.submit([JobRequest(source=GOOD)])
+
+
+class TestCancel:
+    def test_cancel_queued(self):
+        manager = JobManager(jobs=1, queue_size=4)  # runner not started
+        job = manager.submit([JobRequest(source=GOOD)])
+        assert manager.cancel(job.id) == "cancelled"
+        assert job.state == "cancelled"
+
+    def test_cancel_unknown(self, manager):
+        assert manager.cancel("nope") is None
+
+    def test_cancel_terminal_returns_state(self, manager):
+        manager.start()
+        job = _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        assert manager.cancel(job.id) == "done"
+
+    def test_cancelled_job_is_skipped(self, tmp_path):
+        manager = JobManager(jobs=1, queue_size=4)
+        job = manager.submit([JobRequest(source=GOOD)])
+        manager.cancel(job.id)
+        manager.start()
+        try:
+            other = _wait(
+                manager, manager.submit([JobRequest(source=GOOD)])
+            )
+            assert other.state == "done"
+            assert job.state == "cancelled" and job.reports is None
+        finally:
+            manager.stop()
+
+
+class TestDrain:
+    def test_drain_finishes_backlog(self, tmp_path):
+        manager = JobManager(jobs=1, queue_size=8)
+        jobs = [
+            manager.submit([JobRequest(source=GOOD)]) for _ in range(3)
+        ]
+        manager.start()
+        assert manager.drain(timeout=60)
+        assert all(job.state == "done" for job in jobs)
+        assert manager.draining
+
+    def test_stats(self, manager):
+        manager.submit([JobRequest(source=GOOD)])
+        stats = manager.stats()
+        assert stats["queued"] == 1 and stats["jobs_total"] == 1
+        assert stats["draining"] is False

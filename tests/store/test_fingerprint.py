@@ -1,0 +1,130 @@
+"""Fingerprint semantics: what must collide and what must not."""
+
+from repro.smv.run import load_model
+from repro.store.fingerprint import (
+    behavior_text,
+    fingerprint_payload,
+    report_fingerprint,
+    spec_fingerprint,
+)
+
+BASE = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+SPEC AG EF x
+"""
+
+# same model, different whitespace/comments/section order noise
+RESTYLED = """
+-- a comment the canonical form must erase
+MODULE main
+VAR
+  x : boolean;   -- trailing noise
+ASSIGN
+  next(x) := 1;
+SPEC x -> AX x
+SPEC AG EF x
+"""
+
+DIFFERENT = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := {0, 1};
+SPEC x -> AX x
+SPEC AG EF x
+"""
+
+EXTRA_SPEC = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+SPEC AG EF x
+SPEC EF x
+"""
+
+
+def _parts(source):
+    from repro.logic.ctl import TRUE
+    from repro.logic.restriction import Restriction
+
+    model = load_model(source)
+    restriction = Restriction(
+        init=model.initial_formula(),
+        fairness=tuple(model.fairness) or (TRUE,),
+    )
+    return model, restriction
+
+
+class TestPayload:
+    def test_deterministic(self):
+        assert fingerprint_payload({"a": 1}) == fingerprint_payload({"a": 1})
+
+    def test_key_order_is_canonical(self):
+        assert fingerprint_payload({"a": 1, "b": 2}) == fingerprint_payload(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_changes_hash(self):
+        assert fingerprint_payload({"a": 1}) != fingerprint_payload({"a": 2})
+
+
+class TestSpecFingerprint:
+    def test_whitespace_and_comments_collide(self):
+        model_a, r_a = _parts(BASE)
+        model_b, r_b = _parts(RESTYLED)
+        assert behavior_text(model_a) == behavior_text(model_b)
+        for spec_a, spec_b in zip(model_a.specs, model_b.specs):
+            assert spec_fingerprint(
+                model_a, spec_a, r_a, "symbolic"
+            ) == spec_fingerprint(model_b, spec_b, r_b, "symbolic")
+
+    def test_transition_change_misses(self):
+        model_a, r_a = _parts(BASE)
+        model_b, r_b = _parts(DIFFERENT)
+        assert spec_fingerprint(
+            model_a, model_a.specs[0], r_a, "symbolic"
+        ) != spec_fingerprint(model_b, model_b.specs[0], r_b, "symbolic")
+
+    def test_spec_list_edit_preserves_other_specs(self):
+        # adding a SPEC must not invalidate records for the untouched ones
+        model_a, r_a = _parts(BASE)
+        model_b, r_b = _parts(EXTRA_SPEC)
+        for spec_a, spec_b in zip(model_a.specs, model_b.specs):
+            assert spec_fingerprint(
+                model_a, spec_a, r_a, "symbolic"
+            ) == spec_fingerprint(model_b, spec_b, r_b, "symbolic")
+
+    def test_engine_and_options_discriminate(self):
+        model, r = _parts(BASE)
+        spec = model.specs[0]
+        sym = spec_fingerprint(model, spec, r, "symbolic")
+        assert sym != spec_fingerprint(model, spec, r, "explicit")
+        assert sym != spec_fingerprint(
+            model, spec, r, "symbolic", {"reflexive": True}
+        )
+
+    def test_specs_discriminate(self):
+        model, r = _parts(BASE)
+        assert spec_fingerprint(
+            model, model.specs[0], r, "symbolic"
+        ) != spec_fingerprint(model, model.specs[1], r, "symbolic")
+
+
+class TestReportFingerprint:
+    def test_spec_list_edit_invalidates_report(self):
+        # the report record covers the whole spec set, so it must miss
+        model_a, r_a = _parts(BASE)
+        model_b, r_b = _parts(EXTRA_SPEC)
+        assert report_fingerprint(
+            model_a, r_a, "symbolic"
+        ) != report_fingerprint(model_b, r_b, "symbolic")
+
+    def test_restyled_source_replays(self):
+        model_a, r_a = _parts(BASE)
+        model_b, r_b = _parts(RESTYLED)
+        assert report_fingerprint(
+            model_a, r_a, "symbolic"
+        ) == report_fingerprint(model_b, r_b, "symbolic")

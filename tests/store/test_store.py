@@ -1,0 +1,135 @@
+"""ResultStore mechanics: atomicity, healing, eviction, counters."""
+
+import json
+import os
+
+from repro.store.store import ResultStore, StoreRecord
+
+
+def _record(i=0):
+    return StoreRecord(
+        verdict=True, result={"i": i}, spec_text=f"spec {i}"
+    )
+
+
+FP = "ab" + "0" * 62
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(FP, _record())
+        record = store.get(FP)
+        assert record is not None
+        assert record.verdict is True and record.result == {"i": 0}
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(FP) is None
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert FP not in store and len(store) == 0
+        store.put(FP, _record())
+        assert FP in store and len(store) == 1
+
+    def test_layout_shards_by_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(FP, _record())
+        assert path == tmp_path / "objects" / FP[:2] / f"{FP}.json"
+        assert path.is_file()
+
+    def test_record_fields_survive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(
+            FP,
+            StoreRecord(
+                verdict=False,
+                result={"holds": False},
+                spec_text="AG x",
+                counterexample=[{"x": True}, {"x": False}],
+                certificate="THEOREM ...",
+                meta={"user_time": 1.5},
+            ),
+        )
+        record = store.get(FP)
+        assert record.counterexample == [{"x": True}, {"x": False}]
+        assert record.certificate == "THEOREM ..."
+        assert record.meta == {"user_time": 1.5}
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(FP, _record())
+        leftovers = [
+            p for p in (tmp_path / "objects").rglob("*") if ".tmp-" in p.name
+        ]
+        assert leftovers == []
+
+
+class TestHealing:
+    def test_corrupt_record_misses_and_heals(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(FP, _record())
+        path.write_text("{not json")
+        assert store.get(FP) is None
+        assert not path.exists()
+        assert store.counters()["misses"] == 1
+
+    def test_wrong_shape_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(FP, _record())
+        path.write_text(json.dumps({"no": "verdict"}))
+        assert store.get(FP) is None
+
+
+class TestEviction:
+    def test_lru_eviction_respects_cap(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp2 = "cd" + "0" * 62
+        store.put(FP, _record(0))
+        # cap the store at exactly one record: the next put must evict
+        store.max_bytes = store.total_bytes()
+        store.put(fp2, _record(1))
+        assert len(store) == 1
+        assert store.counters()["evictions"] >= 1
+        assert fp2 in store and FP not in store
+
+    def test_get_touch_protects_hot_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp2 = "cd" + "0" * 62
+        a = store.put(FP, _record(0))
+        store.put(fp2, _record(1))
+        # make both records look stale, then serve the first (touch)
+        os.utime(a, (1, 1))
+        b = store.path_for(fp2)
+        os.utime(b, (2, 2))
+        assert store.get(FP) is not None
+        # room for two records: the third put evicts exactly one — the
+        # cold record, not the hot (just-served) one
+        store.max_bytes = store.total_bytes()
+        store.put("ef" + "0" * 62, _record(2))
+        assert not b.exists()
+        assert FP in store
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(FP, _record())
+        assert store.clear() == 1
+        assert len(store) == 0 and store.total_bytes() == 0
+
+
+class TestCounters:
+    def test_hit_miss_write_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(FP)
+        store.put(FP, _record())
+        store.get(FP)
+        assert store.counters() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_shared_registry(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path, metrics=registry)
+        store.get(FP)
+        assert registry.as_dict().get("store.misses") == 1

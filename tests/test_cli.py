@@ -73,6 +73,114 @@ class TestCheck:
         assert main(["check", "--reflexive", str(path)]) == 1
 
 
+class TestCheckCache:
+    def test_cold_then_warm_stdout_identical(self, good_file, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["check", good_file, "--cache", cache]) == 0
+        cold = capsys.readouterr()
+        assert "result store: 0 hit(s), 1 miss(es)" in cold.err
+        assert main(["check", good_file, "--cache", cache]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # byte-identical report
+        assert "result store: 1 hit(s), 0 miss(es)" in warm.err
+
+    def test_cache_preserves_failure_exit_code(self, bad_file, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["check", bad_file, "--cache", cache]) == 1
+        cold = capsys.readouterr().out
+        assert "execution sequence" in cold
+        assert main(["check", bad_file, "--cache", cache]) == 1
+        assert capsys.readouterr().out == cold
+
+    def test_cache_explicit_engine(self, good_file, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["check", "--explicit", good_file, "--cache", cache]) == 0
+        assert "is true" in capsys.readouterr().out
+        assert main(["check", "--explicit", good_file, "--cache", cache]) == 0
+        assert "result store: 1 hit(s)" in capsys.readouterr().err
+
+    def test_cached_report_matches_plain_check(self, good_file, capsys, tmp_path):
+        assert main(["check", good_file]) == 0
+        plain = capsys.readouterr().out
+        assert main(["check", good_file, "--cache", str(tmp_path / "c")]) == 0
+        cached = capsys.readouterr().out
+
+        def stable(text):  # wall time is the one legitimate difference
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("user time:")
+            ]
+
+        assert stable(cached) == stable(plain)
+
+
+class TestCheckJson:
+    def test_json_payload_shape(self, good_file, capsys):
+        import json
+
+        assert main(["check", good_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.check-report/1"
+        assert payload["all_true"] is True
+        assert payload["cache"] is None
+        (spec,) = payload["specs"]
+        assert spec["holds"] is True and len(spec["fingerprint"]) == 64
+
+    def test_json_exit_code_and_counterexample(self, bad_file, capsys):
+        import json
+
+        assert main(["check", bad_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_true"] is False
+        assert payload["specs"][0]["counterexample"]
+
+    def test_json_with_cache_reports_hits(self, good_file, capsys, tmp_path):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["check", good_file, "--json", "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["check", good_file, "--json", "--cache", cache]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"hits": 1, "misses": 0}
+        assert payload["specs"][0]["cached"] is True
+
+
+class TestServeSubmit:
+    def test_round_trip_over_http(self, good_file, bad_file, capsys, tmp_path):
+        import threading
+
+        from repro.serve.http import create_server
+        from repro.serve.jobs import JobManager
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "cache")
+        manager = JobManager(jobs=1, store=store, metrics=store.metrics)
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.port}"
+        try:
+            assert main(["submit", good_file, "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert "is true" in out and "result store:" in out
+            assert main(["submit", good_file, bad_file, "--url", url]) == 1
+            out = capsys.readouterr().out
+            assert "is false" in out and "==" in out  # per-file headers
+        finally:
+            server.shutdown()
+            server.server_close()
+            manager.stop()
+
+    def test_submit_unreachable_exits_2(self, good_file, capsys):
+        code = main(
+            ["submit", good_file, "--url", "http://127.0.0.1:1", "--wait", "1"]
+        )
+        assert code == 2
+        assert "repro:" in capsys.readouterr().err
+
+
 class TestSimulate:
     def test_prints_states(self, good_file, capsys):
         assert main(["simulate", good_file, "-n", "3", "--seed", "1"]) == 0

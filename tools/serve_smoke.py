@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI smoke for the result store + batch checking service.
+
+Starts ``repro serve`` as a real subprocess with a fresh cache
+directory, submits the AFS-1 protocol components (server + client SMV
+sources) as one batch **twice**, and fails loudly unless:
+
+* both jobs finish ``done`` with every verdict matching the figures'
+  expectations (all server/client specs hold);
+* the first batch is all cache misses and the second is served entirely
+  from the result store (``misses == 0``), with the report payloads
+  byte-identical apart from the per-run cache block;
+* ``/metrics`` exposes the store's hit/miss counters in Prometheus text
+  and the numbers reconcile with the two runs;
+* the server drains cleanly on ``SIGTERM`` (exit code 0, "drained and
+  stopped" on stderr).
+
+Writes ``serve_metrics.txt`` and ``serve_jobs.json`` into
+``--artifact-dir`` (default: current directory) for upload.
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_server(client, timeout: float = 30.0) -> None:
+    from repro.serve.client import ServeClientError
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return
+        except ServeClientError:
+            time.sleep(0.1)
+    fail("server did not become healthy in time")
+
+
+def batch_cache_totals(job: dict) -> tuple[int, int]:
+    hits = sum(r["cache"]["hits"] for r in job["reports"])
+    misses = sum(r["cache"]["misses"] for r in job["reports"])
+    return hits, misses
+
+
+def comparable(job: dict) -> list:
+    """Report payloads with the per-run cache/hit markers stripped."""
+    out = []
+    for report in job["reports"]:
+        report = dict(report)
+        report.pop("cache")
+        report["specs"] = [
+            {k: v for k, v in spec.items() if k != "cached"}
+            for spec in report["specs"]
+        ]
+        out.append(report)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8146)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--artifact-dir", default=".")
+    args = parser.parse_args(argv)
+
+    from repro.casestudies.afs1 import AFS1_CLIENT_FIGURE, AFS1_SERVER_FIGURE
+    from repro.serve.client import ServeClient
+
+    artifact_dir = pathlib.Path(args.artifact_dir)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    cache_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(args.port),
+            "--jobs", str(args.jobs),
+            "--cache-dir", cache_dir,
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    client = ServeClient(f"http://127.0.0.1:{args.port}")
+    try:
+        wait_for_server(client)
+
+        batch = [
+            {"source": AFS1_SERVER_FIGURE, "label": "afs1-server"},
+            {"source": AFS1_CLIENT_FIGURE, "label": "afs1-client"},
+        ]
+        first = client.check(batch, wait_timeout=300)
+        second = client.check(batch, wait_timeout=300)
+        for name, job in (("first", first), ("second", second)):
+            if job["state"] != "done":
+                fail(f"{name} batch ended {job['state']}: {job.get('error')}")
+            for report in job["reports"]:
+                if not report["all_true"]:
+                    fail(f"{name} batch: {report['label']} has failing specs")
+
+        hits1, misses1 = batch_cache_totals(first)
+        hits2, misses2 = batch_cache_totals(second)
+        print(f"first batch:  {hits1} hit(s), {misses1} miss(es)")
+        print(f"second batch: {hits2} hit(s), {misses2} miss(es)")
+        if hits1 != 0 or misses1 == 0:
+            fail("first batch should be all cache misses")
+        if misses2 != 0:
+            fail("second batch was not served entirely from the store")
+        if hits2 != misses1:
+            fail("second batch hits do not cover the first batch's misses")
+        if comparable(first) != comparable(second):
+            fail("warm reports differ from cold beyond the cache block")
+        print("warm reports byte-identical to cold (modulo cache block)")
+
+        metrics = client.metrics_text()
+        (artifact_dir / "serve_metrics.txt").write_text(metrics)
+        (artifact_dir / "serve_jobs.json").write_text(
+            json.dumps({"first": first, "second": second}, indent=2)
+        )
+        lines = dict(
+            line.split(" ", 1)
+            for line in metrics.splitlines()
+            if line and not line.startswith("#")
+        )
+        for required in ("repro_store_hits", "repro_store_misses",
+                         "repro_serve_jobs_completed"):
+            if required not in lines:
+                fail(f"/metrics is missing {required}")
+        if int(float(lines["repro_serve_jobs_completed"])) != 2:
+            fail("jobs_completed != 2")
+        if int(float(lines["repro_store_misses"])) != misses1:
+            fail("store miss counter does not match the cold batch")
+        print("metrics reconcile with the two batches")
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            _, stderr = server.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            fail("server did not drain within 60 s of SIGTERM")
+
+    if server.returncode != 0:
+        fail(f"server exited {server.returncode} after SIGTERM")
+    if "drained and stopped" not in stderr:
+        fail(f"no drain acknowledgement on stderr:\n{stderr}")
+    print("SIGTERM drain clean (exit 0)")
+    print("OK: serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
