@@ -9,7 +9,10 @@ Usage::
     python -m repro check model.smv --cache .repro-cache  # result store
     python -m repro check model.smv --json     # machine-readable report
     python -m repro serve --port 8123 --jobs 4 --cache-dir .repro-cache
+    python -m repro serve --log-file serve.jsonl --log-level debug
     python -m repro submit model.smv --url http://localhost:8123
+    python -m repro obs tail serve.jsonl -n 50   # render the event log
+    python -m repro obs summary serve.jsonl      # counts + latency stats
     python -m repro demo afs2-safety --jobs 2   # parallel proof obligations
     python -m repro simulate model.smv -n 12   # random run
     python -m repro graph model.smv            # DOT transition graph
@@ -381,11 +384,14 @@ def _demo_body(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.log import configure_log
     from repro.obs.metrics import MetricsRegistry
     from repro.serve.http import create_server, serve_forever
     from repro.serve.jobs import JobManager
     from repro.store import ResultStore
 
+    if args.log_file:
+        configure_log(args.log_file, level=args.log_level)
     metrics = MetricsRegistry()
     store = (
         ResultStore(args.cache_dir, metrics=metrics)
@@ -398,17 +404,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=store,
         default_timeout=args.timeout,
         metrics=metrics,
+        trace_requests=not args.no_request_traces,
     )
     server = create_server(args.host, args.port, manager=manager)
     where = f"http://{args.host}:{server.port}"
     cache = f", cache {args.cache_dir}" if args.cache_dir else ""
+    log = f", log {args.log_file}" if args.log_file else ""
     print(
         f"repro serve: listening on {where} "
-        f"({args.jobs} worker(s), queue {args.queue_size}{cache})",
+        f"({args.jobs} worker(s), queue {args.queue_size}{cache}{log})",
         file=sys.stderr,
     )
     serve_forever(server)
     print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.log import format_event, read_events
+
+    events = read_events(args.log)
+    if args.level:
+        from repro.obs.log import LEVELS
+
+        threshold = LEVELS[args.level]
+        events = [
+            e for e in events if LEVELS.get(e.get("level", "info"), 20) >= threshold
+        ]
+    if args.trace_id:
+        events = [e for e in events if e.get("trace_id") == args.trace_id]
+    if args.action == "tail":
+        for record in events[-args.lines :]:
+            print(format_event(record))
+        return 0
+    # summary: per-event counts plus latency aggregates from job.done
+    counts: dict[str, int] = {}
+    errors = 0
+    totals: list[float] = []
+    for record in events:
+        name = record.get("event", "?")
+        counts[name] = counts.get(name, 0) + 1
+        if record.get("level") == "error":
+            errors += 1
+        if name == "job.done" and "total_seconds" in record:
+            totals.append(float(record["total_seconds"]))
+    print(f"events: {len(events)} ({errors} error(s))")
+    for name in sorted(counts):
+        print(f"  {name:<18} {counts[name]}")
+    if totals:
+        totals.sort()
+        mean = sum(totals) / len(totals)
+        p50 = totals[len(totals) // 2]
+        p90 = totals[min(len(totals) - 1, int(len(totals) * 0.9))]
+        print(
+            f"job.done latency: n={len(totals)} mean={mean:.4f}s "
+            f"p50={p50:.4f}s p90={p90:.4f}s max={totals[-1]:.4f}s"
+        )
     return 0
 
 
@@ -562,7 +613,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=300.0,
         help="default per-job deadline in seconds",
     )
+    serve.add_argument(
+        "--log-file",
+        metavar="FILE",
+        default=None,
+        help="append structured JSONL events (submissions, lifecycle, "
+        "timings) to FILE; read it back with 'repro obs tail'",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum event level written to --log-file",
+    )
+    serve.add_argument(
+        "--no-request-traces",
+        action="store_true",
+        help="skip recording per-request span traces (disables "
+        "GET /v1/jobs/<id>/trace; sheds recording overhead under load)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser(
+        "obs", help="inspect a structured event log written by repro serve"
+    )
+    obs.add_argument("action", choices=("tail", "summary"))
+    obs.add_argument("log", help="JSONL event log file (--log-file)")
+    obs.add_argument(
+        "-n",
+        "--lines",
+        type=int,
+        default=20,
+        help="events to show with 'tail' (from the end)",
+    )
+    obs.add_argument(
+        "--level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="only events at or above this level",
+    )
+    obs.add_argument(
+        "--trace-id",
+        default=None,
+        help="only events of one request trace",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     submit = sub.add_parser(
         "submit", help="submit SMV files to a running repro serve"

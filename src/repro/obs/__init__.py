@@ -1,4 +1,4 @@
-"""Observability: span tracing, metrics aggregation, and exporters.
+"""Observability: span tracing, metrics, histograms, event log, exporters.
 
 The library's single timing mechanism.  Every instrumented layer — the
 SMV front end, both model checkers, the BDD manager's relational
@@ -27,19 +27,27 @@ The CLI exposes the same workflow as ``repro check model.smv
 from repro.obs.tracer import (
     TRACER,
     Span,
+    TraceContext,
     Tracer,
     disable_tracing,
     enable_tracing,
     tracing,
 )
+from repro.obs.hist import Histogram
+from repro.obs.log import LOG, EventLog, configure_log
 from repro.obs.merge import graft_records
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "Span",
+    "TraceContext",
     "Tracer",
     "TRACER",
+    "EventLog",
+    "LOG",
+    "Histogram",
     "MetricsRegistry",
+    "configure_log",
     "enable_tracing",
     "disable_tracing",
     "graft_records",

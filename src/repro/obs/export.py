@@ -180,26 +180,50 @@ def _prometheus_name(name: str, prefix: str) -> str:
     return f"{prefix}_{sanitized}" if prefix else sanitized
 
 
+def _prom_number(value: float) -> str:
+    return f"{value:g}" if value != int(value) else f"{int(value)}"
+
+
 def to_prometheus_text(*registries, prefix: str = "repro") -> str:
     """Render metrics registries in the Prometheus text exposition format.
 
-    Each metric becomes one ``# TYPE <name> gauge`` declaration plus a
-    sample line; dots and other non-identifier characters in metric
-    names map to underscores (``store.hits`` → ``repro_store_hits``).
-    Later registries win on (sanitized-)name collisions.  The output
-    ends with a newline, as scrapers expect::
+    Each scalar metric becomes one ``# TYPE <name> gauge`` declaration
+    plus a sample line; dots and other non-identifier characters in
+    metric names map to underscores (``store.hits`` →
+    ``repro_store_hits``).  Later registries win on (sanitized-)name
+    collisions.  Registry histograms (duck-typed via a ``histograms``
+    mapping attribute) render as proper ``histogram`` families with
+    cumulative ``_bucket{le="..."}`` series, the mandatory ``le="+Inf"``
+    bucket, and ``_sum``/``_count`` samples.  The output ends with a
+    newline, as scrapers expect::
 
         # TYPE repro_store_hits gauge
         repro_store_hits 12
+        # TYPE repro_request_duration_seconds histogram
+        repro_request_duration_seconds_bucket{le="0.001"} 3
+        repro_request_duration_seconds_bucket{le="+Inf"} 4
+        repro_request_duration_seconds_sum 0.57
+        repro_request_duration_seconds_count 4
     """
     values: dict[str, float] = {}
+    hists: dict[str, object] = {}
     for registry in registries:
         for name, value in registry.as_dict().items():
             values[_prometheus_name(name, prefix)] = value
+        for name, hist in getattr(registry, "histograms", {}).items():
+            hists[_prometheus_name(name, prefix)] = hist
     lines = []
     for name in sorted(values):
-        value = values[name]
-        shown = f"{value:g}" if value != int(value) else f"{int(value)}"
         lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {shown}")
+        lines.append(f"{name} {_prom_number(values[name])}")
+    for name in sorted(hists):
+        hist = hists[name]
+        lines.append(f"# TYPE {name} histogram")
+        for bound, running in zip(hist.bounds, hist.cumulative()):
+            lines.append(
+                f'{name}_bucket{{le="{_prom_number(bound)}"}} {running}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{name}_sum {_prom_number(hist.sum)}")
+        lines.append(f"{name}_count {hist.count}")
     return "\n".join(lines) + "\n"

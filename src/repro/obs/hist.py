@@ -1,0 +1,162 @@
+"""Fixed-bucket latency histograms with quantile estimation.
+
+A :class:`Histogram` counts observations into a fixed, sorted set of
+upper-bound buckets (Prometheus ``le`` semantics: bucket *i* counts
+observations ``<= bounds[i]``, with an implicit ``+Inf`` bucket at the
+end).  Fixed buckets keep the cost of :meth:`Histogram.observe` at one
+:func:`bisect.bisect_left` plus two increments, make histograms from
+different processes mergeable bucket-by-bucket (worker registries fold
+into the parent's with :meth:`Histogram.merge`), and render directly as
+Prometheus ``_bucket``/``_sum``/``_count`` series
+(:func:`repro.obs.export.to_prometheus_text`).
+
+Quantiles (:meth:`Histogram.quantile`, :meth:`Histogram.percentiles`)
+are estimated by linear interpolation inside the bucket containing the
+target rank — the same estimate ``histogram_quantile()`` computes in
+PromQL, so the numbers ``repro obs summary`` prints match what a
+dashboard over ``/metrics`` would show.
+
+The default bounds span 100 µs to 60 s, sized for the serving stack's
+request path (cache-served replays land in the sub-millisecond buckets,
+cold fairness-constrained checks in the seconds range).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Sequence
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram"]
+
+#: Default upper bounds in seconds (≤ semantics; ``+Inf`` is implicit).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+
+class Histogram:
+    """Counts of observations in fixed ``le`` buckets, plus sum/count.
+
+    >>> h = Histogram(bounds=(0.1, 1.0))
+    >>> for v in (0.05, 0.2, 0.3, 5.0):
+    ...     h.observe(v)
+    >>> h.count, round(h.sum, 2)
+    (4, 5.55)
+    >>> h.cumulative()          # per finite bound; +Inf is `count`
+    [1, 3]
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be sorted and distinct")
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; index ``len(bounds)`` is
+        #: the overflow (``+Inf``) bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    # -- recording -------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Count one observation (seconds, typically)."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in bucket-by-bucket; returns ``self``.
+
+        The bucket bounds must match — merged histograms come from the
+        same metric recorded in different processes.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+        return self
+
+    # -- reading ---------------------------------------------------------
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per finite bound (Prometheus ``_bucket``)."""
+        out, running = [], 0
+        for n in self.counts[:-1]:
+            running += n
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) of the data.
+
+        Linear interpolation inside the target bucket, like PromQL's
+        ``histogram_quantile()``: ranks in the overflow bucket clamp to
+        the highest finite bound, and an empty histogram returns 0.0.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, n in enumerate(self.counts[:-1]):
+            if running + n >= rank and n:
+                lower = self.bounds[i - 1] if i else 0.0
+                upper = self.bounds[i]
+                return lower + (upper - lower) * ((rank - running) / n)
+            running += n
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The ``p50``/``p90``/``p99`` estimates as a dict."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls(bounds=data["bounds"])
+        counts = [int(n) for n in data["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError("counts do not match bounds")
+        hist.counts = counts
+        hist.sum = float(data.get("sum", 0.0))
+        hist.count = int(data.get("count", sum(counts)))
+        return hist
+
+    @classmethod
+    def of(cls, values: Iterable[float], bounds: Sequence[float] = DEFAULT_BUCKETS) -> "Histogram":
+        """A histogram over an iterable of observations (convenience)."""
+        hist = cls(bounds=bounds)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.sum:.6g}, "
+            f"buckets={len(self.bounds)})"
+        )

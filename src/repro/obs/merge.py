@@ -40,6 +40,7 @@ def graft_records(
     records: list[dict],
     pid: int | None = None,
     wall_origin: float = 0.0,
+    trace_id: str = "",
 ) -> list[Span]:
     """Rebuild spans from JSONL records and attach them to ``tracer``.
 
@@ -47,6 +48,17 @@ def graft_records(
     roots are linked under the tracer's innermost open span when one
     exists, otherwise appended to the tracer's root list; linking only
     happens while the tracer is enabled, mirroring live span recording.
+
+    ``trace_id`` stamps every grafted span with the request's trace
+    identity (spans already carrying a ``trace_id`` attribute keep it) —
+    the parent-side half of cross-process trace propagation: workers
+    that received a :class:`~repro.obs.tracer.TraceContext` stamp their
+    own spans, and this covers records from workers that did not.
+
+    Record ``id`` fields only need to be unique *within* one ``records``
+    list; every call rebuilds its own id table, so span trees shipped by
+    different workers (which all number their spans from 0) graft into
+    one tracer without colliding.
     """
     if not records:
         return []
@@ -57,6 +69,8 @@ def graft_records(
         attrs = dict(record.get("attrs", ()))
         if pid is not None:
             attrs["pid"] = pid
+        if trace_id and "trace_id" not in attrs:
+            attrs["trace_id"] = trace_id
         span = Span(tracer, record["name"], record.get("cat", ""), attrs)
         span.start = base + record["start_us"] / 1e6
         span.end = span.start + record["dur_us"] / 1e6

@@ -12,12 +12,24 @@ counters are *attached per span*) and reporting (where one table per
 run is wanted).
 
 Peaks (``peak_unique_nodes``, ``bdd_nodes_allocated``) are kept as
-maxima; everything else is summed.
+maxima; everything else is summed.  The same rule governs
+:meth:`MetricsRegistry.merge`, which folds one registry into another —
+the path worker registries take into the parent's, where summing a
+per-worker peak would fabricate a memory high-water mark no process
+ever reached.
+
+Besides scalar counters a registry holds named
+:class:`~repro.obs.hist.Histogram` latency distributions
+(:meth:`MetricsRegistry.observe` / :meth:`MetricsRegistry.histogram`);
+:func:`repro.obs.export.to_prometheus_text` renders them as
+``_bucket``/``_sum``/``_count`` series.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+
+from repro.obs.hist import DEFAULT_BUCKETS, Histogram
 
 __all__ = ["MetricsRegistry"]
 
@@ -42,6 +54,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        self._hists: dict[str, Histogram] = {}
 
     # -- primitive accumulation -----------------------------------------
     def add(self, name: str, value: float = 1.0) -> None:
@@ -56,6 +69,45 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._values)
+
+    # -- histograms ------------------------------------------------------
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The named histogram, created with ``bounds`` on first use."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram(bounds=bounds)
+        return hist
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one observation into the named histogram."""
+        self.histogram(name, bounds=bounds).observe(value)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """Snapshot of the named histograms, sorted by name."""
+        return dict(sorted(self._hists.items()))
+
+    # -- registry merging ------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in; returns ``self``.
+
+        Scalars go through :meth:`add`, so peak metrics aggregate as
+        ``max`` across registries (a per-worker high-water mark summed
+        over workers would be meaningless) while everything else sums.
+        Histograms merge bucket-by-bucket.
+        """
+        for name, value in other._values.items():
+            self.add(name, value)
+        for name, hist in other._hists.items():
+            self.histogram(name, bounds=hist.bounds).merge(hist)
+        return self
 
     # -- structured feeders ---------------------------------------------
     def record_check_stats(self, stats, prefix: str = "check") -> None:

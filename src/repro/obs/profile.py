@@ -13,9 +13,17 @@ column always adds up to the total traced time.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
+from repro.obs.hist import Histogram
 from repro.obs.tracer import Span, Tracer
 
-__all__ = ["format_profile", "format_span_tree", "format_profile_table"]
+__all__ = [
+    "format_profile",
+    "format_span_tree",
+    "format_profile_table",
+    "format_latency_table",
+]
 
 #: Tree rows whose inclusive share of the root is below this fraction
 #: are elided (with a summary line) to keep deep traces readable.
@@ -91,6 +99,34 @@ def format_profile_table(tracer: Tracer) -> str:
         lines.append(
             f"{name[:34]:<34} {calls[name]:>7} {_ms(inclusive[name]):>10} "
             f"{_ms(exclusive[name]):>10} {100 * inclusive[name] / total:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_latency_table(hists: Mapping[str, Histogram]) -> str:
+    """Percentile table for named latency histograms (ms columns).
+
+    Renders what ``repro obs summary`` prints and what operators read
+    off a registry's histograms: per metric the observation count, the
+    mean, and the p50/p90/p99 estimates (see
+    :meth:`repro.obs.hist.Histogram.quantile`), sorted by p99 so the
+    slowest tail tops the table.
+    """
+    header = (
+        f"{'histogram':<38} {'count':>7} {'mean ms':>10} "
+        f"{'p50 ms':>10} {'p90 ms':>10} {'p99 ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    ranked = sorted(
+        hists.items(), key=lambda item: -item[1].quantile(0.99)
+    )
+    for name, hist in ranked:
+        mean = hist.sum / hist.count if hist.count else 0.0
+        pct = hist.percentiles()
+        lines.append(
+            f"{name[:38]:<38} {hist.count:>7} {_ms(mean):>10} "
+            f"{_ms(pct['p50']):>10} {_ms(pct['p90']):>10} "
+            f"{_ms(pct['p99']):>10}"
         )
     return "\n".join(lines)
 

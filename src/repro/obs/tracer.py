@@ -37,17 +37,66 @@ is single-threaded).
 from __future__ import annotations
 
 import time
+import uuid
 from collections.abc import Iterator
 from contextlib import contextmanager
 
 __all__ = [
     "Span",
+    "TraceContext",
     "Tracer",
     "TRACER",
     "enable_tracing",
     "disable_tracing",
     "tracing",
 ]
+
+
+class TraceContext:
+    """The cross-process identity of one request's trace.
+
+    A ``TraceContext`` is minted once at the edge (``POST /v1/check``)
+    and threaded — as plain strings, so it crosses process boundaries
+    for free — through the job manager, the cached-check layer and the
+    worker pool: every span recorded on behalf of the request carries
+    ``trace_id`` in its attributes, which is what lets a merged trace
+    show one request end to end instead of pid-only worker fragments.
+
+    ``trace_id`` is 32 hex characters and ``span_id`` 16 (W3C
+    traceparent sizes); :meth:`child` mints a new span id under the
+    same trace, for callees that want their own identity.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str = ""):
+        self.trace_id = trace_id
+        self.span_id = span_id or uuid.uuid4().hex[:16]
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh trace identity (new trace_id, new root span_id)."""
+        return cls(trace_id=uuid.uuid4().hex)
+
+    def child(self) -> "TraceContext":
+        """A new span identity within the same trace."""
+        return TraceContext(self.trace_id)
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id!r}, span={self.span_id!r})"
 
 
 class Span:

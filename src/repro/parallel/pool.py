@@ -106,14 +106,24 @@ class ObligationScheduler:
 
     # -- execution -------------------------------------------------------
     def run(
-        self, items: Sequence[WorkItem], timeout: float | None = None
+        self,
+        items: Sequence[WorkItem],
+        timeout: float | None = None,
+        tracer=None,
     ) -> list[WorkOutcome]:
         """Execute a batch; outcomes are returned in submission order.
 
         When the parent tracer is recording, every item is flagged to
         record worker-side spans, and the outcomes' span trees are
         grafted under the parent's current span (one ``worker.item``
-        root per obligation, tagged with the worker pid).
+        root per obligation, tagged with the worker pid and — when the
+        item carries a ``trace_id`` — the submitting request's trace).
+
+        ``tracer`` selects which tracer governs recording and receives
+        the grafted worker spans; it defaults to the process-wide
+        :data:`~repro.obs.tracer.TRACER` (the CLI path).  The serving
+        layer passes a private per-request tracer so concurrent HTTP
+        traffic never touches global tracing state.
 
         ``timeout`` is a deadline in seconds for the *whole batch*; when
         it passes, :class:`ParallelError` is raised.  The pool itself
@@ -125,7 +135,9 @@ class ObligationScheduler:
         items = list(items)
         if not items:
             return []
-        record = TRACER.enabled
+        if tracer is None:
+            tracer = TRACER
+        record = tracer.enabled
         if record:
             items = [
                 item if item.record_spans else _with_spans(item)
@@ -133,7 +145,7 @@ class ObligationScheduler:
             ]
         pool = self._ensure_pool()
         deadline = None if timeout is None else time.monotonic() + timeout
-        with TRACER.span(
+        with tracer.span(
             "parallel.batch",
             category="parallel",
             jobs=self.jobs,
@@ -160,7 +172,7 @@ class ObligationScheduler:
                         f"parallel batch timed out after {timeout:g} s "
                         f"({len(outcomes)}/{len(items)} items finished)"
                     ) from None
-            self._merge(outcomes, record)
+            self._merge(outcomes, record, tracer)
         return outcomes
 
     def map_results(self, items: Sequence[WorkItem]) -> list:
@@ -168,7 +180,11 @@ class ObligationScheduler:
         return [outcome.result for outcome in self.run(items)]
 
     # -- merging ---------------------------------------------------------
-    def _merge(self, outcomes: Iterable[WorkOutcome], record: bool) -> None:
+    def _merge(
+        self, outcomes: Iterable[WorkOutcome], record: bool, tracer=None
+    ) -> None:
+        if tracer is None:
+            tracer = TRACER
         for outcome in outcomes:
             self.metrics.add("parallel.items")
             if outcome.cached:
@@ -182,7 +198,7 @@ class ObligationScheduler:
                 self.metrics.record_bdd_delta(outcome.bdd, prefix="parallel.bdd")
             if record and outcome.spans:
                 graft_records(
-                    TRACER,
+                    tracer,
                     outcome.spans,
                     pid=outcome.pid,
                     wall_origin=outcome.wall_origin,

@@ -147,13 +147,12 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
         TRACER.enabled = False
     try:
         t0 = time.perf_counter()
-        with TRACER.span(
-            "worker.item",
-            category="parallel",
-            label=item.label,
-            engine=item.engine,
-            formula=str(item.formula),
-        ):
+        root_attrs = dict(
+            label=item.label, engine=item.engine, formula=str(item.formula)
+        )
+        if item.trace_id:
+            root_attrs["trace_id"] = item.trace_id
+        with TRACER.span("worker.item", category="parallel", **root_attrs):
             checker, cached = checker_for(
                 item.system, item.engine, item.expand_to
             )
@@ -181,6 +180,14 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
         wall_origin = 0.0
         if record:
             spans = to_jsonl_records(TRACER)
+            if item.trace_id:
+                # every worker span shares the request's trace identity,
+                # not just the roots — a grafted fragment filtered by
+                # trace_id must keep its interior
+                for span_record in spans:
+                    span_record.setdefault("attrs", {})[
+                        "trace_id"
+                    ] = item.trace_id
             wall_origin = TRACER.epoch_wall + (
                 TRACER.start_time - TRACER.epoch_perf
             )

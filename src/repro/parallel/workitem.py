@@ -108,6 +108,10 @@ class WorkItem:
     record_spans: bool = False
     #: Free-form label carried through to the outcome (e.g. component name).
     label: str = ""
+    #: Request trace identity (``TraceContext.trace_id``): the worker
+    #: stamps it on every span it records, so grafted worker spans share
+    #: the submitting request's trace instead of pid-only tags.
+    trace_id: str = ""
 
 
 @dataclass

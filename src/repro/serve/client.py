@@ -93,6 +93,20 @@ class ServeClient:
         assert isinstance(result, dict)
         return result
 
+    def job_trace(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>/trace``: the finished job's span trace.
+
+        The payload is ``{"id", "trace_id", "spans"}`` where ``spans``
+        uses the JSONL record layout of
+        :func:`repro.obs.export.to_jsonl_records` — worker-process spans
+        included, every one carrying the job's ``trace_id`` attribute.
+        Raises :class:`ServeClientError` with status 409 while the job
+        is still running, 404 when tracing is disabled server-side.
+        """
+        result = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        assert isinstance(result, dict)
+        return result
+
     def wait(
         self, job_id: str, timeout: float = 120.0, poll: float = 0.05
     ) -> dict:

@@ -4,17 +4,30 @@ Built on the stdlib :class:`~http.server.ThreadingHTTPServer` — no web
 framework, no third-party dependency, same spirit as the rest of the
 repo.  Endpoints:
 
-========================  ====================================================
-``POST /v1/check``        Submit a job: ``{"source": "MODULE main ..."}`` for
-                          a single check, or ``{"checks": [{...}, ...]}`` for
-                          a batch.  Returns ``202`` with the job id, ``400``
-                          on malformed payloads, ``429`` when the bounded
-                          queue is full, ``503`` while draining.
-``GET /v1/jobs/<id>``     Job state, and the report payloads once ``done``.
-``DELETE /v1/jobs/<id>``  Cancel — only jobs still queued (``409`` otherwise).
-``GET /healthz``          Liveness + queue depth (JSON).
-``GET /metrics``          Prometheus text: job, scheduler and store counters.
-========================  ====================================================
+==============================  ==============================================
+``POST /v1/check``              Submit a job: ``{"source": "MODULE main
+                                ..."}`` for a single check, or ``{"checks":
+                                [{...}, ...]}`` for a batch.  Returns ``202``
+                                with the job id and the freshly minted
+                                ``trace_id`` (also sent as the
+                                ``X-Repro-Trace-Id`` header), ``400`` on
+                                malformed payloads, ``429`` when the bounded
+                                queue is full, ``503`` while draining.
+``GET /v1/jobs/<id>``           Job state, per-stage ``timings`` and the
+                                report payloads once ``done``.
+``GET /v1/jobs/<id>/trace``     The job's merged span trace (JSONL record
+                                layout), including worker-process spans
+                                grafted under the request — every span
+                                carries the job's ``trace_id``.  ``409``
+                                until the job is terminal, ``404`` when
+                                request tracing is disabled.
+``DELETE /v1/jobs/<id>``        Cancel — only jobs still queued (``409``
+                                otherwise).
+``GET /healthz``                Liveness: version, uptime, queue depth,
+                                store hit rate (JSON).
+``GET /metrics``                Prometheus text: job, scheduler and store
+                                counters plus request latency histograms.
+==============================  ==============================================
 
 :func:`create_server` wires a :class:`JobManager` to a
 :class:`ReproServer`; :func:`serve_forever` adds the ``SIGTERM``/
@@ -27,10 +40,12 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs.export import to_prometheus_text
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TraceContext
 from repro.serve.jobs import JobManager, JobRequest, QueueFullError
 
 __all__ = ["ReproServer", "create_server", "serve_forever"]
@@ -61,11 +76,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # quiet by default; metrics are the observability surface
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -98,16 +117,61 @@ class _Handler(BaseHTTPRequestHandler):
             stats["status"] = "draining" if manager.draining else "ok"
             self._send_json(200 if not manager.draining else 503, stats)
         elif self.path == "/metrics":
+            # Fold the distinct registries into one before rendering, so
+            # name collisions follow merge semantics (peaks take the max,
+            # everything else sums) rather than last-registry-wins.  The
+            # store may share the manager's registry — dedup by identity
+            # or shared counters would double.
             registries: list[MetricsRegistry] = [manager.metrics]
             registries.append(manager._scheduler().metrics)
             store = manager.store
             if store is not None and store.metrics is not None:
                 registries.append(store.metrics)
+            merged = MetricsRegistry()
+            seen: list[MetricsRegistry] = []
+            for registry in registries:
+                if any(registry is prior for prior in seen):
+                    continue
+                seen.append(registry)
+                merged.merge(registry)
             self._send_text(
                 200,
-                to_prometheus_text(*registries),
+                to_prometheus_text(merged),
                 "text/plain; version=0.0.4",
             )
+        elif self.path.startswith("/v1/jobs/") and self.path.endswith(
+            "/trace"
+        ):
+            job_id = self.path[len("/v1/jobs/") : -len("/trace")]
+            job = manager.get(job_id)
+            if job is None:
+                self._send_json(404, {"error": "no such job"})
+            elif not job.terminal:
+                self._send_json(
+                    409,
+                    {
+                        "id": job.id,
+                        "state": job.state,
+                        "error": "trace available once the job is terminal",
+                    },
+                )
+            elif job.trace is None:
+                self._send_json(
+                    404,
+                    {
+                        "id": job.id,
+                        "error": "request tracing is disabled on this server",
+                    },
+                )
+            else:
+                self._send_json(
+                    200,
+                    {
+                        "id": job.id,
+                        "trace_id": job.trace_id,
+                        "spans": job.trace,
+                    },
+                )
         elif self.path.startswith("/v1/jobs/"):
             job = manager.get(self.path[len("/v1/jobs/") :])
             if job is None:
@@ -121,6 +185,7 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path != "/v1/check":
             self._send_json(404, {"error": f"no route {self.path}"})
             return
+        accept_started = time.perf_counter()
         body = self._read_body()
         if body is None:
             return
@@ -141,8 +206,13 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, TypeError, KeyError) as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        # The trace identity is minted at the edge — before the queue —
+        # so a rejected submission still has an id to log against.
+        trace = TraceContext.mint()
         try:
-            job = self.server.manager.submit(requests, timeout=timeout)
+            job = self.server.manager.submit(
+                requests, timeout=timeout, trace=trace
+            )
         except QueueFullError as exc:
             status = 503 if self.server.manager.draining else 429
             self._send_json(status, {"error": str(exc)})
@@ -150,6 +220,10 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
+        self.server.manager.metrics.observe(
+            "request.stage.accept_seconds",
+            time.perf_counter() - accept_started,
+        )
         self._send_json(
             202,
             {
@@ -157,7 +231,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "state": job.state,
                 "checks": len(job.requests),
                 "href": f"/v1/jobs/{job.id}",
+                "trace_id": job.trace_id,
             },
+            headers={"X-Repro-Trace-Id": job.trace_id},
         )
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming

@@ -19,6 +19,24 @@ an unbounded backlog.  :meth:`JobManager.drain` stops intake, waits for
 the backlog to finish, and is the substrate of graceful ``SIGTERM``
 shutdown.  Every transition feeds ``serve.*`` counters in the manager's
 :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Observability (request-scoped, cross-process):
+
+* every job carries a :class:`~repro.obs.tracer.TraceContext` trace id,
+  minted at submission (the HTTP layer mints at ``POST /v1/check`` and
+  echoes it in the response payload and ``X-Repro-Trace-Id`` header);
+* while a job runs, a **private per-job tracer** records the full stage
+  tree — cache probe, check, worker fan-out (worker spans are grafted
+  back sharing the job's trace id), report serialization — and the
+  flattened span records are kept on the job for ``GET
+  /v1/jobs/<id>/trace``;
+* per-stage wall times land in ``job.timings`` (part of the job
+  document) and in latency histograms on the manager's registry
+  (``request.duration_seconds`` and ``request.stage.*``), rendered as
+  Prometheus histogram series at ``/metrics``;
+* lifecycle transitions emit structured events on the
+  :data:`~repro.obs.log.LOG` event log (trace/job ids bound, module
+  text redacted to digests).
 """
 
 from __future__ import annotations
@@ -30,7 +48,10 @@ import uuid
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.obs.export import to_jsonl_records
+from repro.obs.log import LOG, EventLog, source_digest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TraceContext, Tracer
 from repro.parallel.workitem import ParallelError
 from repro.serve.schema import report_payload
 from repro.store.cached import cached_check
@@ -92,6 +113,18 @@ class Job:
     error: str | None = None
     #: One report payload (see :mod:`repro.serve.schema`) per request.
     reports: list[dict] | None = None
+    #: Request trace identity (``TraceContext.trace_id``); every span
+    #: recorded for this job — including worker-process spans — carries it.
+    trace_id: str = ""
+    #: Per-stage wall times (``queue_wait_seconds``, ``check_seconds``,
+    #: ``cache_probe_seconds``, ``serialize_seconds``, ``total_seconds``),
+    #: filled when the job finishes.
+    timings: dict | None = None
+    #: Flattened span records (the JSONL layout of
+    #: :func:`repro.obs.export.to_jsonl_records`) for ``GET
+    #: /v1/jobs/<id>/trace``; ``None`` until the job finishes or when
+    #: request tracing is disabled.
+    trace: list[dict] | None = None
 
     @property
     def terminal(self) -> bool:
@@ -107,6 +140,8 @@ class Job:
             "finished": self.finished,
             "error": self.error,
             "reports": self.reports,
+            "trace_id": self.trace_id,
+            "timings": self.timings,
         }
 
 
@@ -126,8 +161,18 @@ class JobManager:
         Per-job deadline in seconds applied when a submission does not
         set its own.
     metrics:
-        Registry for ``serve.*`` counters (shared with the store so
-        ``/metrics`` renders one coherent document).
+        Registry for ``serve.*`` counters and ``request.*`` latency
+        histograms (shared with the store so ``/metrics`` renders one
+        coherent document).
+    trace_requests:
+        Record a per-job span trace (including grafted worker spans) and
+        keep it on the job for ``GET /v1/jobs/<id>/trace``.  On by
+        default; turn off (``repro serve --no-request-traces``) to shed
+        the recording overhead under extreme load.
+    log:
+        Structured event log for job lifecycle events; defaults to the
+        process-wide :data:`~repro.obs.log.LOG` (silent until
+        :func:`~repro.obs.log.configure_log` gives it a sink).
     """
 
     def __init__(
@@ -138,11 +183,16 @@ class JobManager:
         store: ResultStore | None = None,
         default_timeout: float | None = 300.0,
         metrics: MetricsRegistry | None = None,
+        trace_requests: bool = True,
+        log: EventLog | None = None,
     ):
         self.jobs = jobs
         self.store = store
         self.default_timeout = default_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_requests = trace_requests
+        self.log = log if log is not None else LOG
+        self.started_wall = time.time()
         self.draining = False
         self._queue: queue.Queue[str | None] = queue.Queue(maxsize=queue_size)
         self._jobs: dict[str, Job] = {}
@@ -204,16 +254,24 @@ class JobManager:
         self,
         requests: list[JobRequest] | tuple[JobRequest, ...],
         timeout: float | None = None,
+        trace: TraceContext | None = None,
     ) -> Job:
-        """Enqueue a batch; raises :class:`QueueFullError` at capacity."""
+        """Enqueue a batch; raises :class:`QueueFullError` at capacity.
+
+        ``trace`` carries the request's trace identity from the edge
+        (the HTTP layer mints one per ``POST /v1/check``); direct
+        library callers may omit it and a fresh context is minted.
+        """
         if self.draining:
             raise QueueFullError("server is draining; not accepting jobs")
         if not requests:
             raise ValueError("a job needs at least one check")
+        ctx = trace if trace is not None else TraceContext.mint()
         job = Job(
             id=uuid.uuid4().hex[:12],
             requests=tuple(requests),
             timeout=self.default_timeout if timeout is None else timeout,
+            trace_id=ctx.trace_id,
         )
         with self._lock:
             self._jobs[job.id] = job
@@ -223,11 +281,24 @@ class JobManager:
             with self._lock:
                 del self._jobs[job.id]
             self.metrics.add("serve.queue_full_rejections")
+            self.log.warning(
+                "queue.full",
+                trace_id=job.trace_id,
+                queue_size=self._queue.maxsize,
+            )
             raise QueueFullError(
                 f"job queue is full ({self._queue.maxsize} waiting)"
             ) from None
         self.metrics.add("serve.jobs_submitted")
         self.metrics.add("serve.checks_submitted", len(requests))
+        self.log.event(
+            "job.submitted",
+            trace_id=job.trace_id,
+            job_id=job.id,
+            checks=len(job.requests),
+            sources=[source_digest(r.source) for r in job.requests],
+            timeout=job.timeout,
+        )
         return job
 
     def get(self, job_id: str) -> Job | None:
@@ -250,19 +321,38 @@ class JobManager:
                 job.state = "cancelled"
                 job.finished = time.time()
                 self.metrics.add("serve.jobs_cancelled")
+                self.log.event(
+                    "job.cancelled", trace_id=job.trace_id, job_id=job.id
+                )
             return job.state
 
     def stats(self) -> dict:
-        """Queue/job counts for ``/healthz``."""
+        """Queue/job counts, version, uptime and store hit rate
+        (the ``/healthz`` document)."""
+        from repro import __version__
+
         with self._lock:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+        store_block = None
+        if self.store is not None:
+            hits = self.store.metrics.get("store.hits")
+            misses = self.store.metrics.get("store.misses")
+            lookups = hits + misses
+            store_block = {
+                "hits": int(hits),
+                "misses": int(misses),
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            }
         return {
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started_wall, 3),
             "queued": states.get("queued", 0),
             "running": states.get("running", 0),
             "jobs_total": sum(states.values()),
             "states": states,
+            "store": store_block,
             "draining": self.draining,
         }
 
@@ -289,50 +379,154 @@ class JobManager:
     def _execute(self, job: Job) -> None:
         job.state = "running"
         job.started = time.time()
+        queue_wait = max(job.started - job.created, 0.0)
         deadline = (
             None if job.timeout is None else time.monotonic() + job.timeout
         )
+        # A private tracer per job: request traces must not touch the
+        # process-wide TRACER (the runner thread would race CLI/library
+        # tracing in the same process).  When it records, the scheduler
+        # flags worker-side span recording and grafts the worker trees
+        # back under the open check span, all sharing job.trace_id.
+        tracer = Tracer(enabled=self.trace_requests)
+        check_seconds = 0.0
+        serialize_seconds = 0.0
         reports: list[dict] = []
-        try:
-            for request in job.requests:
-                remaining = None
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise ParallelError(
-                            f"job deadline ({job.timeout:g} s) exceeded"
+        with self.log.bind(trace_id=job.trace_id, job_id=job.id):
+            self.log.event(
+                "job.started",
+                queue_wait_seconds=round(queue_wait, 6),
+                checks=len(job.requests),
+            )
+            try:
+                with tracer.span(
+                    "serve.job",
+                    category="serve",
+                    trace_id=job.trace_id,
+                    job_id=job.id,
+                    checks=len(job.requests),
+                ):
+                    for index, request in enumerate(job.requests):
+                        remaining = None
+                        if deadline is not None:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                raise ParallelError(
+                                    f"job deadline ({job.timeout:g} s) exceeded"
+                                )
+                        with tracer.span(
+                            "serve.check",
+                            category="serve",
+                            index=index,
+                            label=request.label,
+                            engine=request.engine,
+                            trace_id=job.trace_id,
+                        ) as check_span:
+                            run = cached_check(
+                                request.source,
+                                engine=request.engine,
+                                reflexive=request.reflexive,
+                                store=self.store,
+                                scheduler=self._scheduler(),
+                                timeout=remaining,
+                                tracer=tracer,
+                                trace_id=job.trace_id,
+                            )
+                        check_seconds += check_span.duration
+                        with tracer.span(
+                            "serve.serialize", category="serve", index=index
+                        ) as ser_span:
+                            payload = report_payload(
+                                run, with_cache=self.store is not None
+                            )
+                            if request.label:
+                                payload["label"] = request.label
+                        serialize_seconds += ser_span.duration
+                        reports.append(payload)
+                        self.metrics.add(
+                            "serve.specs_checked", len(run.results)
                         )
-                run = cached_check(
-                    request.source,
-                    engine=request.engine,
-                    reflexive=request.reflexive,
-                    store=self.store,
-                    scheduler=self._scheduler(),
-                    timeout=remaining,
+                        self.metrics.add("serve.spec_cache_hits", run.hits)
+                        self.log.debug(
+                            "job.check",
+                            index=index,
+                            label=request.label,
+                            engine=request.engine,
+                            specs=len(run.results),
+                            cache_hits=run.hits,
+                            seconds=round(check_span.duration, 6),
+                        )
+                job.reports = reports
+                job.state = "done"
+                self.metrics.add("serve.jobs_completed")
+            except ParallelError as exc:
+                job.error = str(exc)
+                job.state = "timeout" if "timed out" in str(exc) or "deadline" in str(exc) else "failed"
+                self.metrics.add(
+                    "serve.jobs_timeout"
+                    if job.state == "timeout"
+                    else "serve.jobs_failed"
                 )
-                payload = report_payload(run, with_cache=self.store is not None)
-                if request.label:
-                    payload["label"] = request.label
-                reports.append(payload)
-                self.metrics.add("serve.specs_checked", len(run.results))
-                self.metrics.add("serve.spec_cache_hits", run.hits)
-            job.reports = reports
-            job.state = "done"
-            self.metrics.add("serve.jobs_completed")
-        except ParallelError as exc:
-            job.error = str(exc)
-            job.state = "timeout" if "timed out" in str(exc) or "deadline" in str(exc) else "failed"
-            self.metrics.add(
-                "serve.jobs_timeout"
-                if job.state == "timeout"
-                else "serve.jobs_failed"
+            except Exception as exc:  # parse/elaboration/check errors
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                self.metrics.add("serve.jobs_failed")
+            finally:
+                job.finished = time.time()
+                self.metrics.add(
+                    "serve.job_seconds",
+                    (job.finished - (job.started or job.finished)),
+                )
+                self._finish_observations(
+                    job, tracer, queue_wait, check_seconds, serialize_seconds
+                )
+
+    def _finish_observations(
+        self,
+        job: Job,
+        tracer: Tracer,
+        queue_wait: float,
+        check_seconds: float,
+        serialize_seconds: float,
+    ) -> None:
+        """Stamp timings/trace on the finished job and feed histograms."""
+        total = (job.finished or 0.0) - job.created
+        probe_seconds = 0.0
+        if tracer.enabled and tracer.roots:
+            probe_seconds = sum(
+                span.duration
+                for span in tracer.spans()
+                if span.name == "store.probe"
             )
-        except Exception as exc:  # parse/elaboration/check errors
-            job.error = f"{type(exc).__name__}: {exc}"
-            job.state = "failed"
-            self.metrics.add("serve.jobs_failed")
-        finally:
-            job.finished = time.time()
-            self.metrics.add(
-                "serve.job_seconds", (job.finished - (job.started or job.finished))
+            job.trace = to_jsonl_records(tracer)
+        job.timings = {
+            "queue_wait_seconds": round(queue_wait, 6),
+            "cache_probe_seconds": round(probe_seconds, 6),
+            "check_seconds": round(check_seconds, 6),
+            "serialize_seconds": round(serialize_seconds, 6),
+            "total_seconds": round(total, 6),
+        }
+        self.metrics.observe("request.duration_seconds", total)
+        self.metrics.observe("request.stage.queue_wait_seconds", queue_wait)
+        self.metrics.observe("request.stage.check_seconds", check_seconds)
+        self.metrics.observe(
+            "request.stage.serialize_seconds", serialize_seconds
+        )
+        if probe_seconds:
+            self.metrics.observe(
+                "request.stage.cache_probe_seconds", probe_seconds
             )
+        event = {
+            "done": "job.done",
+            "timeout": "job.timeout",
+        }.get(job.state, "job.failed")
+        level = "info" if job.state == "done" else "error"
+        self.log.event(
+            event,
+            level=level,
+            state=job.state,
+            error=job.error,
+            checks=len(job.requests),
+            spans=len(job.trace) if job.trace else 0,
+            **{k: v for k, v in job.timings.items()},
+        )

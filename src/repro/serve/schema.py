@@ -34,6 +34,14 @@ Schema (``repro.check-report/1``)::
       },
       "cache": {"hits": 0, "misses": 2}  # null when no store was used
     }
+
+The serving layer wraps these payloads in a *job document* (one payload
+per submitted check under ``"reports"``) that additionally carries the
+request's ``trace_id`` and the per-stage ``timings`` block filled by the
+job executor — see :class:`repro.serve.jobs.Job`.  The payload itself
+stays trace-free on purpose: it must be byte-identical between the cold
+run and a warm cache replay, and a per-request trace id would break
+that.
 """
 
 from __future__ import annotations

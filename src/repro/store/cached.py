@@ -90,6 +90,8 @@ def cached_check(
     store: ResultStore | None = None,
     scheduler=None,
     timeout: float | None = None,
+    tracer=None,
+    trace_id: str = "",
 ) -> CachedRun:
     """Check every SPEC of ``source``, reusing store records where possible.
 
@@ -109,7 +111,17 @@ def cached_check(
         Deadline in seconds for the scheduled batch (scheduler path
         only); raises :class:`~repro.parallel.workitem.ParallelError`
         when exceeded.
+    tracer:
+        Tracer recording this run's spans; defaults to the process-wide
+        :data:`~repro.obs.tracer.TRACER`.  The serving layer passes a
+        private per-request tracer (:mod:`repro.serve.jobs`) so request
+        traces never touch global tracing state.
+    trace_id:
+        Request trace identity stamped on this run's spans and carried
+        into the worker pool, so grafted worker spans share it.
     """
+    if tracer is None:
+        tracer = TRACER
     model = load_model(source)
     restriction = Restriction(
         init=model.initial_formula(),
@@ -127,16 +139,20 @@ def cached_check(
     cached_flags = [False] * count
     report_fp = report_fingerprint(model, restriction, engine, options)
 
-    with TRACER.span(
-        "store.cached_check", category="store", module=model.name, engine=engine
+    root_attrs = dict(module=model.name, engine=engine)
+    if trace_id:
+        root_attrs["trace_id"] = trace_id
+    with tracer.span(
+        "store.cached_check", category="store", **root_attrs
     ) as root:
-        if store is not None:
-            for i, fp in enumerate(fingerprints):
-                record = store.get(fp)
-                if record is not None and record.result:
-                    results[i] = CheckResult.from_dict(record.result)
-                    counterexamples[i] = record.counterexample
-                    cached_flags[i] = True
+        with tracer.span("store.probe", category="store", specs=count):
+            if store is not None:
+                for i, fp in enumerate(fingerprints):
+                    record = store.get(fp)
+                    if record is not None and record.result:
+                        results[i] = CheckResult.from_dict(record.result)
+                        counterexamples[i] = record.counterexample
+                        cached_flags[i] = True
         miss_indices = [i for i in range(count) if results[i] is None]
         root.add("store.spec_hits", count - len(miss_indices))
         root.add("store.spec_misses", len(miss_indices))
@@ -147,11 +163,12 @@ def cached_check(
                 _run_scheduled(
                     scheduler, source, model, restriction, engine, reflexive,
                     miss_indices, results, counterexamples, timeout,
+                    tracer=tracer, trace_id=trace_id,
                 )
             else:
                 sym = _run_inprocess(
                     model, restriction, engine, reflexive,
-                    miss_indices, results, counterexamples,
+                    miss_indices, results, counterexamples, tracer=tracer,
                 )
         user_time = root.elapsed()
 
@@ -221,10 +238,12 @@ def cached_check(
 
 def _run_inprocess(
     model, restriction, engine, reflexive, miss_indices, results,
-    counterexamples,
+    counterexamples, tracer=None,
 ):
     """Check the missing specs with an in-process engine; returns the
     compiled symbolic system (``None`` for the explicit engine)."""
+    if tracer is None:
+        tracer = TRACER
     if engine == "explicit":
         from repro.checking.explicit import ExplicitChecker
         from repro.smv.compile_explicit import to_system
@@ -236,14 +255,14 @@ def _run_inprocess(
     from repro.checking.symbolic import SymbolicChecker
     from repro.smv.compile_symbolic import to_symbolic
 
-    with TRACER.span("smv.compile_symbolic", category="smv"):
+    with tracer.span("smv.compile_symbolic", category="smv"):
         sym = to_symbolic(model, reflexive=reflexive)
     checker = SymbolicChecker(sym)
     for i in miss_indices:
         result = checker.holds(model.specs[i], restriction)
         results[i] = result
         if not result.holds and result.failing_states:
-            with TRACER.span("smv.counterexample", category="smv"):
+            with tracer.span("smv.counterexample", category="smv"):
                 counterexamples[i] = _counterexample_trace(
                     model, sym, model.specs[i], result
                 )
@@ -253,6 +272,7 @@ def _run_inprocess(
 def _run_scheduled(
     scheduler, source, model, restriction, engine, reflexive,
     miss_indices, results, counterexamples, timeout,
+    tracer=None, trace_id="",
 ):
     """Fan the missing specs out over a worker pool; failed symbolic
     specs are re-examined in-process to decode counterexample traces
@@ -267,10 +287,11 @@ def _run_scheduled(
             restriction=restriction,
             engine=engine,
             label=f"spec{i}",
+            trace_id=trace_id,
         )
         for i in miss_indices
     ]
-    outcomes = scheduler.run(items, timeout=timeout)
+    outcomes = scheduler.run(items, timeout=timeout, tracer=tracer)
     sym = None
     for i, outcome in zip(miss_indices, outcomes):
         results[i] = outcome.result

@@ -1,0 +1,109 @@
+"""Tests for fixed-bucket latency histograms and their Prometheus export."""
+
+import pytest
+
+from repro.obs.export import to_prometheus_text
+from repro.obs.hist import DEFAULT_BUCKETS, Histogram
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestObserve:
+    def test_bucket_placement_le_semantics(self):
+        h = Histogram(bounds=(0.1, 1.0))
+        h.observe(0.1)  # on the bound: counts in the 0.1 bucket (le)
+        h.observe(0.5)
+        h.observe(2.0)  # overflow
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(2.6)
+
+    def test_cumulative_covers_finite_bounds_only(self):
+        h = Histogram.of((0.05, 0.2, 0.3, 5.0), bounds=(0.1, 1.0))
+        assert h.cumulative() == [1, 3]
+        assert h.count == 4  # the +Inf bucket is implied by count
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestMerge:
+    def test_merge_adds_bucket_by_bucket(self):
+        a = Histogram.of((0.05, 0.2), bounds=(0.1, 1.0))
+        b = Histogram.of((0.05, 5.0), bounds=(0.1, 1.0))
+        a.merge(b)
+        assert a.counts == [2, 1, 1]
+        assert a.count == 4
+        assert a.sum == pytest.approx(5.3)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(0.1, 1.0)).merge(Histogram(bounds=(0.1,)))
+
+
+class TestQuantiles:
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_linear_interpolation_within_bucket(self):
+        # 10 observations all landing in the (0.1, 0.2] bucket: the
+        # median interpolates to the bucket midpoint, PromQL-style.
+        h = Histogram.of([0.15] * 10, bounds=(0.1, 0.2, 0.4))
+        assert h.quantile(0.5) == pytest.approx(0.15)
+        assert h.quantile(1.0) == pytest.approx(0.2)
+
+    def test_overflow_clamps_to_highest_bound(self):
+        h = Histogram.of((10.0, 20.0), bounds=(0.1, 1.0))
+        assert h.quantile(0.99) == 1.0
+
+    def test_percentiles_keys(self):
+        p = Histogram.of((0.05, 0.2), bounds=(0.1, 1.0)).percentiles()
+        assert set(p) == {"p50", "p90", "p99"}
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.0)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        h = Histogram.of((0.05, 0.2, 7.0), bounds=(0.1, 1.0))
+        restored = Histogram.from_dict(h.to_dict())
+        assert restored.counts == h.counts
+        assert restored.sum == pytest.approx(h.sum)
+        assert restored.count == h.count
+        assert restored.bounds == h.bounds
+
+
+class TestPrometheusExport:
+    def test_histogram_family_rendering(self):
+        reg = MetricsRegistry()
+        reg.observe("request.duration_seconds", 0.05, bounds=(0.1, 1.0))
+        reg.observe("request.duration_seconds", 0.5, bounds=(0.1, 1.0))
+        reg.observe("request.duration_seconds", 9.0, bounds=(0.1, 1.0))
+        reg.add("serve.jobs_completed", 3)
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_serve_jobs_completed gauge" in text
+        assert "# TYPE repro_request_duration_seconds histogram" in text
+        assert 'repro_request_duration_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_request_duration_seconds_bucket{le="1"} 2' in text
+        assert 'repro_request_duration_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_request_duration_seconds_count 3" in text
+        assert "repro_request_duration_seconds_sum 9.55" in text
+        assert text.endswith("\n")
+
+    def test_empty_histogram_still_renders_family(self):
+        reg = MetricsRegistry()
+        reg.histogram("request.duration_seconds", bounds=(0.1,))
+        text = to_prometheus_text(reg)
+        assert 'repro_request_duration_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_request_duration_seconds_count 0" in text

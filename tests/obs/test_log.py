@@ -1,0 +1,147 @@
+"""Tests for the structured JSONL event log."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.log import (
+    EventLog,
+    format_event,
+    read_events,
+    redact_fields,
+    source_digest,
+)
+
+
+def make_log(level="info"):
+    stream = io.StringIO()
+    return EventLog(stream=stream, level=level, clock=lambda: 123.0), stream
+
+
+def events_of(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_record_shape(self):
+        log, stream = make_log()
+        log.event("job.done", job_id="ab", seconds=0.25)
+        (record,) = events_of(stream)
+        assert record == {
+            "ts": 123.0,
+            "level": "info",
+            "event": "job.done",
+            "job_id": "ab",
+            "seconds": 0.25,
+        }
+
+    def test_level_threshold(self):
+        log, stream = make_log(level="warning")
+        log.debug("noise")
+        log.event("info-noise")
+        log.warning("kept")
+        log.error("also-kept")
+        assert [e["event"] for e in events_of(stream)] == ["kept", "also-kept"]
+
+    def test_no_sink_is_silent(self):
+        log = EventLog()
+        assert not log.enabled
+        log.event("dropped")  # must not raise
+
+    def test_unknown_level_rejected(self):
+        log, _ = make_log()
+        with pytest.raises(ValueError):
+            log.event("x", level="loud")
+        with pytest.raises(ValueError):
+            EventLog(level="loud")
+
+
+class TestBinding:
+    def test_bound_fields_attach_to_every_event(self):
+        log, stream = make_log()
+        with log.bind(trace_id="t1", job_id="j1"):
+            log.event("inner")
+        log.event("outer")
+        inner, outer = events_of(stream)
+        assert inner["trace_id"] == "t1" and inner["job_id"] == "j1"
+        assert "trace_id" not in outer
+
+    def test_bindings_nest(self):
+        log, stream = make_log()
+        with log.bind(trace_id="t1"):
+            with log.bind(job_id="j1"):
+                log.event("deep")
+        (record,) = events_of(stream)
+        assert record["trace_id"] == "t1" and record["job_id"] == "j1"
+
+    def test_bindings_are_thread_isolated(self):
+        log, stream = make_log()
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = log.bound()
+
+        with log.bind(trace_id="t1"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["in_thread"] == {}  # the other thread saw no binding
+
+
+class TestRedaction:
+    def test_source_fields_become_digests(self):
+        log, stream = make_log()
+        log.event("job.submitted", source="MODULE main", checks=1)
+        (record,) = events_of(stream)
+        assert record["source"] == source_digest("MODULE main")
+        assert record["source"].startswith("sha256:")
+        assert "MODULE" not in stream.getvalue()
+        assert record["checks"] == 1
+
+    def test_redact_fields_copies(self):
+        fields = {"smv_source": "MODULE m", "label": "x"}
+        redacted = redact_fields(fields)
+        assert redacted["smv_source"].startswith("sha256:")
+        assert redacted["label"] == "x"
+        assert fields["smv_source"] == "MODULE m"  # input untouched
+
+    def test_digest_is_stable_and_sized(self):
+        assert source_digest("abc") == source_digest("abc")
+        assert source_digest("abc").endswith("/3B")
+
+
+class TestFileSink:
+    def test_path_sink_and_read_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, clock=lambda: 1.0)
+        log.event("one", n=1)
+        log.event("two", n=2)
+        log.close()
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["one", "two"]
+
+    def test_read_events_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "ok"}\nnot json\n\n[1,2]\n')
+        assert [e["event"] for e in read_events(path)] == ["ok"]
+
+    def test_stream_and_path_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(stream=io.StringIO(), path=tmp_path / "x")
+
+
+class TestFormatting:
+    def test_format_event_line(self):
+        line = format_event(
+            {"ts": 0.0, "level": "error", "event": "job.failed", "job_id": "ab"}
+        )
+        assert line == "1970-01-01T00:00:00Z ERROR job.failed job_id=ab"
+
+    def test_format_event_compacts_floats_and_json(self):
+        line = format_event(
+            {"ts": 0.0, "event": "e", "v": 0.123456789, "d": {"a": 1}}
+        )
+        assert "v=0.123457" in line
+        assert 'd={"a":1}' in line

@@ -1,0 +1,149 @@
+"""Tests for grafting worker span records into a parent tracer.
+
+The edge cases here are the ones multi-worker merging actually hits:
+workers that recorded nothing, span ids that collide across workers
+(every worker numbers its records from 0), records arriving out of
+wall-clock order, and request trace-id stamping.
+"""
+
+from repro.obs.export import to_jsonl_records
+from repro.obs.merge import graft_records, rebase_records
+from repro.obs.tracer import Tracer
+
+
+def records_for(names_and_parents):
+    """Minimal JSONL-layout records: [(name, parent_id), ...]."""
+    return [
+        {
+            "id": i,
+            "parent": parent,
+            "depth": 0 if parent is None else 1,
+            "name": name,
+            "cat": "test",
+            "start_us": float(i * 10),
+            "dur_us": 5.0,
+        }
+        for i, (name, parent) in enumerate(names_and_parents)
+    ]
+
+
+class TestEmptyAndShape:
+    def test_empty_records_graft_nothing(self):
+        tracer = Tracer(enabled=True)
+        assert graft_records(tracer, []) == []
+        assert tracer.roots == []
+
+    def test_tree_structure_rebuilt(self):
+        tracer = Tracer(enabled=True)
+        roots = graft_records(
+            tracer, records_for([("root", None), ("child", 0), ("leaf", 1)])
+        )
+        assert len(roots) == 1
+        (root,) = roots
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_grafts_under_open_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            graft_records(tracer, records_for([("worker.item", None)]))
+        (parent,) = tracer.roots
+        assert [c.name for c in parent.children] == ["worker.item"]
+
+
+class TestDuplicateIdsAcrossWorkers:
+    def test_two_workers_with_identical_ids_do_not_collide(self):
+        # both workers number their spans from 0 — two graft calls must
+        # build two independent subtrees, not cross-link records
+        tracer = Tracer(enabled=True)
+        first = graft_records(
+            tracer,
+            records_for([("worker.item", None), ("check", 0)]),
+            pid=101,
+        )
+        second = graft_records(
+            tracer,
+            records_for([("worker.item", None), ("check", 0)]),
+            pid=202,
+        )
+        assert first[0] is not second[0]
+        assert first[0].children[0] is not second[0].children[0]
+        assert len(tracer.roots) == 2
+        assert first[0].attrs["pid"] == 101
+        assert second[0].attrs["pid"] == 202
+        # each worker's child landed under its own root
+        assert first[0].children[0].attrs["pid"] == 101
+
+
+class TestTimestamps:
+    def test_out_of_order_start_times_preserved(self):
+        # records whose children start before a later sibling but appear
+        # after it in the flat list: offsets must be honored as given
+        records = [
+            {"id": 0, "parent": None, "depth": 0, "name": "root",
+             "cat": "", "start_us": 0.0, "dur_us": 100.0},
+            {"id": 1, "parent": 0, "depth": 1, "name": "late",
+             "cat": "", "start_us": 50.0, "dur_us": 10.0},
+            {"id": 2, "parent": 0, "depth": 1, "name": "early",
+             "cat": "", "start_us": 5.0, "dur_us": 10.0},
+        ]
+        tracer = Tracer(enabled=True)
+        (root,) = graft_records(tracer, records)
+        late, early = root.children
+        assert early.start < late.start
+        assert early.start - root.start == 5e-6 * 1.0 or abs(
+            (early.start - root.start) - 5e-6
+        ) < 1e-9
+
+    def test_wall_origin_rebases_onto_parent_clock(self):
+        tracer = Tracer(enabled=True)
+        # a worker whose wall origin is 2 s after the parent's epoch
+        origin = tracer.epoch_wall + 2.0
+        base = rebase_records(tracer, [], wall_origin=origin)
+        assert abs(base - (tracer.epoch_perf + 2.0)) < 1e-9
+        (root,) = graft_records(
+            tracer,
+            records_for([("worker.item", None)]),
+            wall_origin=origin,
+        )
+        assert abs(root.start - base) < 1e-9
+
+    def test_zero_wall_origin_falls_back_to_trace_start(self):
+        tracer = Tracer(enabled=True)
+        assert rebase_records(tracer, [], 0.0) == tracer.start_time
+
+
+class TestTraceIdStamping:
+    def test_trace_id_stamped_on_every_span(self):
+        tracer = Tracer(enabled=True)
+        (root,) = graft_records(
+            tracer,
+            records_for([("worker.item", None), ("check", 0)]),
+            trace_id="t-123",
+        )
+        assert root.attrs["trace_id"] == "t-123"
+        assert root.children[0].attrs["trace_id"] == "t-123"
+
+    def test_existing_trace_id_kept(self):
+        tracer = Tracer(enabled=True)
+        records = records_for([("worker.item", None)])
+        records[0]["attrs"] = {"trace_id": "original"}
+        (root,) = graft_records(tracer, records, trace_id="other")
+        assert root.attrs["trace_id"] == "original"
+
+
+class TestRoundTrip:
+    def test_export_then_graft_preserves_counters_and_attrs(self):
+        worker = Tracer(enabled=True)
+        with worker.span("worker.item", category="parallel", label="spec0") as sp:
+            sp.add("iterations", 7)
+        records = to_jsonl_records(worker)
+
+        parent = Tracer(enabled=True)
+        (root,) = graft_records(parent, records, pid=99)
+        assert root.name == "worker.item"
+        assert root.attrs["label"] == "spec0"
+        assert root.attrs["pid"] == 99
+        assert root.counters == {"iterations": 7}
+        assert abs(root.duration - worker.roots[0].duration) < 1e-6

@@ -99,3 +99,56 @@ class TestReporting:
         reg.add("calls", 3)
         reg.add("seconds", 0.25)
         assert reg.format() == "calls = 3\nseconds = 0.25"
+
+
+class TestRegistryMerge:
+    def test_merge_sums_plain_counters(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.add("parallel.items", 3)
+        worker.add("parallel.items", 2)
+        worker.add("parallel.check_seconds", 0.5)
+        parent.merge(worker)
+        assert parent.get("parallel.items") == 5.0
+        assert parent.get("parallel.check_seconds") == 0.5
+
+    def test_merge_takes_max_of_peaks_across_workers(self):
+        # regression: per-worker memory high-water marks must aggregate
+        # as max, not sum — no process ever held the summed node count
+        parent = MetricsRegistry()
+        parent.add("parallel.bdd.peak_unique_nodes", 900)
+        for peak in (700, 1200, 300):
+            worker = MetricsRegistry()
+            worker.add("parallel.bdd.peak_unique_nodes", peak)
+            parent.merge(worker)
+        assert parent.get("parallel.bdd.peak_unique_nodes") == 1200.0
+
+    def test_merge_covers_every_peak_suffix(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for name in (
+            "check.bdd_nodes_allocated",
+            "check.transition_nodes",
+            "bdd.peak_unique_nodes",
+        ):
+            parent.add(name, 100)
+            worker.add(name, 40)
+        parent.merge(worker)
+        for name in (
+            "check.bdd_nodes_allocated",
+            "check.transition_nodes",
+            "bdd.peak_unique_nodes",
+        ):
+            assert parent.get(name) == 100.0, name
+
+    def test_merge_combines_histograms_bucket_by_bucket(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.observe("request.duration_seconds", 0.05, bounds=(0.1, 1.0))
+        worker.observe("request.duration_seconds", 0.5, bounds=(0.1, 1.0))
+        worker.observe("request.duration_seconds", 5.0, bounds=(0.1, 1.0))
+        parent.merge(worker)
+        hist = parent.histogram("request.duration_seconds", bounds=(0.1, 1.0))
+        assert hist.count == 3
+        assert hist.cumulative() == [1, 2]
+
+    def test_merge_returns_self(self):
+        reg = MetricsRegistry()
+        assert reg.merge(MetricsRegistry()) is reg

@@ -199,3 +199,125 @@ class TestJobManagerScheduler:
         finally:
             manager.stop()
             shutdown_shared()
+
+
+class TestObservabilityEndpoints:
+    def test_acceptance_carries_trace_id_and_header(self, service):
+        import json
+        import urllib.request
+
+        server, _, client = service
+        accepted = client.submit(GOOD)
+        assert len(accepted["trace_id"]) == 32
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/check",
+            data=json.dumps({"source": GOOD}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read())
+            header = response.headers.get("X-Repro-Trace-Id")
+        assert header == payload["trace_id"]
+
+    def test_each_request_gets_its_own_trace(self, service):
+        _, _, client = service
+        first = client.check(GOOD)
+        second = client.check(GOOD)
+        assert first["trace_id"] and second["trace_id"]
+        assert first["trace_id"] != second["trace_id"]
+
+    def test_job_document_has_timings(self, service):
+        _, _, client = service
+        job = client.check(GOOD)
+        timings = job["timings"]
+        assert set(timings) >= {
+            "queue_wait_seconds",
+            "cache_probe_seconds",
+            "check_seconds",
+            "serialize_seconds",
+            "total_seconds",
+        }
+        assert timings["total_seconds"] >= timings["check_seconds"] >= 0
+        # the trace itself is not inlined in the job document
+        assert "trace" not in job
+
+    def test_trace_endpoint_returns_spans(self, service):
+        _, _, client = service
+        job = client.check(GOOD)
+        trace = client.job_trace(job["id"])
+        assert trace["trace_id"] == job["trace_id"]
+        names = {span["name"] for span in trace["spans"]}
+        assert {"serve.job", "serve.check", "store.cached_check"} <= names
+        roots = [s for s in trace["spans"] if s["parent"] is None]
+        assert roots and roots[0]["attrs"]["trace_id"] == job["trace_id"]
+
+    def test_trace_endpoint_conflict_while_running(self, tmp_path):
+        import time
+
+        release = threading.Event()
+        manager = JobManager(jobs=1, queue_size=4)
+        manager._execute = lambda job: release.wait(30)
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        try:
+            accepted = client.submit(GOOD)
+            deadline = time.monotonic() + 10
+            while manager._idle.is_set() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(ServeClientError) as exc:
+                client.job_trace(accepted["id"])
+            assert exc.value.status == 409
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            manager.stop()
+
+    def test_trace_endpoint_404_when_tracing_disabled(self, tmp_path):
+        manager = JobManager(jobs=1, queue_size=4, trace_requests=False)
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        try:
+            job = client.check(GOOD)
+            assert job["state"] == "done"
+            with pytest.raises(ServeClientError) as exc:
+                client.job_trace(job["id"])
+            assert exc.value.status == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            manager.stop()
+
+    def test_trace_endpoint_unknown_job(self, service):
+        _, _, client = service
+        with pytest.raises(ServeClientError) as exc:
+            client.job_trace("deadbeef")
+        assert exc.value.status == 404
+
+    def test_healthz_operational_fields(self, service):
+        from repro import __version__
+
+        _, _, client = service
+        client.check(GOOD)
+        health = client.healthz()
+        assert health["version"] == __version__
+        assert health["uptime_seconds"] >= 0
+        assert health["jobs_total"] == 1
+        assert health["queued"] == 0 and health["running"] == 0
+        store = health["store"]
+        assert store["hits"] + store["misses"] > 0
+        assert 0.0 <= store["hit_rate"] <= 1.0
+
+    def test_metrics_exposes_request_histograms(self, service):
+        _, _, client = service
+        client.check(GOOD)
+        text = client.metrics_text()
+        assert "# TYPE repro_request_duration_seconds histogram" in text
+        assert 'repro_request_duration_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_request_duration_seconds_count 1" in text
+        assert "repro_request_stage_check_seconds_count 1" in text
+        assert "repro_request_stage_accept_seconds_count 1" in text

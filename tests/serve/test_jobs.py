@@ -149,3 +149,106 @@ class TestDrain:
         stats = manager.stats()
         assert stats["queued"] == 1 and stats["jobs_total"] == 1
         assert stats["draining"] is False
+
+
+class TestRequestObservability:
+    def test_job_records_trace_and_timings(self, manager):
+        manager.start()
+        job = _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        assert job.state == "done"
+        assert len(job.trace_id) == 32
+        names = {record["name"] for record in job.trace}
+        assert {"serve.job", "serve.check", "store.probe"} <= names
+        assert job.timings["total_seconds"] > 0
+        assert job.timings["queue_wait_seconds"] >= 0
+        # the job document exposes timings but not the span dump
+        doc = job.to_dict()
+        assert doc["trace_id"] == job.trace_id
+        assert doc["timings"] == job.timings
+        assert "trace" not in doc
+
+    def test_trace_requests_off_skips_recording(self, tmp_path):
+        manager = JobManager(
+            jobs=1, queue_size=2, store=ResultStore(tmp_path),
+            trace_requests=False,
+        )
+        manager.start()
+        try:
+            job = _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+            assert job.state == "done"
+            assert job.trace is None
+            assert job.timings is not None  # stage timers still run
+        finally:
+            manager.stop()
+
+    def test_submitted_trace_context_is_used(self, manager):
+        from repro.obs.tracer import TraceContext
+
+        manager.start()
+        ctx = TraceContext.mint()
+        job = _wait(
+            manager, manager.submit([JobRequest(source=GOOD)], trace=ctx)
+        )
+        assert job.trace_id == ctx.trace_id
+
+    def test_histograms_observe_each_job(self, manager):
+        manager.start()
+        _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        hists = manager.metrics.histograms
+        assert hists["request.duration_seconds"].count == 2
+        assert hists["request.stage.check_seconds"].count == 2
+        assert hists["request.stage.queue_wait_seconds"].count == 2
+
+    def test_event_log_records_lifecycle(self, tmp_path):
+        import io
+        import json
+
+        from repro.obs.log import EventLog
+
+        stream = io.StringIO()
+        log = EventLog(stream=stream, level="debug")
+        manager = JobManager(
+            jobs=1, queue_size=2, store=ResultStore(tmp_path), log=log
+        )
+        manager.start()
+        try:
+            job = _wait(manager, manager.submit([JobRequest(source=GOOD)]))
+        finally:
+            manager.stop()
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        names = [event["event"] for event in events]
+        assert names[0] == "job.submitted"
+        assert "job.started" in names and "job.done" in names
+        for event in events:
+            if event["event"] == "job.submitted":
+                assert all(
+                    digest.startswith("sha256:")
+                    for digest in event["sources"]
+                )
+            if event["event"] in ("job.started", "job.done"):
+                assert event["trace_id"] == job.trace_id
+                assert event["job_id"] == job.id
+        done = next(e for e in events if e["event"] == "job.done")
+        assert done["state"] == "done"
+        assert done["total_seconds"] >= 0
+
+    def test_failed_job_logs_error_event(self, tmp_path):
+        import io
+        import json
+
+        from repro.obs.log import EventLog
+
+        stream = io.StringIO()
+        log = EventLog(stream=stream)
+        manager = JobManager(jobs=1, queue_size=2, log=log)
+        manager.start()
+        try:
+            job = _wait(manager, manager.submit([JobRequest(source=BROKEN)]))
+        finally:
+            manager.stop()
+        assert job.state == "failed"
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        failed = next(e for e in events if e["event"] == "job.failed")
+        assert failed["level"] == "error"
+        assert failed["error"]

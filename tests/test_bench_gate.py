@@ -1,0 +1,137 @@
+"""The benchmark regression gate's pure comparison logic."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tools"))
+
+import bench_gate  # noqa: E402
+
+
+def stats(median):
+    return {"median_us": median, "mean_us": median, "stddev_us": 1.0,
+            "rounds": 100}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        rows, regressions = bench_gate.compare(
+            {"a": stats(100.0)}, {"a": stats(120.0)}, threshold=0.25
+        )
+        assert regressions == []
+        assert rows[0]["ratio"] == pytest.approx(1.2)
+
+    def test_regression_flagged_beyond_threshold(self):
+        _, regressions = bench_gate.compare(
+            {"a": stats(100.0), "b": stats(50.0)},
+            {"a": stats(130.0), "b": stats(55.0)},
+            threshold=0.25,
+        )
+        assert [r["name"] for r in regressions] == ["a"]
+        assert regressions[0]["ratio"] == pytest.approx(1.3)
+
+    def test_speedup_never_flags(self):
+        _, regressions = bench_gate.compare(
+            {"a": stats(100.0)}, {"a": stats(10.0)}, threshold=0.25
+        )
+        assert regressions == []
+
+    def test_benchmarks_on_one_side_only_ignored(self):
+        rows, regressions = bench_gate.compare(
+            {"gone": stats(1.0), "kept": stats(10.0)},
+            {"new": stats(999.0), "kept": stats(10.0)},
+        )
+        assert [r["name"] for r in rows] == ["kept"]
+        assert regressions == []
+
+    def test_zero_baseline_skipped(self):
+        rows, _ = bench_gate.compare({"a": stats(0.0)}, {"a": stats(5.0)})
+        assert rows == []
+
+    def test_exact_threshold_boundary_passes(self):
+        _, regressions = bench_gate.compare(
+            {"a": stats(100.0)}, {"a": stats(125.0)}, threshold=0.25
+        )
+        assert regressions == []  # strictly-greater-than semantics
+
+
+class TestBaselineEntry:
+    def test_latest_entry_by_default(self):
+        trajectory = {"entries": [{"label": "seed", "results": {}},
+                                  {"label": "after", "results": {}}]}
+        assert bench_gate.baseline_entry(trajectory)["label"] == "after"
+
+    def test_pinned_label(self):
+        trajectory = {"entries": [{"label": "seed", "results": {}},
+                                  {"label": "after", "results": {}}]}
+        assert bench_gate.baseline_entry(trajectory, "seed")["label"] == "seed"
+
+    def test_missing_label_raises(self):
+        with pytest.raises(ValueError):
+            bench_gate.baseline_entry({"entries": [{"label": "seed"}]}, "x")
+        with pytest.raises(ValueError):
+            bench_gate.baseline_entry({"entries": []})
+
+
+class TestEndToEnd:
+    def test_from_json_against_committed_baseline(self, tmp_path, capsys):
+        """Drive main() with a synthetic fresh run: pass then fail."""
+        import json
+
+        baseline = {
+            "entries": [
+                {
+                    "label": "seed",
+                    "git_rev": "abc",
+                    "date": "2026-01-01",
+                    "results": {"test_x": stats(100.0)},
+                }
+            ]
+        }
+        baseline_path = tmp_path / "BENCH.json"
+        baseline_path.write_text(json.dumps(baseline))
+
+        def fresh(median):
+            document = {
+                "benchmarks": [
+                    {
+                        "name": "test_x",
+                        "stats": {
+                            "mean": median / 1e6,
+                            "median": median / 1e6,
+                            "stddev": 0.0,
+                            "rounds": 10,
+                        },
+                    }
+                ]
+            }
+            path = tmp_path / f"fresh-{median}.json"
+            path.write_text(json.dumps(document))
+            return str(path)
+
+        ok = bench_gate.main(
+            ["--baseline", str(baseline_path), "--from-json", fresh(110.0)]
+        )
+        assert ok == 0
+        bad = bench_gate.main(
+            ["--baseline", str(baseline_path), "--from-json", fresh(200.0)]
+        )
+        assert bad == 1
+        err = capsys.readouterr().err
+        assert "refresh the baseline" in err
+
+    def test_committed_engine_trajectory_is_gateable(self):
+        """The default baseline file must work as a gate baseline.
+
+        (The other ``BENCH_*.json`` trajectories use per-suite layouts
+        and are not gated.)
+        """
+        import json
+
+        trajectory = json.loads(bench_gate.DEFAULT_BASELINE.read_text())
+        entry = bench_gate.baseline_entry(trajectory)
+        assert entry["results"], "latest entry is empty"
+        for name, result in entry["results"].items():
+            assert result["median_us"] > 0, name

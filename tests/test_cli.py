@@ -274,3 +274,80 @@ def test_syntax_error_exits_2(tmp_path, capsys):
     path.write_text("MODULE main VAR x :")
     assert main(["check", str(path)]) == 2
     assert "repro:" in capsys.readouterr().err
+
+
+class TestObsCommand:
+    @pytest.fixture
+    def event_log(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        records = [
+            {"ts": 10.0, "level": "info", "event": "job.submitted",
+             "trace_id": "t1", "job_id": "j1", "checks": 2},
+            {"ts": 11.0, "level": "debug", "event": "job.check",
+             "trace_id": "t1", "job_id": "j1", "index": 0},
+            {"ts": 12.0, "level": "info", "event": "job.done",
+             "trace_id": "t1", "job_id": "j1", "total_seconds": 2.0},
+            {"ts": 13.0, "level": "error", "event": "job.failed",
+             "trace_id": "t2", "job_id": "j2", "error": "boom"},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        return str(path)
+
+    def test_tail_renders_events(self, event_log, capsys):
+        assert main(["obs", "tail", event_log]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "job.submitted" in lines[0] and "trace_id=t1" in lines[0]
+        assert lines[-1].split()[1] == "ERROR"
+
+    def test_tail_respects_line_count_and_level(self, event_log, capsys):
+        assert main(["obs", "tail", event_log, "-n", "1"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 1
+        assert main(["obs", "tail", event_log, "--level", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "job.failed" in out and "job.done" not in out
+
+    def test_tail_filters_by_trace_id(self, event_log, capsys):
+        assert main(["obs", "tail", event_log, "--trace-id", "t2"]) == 0
+        out = capsys.readouterr().out
+        assert "job.failed" in out and "job.submitted" not in out
+
+    def test_summary_counts_and_latency(self, event_log, capsys):
+        assert main(["obs", "summary", event_log]) == 0
+        out = capsys.readouterr().out
+        assert "events: 4 (1 error(s))" in out
+        assert "job.submitted" in out and "job.done" in out
+        assert "job.done latency: n=1" in out
+        assert "mean=2.0000s" in out
+
+    def test_serve_log_file_round_trip(self, good_file, tmp_path, capsys):
+        """repro serve --log-file events feed repro obs summary."""
+        import pathlib
+        import time
+
+        from repro.obs.log import EventLog
+        from repro.serve.jobs import JobManager, JobRequest
+
+        log_path = tmp_path / "serve.jsonl"
+        log = EventLog(path=log_path)
+        manager = JobManager(jobs=1, queue_size=2, log=log)
+        manager.start()
+        try:
+            job = manager.submit(
+                [JobRequest(source=pathlib.Path(good_file).read_text())]
+            )
+            deadline = time.monotonic() + 60
+            while not job.terminal and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert job.state == "done"
+        finally:
+            manager.stop()
+            log.close()
+        assert main(["obs", "summary", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "job.done" in out

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: fresh run vs the committed trajectory.
+
+Runs the BDD-engine microbench suite, extracts per-test medians (the
+same :func:`run_benchmarks.extract` statistics the trajectory files
+record), and compares them against the most recent entry of a committed
+``BENCH_*.json``.  Any benchmark whose fresh median exceeds the
+baseline's by more than the threshold (default 25 %) fails the gate —
+CI's answer to "did this PR quietly slow the engine down".
+
+Medians are compared rather than means: CI machines are noisy, and the
+median is far less sensitive to the scheduler hiccups that inflate a
+mean.  The generous default threshold absorbs the remaining
+machine-to-machine variance; the gate is for order-of-magnitude
+mistakes (an accidentally quadratic loop, a lost cache), not 5 % drifts.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_gate.py                # run + compare
+    PYTHONPATH=src python tools/bench_gate.py --from-json f  # compare only
+    PYTHONPATH=src python tools/bench_gate.py --threshold 0.4
+
+**Refreshing the baseline** after an intentional performance change::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick --label after
+    git add BENCH_bdd_engine.json   # commit the new trajectory entry
+
+The gate always compares against the *latest* entry in the trajectory
+(or ``--baseline-label`` to pin one), so refreshing the trajectory is
+what moves the bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "benchmarks"))
+from run_benchmarks import ROOT, extract, run_pytest  # noqa: E402
+
+DEFAULT_BASELINE = ROOT / "BENCH_bdd_engine.json"
+DEFAULT_SUITE = "benchmarks/bench_bdd_engine.py"
+DEFAULT_THRESHOLD = 0.25
+
+
+def baseline_entry(trajectory: dict, label: str | None = None) -> dict:
+    """The trajectory entry to gate against: ``label`` or the latest."""
+    entries = trajectory.get("entries", [])
+    if not entries:
+        raise ValueError("trajectory has no entries to compare against")
+    if label is None:
+        return entries[-1]
+    for entry in entries:
+        if entry["label"] == label:
+            return entry
+    raise ValueError(f"no trajectory entry labeled {label!r}")
+
+
+def compare(
+    baseline: dict[str, dict],
+    fresh: dict[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[dict], list[dict]]:
+    """Median-vs-median comparison of two ``extract()`` result maps.
+
+    Returns ``(rows, regressions)``: one row per benchmark present in
+    both maps (sorted by name) with the median ratio, and the subset
+    whose fresh median is more than ``threshold`` above the baseline.
+    Benchmarks present on only one side are ignored — adding or
+    removing a benchmark is not a regression.
+    """
+    rows = []
+    for name in sorted(set(baseline) & set(fresh)):
+        base = float(baseline[name]["median_us"])
+        new = float(fresh[name]["median_us"])
+        if base <= 0:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "base_median_us": base,
+                "new_median_us": new,
+                "ratio": new / base,
+            }
+        )
+    regressions = [r for r in rows if r["ratio"] > 1.0 + threshold]
+    return rows, regressions
+
+
+def format_rows(rows: list[dict], threshold: float) -> str:
+    lines = [
+        f"{'benchmark':<44} {'base µs':>10} {'fresh µs':>10} {'ratio':>7}"
+    ]
+    for row in rows:
+        flag = "  REGRESSION" if row["ratio"] > 1.0 + threshold else ""
+        lines.append(
+            f"{row['name']:<44} {row['base_median_us']:>10.2f} "
+            f"{row['new_median_us']:>10.2f} {row['ratio']:>6.2f}x{flag}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed trajectory file (default: BENCH_bdd_engine.json)",
+    )
+    parser.add_argument(
+        "--baseline-label",
+        default=None,
+        help="trajectory entry to gate against (default: the latest)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional median slowdown (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--from-json",
+        metavar="FILE",
+        help="compare an existing pytest --benchmark-json file instead "
+        "of running the suite",
+    )
+    parser.add_argument(
+        "--suite",
+        default=DEFAULT_SUITE,
+        help="benchmark suite to run (default: the engine microbenches)",
+    )
+    args = parser.parse_args(argv)
+
+    trajectory = json.loads(pathlib.Path(args.baseline).read_text())
+    try:
+        entry = baseline_entry(trajectory, args.baseline_label)
+    except ValueError as exc:
+        print(f"bench_gate: {exc}", file=sys.stderr)
+        return 2
+
+    if args.from_json:
+        document = json.loads(pathlib.Path(args.from_json).read_text())
+    else:
+        with tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False
+        ) as handle:
+            json_path = handle.name
+        run_pytest([args.suite], json_path, extra=[])
+        document = json.loads(pathlib.Path(json_path).read_text())
+        pathlib.Path(json_path).unlink()
+
+    fresh = extract(document)
+    if not fresh:
+        print("bench_gate: no benchmark results found", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(entry["results"], fresh, args.threshold)
+    if not rows:
+        print(
+            "bench_gate: no benchmarks in common with the baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(
+        f"baseline: {entry['label']!r} ({entry.get('git_rev', '?')}, "
+        f"{entry.get('date', '?')}); threshold +{args.threshold:.0%}"
+    )
+    print(format_rows(rows, args.threshold))
+    if regressions:
+        worst = max(regressions, key=lambda r: r["ratio"])
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"+{args.threshold:.0%} (worst: {worst['name']} at "
+            f"{worst['ratio']:.2f}x)",
+            file=sys.stderr,
+        )
+        print(
+            "If the slowdown is intended, refresh the baseline:\n"
+            "  PYTHONPATH=src python benchmarks/run_benchmarks.py --quick "
+            "--label after\nand commit the updated trajectory file.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {len(rows)} benchmark(s) within +{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,22 @@ sources) as one batch **twice**, and fails loudly unless:
   byte-identical apart from the per-run cache block;
 * ``/metrics`` exposes the store's hit/miss counters in Prometheus text
   and the numbers reconcile with the two runs;
+* every job acceptance carries a ``trace_id`` (payload + header), the
+  finished job documents echo it with per-stage ``timings``, and ``GET
+  /v1/jobs/<id>/trace`` returns a span tree whose worker-process spans
+  all share the request's trace id;
+* the histogram families on ``/metrics``
+  (``repro_request_duration_seconds`` and friends) are well-formed:
+  cumulative ``_bucket`` series are non-decreasing, the ``+Inf`` bucket
+  equals ``_count``, and ``_sum`` is present;
+* the structured JSONL event log records one ``job.submitted`` +
+  ``job.done`` pair per batch, with module sources redacted to digests;
 * the server drains cleanly on ``SIGTERM`` (exit code 0, "drained and
   stopped" on stderr).
 
-Writes ``serve_metrics.txt`` and ``serve_jobs.json`` into
-``--artifact-dir`` (default: current directory) for upload.
+Writes ``serve_metrics.txt``, ``serve_jobs.json``, ``serve_trace.json``
+and ``serve_events.jsonl`` into ``--artifact-dir`` (default: current
+directory) for upload.
 
     PYTHONPATH=src python tools/serve_smoke.py
 """
@@ -72,6 +83,61 @@ def comparable(job: dict) -> list:
     return out
 
 
+def parse_prometheus(text: str) -> tuple[dict, dict]:
+    """Parse Prometheus text exposition into (samples, types).
+
+    ``samples`` maps ``name`` → value for plain samples and
+    ``name{labels}`` → value for labeled ones; ``types`` maps metric
+    name → declared type.  Unparseable lines fail the smoke — the
+    endpoint claims the exposition format, so every line must conform.
+    """
+    samples: dict[str, float] = {}
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            fail(f"/metrics line is not 'series value': {line!r}")
+        try:
+            samples[parts[0]] = float(parts[1])
+        except ValueError:
+            fail(f"/metrics value is not a number: {line!r}")
+    return samples, types
+
+
+def check_histogram(samples: dict, types: dict, name: str) -> None:
+    """Assert one histogram family is well-formed and internally consistent."""
+    if types.get(name) != "histogram":
+        fail(f"{name} is not declared as a histogram")
+    buckets = []
+    for series, value in samples.items():
+        if series.startswith(f'{name}_bucket{{le="'):
+            le = series[len(f'{name}_bucket{{le="') : -len('"}')]
+            buckets.append((le, value))
+    if not buckets:
+        fail(f"{name} has no _bucket series")
+    inf = [v for le, v in buckets if le == "+Inf"]
+    if not inf:
+        fail(f"{name} is missing the +Inf bucket")
+    finite = [(float(le), v) for le, v in buckets if le != "+Inf"]
+    finite.sort()
+    values = [v for _, v in finite] + inf
+    if any(b > a for a, b in zip(values[1:], values)):
+        fail(f"{name} bucket series is not cumulative: {values}")
+    count = samples.get(f"{name}_count")
+    if count is None or f"{name}_sum" not in samples:
+        fail(f"{name} is missing _sum/_count")
+    if inf[0] != count:
+        fail(f"{name}: +Inf bucket {inf[0]} != _count {count}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--port", type=int, default=8146)
@@ -85,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     artifact_dir = pathlib.Path(args.artifact_dir)
     artifact_dir.mkdir(parents=True, exist_ok=True)
     cache_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    event_log = artifact_dir / "serve_events.jsonl"
 
     env = dict(os.environ)
     env["PYTHONPATH"] = "src"
@@ -94,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
             "--port", str(args.port),
             "--jobs", str(args.jobs),
             "--cache-dir", cache_dir,
+            "--log-file", str(event_log),
         ],
         env=env,
         stderr=subprocess.PIPE,
@@ -130,25 +198,87 @@ def main(argv: list[str] | None = None) -> int:
             fail("warm reports differ from cold beyond the cache block")
         print("warm reports byte-identical to cold (modulo cache block)")
 
+        # -- trace propagation -------------------------------------------
+        for name, job in (("first", first), ("second", second)):
+            if not job.get("trace_id"):
+                fail(f"{name} job document carries no trace_id")
+            timings = job.get("timings") or {}
+            for key in ("queue_wait_seconds", "check_seconds",
+                        "serialize_seconds", "total_seconds"):
+                if key not in timings:
+                    fail(f"{name} job timings are missing {key}")
+        if first["trace_id"] == second["trace_id"]:
+            fail("both batches share one trace_id; should be per-request")
+        trace = client.job_trace(first["id"])
+        if trace["trace_id"] != first["trace_id"]:
+            fail("trace endpoint returns a different trace_id")
+        spans = trace["spans"]
+        names = {span["name"] for span in spans}
+        for expected in ("serve.job", "serve.check", "store.cached_check"):
+            if expected not in names:
+                fail(f"trace is missing a {expected} span")
+        workers = [s for s in spans if s["name"] == "worker.item"]
+        if not workers:
+            fail("trace has no worker-process spans (pool not traced?)")
+        for span in workers:
+            if span.get("attrs", {}).get("trace_id") != first["trace_id"]:
+                fail("a worker span does not carry the request trace_id")
+        pids = {s["attrs"].get("pid") for s in workers}
+        print(
+            f"trace: {len(spans)} spans, {len(workers)} worker span(s) "
+            f"across {len(pids)} worker pid(s), all sharing the trace id"
+        )
+        (artifact_dir / "serve_trace.json").write_text(
+            json.dumps(trace, indent=2)
+        )
+
         metrics = client.metrics_text()
         (artifact_dir / "serve_metrics.txt").write_text(metrics)
         (artifact_dir / "serve_jobs.json").write_text(
             json.dumps({"first": first, "second": second}, indent=2)
         )
-        lines = dict(
-            line.split(" ", 1)
-            for line in metrics.splitlines()
-            if line and not line.startswith("#")
-        )
+        samples, types = parse_prometheus(metrics)
         for required in ("repro_store_hits", "repro_store_misses",
                          "repro_serve_jobs_completed"):
-            if required not in lines:
+            if required not in samples:
                 fail(f"/metrics is missing {required}")
-        if int(float(lines["repro_serve_jobs_completed"])) != 2:
+        if int(samples["repro_serve_jobs_completed"]) != 2:
             fail("jobs_completed != 2")
-        if int(float(lines["repro_store_misses"])) != misses1:
+        if int(samples["repro_store_misses"]) != misses1:
             fail("store miss counter does not match the cold batch")
-        print("metrics reconcile with the two batches")
+        for family in ("repro_request_duration_seconds",
+                       "repro_request_stage_check_seconds",
+                       "repro_request_stage_queue_wait_seconds"):
+            check_histogram(samples, types, family)
+        if samples.get("repro_request_duration_seconds_count") != 2:
+            fail("request duration histogram should hold 2 observations")
+        print("metrics reconcile with the two batches; histograms well-formed")
+
+        # -- structured event log ----------------------------------------
+        events = [
+            json.loads(line)
+            for line in event_log.read_text().splitlines()
+            if line.strip()
+        ]
+        done = [e for e in events if e.get("event") == "job.done"]
+        submitted = [e for e in events if e.get("event") == "job.submitted"]
+        if len(done) != 2 or len(submitted) != 2:
+            fail(
+                f"event log should hold 2 submitted + 2 done events, "
+                f"got {len(submitted)} + {len(done)}"
+            )
+        for event in done:
+            if event.get("trace_id") not in (
+                first["trace_id"], second["trace_id"]
+            ):
+                fail("a job.done event has an unknown trace_id")
+            if "total_seconds" not in event:
+                fail("job.done events should carry total_seconds")
+        for event in submitted:
+            for digest in event.get("sources", []):
+                if not str(digest).startswith("sha256:"):
+                    fail(f"unredacted source in event log: {digest!r}")
+        print(f"event log: {len(events)} events, sources redacted to digests")
     finally:
         server.send_signal(signal.SIGTERM)
         try:
