@@ -37,6 +37,7 @@ DEFAULT_OUTPUT = ROOT / "BENCH_bdd_engine.json"
 SUITES = (
     "benchmarks/bench_bdd_engine.py",
     "benchmarks/bench_ablation_relational_product.py",
+    "benchmarks/bench_ablation_var_order.py",
     "benchmarks/bench_scaling_compositional_vs_monolithic.py",
     "benchmarks/bench_parallel_proofs.py",
     "benchmarks/bench_store.py",
@@ -87,6 +88,11 @@ def extract(benchmark_json: dict) -> dict[str, dict]:
             "stddev_us": round(stats["stddev"] * 1e6, 2),
             "rounds": stats["rounds"],
         }
+        # non-timing measurements (e.g. the var-order ablation's BDD
+        # node counts) ride along in the trajectory entry
+        extra = bench.get("extra_info") or {}
+        if extra:
+            results[bench["name"]]["extra"] = dict(extra)
     return results
 
 

@@ -11,7 +11,14 @@ Public surface:
 """
 
 from repro.bdd.dot import to_dot
-from repro.bdd.manager import BDD, FALSE, TRUE
+from repro.bdd.manager import (
+    BDD,
+    FALSE,
+    REORDER_MODES,
+    TRUE,
+    default_reorder,
+    set_default_reorder,
+)
 from repro.bdd.ops import dnf, equiv, evaluate, implies, transfer
 from repro.bdd.reorder import rebuild_with_order, shared_size, sift
 
@@ -19,6 +26,9 @@ __all__ = [
     "BDD",
     "TRUE",
     "FALSE",
+    "REORDER_MODES",
+    "default_reorder",
+    "set_default_reorder",
     "transfer",
     "evaluate",
     "implies",

@@ -1,14 +1,21 @@
-"""Variable-ordering search for BDDs.
+"""Variable-ordering search utilities for BDDs.
 
-SMV-era symbolic model checkers ship dynamic variable reordering (sifting).
-This module provides a rebuild-based variant adequate for the model sizes
-in this reproduction: candidate orders are evaluated by *transferring* the
-given root functions into a fresh manager with the candidate order and
-measuring total node count.  This is O(rebuild) per candidate rather than
-in-place level swapping, which keeps the implementation simple and obviously
-correct; the ablation benchmark ``bench_ablation_var_order`` uses it to show
-how much the interleaved current/next order matters for transition
-relations.
+Two flavours of reordering exist in this package:
+
+* **In-place** Rudell-style sifting lives on the manager itself
+  (:meth:`repro.bdd.manager.BDD.reorder`): adjacent-level swaps rehash
+  only the two affected unique subtables, existing node ids keep their
+  functions, and the auto-reorder trigger can invoke it mid-run.  That
+  is what the checkers and the CLI ``--reorder`` flag use.
+* This module keeps the earlier **rebuild-based** search: candidate
+  orders are evaluated by *transferring* the given root functions into a
+  fresh manager with the candidate order and measuring total node count.
+  It is O(rebuild) per candidate, but it evaluates an explicit order you
+  hand it (``rebuild_with_order``) and measures exactly the reachable
+  size of chosen roots — which makes it the reference oracle the
+  in-place implementation is tested against, and the tool the ablation
+  benchmark ``bench_ablation_var_order`` uses to show how much the
+  interleaved current/next order matters for transition relations.
 """
 
 from __future__ import annotations
@@ -26,7 +33,22 @@ def rebuild_with_order(roots: Sequence[int], src: BDD, order: Sequence[str]) -> 
     contain every variable of ``src`` exactly once.
     """
     if sorted(order) != sorted(src.var_names):
-        raise ValueError("order must be a permutation of the manager's variables")
+        declared = set(src.var_names)
+        given = set(order)
+        problems = []
+        missing = sorted(declared - given)
+        if missing:
+            problems.append(f"missing {', '.join(map(repr, missing))}")
+        extra = sorted(given - declared)
+        if extra:
+            problems.append(f"extra {', '.join(map(repr, extra))}")
+        duplicates = sorted({n for n in given if list(order).count(n) > 1})
+        if duplicates:
+            problems.append(f"duplicated {', '.join(map(repr, duplicates))}")
+        raise ValueError(
+            "order must be a permutation of the manager's variables: "
+            + "; ".join(problems)
+        )
     dst = BDD()
     for name in order:
         dst.add_var(name)

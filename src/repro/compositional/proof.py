@@ -320,6 +320,7 @@ class CompositionProof:
         as :meth:`_obligation` does in-process; results come back in
         submission order.
         """
+        from repro.bdd.manager import default_reorder
         from repro.parallel.pool import shared_scheduler
         from repro.parallel.workitem import WorkItem
 
@@ -335,6 +336,7 @@ class CompositionProof:
                     engine=self._backend.kind,
                     expand_to=tuple(sorted(extra)),
                     label=name,
+                    reorder=default_reorder(),
                 )
             )
         outcomes = shared_scheduler(self.parallel).run(items)
@@ -1013,6 +1015,7 @@ class CompositionProof:
         specs, so the exponential composition is constructed once per
         worker, then every conclusion is one independent work item.
         """
+        from repro.bdd.manager import default_reorder
         from repro.parallel.pool import shared_scheduler
         from repro.parallel.workitem import ComposeSpec, WorkItem
 
@@ -1026,6 +1029,7 @@ class CompositionProof:
                 restriction=proven.restriction,
                 engine=self._backend.kind,
                 label="verify_monolithic",
+                reorder=default_reorder(),
             )
             for proven in self.conclusions
         ]

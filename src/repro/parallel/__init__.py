@@ -30,6 +30,7 @@ from repro.parallel.workitem import (
     FactorySpec,
     ParallelError,
     SmvSpec,
+    SnapshotSpec,
     WorkItem,
     WorkOutcome,
     register_factory,
@@ -48,6 +49,7 @@ __all__ = [
     "FactorySpec",
     "ExplicitSpec",
     "ComposeSpec",
+    "SnapshotSpec",
     "ParallelError",
     "FACTORIES",
     "register_factory",

@@ -8,7 +8,7 @@ system spec, runs the check, and ships back a
 stats delta, and — when the parent is tracing — the recorded span tree
 as JSONL records plus the wall-clock origin needed to rebase them.
 
-The cache is keyed by ``(spec, engine, expand_to)``: a pool worker
+The cache is keyed by ``(spec, engine, expand_to, reorder)``: a pool worker
 compiles each component expansion at most once and reuses the checker
 (including its sub-formula memo tables) for every later obligation on
 the same system — the process-pool analogue of the sequential engine's
@@ -18,6 +18,7 @@ per-component expansion-checker cache.
 from __future__ import annotations
 
 import os
+import signal
 import time
 
 from repro.obs.export import to_jsonl_records
@@ -29,6 +30,7 @@ from repro.parallel.workitem import (
     FactorySpec,
     ParallelError,
     SmvSpec,
+    SnapshotSpec,
     SystemSpec,
     WorkItem,
     WorkOutcome,
@@ -36,9 +38,11 @@ from repro.parallel.workitem import (
 
 __all__ = ["run_work_item", "build_system", "checker_for", "clear_worker_caches"]
 
-#: Per-process cache: (spec, engine, expand_to) → checker.
+#: Per-process cache: (spec, engine, expand_to, reorder) → checker.
 _CHECKERS: dict = {}
-#: Per-process cache: (spec, engine) → built component/composite system.
+#: Per-process cache: (spec, engine, reorder) → built component/composite
+#: system.  ``reorder`` is the manager default in force at build time —
+#: a system sifted under one mode must not be served for another.
 _SYSTEMS: dict = {}
 
 
@@ -78,6 +82,20 @@ def build_system(spec: SystemSpec, engine: str):
             [(frozenset(s), frozenset(t)) for s, t in spec.edges],
             reflexive=spec.reflexive,
         )
+    if isinstance(spec, SnapshotSpec):
+        from repro.bdd.manager import BDD
+
+        # node ids are stable across snapshot/restore, so the shipped
+        # transition/partition ids index straight into the new manager
+        bdd = BDD.from_snapshot(spec.snapshot)
+        sym = SymbolicSystem(spec.atoms, bdd=bdd)
+        sym.transition = spec.transition
+        if spec.partitions:
+            sym.partitions = list(spec.partitions)
+            sym.prefer_partitions = spec.prefer_partitions
+        if engine == "explicit":
+            return sym.to_explicit()
+        return sym
     if isinstance(spec, FactorySpec):
         factory = FACTORIES.get(spec.name)
         if factory is None:
@@ -103,7 +121,9 @@ def build_system(spec: SystemSpec, engine: str):
 
 
 def _cached_system(spec: SystemSpec, engine: str):
-    key = (spec, engine)
+    from repro.bdd.manager import default_reorder
+
+    key = (spec, engine, default_reorder())
     system = _SYSTEMS.get(key)
     if system is None:
         system = _SYSTEMS[key] = build_system(spec, engine)
@@ -112,11 +132,12 @@ def _cached_system(spec: SystemSpec, engine: str):
 
 def checker_for(spec: SystemSpec, engine: str, expand_to: tuple[str, ...]):
     """The (cached) checker for a spec's expansion over extra atoms."""
+    from repro.bdd.manager import default_reorder
     from repro.compositional.proof import _Backend
     from repro.systems.system import System
     from repro.systems.symbolic import SymbolicSystem
 
-    key = (spec, engine, expand_to)
+    key = (spec, engine, expand_to, default_reorder())
     cached = _CHECKERS.get(key)
     if cached is not None:
         return cached, True
@@ -139,12 +160,17 @@ def checker_for(spec: SystemSpec, engine: str, expand_to: tuple[str, ...]):
 def run_work_item(item: WorkItem) -> WorkOutcome:
     """Execute one work item in this process; never raises on a failed
     check — the verdict travels back inside the :class:`CheckResult`."""
+    from repro.bdd.manager import set_default_reorder
+
     record = item.record_spans
     if record:
         TRACER.reset()
         TRACER.enabled = True
     else:
         TRACER.enabled = False
+    previous_reorder = (
+        set_default_reorder(item.reorder) if item.reorder is not None else None
+    )
     try:
         t0 = time.perf_counter()
         root_attrs = dict(
@@ -170,6 +196,10 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
             bdd = {
                 "mk_calls": delta.mk_calls,
                 "peak_unique_nodes": delta.peak_unique_nodes,
+                "reorders": delta.reorders,
+                "swaps": delta.swaps,
+                "reorder_nodes_before": delta.reorder_nodes_before,
+                "reorder_nodes_after": delta.reorder_nodes_after,
                 "ops": {
                     name: counter.as_dict()
                     for name, counter in delta.ops.items()
@@ -203,10 +233,19 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
             wall_origin=wall_origin,
         )
     finally:
+        if previous_reorder is not None:
+            set_default_reorder(previous_reorder)
         TRACER.enabled = False
 
 
 def _init_worker() -> None:
-    """Pool initializer: start from a quiet tracer in every worker."""
+    """Pool initializer: start from a quiet tracer in every worker.
+
+    ``fork`` copies the parent's signal table, and the serve process
+    installs a SIGTERM handler that drains its job queue — a worker
+    running that handler survives ``pool.terminate()`` and hangs the
+    join.  Workers must die on SIGTERM, so restore the default action.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     TRACER.enabled = False
     TRACER.reset()

@@ -7,7 +7,7 @@ composite alphabet the component must be expanded over before checking
 (Lemmas 4/5/8–10 — the proof calculus checks obligations on component
 *expansions*).
 
-System specs come in four flavors, all frozen/hashable so worker
+System specs come in five flavors, all frozen/hashable so worker
 processes can cache the compiled checker per spec:
 
 * :class:`SmvSpec` — SMV source text, compiled in the worker;
@@ -16,12 +16,16 @@ processes can cache the compiled checker per spec:
 * :class:`ExplicitSpec` — a serialized explicit system (atoms + edges),
   for components built programmatically (e.g. the token ring);
 * :class:`ComposeSpec` — the ``∘``-composition of several sub-specs,
-  used by the parallel ``verify_monolithic`` re-checks.
+  used by the parallel ``verify_monolithic`` re-checks;
+* :class:`SnapshotSpec` — a zero-copy :meth:`repro.bdd.manager.BDD.snapshot`
+  of a symbolic system's manager plus its relation node ids, for
+  symbolic components with no SMV source to recompile from.
 
 :func:`spec_of_component` derives the spec of an in-memory component:
-explicit systems serialize directly; symbolic systems must carry their
-SMV source (``smv_source``/``smv_reflexive`` attributes, attached by
-:class:`repro.casestudies.afs_common.ProtocolComponent`).
+explicit systems serialize directly; symbolic systems ship their SMV
+source when they carry one (``smv_source``/``smv_reflexive`` attributes,
+attached by :class:`repro.casestudies.afs_common.ProtocolComponent`) and
+fall back to a manager snapshot otherwise.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ __all__ = [
     "FactorySpec",
     "ExplicitSpec",
     "ComposeSpec",
+    "SnapshotSpec",
     "SystemSpec",
     "WorkItem",
     "WorkOutcome",
@@ -86,7 +91,27 @@ class ComposeSpec:
     parts: tuple["SystemSpec", ...]
 
 
-SystemSpec = Union[SmvSpec, FactorySpec, ExplicitSpec, ComposeSpec]
+@dataclass(frozen=True)
+class SnapshotSpec:
+    """A symbolic system serialized as a BDD manager snapshot.
+
+    ``snapshot`` is the byte string from
+    :meth:`repro.bdd.manager.BDD.snapshot`; node ids are stable across
+    snapshot/restore, so ``transition`` and ``partitions`` refer into
+    the restored manager directly.  The flat-array wire format makes
+    this cheap enough to pickle across the pool boundary.
+    """
+
+    snapshot: bytes
+    atoms: tuple[str, ...]
+    transition: int
+    partitions: tuple[int, ...] = ()
+    prefer_partitions: bool = False
+
+
+SystemSpec = Union[
+    SmvSpec, FactorySpec, ExplicitSpec, ComposeSpec, SnapshotSpec
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +137,10 @@ class WorkItem:
     #: stamps it on every span it records, so grafted worker spans share
     #: the submitting request's trace instead of pid-only tags.
     trace_id: str = ""
+    #: Reorder mode for worker-built managers (``none``/``sift``/``auto``);
+    #: ``None`` keeps the worker's inherited default.  Part of the
+    #: worker's checker cache key.
+    reorder: str | None = None
 
 
 @dataclass
@@ -220,10 +249,11 @@ def spec_of_component(system) -> SystemSpec:
     """The picklable spec that rebuilds ``system`` in a worker process.
 
     Explicit :class:`~repro.systems.system.System` components serialize
-    canonically (sorted atoms, sorted edges).  Symbolic components must
-    have been built from SMV source with the source attached
-    (``smv_source``); raises :class:`ParallelError` otherwise, since
-    shipping a whole BDD manager to workers would defeat the purpose.
+    canonically (sorted atoms, sorted edges).  Symbolic components
+    serialize as SMV source when it is attached (``smv_source``) —
+    recompiling in the worker is the cheapest and most cacheable form —
+    and otherwise as a :class:`SnapshotSpec` carrying the manager's
+    flat-array snapshot and the relation's node ids.
     """
     from repro.systems.symbolic import SymbolicSystem
     from repro.systems.system import System
@@ -247,9 +277,11 @@ def spec_of_component(system) -> SystemSpec:
                 source=source,
                 reflexive=bool(getattr(system, "smv_reflexive", True)),
             )
-        raise ParallelError(
-            "symbolic component has no attached SMV source "
-            "(smv_source); build it via ProtocolComponent or attach "
-            "the source before requesting parallel checking"
+        return SnapshotSpec(
+            snapshot=system.bdd.snapshot(),
+            atoms=tuple(system.atoms),
+            transition=system.transition,
+            partitions=tuple(system.partitions or ()),
+            prefer_partitions=bool(system.prefer_partitions),
         )
     raise ParallelError(f"cannot derive a work spec for {type(system).__name__}")

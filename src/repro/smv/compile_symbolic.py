@@ -88,6 +88,10 @@ def to_symbolic(
         # monolithic relational product (measured ~4x on the AFS-2
         # server, benchmarks/bench_ablation_partitioned_relation.py)
         sym.prefer_partitions = len(partitions) >= 2
+    if bdd.reorder_mode == "sift":
+        # sift once, after the relation and its partitions exist — the
+        # "auto" mode instead re-sifts whenever the table doubles
+        sym.reorder()
     if not sym.is_total():
         raise ElaborationError(
             f"module {model.name!r}: some state has no successor — a case "

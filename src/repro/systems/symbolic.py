@@ -53,6 +53,10 @@ class SymbolicSystem:
             for a in self.atoms:
                 bdd.add_var(a)
                 bdd.add_var(primed(a))
+                # sift the pair as one block: any reordering then keeps
+                # a' directly below a, so the current→next rename stays
+                # order-preserving under every variable order
+                bdd.group(a, primed(a))
         self.bdd = bdd
         for a in self.atoms:
             if a not in bdd.var_names or primed(a) not in bdd.var_names:
@@ -91,6 +95,21 @@ class SymbolicSystem:
         if reflexive:
             t = self.bdd.apply("or", t, self.identity_relation())
         self.transition = t
+        self.bdd.add_reorder_root(t)
+
+    def reorder(self, method: str = "sift", **kwargs) -> dict[str, int | str]:
+        """Sift the variable order for this system's relations.
+
+        Registers the transition relation (and any conjunctive
+        partitions) as reorder roots and runs :meth:`BDD.reorder`.  All
+        previously returned node ids stay valid — reordering changes
+        cost, never results.
+        """
+        bdd = self.bdd
+        bdd.add_reorder_root(self.transition)
+        for p in self.partitions or ():
+            bdd.add_reorder_root(p)
+        return bdd.reorder(method, **kwargs)
 
     def state_cube(self, state: frozenset, next_state: bool = False) -> int:
         """BDD of one concrete state (as a full assignment of the atoms)."""
@@ -115,6 +134,9 @@ class SymbolicSystem:
         if system.reflexive:
             edges.append(sym.identity_relation())
         sym.transition = sym.bdd.disj(edges)
+        sym.bdd.add_reorder_root(sym.transition)
+        if sym.bdd.reorder_mode == "sift":
+            sym.reorder()
         return sym
 
     def to_explicit(self) -> System:
@@ -243,6 +265,9 @@ def symbolic_compose(m1: SymbolicSystem, m2: SymbolicSystem) -> SymbolicSystem:
     t = out.bdd.apply("or", lifted1, lifted2)
     t = out.bdd.apply("or", t, out.identity_relation())
     out.transition = t
+    out.bdd.add_reorder_root(t)
+    if out.bdd.reorder_mode == "sift":
+        out.reorder()
     return out
 
 

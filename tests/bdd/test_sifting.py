@@ -1,0 +1,296 @@
+"""In-place sifting, variable groups, and zero-copy snapshots.
+
+Complements ``test_reorder.py`` (which exercises the rebuild-based
+reference oracle in :mod:`repro.bdd.reorder`): here the manager reorders
+*itself*, so every previously returned node id must keep denoting the
+same boolean function — the invariant that lets transition relations,
+checker memo tables, and conjunctive partitions survive a reorder.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd.manager import (
+    BDD,
+    REORDER_MODES,
+    default_reorder,
+    set_default_reorder,
+)
+from repro.bdd.ops import evaluate
+from repro.bdd.reorder import rebuild_with_order, shared_size
+from repro.errors import BddError
+from tests.bdd.test_properties import (
+    VARS,
+    all_envs,
+    boolean_trees,
+    build,
+    eval_tree,
+)
+
+INTERLEAVED = ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+
+def _comparator():
+    """``⋁ (a_i ∧ b_i)`` declared under the worst (blocked) order."""
+    b = BDD()
+    b.declare("a0", "a1", "a2", "b0", "b1", "b2")
+    f = b.disj(
+        b.apply("and", b.var(f"a{i}"), b.var(f"b{i}")) for i in range(3)
+    )
+    return b, f
+
+
+def _envs(names):
+    for bits in range(1 << len(names)):
+        yield {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+
+
+class TestInPlaceSift:
+    def test_ids_keep_their_function(self):
+        bdd, f = _comparator()
+        names = list(bdd.var_names)
+        truth = [evaluate(bdd, f, env) for env in _envs(names)]
+        bdd.add_reorder_root(f)
+        summary = bdd.reorder("sift")
+        assert summary["nodes_after"] <= summary["nodes_before"]
+        assert [evaluate(bdd, f, env) for env in _envs(names)] == truth
+
+    def test_matches_the_rebuild_oracle_on_the_comparator(self):
+        bdd, f = _comparator()
+        bdd.add_reorder_root(f)
+        before = shared_size(bdd, [f])
+        bdd.reorder("sift")
+        after = shared_size(bdd, [f])
+        assert after < before
+        dst, (g,) = rebuild_with_order([f], bdd, INTERLEAVED)
+        assert after <= shared_size(dst, [g])
+
+    def test_current_order_tracks_swaps(self):
+        bdd, f = _comparator()
+        declared = ("a0", "a1", "a2", "b0", "b1", "b2")
+        assert bdd.current_order() == declared
+        bdd.add_reorder_root(f)
+        bdd.reorder("sift")
+        assert sorted(bdd.current_order()) == sorted(declared)
+        assert bdd.current_order() != declared
+
+    def test_reorder_without_roots_keeps_the_order(self):
+        bdd, _ = _comparator()
+        order = bdd.current_order()
+        summary = bdd.reorder("sift")
+        assert bdd.current_order() == order
+        assert summary["swaps"] == 0
+
+    def test_stats_record_the_run(self):
+        bdd, f = _comparator()
+        bdd.add_reorder_root(f)
+        bdd.reorder("sift")
+        assert bdd.stats.reorders == 1
+        assert bdd.stats.swaps > 0
+        assert (
+            bdd.stats.reorder_nodes_after <= bdd.stats.reorder_nodes_before
+        )
+
+    def test_unknown_method_rejected(self):
+        bdd, _ = _comparator()
+        with pytest.raises(BddError):
+            bdd.reorder("genetic")
+
+    def test_operations_still_correct_after_reorder(self):
+        # memo caches are invalidated, not stale: post-reorder results
+        # must match a fresh manager's
+        bdd, f = _comparator()
+        bdd.add_reorder_root(f)
+        bdd.reorder("sift")
+        g = bdd.exists(["a0", "b0"], f)
+        fresh, f2 = _comparator()
+        g2 = fresh.exists(["a0", "b0"], f2)
+        for env in _envs(list(bdd.var_names)):
+            assert evaluate(bdd, g, env) == evaluate(fresh, g2, env)
+
+
+class TestGroups:
+    def _paired(self):
+        b = BDD()
+        for i in range(3):
+            b.add_var(f"a{i}")
+            b.add_var(f"a{i}'")
+            b.group(f"a{i}", f"a{i}'")
+        # pair a_i with a_{i+1}' so sifting has an incentive to move
+        # whole blocks around
+        f = b.disj(
+            b.apply("and", b.var(f"a{i}"), b.var(f"a{(i + 1) % 3}'"))
+            for i in range(3)
+        )
+        return b, f
+
+    def test_groups_stay_adjacent_after_sift(self):
+        bdd, f = self._paired()
+        bdd.add_reorder_root(f)
+        bdd.reorder("sift")
+        order = list(bdd.current_order())
+        for i in range(3):
+            k = order.index(f"a{i}")
+            assert order[k + 1] == f"a{i}'"
+
+    def test_group_validation(self):
+        b = BDD()
+        b.declare("x", "y", "z")
+        with pytest.raises(BddError):
+            b.group("x", "nope")
+        b.group("x", "y")
+        with pytest.raises(BddError):
+            b.group("y", "z")  # y already grouped
+        BDD().group()  # fewer than two names: documented no-op
+
+
+class TestAutoReorder:
+    def test_auto_trigger_fires(self):
+        bdd = BDD(reorder="auto", auto_min_nodes=8)
+        bdd.declare("a0", "a1", "a2", "b0", "b1", "b2")
+        f = bdd.disj(
+            bdd.apply("and", bdd.var(f"a{i}"), bdd.var(f"b{i}"))
+            for i in range(3)
+        )
+        bdd.add_reorder_root(f)
+        # keep growing the table through public entry points until the
+        # doubling trigger fires
+        g = f
+        for i in range(3):
+            g = bdd.apply("xor", g, bdd.var(f"b{i}"))
+        assert bdd.stats.reorders >= 1
+
+    def test_mode_validation(self):
+        with pytest.raises(BddError):
+            BDD(reorder="bogus")
+        with pytest.raises(BddError):
+            set_default_reorder("bogus")
+        assert set(REORDER_MODES) == {"none", "sift", "auto"}
+
+    def test_default_mode_is_inherited_by_new_managers(self):
+        previous = set_default_reorder("sift")
+        try:
+            assert default_reorder() == "sift"
+            assert BDD().reorder_mode == "sift"
+            # an explicit argument beats the module default
+            assert BDD(reorder="none").reorder_mode == "none"
+        finally:
+            set_default_reorder(previous)
+
+    def test_sift_mode_has_no_implicit_trigger(self):
+        bdd = BDD(reorder="sift", auto_min_nodes=4)
+        bdd.declare("a0", "a1", "a2", "b0", "b1", "b2")
+        f = bdd.disj(
+            bdd.apply("and", bdd.var(f"a{i}"), bdd.var(f"b{i}"))
+            for i in range(3)
+        )
+        assert bdd.stats.reorders == 0
+        assert f  # the build itself worked
+
+
+class TestSnapshot:
+    def test_roundtrip_is_byte_identical(self):
+        bdd, f = _comparator()
+        bdd.add_reorder_root(f)
+        data = bdd.snapshot()
+        clone = BDD.from_snapshot(data)
+        assert clone.snapshot() == data
+        names = list(bdd.var_names)
+        for env in _envs(names):
+            assert evaluate(clone, f, env) == evaluate(bdd, f, env)
+
+    def test_restore_preserves_roots_groups_and_mode(self):
+        bdd = BDD(reorder="sift")
+        bdd.add_var("x")
+        bdd.add_var("x'")
+        bdd.group("x", "x'")
+        f = bdd.apply("and", bdd.var("x"), bdd.var("x'"))
+        bdd.add_reorder_root(f)
+        clone = BDD.from_snapshot(bdd.snapshot())
+        assert clone.reorder_mode == "sift"
+        assert clone.reorder_roots == (f,)
+        assert clone.current_order() == bdd.current_order()
+
+    def test_snapshot_taken_before_sift_restores_declared_order(self):
+        bdd, f = _comparator()
+        bdd.add_reorder_root(f)
+        data = bdd.snapshot()
+        declared = bdd.current_order()
+        bdd.reorder("sift")
+        assert bdd.current_order() != declared
+        clone = BDD.from_snapshot(data)
+        assert clone.current_order() == declared
+        for env in _envs(list(declared)):
+            assert evaluate(clone, f, env) == evaluate(bdd, f, env)
+
+    def test_clone_is_independent(self):
+        bdd, f = _comparator()
+        clone = BDD.from_snapshot(bdd.snapshot())
+        g = clone.apply("or", f, clone.var("a0"))
+        assert clone.num_live_nodes() >= bdd.num_live_nodes()
+        assert g != f or clone.num_live_nodes() == bdd.num_live_nodes()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BddError):
+            BDD.from_snapshot(b"not a snapshot")
+        bdd, _ = _comparator()
+        with pytest.raises(BddError):
+            BDD.from_snapshot(bdd.snapshot()[:20])
+
+
+# ----------------------------------------------------------------------
+# property tests: sifting is semantically invisible
+# ----------------------------------------------------------------------
+@given(boolean_trees())
+@settings(max_examples=50, deadline=None)
+def test_sift_preserves_evaluation_and_sat_count(tree):
+    bdd = BDD()
+    bdd.declare(*VARS)
+    node = build(bdd, tree)
+    count = bdd.sat_count(node)
+    bdd.add_reorder_root(node)
+    bdd.reorder("sift")
+    assert bdd.sat_count(node) == count
+    for env in all_envs():
+        assert evaluate(bdd, node, env) == eval_tree(tree, env)
+
+
+@given(boolean_trees())
+@settings(max_examples=25, deadline=None)
+def test_snapshot_roundtrip_on_random_functions(tree):
+    bdd = BDD()
+    bdd.declare(*VARS)
+    node = build(bdd, tree)
+    bdd.add_reorder_root(node)
+    data = bdd.snapshot()
+    clone = BDD.from_snapshot(data)
+    assert clone.snapshot() == data
+    for env in all_envs():
+        assert evaluate(clone, node, env) == eval_tree(tree, env)
+
+
+def test_sift_halves_the_worst_order_on_the_afs1_relation():
+    """The acceptance workload: blocked AFS-1 server relation."""
+    from repro.casestudies.afs1 import AFS1_SERVER_FIGURE
+    from repro.smv.compile_symbolic import to_symbolic
+    from repro.smv.elaborate import SmvModel
+    from repro.smv.parser import parse_module
+    from repro.systems.symbolic import primed
+
+    sym = to_symbolic(SmvModel(parse_module(AFS1_SERVER_FIGURE)))
+    blocked = list(sym.atoms) + [primed(a) for a in sym.atoms]
+    mgr, (t,) = rebuild_with_order([sym.transition], sym.bdd, blocked)
+    before = shared_size(mgr, [t])
+    mgr.add_reorder_root(t)
+    mgr.reorder("sift")
+    after = shared_size(mgr, [t])
+    assert after * 2 <= before
+
+
+def test_rebuild_error_names_the_problem_variables():
+    bdd, f = _comparator()
+    with pytest.raises(ValueError) as err:
+        rebuild_with_order([f], bdd, ["a0", "a1", "zz"])
+    message = str(err.value)
+    assert "zz" in message  # extra
+    assert "b0" in message  # missing

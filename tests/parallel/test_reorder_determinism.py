@@ -1,0 +1,76 @@
+"""Satellite: dynamic reordering has no observable semantic footprint.
+
+Proof certificates (proof tree, obligation report, summary) must be
+byte-identical whether reordering is off, sift-once, or automatic — and
+whether obligations run sequentially or through a worker pool.  Store
+records written under one mode must replay byte-identically under
+another (reorder mode is deliberately excluded from fingerprints).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bdd.manager import set_default_reorder
+from repro.casestudies.afs1 import Afs1
+from repro.compositional.export import obligations_report, proof_tree
+from repro.parallel.pool import shutdown_shared
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _certificates(jobs):
+    pf, proven = Afs1("symbolic", jobs=jobs).prove_safety()
+    return proof_tree(proven), obligations_report(pf), pf.summary()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    # pools must be created *after* the reorder default changes so
+    # forked workers inherit it (work items also stamp the mode, but a
+    # fresh pool keeps the test honest); and shut down afterwards so
+    # other test modules start clean
+    shutdown_shared()
+    yield
+    shutdown_shared()
+
+
+@pytest.mark.parametrize("mode", ["sift", "auto"])
+def test_certificates_identical_across_reorder_modes(mode):
+    baseline = _certificates(None)
+    previous = set_default_reorder(mode)
+    try:
+        shutdown_shared()
+        assert _certificates(None) == baseline
+    finally:
+        set_default_reorder(previous)
+
+
+def test_jobs2_sift_matches_sequential_no_reorder():
+    baseline = _certificates(None)
+    previous = set_default_reorder("sift")
+    try:
+        shutdown_shared()
+        assert _certificates(2) == baseline
+    finally:
+        set_default_reorder(previous)
+
+
+def test_cached_check_replays_across_reorder_modes(tmp_path):
+    from repro.store import ResultStore
+    from repro.store.cached import cached_check
+
+    source = (ROOT / "examples" / "figure1.smv").read_text()
+    store = ResultStore(tmp_path)
+    cold = cached_check(source, store=store)
+    assert cold.misses == len(cold.results)
+    previous = set_default_reorder("sift")
+    try:
+        warm = cached_check(source, store=store)
+    finally:
+        set_default_reorder(previous)
+    # reorder mode is not part of the fingerprint: every spec replays
+    assert warm.hits == len(cold.results)
+    assert warm.to_report().format(with_stats=True) == cold.to_report().format(
+        with_stats=True
+    )

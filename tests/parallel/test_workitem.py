@@ -14,6 +14,7 @@ from repro.parallel.workitem import (
     FactorySpec,
     ParallelError,
     SmvSpec,
+    SnapshotSpec,
     WorkItem,
     spec_of_component,
 )
@@ -53,10 +54,22 @@ class TestSpecDerivation:
         assert isinstance(rebuilt, SymbolicSystem)
         assert rebuilt.atoms == sym.atoms
 
-    def test_symbolic_without_source_rejected(self):
-        bare = SymbolicSystem({"a"})
-        with pytest.raises(ParallelError):
-            spec_of_component(bare)
+    def test_symbolic_without_source_snapshots(self):
+        bare = SymbolicSystem({"a", "b"})
+        t = bare.bdd.apply(
+            "or", bare.transition, bare.bdd.var("a")
+        )
+        bare.set_transition(t, reflexive=False)
+        spec = spec_of_component(bare)
+        assert isinstance(spec, SnapshotSpec)
+        # snapshots pickle — that is the point of the flat-array format
+        spec = pickle.loads(pickle.dumps(spec))
+        rebuilt = build_system(spec, "symbolic")
+        assert isinstance(rebuilt, SymbolicSystem)
+        assert rebuilt.atoms == bare.atoms
+        # node ids are stable across snapshot/restore
+        assert rebuilt.transition == bare.transition
+        assert set(rebuilt.to_explicit().edges) == set(bare.to_explicit().edges)
 
     def test_unknown_factory_rejected(self):
         with pytest.raises(ParallelError):
@@ -130,6 +143,43 @@ class TestRunWorkItem:
         assert outcome.bdd["mk_calls"] >= 0
         assert not outcome.cached
         assert run_work_item(item).cached  # second hit uses the cache
+
+    def test_snapshot_spec_checks_like_the_original(self):
+        # a source-less symbolic component travels as a manager snapshot
+        # and verdicts match the in-process explicit oracle
+        ring = TokenRing(2)
+        sym = SymbolicSystem.from_explicit(ring.process(0))
+        spec = spec_of_component(sym)
+        assert isinstance(spec, SnapshotSpec)
+        for text, expected in [("EF tok", True), ("AG tok", False)]:
+            item = WorkItem(
+                system=spec,
+                formula=parse_ctl(text),
+                engine="symbolic",
+            )
+            outcome = run_work_item(item)
+            assert bool(outcome.result) is expected
+            assert outcome.bdd is not None
+
+    def test_reorder_mode_is_part_of_the_cache_key(self):
+        item = WorkItem(
+            system=spec_of_component(CLIENT.symbolic()),
+            formula=parse_ctl("EF (r.0)"),
+            engine="symbolic",
+            reorder="none",
+        )
+        sifted = WorkItem(
+            system=item.system,
+            formula=item.formula,
+            engine="symbolic",
+            reorder="sift",
+        )
+        first = run_work_item(item)
+        assert not first.cached
+        other = run_work_item(sifted)
+        assert not other.cached  # different mode, different checker
+        assert bool(other.result) == bool(first.result)
+        assert run_work_item(item).cached
 
     def test_explicit_outcome_has_no_bdd_delta(self):
         item = WorkItem(
