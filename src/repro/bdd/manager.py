@@ -84,6 +84,7 @@ from collections.abc import Iterable, Iterator, Mapping
 
 from repro.bdd.stats import BDDStats
 from repro.errors import BddError
+from repro.obs.progress import PROGRESS
 from repro.obs.tracer import TRACER
 
 #: Constant node id for FALSE.
@@ -608,6 +609,12 @@ class BDD:
         swaps0 = st.swaps
         blocks = self._blocks()
         if len(blocks) >= 2 and before:
+            # a sift can run for a long time with no fixpoint ticks in
+            # between — its start/finish events double as heartbeats so
+            # the stall watchdog never flags a legitimately reordering
+            # obligation
+            if PROGRESS.enabled:
+                PROGRESS.emit("reorder.start", nodes=before)
             if TRACER.enabled:
                 with TRACER.span("bdd.reorder", category="bdd") as span:
                     self._run_sift(blocks, live, growth, rounds)
@@ -616,6 +623,12 @@ class BDD:
                     span.add("swaps", st.swaps - swaps0)
             else:
                 self._run_sift(blocks, live, growth, rounds)
+            if PROGRESS.enabled:
+                PROGRESS.emit(
+                    "reorder.finish",
+                    nodes=self._live_size(live),
+                    swaps=st.swaps - swaps0,
+                )
         after = self._live_size(live)
         st.reorders += 1
         st.reorder_nodes_before += before

@@ -41,6 +41,7 @@ from repro.logic.ctl import (
     TRUE,
 )
 from repro.logic.restriction import UNRESTRICTED, Restriction
+from repro.obs.progress import PROGRESS
 from repro.obs.tracer import TRACER
 from repro.systems.system import System
 
@@ -144,6 +145,12 @@ class ExplicitChecker:
         frontier = q
         while True:
             self._iterations += 1
+            if PROGRESS.enabled and PROGRESS.due():
+                PROGRESS.tick(
+                    "eu",
+                    iterations=self._iterations,
+                    size=int(frontier.sum()),
+                )
             if TRACER.enabled:
                 with TRACER.span("fixpoint.eu", category="fixpoint"):
                     new = p & self._pre(frontier) & ~z
@@ -168,6 +175,10 @@ class ExplicitChecker:
         dead = z & ~self._pre(z)
         while dead.any():
             self._iterations += 1
+            if PROGRESS.enabled and PROGRESS.due():
+                PROGRESS.tick(
+                    "eg", iterations=self._iterations, size=int(z.sum())
+                )
             if TRACER.enabled:
                 with TRACER.span("fixpoint.eg", category="fixpoint"):
                     z &= ~dead
@@ -190,6 +201,10 @@ class ExplicitChecker:
         z = p.copy()
         while True:
             self._iterations += 1
+            if PROGRESS.enabled and PROGRESS.due():
+                PROGRESS.tick(
+                    "eg_fair", iterations=self._iterations, size=int(z.sum())
+                )
             if TRACER.enabled:
                 with TRACER.span("fixpoint.eg_fair", category="fixpoint"):
                     nxt = p.copy()

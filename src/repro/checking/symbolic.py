@@ -32,6 +32,7 @@ from repro.logic.ctl import (
 )
 from repro.logic.ctl import TRUE as F_TRUE
 from repro.logic.restriction import UNRESTRICTED, Restriction
+from repro.obs.progress import PROGRESS
 from repro.obs.tracer import TRACER
 from repro.systems.symbolic import SymbolicSystem
 
@@ -78,6 +79,10 @@ class SymbolicChecker:
         frontier = q
         while frontier != FALSE:
             self._iterations += 1
+            if PROGRESS.enabled and PROGRESS.due():
+                PROGRESS.tick(
+                    "eu", iterations=self._iterations, size=b.nodes_allocated
+                )
             if TRACER.enabled:
                 with TRACER.span("fixpoint.eu", category="fixpoint"):
                     new = b.apply(
@@ -102,6 +107,10 @@ class SymbolicChecker:
         dead = b.apply("diff", z, self._ex(z))
         while dead != FALSE:
             self._iterations += 1
+            if PROGRESS.enabled and PROGRESS.due():
+                PROGRESS.tick(
+                    "eg", iterations=self._iterations, size=b.nodes_allocated
+                )
             if TRACER.enabled:
                 with TRACER.span("fixpoint.eg", category="fixpoint"):
                     z = b.apply("diff", z, dead)
@@ -123,6 +132,12 @@ class SymbolicChecker:
         z = p
         while True:
             self._iterations += 1
+            if PROGRESS.enabled and PROGRESS.due():
+                PROGRESS.tick(
+                    "eg_fair",
+                    iterations=self._iterations,
+                    size=self.bdd.nodes_allocated,
+                )
             if TRACER.enabled:
                 with TRACER.span("fixpoint.eg_fair", category="fixpoint"):
                     nxt = p

@@ -122,7 +122,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
 
     def run() -> int:
-        if args.json or args.cache:
+        if args.json or args.cache or args.progress:
             return _check_cached(args, source)
         model = load_model(source)
         if args.jobs and args.jobs > 1:
@@ -173,13 +173,30 @@ def _check_cached(args: argparse.Namespace, source: str) -> int:
         from repro.parallel import shared_scheduler
 
         scheduler = shared_scheduler(args.jobs)
-    run = cached_check(
-        source,
-        engine="explicit" if args.explicit else "symbolic",
-        reflexive=args.reflexive,
-        store=store,
-        scheduler=scheduler,
-    )
+    progress = None
+    progress_key = ""
+    if args.progress:
+        import uuid
+
+        from repro.obs.progress import ProgressConfig, ProgressPrinter
+
+        printer = ProgressPrinter(sys.stderr)
+        progress_key = uuid.uuid4().hex[:12]
+        if scheduler is not None:
+            scheduler.subscribe_progress(progress_key, printer)
+        progress = ProgressConfig(publish=printer, key=progress_key)
+    try:
+        run = cached_check(
+            source,
+            engine="explicit" if args.explicit else "symbolic",
+            reflexive=args.reflexive,
+            store=store,
+            scheduler=scheduler,
+            progress=progress,
+        )
+    finally:
+        if progress is not None and scheduler is not None:
+            scheduler.unsubscribe_progress(progress_key)
     if args.json:
         print(
             json.dumps(
@@ -409,7 +426,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.store import ResultStore
 
     if args.log_file:
-        configure_log(args.log_file, level=args.log_level)
+        configure_log(
+            args.log_file,
+            level=args.log_level,
+            max_bytes=args.log_max_bytes,
+        )
     metrics = MetricsRegistry()
     store = (
         ResultStore(args.cache_dir, metrics=metrics)
@@ -423,6 +444,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         metrics=metrics,
         trace_requests=not args.no_request_traces,
+        progress=not args.no_progress,
+        progress_interval=args.progress_interval,
+        stall_deadline=args.stall_deadline,
     )
     server = create_server(args.host, args.port, manager=manager)
     where = f"http://{args.host}:{server.port}"
@@ -496,7 +520,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     ]
     client = ServeClient(args.url)
     try:
-        job = client.check(checks, timeout=args.timeout, wait_timeout=args.wait)
+        if args.progress:
+            from repro.obs.progress import ProgressPrinter
+
+            accepted = client.submit(checks, timeout=args.timeout)
+            printer = ProgressPrinter(sys.stderr)
+            try:
+                for event in client.iter_events(accepted["id"]):
+                    printer(event)
+            except ServeClientError as exc:
+                if exc.status != 404:  # progress disabled server-side
+                    raise
+            job = client.wait(accepted["id"], timeout=args.wait)
+        else:
+            job = client.check(
+                checks, timeout=args.timeout, wait_timeout=args.wait
+            )
     except ServeClientError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
@@ -555,6 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the machine-readable report payload (the same "
         "schema the serving layer returns) instead of the text report",
+    )
+    check.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live per-obligation progress (fixpoint heartbeats, "
+        "cache hits, verdicts) to stderr while checking",
     )
     _add_jobs_flag(check)
     _add_reorder_flag(check)
@@ -652,6 +697,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip recording per-request span traces (disables "
         "GET /v1/jobs/<id>/trace; sheds recording overhead under load)",
     )
+    serve.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="skip recording live obligation progress (disables "
+        "GET /v1/jobs/<id>/events and the stall watchdog)",
+    )
+    serve.add_argument(
+        "--progress-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="minimum seconds between heartbeat ticks from inside a "
+        "fixpoint (throttles per-iteration progress events)",
+    )
+    serve.add_argument(
+        "--stall-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="flag a running obligation as stalled after this long "
+        "without a heartbeat (0 disables the watchdog)",
+    )
+    serve.add_argument(
+        "--log-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate --log-file to <file>.1 when it would exceed "
+        "BYTES (keeps at most two generations on disk)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     obs = sub.add_parser(
@@ -719,6 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=120.0,
         help="client-side seconds to wait for the job to finish",
+    )
+    submit.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream the job's live progress events "
+        "(GET /v1/jobs/<id>/events) to stderr while waiting",
     )
     submit.set_defaults(func=_cmd_submit)
 

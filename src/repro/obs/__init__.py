@@ -37,6 +37,13 @@ from repro.obs.hist import Histogram
 from repro.obs.log import LOG, EventLog, configure_log
 from repro.obs.merge import graft_records
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import (
+    PROGRESS,
+    ProgressBus,
+    ProgressConfig,
+    ProgressEmitter,
+    ProgressPrinter,
+)
 
 __all__ = [
     "Span",
@@ -47,6 +54,11 @@ __all__ = [
     "LOG",
     "Histogram",
     "MetricsRegistry",
+    "PROGRESS",
+    "ProgressBus",
+    "ProgressConfig",
+    "ProgressEmitter",
+    "ProgressPrinter",
     "configure_log",
     "enable_tracing",
     "disable_tracing",

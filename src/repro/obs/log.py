@@ -104,6 +104,13 @@ class EventLog:
         ``"error"``).
     clock:
         Wall-clock source for the ``ts`` field (injectable for tests).
+    max_bytes:
+        Size cap for a ``path``-backed log (``repro serve
+        --log-max-bytes``): when writing a record would push the file
+        past the cap, the file rotates to ``<path>.1`` (replacing any
+        previous rollover) and a fresh file starts — a long-lived
+        serve process keeps at most two generations on disk instead of
+        one unbounded file.  ``None`` (the default) never rotates.
     """
 
     def __init__(
@@ -112,6 +119,7 @@ class EventLog:
         path: str | Path | None = None,
         level: str = "info",
         clock=time.time,
+        max_bytes: int | None = None,
     ):
         if stream is not None and path is not None:
             raise ValueError("pass either stream or path, not both")
@@ -119,6 +127,8 @@ class EventLog:
         self._path = Path(path) if path is not None else None
         self._clock = clock
         self._lock = threading.Lock()
+        self._max_bytes = max_bytes
+        self._written = 0
         self.set_level(level)
 
     # -- configuration ---------------------------------------------------
@@ -177,8 +187,18 @@ class EventLog:
         with self._lock:
             stream = self._ensure_stream()
             if stream is not None:
+                size = len(line.encode()) + 1
+                if (
+                    self._max_bytes is not None
+                    and self._path is not None
+                    and self._written  # never rotate an empty file
+                    and self._written + size > self._max_bytes
+                ):
+                    self._rotate()
+                    stream = self._ensure_stream()
                 stream.write(line + "\n")
                 stream.flush()
+                self._written += size
 
     def debug(self, name: str, **fields) -> None:
         self.event(name, level="debug", **fields)
@@ -193,7 +213,18 @@ class EventLog:
         if self._stream is None and self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = self._path.open("a")
+            self._written = (
+                self._path.stat().st_size if self._path.exists() else 0
+            )
         return self._stream
+
+    def _rotate(self) -> None:
+        """Roll the current file to ``<path>.1`` (caller holds the lock)."""
+        assert self._path is not None and self._stream is not None
+        self._stream.close()
+        self._stream = None
+        self._path.replace(self._path.with_name(self._path.name + ".1"))
+        self._written = 0
 
 
 #: Process-wide default event log; disabled (no sink) at import time.
@@ -204,11 +235,18 @@ def configure_log(
     path: str | Path | None = None,
     level: str = "info",
     stream: io.TextIOBase | None = None,
+    max_bytes: int | None = None,
 ) -> EventLog:
-    """Point the global :data:`LOG` at a file (or stream) and level."""
+    """Point the global :data:`LOG` at a file (or stream) and level.
+
+    ``max_bytes`` caps a file-backed log's size; see
+    :class:`EventLog`.
+    """
     LOG.close()
     LOG._path = Path(path) if path is not None else None
     LOG._stream = stream
+    LOG._max_bytes = max_bytes
+    LOG._written = 0
     LOG.set_level(level)
     return LOG
 

@@ -31,8 +31,10 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import queue as queue_module
+import threading
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.obs.merge import graft_records
 from repro.obs.metrics import MetricsRegistry
@@ -81,14 +83,31 @@ class ObligationScheduler:
         self.jobs = jobs
         self.metrics = MetricsRegistry()
         self._pool = None
+        self._progress_queue = None
+        self._progress_thread: threading.Thread | None = None
+        self._progress_listeners: dict[str, Callable[[dict], None]] = {}
+        self._progress_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
             ctx = _make_context()
+            # the progress queue rides on the pool initializer — mp
+            # queues are inheritance-only, they cannot travel on
+            # apply_async arguments
+            self._progress_queue = ctx.Queue()
             self._pool = ctx.Pool(
-                processes=self.jobs, initializer=_init_worker
+                processes=self.jobs,
+                initializer=_init_worker,
+                initargs=(self._progress_queue,),
             )
+            self._progress_thread = threading.Thread(
+                target=self._drain_progress,
+                args=(self._progress_queue,),
+                name="repro-progress-drain",
+                daemon=True,
+            )
+            self._progress_thread.start()
         return self._pool
 
     def close(self) -> None:
@@ -97,6 +116,53 @@ class ObligationScheduler:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            if self._progress_queue is not None:
+                try:
+                    self._progress_queue.put_nowait(None)  # drainer sentinel
+                except Exception:
+                    pass
+            self._progress_queue = None
+
+    # -- progress routing ------------------------------------------------
+    def subscribe_progress(
+        self, key: str, callback: Callable[[dict], None]
+    ) -> None:
+        """Deliver worker progress events tagged with ``key`` to
+        ``callback`` (called on the drainer thread; must not block).
+
+        Work items opt in by carrying ``progress_key=key`` — events from
+        items with other keys (or none) never reach this callback, so
+        concurrent jobs sharing the pool stay isolated.
+        """
+        with self._progress_lock:
+            self._progress_listeners[key] = callback
+
+    def unsubscribe_progress(self, key: str) -> None:
+        """Stop delivering events for ``key`` (idempotent)."""
+        with self._progress_lock:
+            self._progress_listeners.pop(key, None)
+
+    def _drain_progress(self, source) -> None:
+        """Drainer thread: route worker events to their subscribers."""
+        while True:
+            try:
+                event = source.get(timeout=0.5)
+            except (queue_module.Empty, OSError, EOFError):
+                if self._progress_queue is not source:
+                    return  # pool torn down; a new one gets a new drainer
+                continue
+            if event is None:  # close() sentinel
+                return
+            if not isinstance(event, dict):
+                continue
+            with self._progress_lock:
+                callback = self._progress_listeners.get(event.get("key", ""))
+            if callback is None:
+                continue
+            try:
+                callback(event)
+            except Exception:
+                pass  # a broken consumer must not kill the drainer
 
     def __enter__(self) -> "ObligationScheduler":
         return self

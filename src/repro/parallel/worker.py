@@ -22,6 +22,7 @@ import signal
 import time
 
 from repro.obs.export import to_jsonl_records
+from repro.obs.progress import PROGRESS
 from repro.obs.tracer import TRACER
 from repro.parallel.workitem import (
     ComposeSpec,
@@ -37,6 +38,18 @@ from repro.parallel.workitem import (
 )
 
 __all__ = ["run_work_item", "build_system", "checker_for", "clear_worker_caches"]
+
+#: The pool's shared progress queue, inherited through the pool
+#: initializer (``None`` when the parent did not create one).  Events
+#: put here are drained by a parent-side thread and routed by their
+#: ``key`` field (:mod:`repro.parallel.pool`).
+_PROGRESS_QUEUE = None
+
+#: Env var (seconds): when set, a progress-enabled work item sleeps
+#: this long after ``obligation.start`` without emitting heartbeats —
+#: a deterministic way for tests and smoke runs to trip the serve
+#: layer's stall watchdog.
+STALL_HOOK_ENV = "REPRO_PROGRESS_TEST_STALL"
 
 #: Per-process cache: (spec, engine, expand_to, reorder) → checker.
 _CHECKERS: dict = {}
@@ -157,6 +170,17 @@ def checker_for(spec: SystemSpec, engine: str, expand_to: tuple[str, ...]):
     return checker, False
 
 
+def _progress_sink(event: dict) -> None:
+    """Ship one event to the parent; progress is lossy, never blocking."""
+    queue_ = _PROGRESS_QUEUE
+    if queue_ is None:
+        return
+    try:
+        queue_.put_nowait(event)
+    except Exception:
+        pass  # full queue / torn-down parent: drop the heartbeat
+
+
 def run_work_item(item: WorkItem) -> WorkOutcome:
     """Execute one work item in this process; never raises on a failed
     check — the verdict travels back inside the :class:`CheckResult`."""
@@ -171,6 +195,23 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
     previous_reorder = (
         set_default_reorder(item.reorder) if item.reorder is not None else None
     )
+    progress = bool(item.progress_key) and _PROGRESS_QUEUE is not None
+    if progress:
+        fields = dict(
+            key=item.progress_key,
+            obligation=item.progress_obligation or item.label,
+            pid=os.getpid(),
+        )
+        if item.trace_id:
+            fields["trace_id"] = item.trace_id
+        PROGRESS.activate(
+            _progress_sink, interval=item.progress_interval, **fields
+        )
+        PROGRESS.emit("obligation.start", engine=item.engine)
+        stall = os.environ.get(STALL_HOOK_ENV)
+        if stall:
+            # heartbeat-free sleep: the watchdog must flag this item
+            time.sleep(float(stall))
     try:
         t0 = time.perf_counter()
         root_attrs = dict(
@@ -221,6 +262,13 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
             wall_origin = TRACER.epoch_wall + (
                 TRACER.start_time - TRACER.epoch_perf
             )
+        if progress:
+            PROGRESS.emit(
+                "obligation.finish",
+                holds=bool(result.holds),
+                cached=cached,
+                seconds=round(t2 - t1, 6),
+            )
         return WorkOutcome(
             result=result,
             label=item.label,
@@ -236,16 +284,24 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
         if previous_reorder is not None:
             set_default_reorder(previous_reorder)
         TRACER.enabled = False
+        PROGRESS.deactivate()
 
 
-def _init_worker() -> None:
+def _init_worker(progress_queue=None) -> None:
     """Pool initializer: start from a quiet tracer in every worker.
 
     ``fork`` copies the parent's signal table, and the serve process
     installs a SIGTERM handler that drains its job queue — a worker
     running that handler survives ``pool.terminate()`` and hangs the
     join.  Workers must die on SIGTERM, so restore the default action.
+
+    ``progress_queue`` is the pool's shared multiprocessing queue for
+    live progress events; queues cannot ride on ``apply_async``
+    arguments, so the initializer is the sanctioned inheritance path.
     """
+    global _PROGRESS_QUEUE
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _PROGRESS_QUEUE = progress_queue
     TRACER.enabled = False
     TRACER.reset()
+    PROGRESS.deactivate()

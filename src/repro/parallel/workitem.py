@@ -141,6 +141,17 @@ class WorkItem:
     #: ``None`` keeps the worker's inherited default.  Part of the
     #: worker's checker cache key.
     reorder: str | None = None
+    #: Routing key for live progress events: when non-empty, the worker
+    #: activates :data:`~repro.obs.progress.PROGRESS` for this item and
+    #: every event is tagged with the key so the parent-side drainer
+    #: (:mod:`repro.parallel.pool`) can deliver it to the right
+    #: subscriber.  Empty (the default) emits nothing.
+    progress_key: str = ""
+    #: Obligation name stamped on this item's progress events
+    #: (e.g. ``c0.spec1``); falls back to ``label`` when empty.
+    progress_obligation: str = ""
+    #: Minimum seconds between heartbeat ticks for this item.
+    progress_interval: float = 0.05
 
 
 @dataclass

@@ -9,10 +9,12 @@ what tests drive the server with.  Errors come back as
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
+from collections.abc import Iterator
 
 from repro.errors import ReproError
 
@@ -37,7 +39,11 @@ class ServeClient:
 
     # -- plumbing --------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float | None = None,
     ) -> dict | str:
         data = None
         headers = {}
@@ -47,8 +53,9 @@ class ServeClient:
         request = urllib.request.Request(
             f"{self.url}{path}", data=data, headers=headers, method=method
         )
+        effective = self.timeout if timeout is None else timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            with urllib.request.urlopen(request, timeout=effective) as resp:
                 body = resp.read().decode()
                 content_type = resp.headers.get("Content-Type", "")
         except urllib.error.HTTPError as exc:
@@ -69,11 +76,14 @@ class ServeClient:
         self,
         checks: list[dict] | dict | str,
         timeout: float | None = None,
+        request_timeout: float | None = None,
     ) -> dict:
         """``POST /v1/check``; returns the acceptance payload (``id`` ...).
 
         ``checks`` may be an SMV source string, one check dict, or a
-        list of check dicts (a batch).
+        list of check dicts (a batch).  ``timeout`` is the *job's*
+        server-side deadline; ``request_timeout`` overrides the
+        client's per-request socket timeout for this call only.
         """
         if isinstance(checks, str):
             payload: dict = {"source": checks}
@@ -83,13 +93,17 @@ class ServeClient:
             payload = {"checks": list(checks)}
         if timeout is not None:
             payload["timeout"] = timeout
-        result = self._request("POST", "/v1/check", payload)
+        result = self._request(
+            "POST", "/v1/check", payload, timeout=request_timeout
+        )
         assert isinstance(result, dict)
         return result
 
-    def job(self, job_id: str) -> dict:
+    def job(self, job_id: str, request_timeout: float | None = None) -> dict:
         """``GET /v1/jobs/<id>``: the job's state (and reports when done)."""
-        result = self._request("GET", f"/v1/jobs/{job_id}")
+        result = self._request(
+            "GET", f"/v1/jobs/{job_id}", timeout=request_timeout
+        )
         assert isinstance(result, dict)
         return result
 
@@ -138,19 +152,114 @@ class ServeClient:
         accepted = self.submit(checks, timeout=timeout)
         return self.wait(accepted["id"], timeout=wait_timeout)
 
-    def cancel(self, job_id: str) -> dict:
+    def cancel(self, job_id: str, request_timeout: float | None = None) -> dict:
         """``DELETE /v1/jobs/<id>``; raises on 404/409."""
-        result = self._request("DELETE", f"/v1/jobs/{job_id}")
+        result = self._request(
+            "DELETE", f"/v1/jobs/{job_id}", timeout=request_timeout
+        )
         assert isinstance(result, dict)
         return result
 
-    def healthz(self) -> dict:
-        result = self._request("GET", "/healthz")
+    def healthz(self, request_timeout: float | None = None) -> dict:
+        result = self._request("GET", "/healthz", timeout=request_timeout)
         assert isinstance(result, dict)
         return result
 
-    def metrics_text(self) -> str:
+    def metrics_text(self, request_timeout: float | None = None) -> str:
         """The raw Prometheus text from ``/metrics``."""
-        result = self._request("GET", "/metrics")
+        result = self._request("GET", "/metrics", timeout=request_timeout)
         assert isinstance(result, str)
         return result
+
+    # -- live progress ---------------------------------------------------
+    def iter_events(
+        self,
+        job_id: str,
+        since: int = 0,
+        reconnect: bool = True,
+        max_reconnects: int = 20,
+    ) -> Iterator[dict]:
+        """Consume ``GET /v1/jobs/<id>/events`` as a stream of events.
+
+        Yields each progress event as a dict (``seq``/``ts`` stamped by
+        the server) until the server sends its terminal ``end`` frame.
+        A dropped or idle-timed-out connection is transparently
+        reconnected with ``Last-Event-ID`` set to the last delivered
+        sequence number, so no retained event is lost or repeated
+        (``reconnect=False`` stops at the first drop instead).  Raises
+        :class:`ServeClientError` on HTTP errors (404: unknown job or
+        progress disabled).
+        """
+        drops = 0
+        while True:
+            request = urllib.request.Request(
+                f"{self.url}/v1/jobs/{job_id}/events",
+                headers={
+                    "Accept": "text/event-stream",
+                    "Last-Event-ID": str(since),
+                },
+            )
+            try:
+                response = urllib.request.urlopen(
+                    request, timeout=self.timeout
+                )
+            except urllib.error.HTTPError as exc:
+                body = exc.read().decode()
+                try:
+                    message = json.loads(body).get("error", body)
+                except ValueError:
+                    message = body
+                raise ServeClientError(exc.code, message) from None
+            except urllib.error.URLError as exc:
+                raise ServeClientError(
+                    0, f"cannot reach {self.url}: {exc.reason}"
+                ) from None
+            clean_end = False
+            try:
+                for frame in _iter_sse_frames(response):
+                    if frame.get("event") == "end":
+                        clean_end = True
+                        break
+                    try:
+                        event = json.loads(frame.get("data", ""))
+                    except ValueError:
+                        continue
+                    if isinstance(event.get("seq"), int):
+                        since = max(since, event["seq"])
+                    yield event
+            except (TimeoutError, OSError, http.client.HTTPException):
+                pass  # dropped mid-stream; reconnect below
+            finally:
+                response.close()
+            if clean_end:
+                return
+            if not reconnect:
+                return
+            drops += 1
+            if drops > max_reconnects:
+                raise ServeClientError(
+                    0, f"event stream for {job_id} dropped {drops} times"
+                )
+            time.sleep(min(0.05 * drops, 1.0))
+
+
+def _iter_sse_frames(response) -> Iterator[dict]:
+    """Parse ``text/event-stream`` framing into ``{event, data, id}``."""
+    frame: dict = {}
+    data_lines: list[str] = []
+    for raw in response:
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        if not line:  # blank line: dispatch the accumulated frame
+            if frame or data_lines:
+                frame["data"] = "\n".join(data_lines)
+                yield frame
+                frame, data_lines = {}, []
+            continue
+        if line.startswith(":"):  # keep-alive comment
+            continue
+        field_name, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if field_name == "data":
+            data_lines.append(value)
+        elif field_name in ("event", "id"):
+            frame[field_name] = value

@@ -21,12 +21,31 @@ repo.  Endpoints:
                                 carries the job's ``trace_id``.  ``409``
                                 until the job is terminal, ``404`` when
                                 request tracing is disabled.
+``GET /v1/jobs/<id>/events``    Live progress stream.  By default a
+                                ``text/event-stream`` SSE response: one
+                                frame per progress event (``id:`` is the
+                                bus sequence number, ``event:`` the kind,
+                                ``data:`` the JSON event), comment
+                                keep-alives while idle, a final ``end``
+                                frame when the job is terminal and the
+                                stream drained.  Resume after a drop with
+                                the ``Last-Event-ID`` header (or
+                                ``?since=<seq>``).  ``?poll=<seconds>``
+                                selects the long-poll fallback: one JSON
+                                document with the events past ``since``
+                                (blocking up to the given seconds) — for
+                                clients that cannot hold a stream open.
+                                ``404`` when progress is disabled.
 ``DELETE /v1/jobs/<id>``        Cancel — only jobs still queued (``409``
                                 otherwise).
 ``GET /healthz``                Liveness: version, uptime, queue depth,
-                                store hit rate (JSON).
+                                store hit rate, stalled-obligation count
+                                and the progress/watchdog config (JSON).
 ``GET /metrics``                Prometheus text: job, scheduler and store
-                                counters plus request latency histograms.
+                                counters, request latency histograms, the
+                                ``repro_stalled_obligations`` gauge and a
+                                ``repro_build_info`` gauge carrying
+                                version/python labels.
 ==============================  ==============================================
 
 :func:`create_server` wires a :class:`JobManager` to a
@@ -38,10 +57,12 @@ repo.  Endpoints:
 from __future__ import annotations
 
 import json
+import platform
 import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import to_prometheus_text
 from repro.obs.metrics import MetricsRegistry
@@ -112,11 +133,14 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         manager = self.server.manager
-        if self.path == "/healthz":
+        parsed = urlsplit(self.path)
+        path = parsed.path
+        query = parse_qs(parsed.query)
+        if path == "/healthz":
             stats = manager.stats()
             stats["status"] = "draining" if manager.draining else "ok"
             self._send_json(200 if not manager.draining else 503, stats)
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             # Fold the distinct registries into one before rendering, so
             # name collisions follow merge semantics (peaks take the max,
             # everything else sums) rather than last-registry-wins.  The
@@ -136,13 +160,25 @@ class _Handler(BaseHTTPRequestHandler):
                 merged.merge(registry)
             self._send_text(
                 200,
-                to_prometheus_text(merged),
+                to_prometheus_text(merged) + _build_info_text(),
                 "text/plain; version=0.0.4",
             )
-        elif self.path.startswith("/v1/jobs/") and self.path.endswith(
-            "/trace"
-        ):
-            job_id = self.path[len("/v1/jobs/") : -len("/trace")]
+        elif path.startswith("/v1/jobs/") and path.endswith("/events"):
+            job = manager.get(path[len("/v1/jobs/") : -len("/events")])
+            if job is None:
+                self._send_json(404, {"error": "no such job"})
+            elif job.progress is None:
+                self._send_json(
+                    404,
+                    {
+                        "id": job.id,
+                        "error": "progress is disabled on this server",
+                    },
+                )
+            else:
+                self._serve_events(job, query)
+        elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/v1/jobs/") : -len("/trace")]
             job = manager.get(job_id)
             if job is None:
                 self._send_json(404, {"error": "no such job"})
@@ -172,14 +208,80 @@ class _Handler(BaseHTTPRequestHandler):
                         "spans": job.trace,
                     },
                 )
-        elif self.path.startswith("/v1/jobs/"):
-            job = manager.get(self.path[len("/v1/jobs/") :])
+        elif path.startswith("/v1/jobs/"):
+            job = manager.get(path[len("/v1/jobs/") :])
             if job is None:
                 self._send_json(404, {"error": "no such job"})
             else:
                 self._send_json(200, job.to_dict())
         else:
-            self._send_json(404, {"error": f"no route {self.path}"})
+            self._send_json(404, {"error": f"no route {path}"})
+
+    # -- live progress streaming -----------------------------------------
+    def _serve_events(self, job, query: dict) -> None:
+        """``GET /v1/jobs/<id>/events``: SSE stream or long-poll JSON."""
+        bus = job.progress
+        since = 0
+        try:
+            if "since" in query:
+                since = int(query["since"][0])
+            elif self.headers.get("Last-Event-ID"):
+                since = int(self.headers["Last-Event-ID"])
+        except (ValueError, IndexError):
+            self._send_json(400, {"error": "bad since / Last-Event-ID"})
+            return
+        if "poll" in query:
+            try:
+                poll = float(query["poll"][0] or 30.0)
+            except ValueError:
+                self._send_json(400, {"error": "bad poll seconds"})
+                return
+            events = bus.wait(since, timeout=max(min(poll, 60.0), 0.0))
+            self._send_json(
+                200,
+                {
+                    "id": job.id,
+                    "state": job.state,
+                    "closed": bus.closed
+                    and not bus.events_since(
+                        events[-1]["seq"] if events else since
+                    ),
+                    "events": events,
+                    "next": events[-1]["seq"] if events else since,
+                },
+            )
+            return
+        # SSE: chunk-less HTTP/1.1 stream — no Content-Length, so the
+        # connection closes when the stream ends (clients resume via
+        # Last-Event-ID).
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            while True:
+                events = bus.wait(since, timeout=15.0)
+                for event in events:
+                    since = event["seq"]
+                    frame = (
+                        f"id: {event['seq']}\n"
+                        f"event: {event.get('kind', 'message')}\n"
+                        f"data: {json.dumps(event)}\n\n"
+                    )
+                    self.wfile.write(frame.encode())
+                if not events:
+                    if bus.closed:
+                        break
+                    self.wfile.write(b": keep-alive\n\n")  # hold NATs open
+                self.wfile.flush()
+                if bus.closed and not bus.events_since(since):
+                    break
+            self.wfile.write(b"event: end\ndata: {}\n\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; it can resume with Last-Event-ID
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path != "/v1/check":
@@ -250,6 +352,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 409, {"id": job_id, "state": state, "error": "not cancellable"}
             )
+
+
+def _build_info_text() -> str:
+    """The ``repro_build_info`` gauge: identity as Prometheus labels."""
+    from repro import __version__
+
+    return (
+        "# HELP repro_build_info Build/runtime identity (value always 1).\n"
+        "# TYPE repro_build_info gauge\n"
+        f'repro_build_info{{version="{__version__}",'
+        f'python="{platform.python_version()}"}} 1\n'
+    )
 
 
 def create_server(

@@ -51,6 +51,7 @@ from repro.errors import ReproError
 from repro.obs.export import to_jsonl_records
 from repro.obs.log import LOG, EventLog, source_digest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import DEFAULT_INTERVAL, ProgressBus, ProgressConfig
 from repro.obs.tracer import TraceContext, Tracer
 from repro.parallel.workitem import ParallelError
 from repro.serve.schema import report_payload
@@ -125,10 +126,32 @@ class Job:
     #: /v1/jobs/<id>/trace``; ``None`` until the job finishes or when
     #: request tracing is disabled.
     trace: list[dict] | None = None
+    #: Live progress event bus (``GET /v1/jobs/<id>/events``); created
+    #: at submission, closed when the job reaches a terminal state.
+    #: ``None`` when progress is disabled server-side.
+    progress: ProgressBus | None = field(default=None, repr=False)
+    #: Per-obligation state machine, keyed by obligation name
+    #: (``c<check>.spec<n>``): ``state`` walks ``pending → running →
+    #: done|cached|failed`` monotonically; ``stalled`` is an orthogonal
+    #: flag the watchdog sets (and a fresh heartbeat clears).
+    obligations: dict[str, dict] | None = None
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    def obligations_public(self) -> dict | None:
+        """The obligation table without bookkeeping fields."""
+        if self.obligations is None:
+            return None
+        return {
+            name: {
+                key: value
+                for key, value in entry.items()
+                if not key.startswith("_")
+            }
+            for name, entry in self.obligations.items()
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -142,6 +165,10 @@ class Job:
             "reports": self.reports,
             "trace_id": self.trace_id,
             "timings": self.timings,
+            "obligations": self.obligations_public(),
+            "progress_events": (
+                self.progress.last_seq if self.progress is not None else None
+            ),
         }
 
 
@@ -173,6 +200,19 @@ class JobManager:
         Structured event log for job lifecycle events; defaults to the
         process-wide :data:`~repro.obs.log.LOG` (silent until
         :func:`~repro.obs.log.configure_log` gives it a sink).
+    progress:
+        Stream live per-obligation progress (``GET
+        /v1/jobs/<id>/events``, the job document's ``obligations``
+        table, the stall watchdog).  On by default; ``repro serve
+        --no-progress`` turns it off.
+    progress_interval:
+        Minimum seconds between heartbeat ticks from inside the
+        engines' fixpoint loops.
+    stall_deadline:
+        Seconds without a heartbeat before a *running* obligation is
+        flagged as stalled (event log, ``repro_stalled_obligations``
+        metric, an ``obligation.stall`` event on the job's bus);
+        ``None`` disables the watchdog.
     """
 
     def __init__(
@@ -185,6 +225,9 @@ class JobManager:
         metrics: MetricsRegistry | None = None,
         trace_requests: bool = True,
         log: EventLog | None = None,
+        progress: bool = True,
+        progress_interval: float = DEFAULT_INTERVAL,
+        stall_deadline: float | None = 30.0,
     ):
         self.jobs = jobs
         self.store = store
@@ -192,6 +235,11 @@ class JobManager:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace_requests = trace_requests
         self.log = log if log is not None else LOG
+        self.progress_enabled = progress
+        self.progress_interval = progress_interval
+        self.stall_deadline = stall_deadline
+        # pre-registered so /metrics always renders the gauge, stalls or not
+        self.metrics.add("stalled_obligations", 0)
         self.started_wall = time.time()
         self.draining = False
         self._queue: queue.Queue[str | None] = queue.Queue(maxsize=queue_size)
@@ -200,6 +248,8 @@ class JobManager:
         self._idle = threading.Event()
         self._idle.set()
         self._runner: threading.Thread | None = None
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
 
     # -- scheduler -------------------------------------------------------
     def _scheduler(self):
@@ -215,11 +265,24 @@ class JobManager:
                 target=self._run_loop, name="repro-serve-runner", daemon=True
             )
             self._runner.start()
+        if (
+            self.progress_enabled
+            and self.stall_deadline  # None or 0 both disable the watchdog
+            and (self._watchdog is None or not self._watchdog.is_alive())
+        ):
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
         return self
 
     def stop(self) -> None:
         """Stop the runner after the job it is on (no queue wait)."""
         self.draining = True
+        self._watchdog_stop.set()
         try:
             self._queue.put_nowait(None)  # wake the runner
         except queue.Full:
@@ -273,6 +336,10 @@ class JobManager:
             timeout=self.default_timeout if timeout is None else timeout,
             trace_id=ctx.trace_id,
         )
+        if self.progress_enabled:
+            # created at submission so /events can attach while queued
+            job.progress = ProgressBus()
+            job.obligations = {}
         with self._lock:
             self._jobs[job.id] = job
         try:
@@ -324,6 +391,11 @@ class JobManager:
                 self.log.event(
                     "job.cancelled", trace_id=job.trace_id, job_id=job.id
                 )
+                if job.progress is not None:
+                    job.progress.publish(
+                        {"kind": "job.state", "state": "cancelled"}
+                    )
+                    job.progress.close()
             return job.state
 
     def stats(self) -> dict:
@@ -354,6 +426,18 @@ class JobManager:
             "states": states,
             "store": store_block,
             "draining": self.draining,
+            "stalled_obligations": int(
+                self.metrics.get("stalled_obligations")
+            ),
+            "config": {
+                "jobs": self.jobs,
+                "queue_size": self._queue.maxsize,
+                "default_timeout_seconds": self.default_timeout,
+                "progress": self.progress_enabled,
+                "progress_interval_seconds": self.progress_interval,
+                "stall_deadline_seconds": self.stall_deadline,
+                "trace_requests": self.trace_requests,
+            },
         }
 
     # -- execution -------------------------------------------------------
@@ -392,6 +476,14 @@ class JobManager:
         check_seconds = 0.0
         serialize_seconds = 0.0
         reports: list[dict] = []
+        scheduler = self._scheduler()
+        if job.progress is not None:
+            job.progress.publish({"kind": "job.state", "state": "running"})
+            # worker heartbeats drained from the pool queue route here by
+            # job id (the drainer thread calls _on_progress directly)
+            scheduler.subscribe_progress(
+                job.id, lambda event: self._on_progress(job, event)
+            )
         with self.log.bind(trace_id=job.trace_id, job_id=job.id):
             self.log.event(
                 "job.started",
@@ -422,15 +514,27 @@ class JobManager:
                             engine=request.engine,
                             trace_id=job.trace_id,
                         ) as check_span:
+                            progress_cfg = None
+                            if job.progress is not None:
+                                progress_cfg = ProgressConfig(
+                                    publish=(
+                                        lambda event, j=job:
+                                        self._on_progress(j, event)
+                                    ),
+                                    key=job.id,
+                                    prefix=f"c{index}.",
+                                    interval=self.progress_interval,
+                                )
                             run = cached_check(
                                 request.source,
                                 engine=request.engine,
                                 reflexive=request.reflexive,
                                 store=self.store,
-                                scheduler=self._scheduler(),
+                                scheduler=scheduler,
                                 timeout=remaining,
                                 tracer=tracer,
                                 trace_id=job.trace_id,
+                                progress=progress_cfg,
                             )
                         check_seconds += check_span.duration
                         with tracer.span(
@@ -477,6 +581,16 @@ class JobManager:
                     "serve.job_seconds",
                     (job.finished - (job.started or job.finished)),
                 )
+                if job.progress is not None:
+                    scheduler.unsubscribe_progress(job.id)
+                    job.progress.publish(
+                        {
+                            "kind": "job.state",
+                            "state": job.state,
+                            "error": job.error,
+                        }
+                    )
+                    job.progress.close()
                 self._finish_observations(
                     job, tracer, queue_wait, check_seconds, serialize_seconds
                 )
@@ -530,3 +644,136 @@ class JobManager:
             spans=len(job.trace) if job.trace else 0,
             **{k: v for k, v in job.timings.items()},
         )
+
+    # -- live progress ---------------------------------------------------
+    #: Obligation states only ever advance along this ranking — late or
+    #: re-ordered events (a worker heartbeat drained after the parent's
+    #: result) can never move an obligation backwards.
+    _STATE_RANK = {
+        "pending": 0,
+        "running": 1,
+        "done": 2,
+        "cached": 2,
+        "failed": 2,
+    }
+
+    @classmethod
+    def _advance(cls, entry: dict, state: str) -> None:
+        if cls._STATE_RANK[state] >= cls._STATE_RANK[entry["state"]]:
+            entry["state"] = state
+
+    def _on_progress(self, job: Job, event: dict) -> None:
+        """Fold one progress event into the job's obligation table and
+        publish it on the job's bus.
+
+        Called from the runner thread (in-process/lifecycle events) and
+        from the pool's drainer thread (worker heartbeats).  The two
+        channels race at the tail of an obligation: the parent publishes
+        ``obligation.result`` as soon as the pool hands back the
+        outcome, while that worker's last heartbeats may still sit in
+        the progress queue.  Folding and publishing under the manager
+        lock, and dropping non-terminal events for obligations already
+        in a terminal state, keeps the published stream monotone — the
+        invariant /events consumers rely on.
+        """
+        bus = job.progress
+        if bus is None:
+            return
+        kind = str(event.get("kind", ""))
+        name = event.get("obligation")
+        if name and job.obligations is not None:
+            with self._lock:
+                entry = job.obligations.get(name)
+                if entry is None:
+                    entry = job.obligations[name] = {
+                        "state": "pending",
+                        "ticks": 0,
+                        "stalled": False,
+                    }
+                if self._STATE_RANK[entry["state"]] >= 2 and kind in (
+                    "obligation.queued",
+                    "obligation.start",
+                    "obligation.tick",
+                    "obligation.stall",
+                ):
+                    return  # stale heartbeat from a finished obligation
+                entry["_last_heartbeat"] = time.monotonic()
+                if entry["stalled"] and kind != "obligation.stall":
+                    entry["stalled"] = False  # heartbeat resumed
+                if kind == "obligation.queued":
+                    entry["engine"] = event.get("engine")
+                elif kind == "obligation.start":
+                    self._advance(entry, "running")
+                    if "pid" in event:
+                        entry["pid"] = event["pid"]
+                elif kind == "obligation.tick":
+                    self._advance(entry, "running")
+                    entry["ticks"] += 1
+                    entry["phase"] = event.get("phase")
+                    entry["iterations"] = event.get("iterations")
+                    entry["size"] = event.get("size")
+                elif kind == "obligation.cache_hit":
+                    self._advance(entry, "cached")
+                    entry["holds"] = event.get("holds")
+                elif kind in ("obligation.finish", "obligation.result"):
+                    self._advance(entry, "done")
+                    if "holds" in event:
+                        entry["holds"] = event["holds"]
+                    if "seconds" in event:
+                        entry["seconds"] = event["seconds"]
+                bus.publish(event)
+                return
+        bus.publish(event)
+
+    def _watchdog_loop(self) -> None:
+        """Flag running obligations whose heartbeats went quiet.
+
+        Only obligations in state ``running`` are examined — a queued
+        obligation legitimately waits without heartbeats, and terminal
+        ones are done emitting.  A stall is not terminal: the flag
+        clears if heartbeats resume (e.g. a long GC pause), but the
+        metric and the log line persist as evidence.
+        """
+        deadline = self.stall_deadline
+        if not deadline:
+            return
+        poll = max(min(deadline / 4.0, 1.0), 0.01)
+        while not self._watchdog_stop.wait(poll):
+            now = time.monotonic()
+            with self._lock:
+                live = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state == "running" and job.obligations
+                ]
+            for job in live:
+                stalls: list[tuple[str, float]] = []
+                with self._lock:
+                    for name, entry in (job.obligations or {}).items():
+                        if entry.get("state") != "running":
+                            continue
+                        if entry.get("stalled"):
+                            continue
+                        idle = now - entry.get("_last_heartbeat", now)
+                        if idle > deadline:
+                            entry["stalled"] = True
+                            stalls.append((name, idle))
+                for name, idle in stalls:
+                    self.metrics.add("stalled_obligations")
+                    self.log.warning(
+                        "obligation.stalled",
+                        trace_id=job.trace_id,
+                        job_id=job.id,
+                        obligation=name,
+                        idle_seconds=round(idle, 3),
+                        deadline=deadline,
+                    )
+                    if job.progress is not None:
+                        job.progress.publish(
+                            {
+                                "kind": "obligation.stall",
+                                "obligation": name,
+                                "idle_seconds": round(idle, 3),
+                                "deadline": deadline,
+                            }
+                        )

@@ -92,6 +92,7 @@ def cached_check(
     timeout: float | None = None,
     tracer=None,
     trace_id: str = "",
+    progress=None,
 ) -> CachedRun:
     """Check every SPEC of ``source``, reusing store records where possible.
 
@@ -119,6 +120,16 @@ def cached_check(
     trace_id:
         Request trace identity stamped on this run's spans and carried
         into the worker pool, so grafted worker spans share it.
+    progress:
+        A :class:`~repro.obs.progress.ProgressConfig`: every per-spec
+        obligation publishes live lifecycle events
+        (``obligation.queued``/``start``/``tick``/``cache_hit``/
+        ``finish``/``result``) through it.  On the scheduler path the
+        config's ``key`` must be subscribed on the scheduler
+        (:meth:`~repro.parallel.pool.ObligationScheduler.subscribe_progress`)
+        so worker heartbeats route back; in-process checks activate the
+        process-wide :data:`~repro.obs.progress.PROGRESS` emitter
+        directly.  ``None`` (the default) emits nothing.
     """
     if tracer is None:
         tracer = TRACER
@@ -153,6 +164,15 @@ def cached_check(
                         results[i] = CheckResult.from_dict(record.result)
                         counterexamples[i] = record.counterexample
                         cached_flags[i] = True
+                        if progress is not None:
+                            progress.publish(
+                                {
+                                    "kind": "obligation.cache_hit",
+                                    "obligation": progress.obligation(i),
+                                    "engine": engine,
+                                    "holds": results[i].holds,
+                                }
+                            )
         miss_indices = [i for i in range(count) if results[i] is None]
         root.add("store.spec_hits", count - len(miss_indices))
         root.add("store.spec_misses", len(miss_indices))
@@ -163,12 +183,13 @@ def cached_check(
                 _run_scheduled(
                     scheduler, source, model, restriction, engine, reflexive,
                     miss_indices, results, counterexamples, timeout,
-                    tracer=tracer, trace_id=trace_id,
+                    tracer=tracer, trace_id=trace_id, progress=progress,
                 )
             else:
                 sym = _run_inprocess(
                     model, restriction, engine, reflexive,
                     miss_indices, results, counterexamples, tracer=tracer,
+                    progress=progress,
                 )
         user_time = root.elapsed()
 
@@ -236,21 +257,58 @@ def cached_check(
     return run
 
 
+def _checked_with_progress(checker, formula, restriction, progress, index):
+    """Run one in-process obligation with live lifecycle events around
+    it and the process-wide emitter active for heartbeat ticks."""
+    import os
+    import time as time_module
+
+    from repro.obs.progress import PROGRESS
+
+    name = progress.obligation(index)
+    progress.publish(
+        {"kind": "obligation.start", "obligation": name, "pid": os.getpid()}
+    )
+    started = time_module.perf_counter()
+    with PROGRESS.active(
+        progress.publish, interval=progress.interval, obligation=name
+    ):
+        result = checker.holds(formula, restriction)
+    progress.publish(
+        {
+            "kind": "obligation.finish",
+            "obligation": name,
+            "holds": result.holds,
+            "cached": False,
+            "seconds": round(time_module.perf_counter() - started, 6),
+        }
+    )
+    return result
+
+
 def _run_inprocess(
     model, restriction, engine, reflexive, miss_indices, results,
-    counterexamples, tracer=None,
+    counterexamples, tracer=None, progress=None,
 ):
     """Check the missing specs with an in-process engine; returns the
     compiled symbolic system (``None`` for the explicit engine)."""
     if tracer is None:
         tracer = TRACER
+
+    def checked(checker, i):
+        if progress is not None:
+            return _checked_with_progress(
+                checker, model.specs[i], restriction, progress, i
+            )
+        return checker.holds(model.specs[i], restriction)
+
     if engine == "explicit":
         from repro.checking.explicit import ExplicitChecker
         from repro.smv.compile_explicit import to_system
 
         checker = ExplicitChecker(to_system(model, reflexive=reflexive))
         for i in miss_indices:
-            results[i] = checker.holds(model.specs[i], restriction)
+            results[i] = checked(checker, i)
         return None
     from repro.checking.symbolic import SymbolicChecker
     from repro.smv.compile_symbolic import to_symbolic
@@ -259,7 +317,7 @@ def _run_inprocess(
         sym = to_symbolic(model, reflexive=reflexive)
     checker = SymbolicChecker(sym)
     for i in miss_indices:
-        result = checker.holds(model.specs[i], restriction)
+        result = checked(checker, i)
         results[i] = result
         if not result.holds and result.failing_states:
             with tracer.span("smv.counterexample", category="smv"):
@@ -272,7 +330,7 @@ def _run_inprocess(
 def _run_scheduled(
     scheduler, source, model, restriction, engine, reflexive,
     miss_indices, results, counterexamples, timeout,
-    tracer=None, trace_id="",
+    tracer=None, trace_id="", progress=None,
 ):
     """Fan the missing specs out over a worker pool; failed symbolic
     specs are re-examined in-process to decode counterexample traces
@@ -293,13 +351,39 @@ def _run_scheduled(
             # item (workers may predate the caller's mode) but NOT the
             # store fingerprints — records replay across modes
             reorder=default_reorder(),
+            progress_key=progress.key if progress is not None else "",
+            progress_obligation=(
+                progress.obligation(i) if progress is not None else ""
+            ),
+            progress_interval=(
+                progress.interval if progress is not None else 0.05
+            ),
         )
         for i in miss_indices
     ]
+    if progress is not None:
+        for i in miss_indices:
+            progress.publish(
+                {
+                    "kind": "obligation.queued",
+                    "obligation": progress.obligation(i),
+                    "engine": engine,
+                }
+            )
     outcomes = scheduler.run(items, timeout=timeout, tracer=tracer)
     sym = None
     for i, outcome in zip(miss_indices, outcomes):
         results[i] = outcome.result
+        if progress is not None:
+            progress.publish(
+                {
+                    "kind": "obligation.result",
+                    "obligation": progress.obligation(i),
+                    "holds": outcome.result.holds,
+                    "pid": outcome.pid,
+                    "seconds": round(outcome.check_seconds, 6),
+                }
+            )
         if (
             engine == "symbolic"
             and not outcome.result.holds

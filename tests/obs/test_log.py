@@ -132,6 +132,65 @@ class TestFileSink:
             EventLog(stream=io.StringIO(), path=tmp_path / "x")
 
 
+class TestRotation:
+    def test_rotates_to_dot_one_at_cap(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, clock=lambda: 1.0, max_bytes=200)
+        for i in range(20):
+            log.event("fill", n=i)
+        log.close()
+        rolled = tmp_path / "events.jsonl.1"
+        assert rolled.exists(), "no rollover happened"
+        assert path.stat().st_size <= 200
+        assert rolled.stat().st_size <= 200
+        # both generations stay parseable, together covering every event
+        total = len(read_events(rolled)) + len(read_events(path))
+        assert 0 < total <= 20
+
+    def test_second_rotation_replaces_previous_rollover(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, clock=lambda: 1.0, max_bytes=120)
+        for i in range(40):
+            log.event("fill", n=i)
+        log.close()
+        # only ever two generations on disk
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "events.jsonl",
+            "events.jsonl.1",
+        ]
+
+    def test_oversized_single_record_still_written(self, tmp_path):
+        # a record bigger than the cap must not rotate forever: an empty
+        # file is never rotated, the record lands in it
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, max_bytes=10)
+        log.event("huge", payload="x" * 100)
+        log.close()
+        assert len(read_events(path)) == 1
+        assert not (tmp_path / "events.jsonl.1").exists()
+
+    def test_no_cap_never_rotates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        for i in range(50):
+            log.event("fill", n=i)
+        log.close()
+        assert len(read_events(path)) == 50
+        assert not (tmp_path / "events.jsonl.1").exists()
+
+    def test_reopened_log_counts_existing_bytes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        first = EventLog(path=path, max_bytes=300)
+        first.event("seed", payload="x" * 120)
+        first.close()
+        size = path.stat().st_size
+        second = EventLog(path=path, max_bytes=300)
+        second.event("next", payload="y" * 120)
+        second.close()
+        # the reopened log resumed byte accounting from the existing file
+        assert second._written >= size
+
+
 class TestFormatting:
     def test_format_event_line(self):
         line = format_event(

@@ -22,12 +22,18 @@ sources) as one batch **twice**, and fails loudly unless:
   equals ``_count``, and ``_sum`` is present;
 * the structured JSONL event log records one ``job.submitted`` +
   ``job.done`` pair per batch, with module sources redacted to digests;
+* a live AFS-2 batch streams per-obligation progress over ``GET
+  /v1/jobs/<id>/events`` (SSE): sequence numbers strictly increase,
+  per-obligation states only ever advance
+  (pending → running → done/cached), heartbeat ticks arrive from inside
+  the symbolic fixpoints, zero obligations are flagged stalled, and the
+  finished job document agrees with the stream;
 * the server drains cleanly on ``SIGTERM`` (exit code 0, "drained and
   stopped" on stderr).
 
-Writes ``serve_metrics.txt``, ``serve_jobs.json``, ``serve_trace.json``
-and ``serve_events.jsonl`` into ``--artifact-dir`` (default: current
-directory) for upload.
+Writes ``serve_metrics.txt``, ``serve_jobs.json``, ``serve_trace.json``,
+``serve_events.jsonl`` and ``serve_progress.jsonl`` into
+``--artifact-dir`` (default: current directory) for upload.
 
     PYTHONPATH=src python tools/serve_smoke.py
 """
@@ -138,6 +144,40 @@ def check_histogram(samples: dict, types: dict, name: str) -> None:
         fail(f"{name}: +Inf bucket {inf[0]} != _count {count}")
 
 
+#: Progress event kind → the obligation state it drives; states must
+#: only ever advance along RANK (the serve layer's state machine).
+KIND_STATE = {
+    "obligation.queued": "pending",
+    "obligation.start": "running",
+    "obligation.tick": "running",
+    "obligation.cache_hit": "cached",
+    "obligation.finish": "done",
+    "obligation.result": "done",
+}
+
+RANK = {"pending": 0, "running": 1, "done": 2, "cached": 2}
+
+
+def check_progress_stream(events: list[dict]) -> dict:
+    """Assert ordering/state-machine invariants; returns final states."""
+    seqs = [e.get("seq") for e in events]
+    if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+        fail("progress stream sequence numbers are not strictly increasing")
+    states: dict[str, str] = {}
+    for event in events:
+        if event.get("kind") == "obligation.stall":
+            fail(f"an obligation stalled during the smoke: {event}")
+        state = KIND_STATE.get(event.get("kind", ""))
+        name = event.get("obligation")
+        if state is None or not name:
+            continue
+        previous = states.get(name, "pending")
+        if RANK[state] < RANK[previous]:
+            fail(f"obligation {name} regressed {previous} -> {state}")
+        states[name] = state
+    return states
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--port", type=int, default=8146)
@@ -162,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
             "--jobs", str(args.jobs),
             "--cache-dir", cache_dir,
             "--log-file", str(event_log),
+            # tick fast enough that even short fixpoints heartbeat
+            "--progress-interval", "0.005",
         ],
         env=env,
         stderr=subprocess.PIPE,
@@ -279,6 +321,90 @@ def main(argv: list[str] | None = None) -> int:
                 if not str(digest).startswith("sha256:"):
                     fail(f"unredacted source in event log: {digest!r}")
         print(f"event log: {len(events)} events, sources redacted to digests")
+
+        # -- live progress over SSE --------------------------------------
+        from repro.casestudies.afs2 import (
+            CLIENT_SPECS_FIGURE,
+            SERVER_SPECS_FIGURE,
+            client_source,
+            server_source,
+        )
+
+        # the figure specs (Srv1/Srv2/Cli1) are AX-shaped; one AG EF
+        # tautology per module guarantees live fixpoint heartbeats
+        fixpoint_spec = "SPEC AG EF (failure | !failure)\n"
+        afs2_batch = [
+            {
+                "source": server_source(2, rename=False)
+                + SERVER_SPECS_FIGURE
+                + fixpoint_spec,
+                "label": "afs2-server",
+            },
+            {
+                "source": client_source(1, rename=False)
+                + CLIENT_SPECS_FIGURE
+                + fixpoint_spec,
+                "label": "afs2-client1",
+            },
+            {
+                "source": client_source(2, rename=False)
+                + CLIENT_SPECS_FIGURE
+                + fixpoint_spec,
+                "label": "afs2-client2",
+            },
+        ]
+        accepted = client.submit(afs2_batch)
+        # consume the stream while the job runs — iter_events returns at
+        # the server's terminal `end` frame
+        stream = list(client.iter_events(accepted["id"]))
+        (artifact_dir / "serve_progress.jsonl").write_text(
+            "".join(json.dumps(event) + "\n" for event in stream)
+        )
+        if not stream:
+            fail("the events stream delivered nothing for the AFS-2 batch")
+        final_states = check_progress_stream(stream)
+        if not final_states:
+            fail("no per-obligation lifecycle events in the stream")
+        unfinished = {
+            name: state
+            for name, state in final_states.items()
+            if RANK[state] != 2
+        }
+        if unfinished:
+            fail(f"obligations never reached a terminal state: {unfinished}")
+        ticks = [e for e in stream if e.get("kind") == "obligation.tick"]
+        if not ticks:
+            fail("no heartbeat ticks from inside the symbolic fixpoints")
+        for tick in ticks:
+            if "phase" not in tick or tick.get("iterations", 0) < 1:
+                fail(f"malformed heartbeat tick: {tick}")
+        terminal = [e for e in stream if e.get("kind") == "job.state"]
+        if not terminal or terminal[-1].get("state") != "done":
+            fail("the stream did not end with a done job.state event")
+        live_job = client.job(accepted["id"])
+        if live_job["state"] != "done":
+            fail(f"AFS-2 batch ended {live_job['state']}")
+        for report in live_job["reports"]:
+            if not report["all_true"]:
+                fail(f"AFS-2 batch: {report['label']} has failing specs")
+        doc_states = {
+            name: entry["state"]
+            for name, entry in (live_job.get("obligations") or {}).items()
+        }
+        if set(doc_states) != set(final_states):
+            fail("job document and stream disagree on the obligation set")
+        if any(entry["stalled"] for entry in live_job["obligations"].values()):
+            fail("the finished job document flags a stalled obligation")
+        health = client.healthz()
+        if health.get("stalled_obligations", 0) != 0:
+            fail("healthz reports stalled obligations after a clean run")
+        phases = sorted({t["phase"] for t in ticks})
+        print(
+            f"live progress: {len(stream)} events over SSE, "
+            f"{len(final_states)} obligations all terminal, "
+            f"{len(ticks)} heartbeat tick(s) (phases: {', '.join(phases)}), "
+            f"zero stalls"
+        )
     finally:
         server.send_signal(signal.SIGTERM)
         try:
