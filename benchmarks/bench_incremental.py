@@ -1,0 +1,221 @@
+"""Experiment IN — incremental proofs: cold check vs edit-recheck replay.
+
+Runs the AFS-2 ``n=3`` compositional safety proof (4 obligations:
+server + 3 clients) against a fresh :class:`~repro.store.ResultStore`
+three ways:
+
+* **cold** — empty store: every obligation is model checked and written;
+* **warm** — nothing changed: every obligation replays from disk;
+* **warm-edit** — one client's SMV source is edited
+  (:func:`~repro.casestudies.afs2.client_source_variant` swaps two
+  mutually-exclusive case branches): exactly that client's obligation is
+  re-checked, the other three replay.
+
+The warm-edit row is the feature's acceptance gate: re-checking a proof
+after editing one component must be at least 5× faster than proving
+cold, because only the edited component's obligation does BDD work.
+
+Run as a script to (re)write ``BENCH_incremental.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --label after
+
+Also exposes pytest-benchmark entry points for the harness smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.casestudies.afs2 import Afs2
+from repro.store import ResultStore
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_incremental.json"
+
+N = 3
+OBLIGATIONS = N + 1  # server + one Inv ⇒ AX Inv obligation per client
+EDITED = 2  # the client whose source the edit rounds perturb
+
+
+def prove(store, variant=None):
+    """One AFS-2 safety proof; returns its hit/miss ledger."""
+    study = Afs2(N, jobs=None, store=store, variant_client=variant)
+    pf, proven = study.prove_safety()
+    assert proven.formula is not None
+    ledger = pf.cache_ledger()
+    assert ledger is not None
+    return ledger
+
+
+def _evict_misses(store, ledger):
+    """Forget the records an edit round wrote, restoring edited-not-cached."""
+    for entry in ledger["obligations"]:
+        if not entry["cached"]:
+            store.path_for(entry["fingerprint"]).unlink()
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_incremental_cold(benchmark, tmp_path):
+    counter = iter(range(10**6))
+
+    def cold():
+        return prove(ResultStore(tmp_path / f"s{next(counter)}"))
+
+    ledger = benchmark.pedantic(cold, rounds=3, warmup_rounds=0)
+    assert ledger["hits"] == 0 and ledger["misses"] == OBLIGATIONS
+
+
+def test_incremental_warm(benchmark, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    prove(store)  # populate
+
+    ledger = benchmark.pedantic(
+        prove, args=(store,), rounds=5, warmup_rounds=1
+    )
+    assert ledger["misses"] == 0 and ledger["hits"] == OBLIGATIONS
+
+
+def test_incremental_warm_edit(benchmark, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    prove(store)  # populate with the unedited composition
+
+    def edit_recheck():
+        ledger = prove(store, variant=EDITED)
+        _evict_misses(store, ledger)
+        return ledger
+
+    ledger = benchmark.pedantic(edit_recheck, rounds=5, warmup_rounds=1)
+    assert ledger["misses"] == 1 and ledger["hits"] == OBLIGATIONS - 1
+
+
+# ----------------------------------------------------------------------
+# standalone trajectory writer
+# ----------------------------------------------------------------------
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(rounds: int) -> dict:
+    """Cold, warm and warm-edit wall times (ms) under a fresh store."""
+    root = tempfile.mkdtemp(prefix="repro-bench-incremental-")
+    try:
+        store = ResultStore(root)
+        t0 = time.perf_counter()
+        ledger = prove(store)
+        cold = time.perf_counter() - t0
+        assert ledger["hits"] == 0, "cold pass must start from empty"
+        assert ledger["misses"] == OBLIGATIONS
+
+        warm = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            ledger = prove(store)
+            warm.append(time.perf_counter() - t0)
+            assert ledger["misses"] == 0, "warm pass must fully replay"
+
+        warm_edit = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            ledger = prove(store, variant=EDITED)
+            warm_edit.append(time.perf_counter() - t0)
+            missed = [
+                e["component"]
+                for e in ledger["obligations"]
+                if not e["cached"]
+            ]
+            assert missed == [f"client{EDITED}"], (
+                f"edit round re-checked {missed}, expected only the "
+                f"edited client"
+            )
+            _evict_misses(store, ledger)
+
+        return {
+            "obligations": OBLIGATIONS,
+            "cold_ms": round(cold * 1e3, 2),
+            "warm_min_ms": round(min(warm) * 1e3, 3),
+            "warm_edit_min_ms": round(min(warm_edit) * 1e3, 3),
+            "speedup_warm": round(cold / min(warm), 1),
+            "speedup_edit": round(cold / min(warm_edit), 1),
+            "rounds": rounds,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    output = pathlib.Path(args.output)
+    if output.exists():
+        document = json.loads(output.read_text())
+    else:
+        document = {
+            "description": "Incremental-proof trajectory (wall ms; cold "
+            "= empty store, warm = full replay, warm-edit = recheck "
+            "after editing one AFS-2 client: one obligation re-checked, "
+            "the rest replayed)",
+            "note": "The acceptance gate is speedup_edit: a warm "
+            "edit-recheck must be at least 5x faster than the cold "
+            "proof.",
+            "entries": [],
+        }
+
+    result = measure(args.rounds)
+    print(
+        f"afs2 n={N}: {result['obligations']} obligations   "
+        f"cold {result['cold_ms']:8.1f} ms   "
+        f"warm {result['warm_min_ms']:7.2f} ms ({result['speedup_warm']}x)"
+        f"   edit {result['warm_edit_min_ms']:7.2f} ms "
+        f"({result['speedup_edit']}x)"
+    )
+    if result["speedup_edit"] < 5:
+        print(
+            f"FAIL: warm edit-recheck speedup {result['speedup_edit']}x "
+            f"< 5x",
+            file=sys.stderr,
+        )
+        return 1
+
+    entry = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "date": datetime.date.today().isoformat(),
+        "results": {"afs2_n3": result},
+    }
+    document["entries"] = [
+        e for e in document["entries"] if e["label"] != args.label
+    ]
+    document["entries"].append(entry)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output} (label {args.label!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

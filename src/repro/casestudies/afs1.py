@@ -266,9 +266,16 @@ ASSIGN
 class Afs1:
     """Vocabulary and proofs for the composed AFS-1 protocol."""
 
-    def __init__(self, backend: str = "explicit", jobs: int | None = None):
+    def __init__(
+        self,
+        backend: str = "explicit",
+        jobs: int | None = None,
+        store=None,
+    ):
         self.backend = backend
         self.jobs = jobs
+        #: A :class:`~repro.store.ResultStore` making proofs incremental.
+        self.store = store
         self.server = SERVER
         self.client = CLIENT
         # formula vocabulary ------------------------------------------------
@@ -311,7 +318,10 @@ class Afs1:
                 "client": self.client.system(),
             }
         return CompositionProof(
-            components, backend=self.backend, parallel=self.jobs  # type: ignore[arg-type]
+            components,
+            backend=self.backend,  # type: ignore[arg-type]
+            parallel=self.jobs,
+            store=self.store,
         )
 
     # ------------------------------------------------------------------

@@ -165,6 +165,30 @@ ASSIGN
 """
 
 
+def client_source_variant(i: int = 1, rename: bool = True) -> str:
+    """:func:`client_source` after a semantically-neutral edit.
+
+    Swaps the first two ``case`` branches of ``next(belief)``.  The two
+    guards are mutually exclusive and both map to ``valid``, so the
+    transition function — and every proof obligation's verdict — is
+    unchanged; but the elaborated module's canonical text differs, so
+    the edited client's obligation fingerprints miss while Σ* and every
+    other component's records are untouched.  This is the "edit one
+    component" step of the incremental benchmark and smoke test.
+    """
+    source = client_source(i, rename)
+    b = f"Client{i}.belief" if rename else "belief"
+    sfx = str(i) if rename else ""
+    first = f"      ({b} = nofile) & (response{sfx} = val) : valid;\n"
+    second = f"      ({b} = suspect) & (response{sfx} = val) : valid;\n"
+    edited = source.replace(first + second, second + first)
+    if edited == source:
+        raise ValueError(
+            "client_source layout changed; update client_source_variant"
+        )
+    return edited
+
+
 # ----------------------------------------------------------------------
 # figure reproductions (Figures 12–17)
 # ----------------------------------------------------------------------
@@ -202,16 +226,31 @@ class Afs2:
     """Vocabulary and safety proof for AFS-2 with ``n`` clients."""
 
     def __init__(
-        self, n: int = 2, backend: str = "symbolic", jobs: int | None = None
+        self,
+        n: int = 2,
+        backend: str = "symbolic",
+        jobs: int | None = None,
+        store=None,
+        variant_client: int | None = None,
     ):
         if n < 1:
             raise ValueError("need at least one client")
+        if variant_client is not None and not (1 <= variant_client <= n):
+            raise ValueError(f"variant_client {variant_client} out of range")
         self.n = n
         self.backend = backend
         self.jobs = jobs
+        #: A :class:`~repro.store.ResultStore` making proofs incremental:
+        #: unchanged components replay their obligations from disk.
+        self.store = store
         self.server = ProtocolComponent("server", server_source(n))
         self.clients = [
-            ProtocolComponent(f"client{i}", client_source(i))
+            ProtocolComponent(
+                f"client{i}",
+                client_source_variant(i)
+                if i == variant_client
+                else client_source(i),
+            )
             for i in range(1, n + 1)
         ]
 
@@ -296,7 +335,10 @@ class Afs2:
             for i, c in enumerate(self.clients, start=1):
                 components[f"client{i}"] = c.system()
         return CompositionProof(
-            components, backend=self.backend, parallel=self.jobs  # type: ignore[arg-type]
+            components,
+            backend=self.backend,  # type: ignore[arg-type]
+            parallel=self.jobs,
+            store=self.store,
         )
 
     def prove_safety(self) -> tuple[CompositionProof, Proven]:
@@ -312,7 +354,10 @@ class Afs2:
 
 
 def prove_afs2_safety(
-    n: int = 2, backend: str = "symbolic", jobs: int | None = None
+    n: int = 2,
+    backend: str = "symbolic",
+    jobs: int | None = None,
+    store=None,
 ) -> tuple[CompositionProof, Proven]:
     """Convenience wrapper: the AFS-2 (Afs1) safety proof for n clients."""
-    return Afs2(n, backend, jobs=jobs).prove_safety()
+    return Afs2(n, backend, jobs=jobs, store=store).prove_safety()

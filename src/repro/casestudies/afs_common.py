@@ -20,6 +20,31 @@ from repro.smv.parser import parse_module
 from repro.systems.symbolic import SymbolicSystem
 from repro.systems.system import System
 
+# Process-wide memos keyed by source text.  Elaboration and symbolic
+# compilation are pure functions of the source (plus the reorder mode
+# the BDD manager was created under), and study objects are rebuilt per
+# proof — without the memos an incremental *re*check would pay the full
+# compile cost for components whose obligations all replay from the
+# store.  Bounded FIFO: component sets are tiny in practice.
+_MEMO_CAP = 64
+_MODEL_MEMO: dict[str, SmvModel] = {}
+_SYMBOLIC_MEMO: dict[tuple[str, bool, str], SymbolicSystem] = {}
+
+
+def _memo_put(memo: dict, key, value):
+    while len(memo) >= _MEMO_CAP:
+        memo.pop(next(iter(memo)))
+    memo[key] = value
+    return value
+
+
+def shared_model(source: str) -> SmvModel:
+    """The elaborated model for ``source`` (memoized process-wide)."""
+    model = _MODEL_MEMO.get(source)
+    if model is None:
+        model = _memo_put(_MODEL_MEMO, source, SmvModel(parse_module(source)))
+    return model
+
 
 @dataclass
 class ProtocolComponent:
@@ -33,7 +58,7 @@ class ProtocolComponent:
     def model(self) -> SmvModel:
         """The elaborated SMV model (parsed on first use)."""
         if self._model is None:
-            self._model = SmvModel(parse_module(self.source))
+            self._model = shared_model(self.source)
         return self._model
 
     # ------------------------------------------------------------------
@@ -49,10 +74,19 @@ class ProtocolComponent:
         The SMV source rides along (``smv_source``/``smv_reflexive``)
         so the parallel engine can rebuild the system in worker
         processes (:func:`repro.parallel.workitem.spec_of_component`).
+        Compiled systems are shared per ``(source, reflexive, reorder
+        mode)``: components are immutable value objects, so a recheck of
+        an unchanged component reuses the compiled relation.
         """
-        sym = to_symbolic(self.model, reflexive=reflexive)
-        sym.smv_source = self.source
-        sym.smv_reflexive = reflexive
+        from repro.bdd.manager import default_reorder
+
+        key = (self.source, reflexive, default_reorder())
+        sym = _SYMBOLIC_MEMO.get(key)
+        if sym is None:
+            sym = to_symbolic(self.model, reflexive=reflexive)
+            sym.smv_source = self.source
+            sym.smv_reflexive = reflexive
+            _memo_put(_SYMBOLIC_MEMO, key, sym)
         return sym
 
     # ------------------------------------------------------------------

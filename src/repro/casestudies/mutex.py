@@ -112,18 +112,25 @@ class TokenRing:
         )
 
     def prove_safety(
-        self, backend: str = "explicit", jobs: int | None = None
+        self, backend: str = "explicit", jobs: int | None = None, store=None
     ) -> tuple[CompositionProof, Proven]:
         """``AG ⋀_{i<j} ¬(c_i ∧ c_j)`` from the inductive invariant."""
         pf = CompositionProof(
-            self.components(), backend=backend, parallel=jobs  # type: ignore[arg-type]
+            self.components(),
+            backend=backend,  # type: ignore[arg-type]
+            parallel=jobs,
+            store=store,
         )
         ag_inv = pf.invariant(self.initial(), self.mutex_invariant())
         safety = pf.ag_weaken(ag_inv, self.mutual_exclusion())
         return pf, safety
 
     def prove_enter_liveness(
-        self, i: int = 0, backend: str = "explicit", jobs: int | None = None
+        self,
+        i: int = 0,
+        backend: str = "explicit",
+        jobs: int | None = None,
+        store=None,
     ) -> tuple[CompositionProof, Proven]:
         """Rule 4: a token holder eventually enters its critical section.
 
@@ -132,7 +139,10 @@ class TokenRing:
         scheduled while enabled.
         """
         pf = CompositionProof(
-            self.components(), backend=backend, parallel=jobs  # type: ignore[arg-type]
+            self.components(),
+            backend=backend,  # type: ignore[arg-type]
+            parallel=jobs,
+            store=store,
         )
         p = land(self.tok(i), Not(self.crit(i)), self.valid())
         q = land(self.tok(i), self.crit(i), self.valid())

@@ -73,13 +73,19 @@ class TwoPhaseCommit:
     """Vocabulary and proofs for 2PC with ``n`` participants."""
 
     def __init__(
-        self, n: int = 2, backend: str = "explicit", jobs: int | None = None
+        self,
+        n: int = 2,
+        backend: str = "explicit",
+        jobs: int | None = None,
+        store=None,
     ):
         if n < 1:
             raise ValueError("need at least one participant")
         self.n = n
         self.backend = backend
         self.jobs = jobs
+        #: A :class:`~repro.store.ResultStore` making proofs incremental.
+        self.store = store
         self.coordinator = ProtocolComponent("coordinator", coordinator_source(n))
         self.participants = [
             ProtocolComponent(f"participant{i}", participant_source(i))
@@ -169,7 +175,10 @@ class TwoPhaseCommit:
         for i, p in enumerate(self.participants, start=1):
             components[f"participant{i}"] = make(p)
         return CompositionProof(
-            components, backend=self.backend, parallel=self.jobs  # type: ignore[arg-type]
+            components,
+            backend=self.backend,  # type: ignore[arg-type]
+            parallel=self.jobs,
+            store=self.store,
         )
 
     # ------------------------------------------------------------------

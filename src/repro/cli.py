@@ -14,6 +14,10 @@ Usage::
     python -m repro obs tail serve.jsonl -n 50   # render the event log
     python -m repro obs summary serve.jsonl      # counts + latency stats
     python -m repro demo afs2-safety --jobs 2   # parallel proof obligations
+    python -m repro demo afs2-safety --cache .repro-cache  # incremental proof
+    python -m repro store stats .repro-cache   # store inventory + counters
+    python -m repro store gc .repro-cache --max-bytes 1000000
+    python -m repro store clear .repro-cache
     python -m repro simulate model.smv -n 12   # random run
     python -m repro graph model.smv            # DOT transition graph
     python -m repro reachable model.smv        # forward reachability stats
@@ -217,6 +221,10 @@ def _check_cached(args: argparse.Namespace, source: str) -> int:
             f"result store: {run.hits} hit(s), {run.misses} miss(es)",
             file=sys.stderr,
         )
+        try:
+            store.flush_counters()  # keep `repro store stats` lifetime-true
+        except OSError:
+            pass
     return 0 if run.all_true else 1
 
 
@@ -338,12 +346,12 @@ _DEMOS = {
 }
 
 
-def _mutex_demo(jobs: int | None = None):
+def _mutex_demo(jobs: int | None = None, store=None):
     from repro.casestudies.mutex import TokenRing
     from repro.systems.encode import Encoding, FiniteVar
 
     ring = TokenRing(3)
-    pf, conclusion = ring.prove_safety(jobs=jobs)
+    pf, conclusion = ring.prove_safety(jobs=jobs, store=store)
     encoding = Encoding(
         list(ring.encoding.variables)
         + [FiniteVar(f"c{i}", (False, True)) for i in range(3)]
@@ -362,6 +370,11 @@ def _demo_body(args: argparse.Namespace) -> int:
     from repro.casestudies.twophase import TwoPhaseCommit
 
     jobs = getattr(args, "jobs", None)
+    store = None
+    if getattr(args, "cache", None):
+        from repro.store import ResultStore
+
+        store = ResultStore(args.cache)
 
     def with_encoding(study, prove):
         pf, conclusion = prove(study)
@@ -369,23 +382,34 @@ def _demo_body(args: argparse.Namespace) -> int:
 
     runners = {
         "afs1-safety": lambda: with_encoding(
-            Afs1(jobs=jobs), lambda s: s.prove_safety()
+            Afs1(jobs=jobs, store=store), lambda s: s.prove_safety()
         ),
         "afs1-liveness": lambda: with_encoding(
-            Afs1(jobs=jobs), lambda s: s.prove_liveness()
+            Afs1(jobs=jobs, store=store), lambda s: s.prove_liveness()
         ),
         "afs2-safety": lambda: with_encoding(
-            Afs2(2, jobs=jobs), lambda s: s.prove_safety()
+            Afs2(2, jobs=jobs, store=store), lambda s: s.prove_safety()
         ),
-        "mutex": lambda: _mutex_demo(jobs=jobs),
+        "mutex": lambda: _mutex_demo(jobs=jobs, store=store),
         "2pc-atomicity": lambda: with_encoding(
-            TwoPhaseCommit(2, jobs=jobs), lambda s: s.prove_atomicity()
+            TwoPhaseCommit(2, jobs=jobs, store=store),
+            lambda s: s.prove_atomicity(),
         ),
         "2pc-termination": lambda: with_encoding(
-            TwoPhaseCommit(2, jobs=jobs), lambda s: s.prove_termination()
+            TwoPhaseCommit(2, jobs=jobs, store=store),
+            lambda s: s.prove_termination(),
         ),
     }
     pf, conclusion, encoding = runners[args.name]()
+    if store is not None:
+        ledger = pf.cache_ledger()
+        if ledger is not None:
+            print(
+                f"result store: {ledger['hits']} hit(s), "
+                f"{ledger['misses']} miss(es)",
+                file=sys.stderr,
+            )
+        pf.seal_cache({"demo": args.name})
     obligations = {
         id(o) for s in pf.log for leaf in s.leaves() for o in leaf.obligations
     }
@@ -415,6 +439,39 @@ def _demo_body(args: argparse.Namespace) -> int:
             f"{len(failures)} failures"
         )
         return 1 if failures else 0
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.dir)
+    if args.action == "stats":
+        info = store.stats()
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"result store: {info['root']}")
+        print(f"records: {info['records']} ({info['total_bytes']} bytes, "
+              f"cap {info['max_bytes']})")
+        kinds = info["records_by_kind"]
+        if kinds:
+            listing = ", ".join(f"{k}: {v}" for k, v in sorted(kinds.items()))
+            print(f"  by kind: {listing}")
+        counters = info["counters"]
+        if counters:
+            print("lifetime counters:")
+            for key in sorted(counters):
+                print(f"  {key}: {counters[key]}")
+        return 0
+    if args.action == "gc":
+        evicted = store.gc(args.max_bytes)
+        print(f"evicted {evicted} record(s); {len(store)} remain "
+              f"({store.total_bytes()} bytes)")
+        return 0
+    removed = store.clear()
+    store.flush_counters()
+    print(f"removed {removed} record(s)")
     return 0
 
 
@@ -636,10 +693,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-check every conclusion on the monolithic product system",
     )
+    demo.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="consult/populate a content-addressed result store; proof "
+        "obligations already recorded are replayed without re-checking",
+    )
     _add_jobs_flag(demo)
     _add_reorder_flag(demo)
     _add_observability_flags(demo)
     demo.set_defaults(func=_cmd_demo)
+
+    store = sub.add_parser(
+        "store", help="inspect or maintain a content-addressed result store"
+    )
+    store.add_argument("action", choices=("stats", "gc", "clear"))
+    store.add_argument("dir", metavar="DIR", help="store root directory")
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for gc: evict oldest records until the store fits in N "
+        "bytes (defaults to the store's built-in cap)",
+    )
+    store.add_argument(
+        "--json",
+        action="store_true",
+        help="print machine-readable JSON instead of the text summary",
+    )
+    store.set_defaults(func=_cmd_store)
 
     serve = sub.add_parser(
         "serve", help="run the batch model-checking HTTP service"

@@ -218,6 +218,23 @@ class CompositionProof:
         Results, certificates and error messages are identical to a
         sequential run.  ``None`` / ``0`` / ``1`` keep the fully
         sequential in-process path.
+    store:
+        A :class:`~repro.store.ResultStore` making the proof
+        *incremental*: every leaf obligation is content-addressed
+        (:func:`~repro.store.fingerprint.obligation_fingerprint`) and
+        probed in the store before it is discharged — sequentially or
+        through the pool, which never even submits a cached obligation.
+        A hit replays the stored :class:`CheckResult` byte-identically;
+        a miss checks and writes back.  Editing one component of a
+        composition re-checks only that component's obligations.  The
+        per-run hit/miss record is :meth:`cache_ledger`;
+        :meth:`seal_cache` writes the proof-level record.
+    progress:
+        A :class:`~repro.obs.progress.ProgressConfig`: cache hits
+        publish ``obligation.cache_hit`` events through it, and
+        pool-discharged obligations carry its routing key so worker
+        heartbeats reach the same consumer (the serving layer's
+        SSE/state machine).  ``None`` emits nothing.
     """
 
     def __init__(
@@ -225,6 +242,8 @@ class CompositionProof:
         components: dict[str, Component],
         backend: Literal["explicit", "symbolic"] = "explicit",
         parallel: int | None = None,
+        store=None,
+        progress=None,
     ):
         if not components:
             raise ProofError("a proof needs at least one component")
@@ -245,6 +264,15 @@ class CompositionProof:
             parallel if parallel is not None and parallel > 1 else None
         )
         self._component_specs: dict[str, object] = {}
+        self.store = store
+        self.progress = progress
+        #: The incremental layer (``None`` without a store); exposes the
+        #: per-run hit/miss ledger as :attr:`ObligationCache.ledger`.
+        self.cache = None
+        if store is not None:
+            from repro.store.obligations import ObligationCache
+
+            self.cache = ObligationCache(store, backend, self.sigma_star)
         self.log: list[ProofStep] = []
         #: every conclusion about the composite, for monolithic re-checking
         self.conclusions: list[Proven] = []
@@ -271,7 +299,28 @@ class CompositionProof:
     def _obligation(
         self, name: str, formula: Formula, restriction: Restriction = UNRESTRICTED
     ) -> CheckResult:
-        """Model-check an obligation on a component's expansion (or fail)."""
+        """Model-check an obligation on a component's expansion (or fail).
+
+        With a store attached, the obligation's fingerprint is probed
+        first: a hit replays the stored result — verdict, stats and
+        failure explanation byte-identical to the run that wrote it —
+        without building a checker; a miss checks and writes back
+        (failures too, so a failing recheck replays the same error).
+        """
+        fingerprint = ""
+        if self.cache is not None and name in self.components:
+            fingerprint = self.cache.fingerprint(
+                name, self.components[name], formula, restriction
+            )
+            result = self.cache.load(fingerprint)
+            if result is not None:
+                self.cache.note(name, fingerprint, True, result)
+                self._publish_cache_hit(name, result)
+                if not result:
+                    raise self._failed_obligation(
+                        name, formula, restriction, result
+                    )
+                return result
         with TRACER.span(
             "proof.obligation",
             category="proof",
@@ -279,9 +328,25 @@ class CompositionProof:
             formula=str(formula),
         ):
             result = self._expansion(name).holds(formula, restriction)
+        if fingerprint:
+            self.cache.save(fingerprint, formula, result)
+            self.cache.note(name, fingerprint, False, result)
         if not result:
             raise self._failed_obligation(name, formula, restriction, result)
         return result
+
+    def _publish_cache_hit(self, name: str, result: CheckResult) -> None:
+        progress = self.progress
+        if progress is None:
+            return
+        progress.publish(
+            {
+                "kind": "obligation.cache_hit",
+                "obligation": f"{progress.prefix}{name}",
+                "engine": self._backend.kind,
+                "holds": bool(result.holds),
+            }
+        )
 
     @staticmethod
     def _failed_obligation(
@@ -318,12 +383,18 @@ class CompositionProof:
         Each triple ``(name, formula, restriction)`` is checked on the
         named component's expansion over the composite alphabet, exactly
         as :meth:`_obligation` does in-process; results come back in
-        submission order.
+        submission order.  With a store attached the batch goes through
+        :meth:`~repro.parallel.pool.ObligationScheduler.run_cached`:
+        cached obligations are replayed parent-side and **never
+        submitted to the pool** — a hit costs a JSON read, not a worker
+        round-trip.
         """
         from repro.bdd.manager import default_reorder
         from repro.parallel.pool import shared_scheduler
         from repro.parallel.workitem import WorkItem
 
+        cache = self.cache
+        progress = self.progress
         items = []
         for name, formula, restriction in triples:
             spec = self._spec(name)  # ProofError for unknown names
@@ -337,9 +408,42 @@ class CompositionProof:
                     expand_to=tuple(sorted(extra)),
                     label=name,
                     reorder=default_reorder(),
+                    progress_key=progress.key if progress is not None else "",
+                    progress_obligation=(
+                        f"{progress.prefix}{name}"
+                        if progress is not None
+                        else ""
+                    ),
+                    progress_interval=(
+                        progress.interval if progress is not None else 0.05
+                    ),
+                    fingerprint=(
+                        cache.fingerprint(
+                            name, self.components[name], formula, restriction
+                        )
+                        if cache is not None
+                        else ""
+                    ),
                 )
             )
-        outcomes = shared_scheduler(self.parallel).run(items)
+        scheduler = shared_scheduler(self.parallel)
+        if cache is None:
+            outcomes = scheduler.run(items)
+        else:
+            outcomes = scheduler.run_cached(
+                items,
+                cache.store,
+                on_hit=lambda item, result: self._publish_cache_hit(
+                    item.label, result
+                ),
+            )
+            for item, outcome in zip(items, outcomes):
+                cache.note(
+                    item.label,
+                    item.fingerprint,
+                    outcome.store_cached,
+                    outcome.result,
+                )
         return [outcome.result for outcome in outcomes]
 
     def _discharge(
@@ -935,6 +1039,8 @@ class CompositionProof:
             {**self.components, **extra},
             backend=self._backend.kind,
             parallel=self.parallel,
+            store=self.store,
+            progress=self.progress,
         )
         # every distinct universal formula in any recorded derivation
         universal_formulas: dict[Formula, None] = {}
@@ -1038,6 +1144,32 @@ class CompositionProof:
             (proven, outcome.result)
             for proven, outcome in zip(self.conclusions, outcomes)
         ]
+
+    # ------------------------------------------------------------------
+    # the incremental cache
+    # ------------------------------------------------------------------
+    def cache_ledger(self) -> dict | None:
+        """The run's hit/miss ledger (JSON-safe), or ``None`` uncached.
+
+        One entry per discharged obligation, in discharge order:
+        component, fingerprint, whether it was replayed from the store,
+        and the verdict — the artifact the incremental smoke test
+        asserts on ("only the edited component's obligations ran").
+        """
+        return self.cache.ledger_dict() if self.cache is not None else None
+
+    def seal_cache(self, meta: dict | None = None) -> str | None:
+        """Write the proof-level store record; returns its fingerprint.
+
+        The record is keyed by the *multiset* of this run's obligation
+        fingerprints (:func:`~repro.store.fingerprint.proof_fingerprint`),
+        so an edited composition seals under a new address while every
+        untouched obligation still replays.  No-op (``None``) without a
+        store.
+        """
+        if self.cache is None:
+            return None
+        return self.cache.seal(meta)
 
     def summary(self) -> str:
         """Human-readable account of the proof so far."""

@@ -241,6 +241,81 @@ class ObligationScheduler:
             self._merge(outcomes, record, tracer)
         return outcomes
 
+    def run_cached(
+        self,
+        items: Sequence[WorkItem],
+        store,
+        *,
+        kind: str = "obligation",
+        timeout: float | None = None,
+        tracer=None,
+        on_hit: Callable[[WorkItem, object], None] | None = None,
+    ) -> list[WorkOutcome]:
+        """Execute a batch through a :class:`~repro.store.ResultStore`.
+
+        Items carrying a ``fingerprint`` are probed in ``store`` first;
+        a hit replays the stored :class:`CheckResult` byte-identically
+        as a synthesized outcome (``store_cached=True``) **without ever
+        entering the pool** — the cost of a hit is one JSON read.  Only
+        the misses are submitted via :meth:`run`, and their results are
+        written back under their fingerprints.  Outcomes are returned
+        in submission order, hits and misses interleaved.
+
+        ``on_hit(item, result)`` fires synchronously for every replayed
+        item, in submission order — the hook the proof engine uses to
+        publish ``obligation.cache_hit`` progress events.
+        """
+        items = list(items)
+        if store is None:
+            return self.run(items, timeout=timeout, tracer=tracer)
+        from repro.checking.result import CheckResult
+        from repro.store.store import StoreRecord
+
+        outcomes: list[WorkOutcome | None] = [None] * len(items)
+        pending: list[tuple[int, WorkItem]] = []
+        for index, item in enumerate(items):
+            record = (
+                store.get(item.fingerprint, kind=kind)
+                if item.fingerprint
+                else None
+            )
+            if record is not None and record.result:
+                result = CheckResult.from_dict(record.result)
+                outcomes[index] = WorkOutcome(
+                    result=result,
+                    label=item.label,
+                    pid=os.getpid(),
+                    store_cached=True,
+                    fingerprint=item.fingerprint,
+                )
+                self.metrics.add("parallel.store_hits")
+                if on_hit is not None:
+                    try:
+                        on_hit(item, result)
+                    except Exception:
+                        pass  # a broken consumer must not lose the batch
+            else:
+                pending.append((index, item))
+        if pending:
+            ran = self.run(
+                [item for _, item in pending], timeout=timeout, tracer=tracer
+            )
+            for (index, item), outcome in zip(pending, ran):
+                outcomes[index] = outcome
+                if item.fingerprint:
+                    result = outcome.result
+                    store.put(
+                        item.fingerprint,
+                        StoreRecord(
+                            verdict=bool(result.holds),
+                            result=result.to_dict(),
+                            spec_text=str(item.formula),
+                            kind=kind,
+                        ),
+                        kind=kind,
+                    )
+        return outcomes  # type: ignore[return-value]
+
     def map_results(self, items: Sequence[WorkItem]) -> list:
         """Shorthand: run a batch and return just the check results."""
         return [outcome.result for outcome in self.run(items)]

@@ -279,6 +279,7 @@ def run_work_item(item: WorkItem) -> WorkOutcome:
             bdd=bdd,
             spans=spans,
             wall_origin=wall_origin,
+            fingerprint=item.fingerprint,
         )
     finally:
         if previous_reorder is not None:

@@ -152,6 +152,12 @@ class WorkItem:
     progress_obligation: str = ""
     #: Minimum seconds between heartbeat ticks for this item.
     progress_interval: float = 0.05
+    #: Content address of this obligation
+    #: (:func:`repro.store.fingerprint.obligation_fingerprint`).  When
+    #: non-empty, :meth:`ObligationScheduler.run_cached` probes the
+    #: result store before submitting the item to the pool and writes
+    #: the outcome back on a miss.  Empty items always execute.
+    fingerprint: str = ""
 
 
 @dataclass
@@ -179,6 +185,12 @@ class WorkOutcome:
     bdd: dict | None = None
     spans: list[dict] = field(default_factory=list)
     wall_origin: float = 0.0
+    #: True when the outcome was replayed from the result store without
+    #: entering the pool (:meth:`ObligationScheduler.run_cached`);
+    #: ``pid`` is then the parent's and timings are zero.
+    store_cached: bool = False
+    #: The item's obligation fingerprint, echoed back for ledgers.
+    fingerprint: str = ""
 
 
 # ----------------------------------------------------------------------

@@ -412,10 +412,25 @@ class JobManager:
             hits = self.store.metrics.get("store.hits")
             misses = self.store.metrics.get("store.misses")
             lookups = hits + misses
+            kinds = {}
+            for kind in ("report", "spec", "obligation"):
+                kind_hits = self.store.metrics.get(f"store.hits.{kind}")
+                kind_misses = self.store.metrics.get(f"store.misses.{kind}")
+                kind_lookups = kind_hits + kind_misses
+                kinds[kind] = {
+                    "hits": int(kind_hits),
+                    "misses": int(kind_misses),
+                    "hit_rate": (
+                        round(kind_hits / kind_lookups, 4)
+                        if kind_lookups
+                        else 0.0
+                    ),
+                }
             store_block = {
                 "hits": int(hits),
                 "misses": int(misses),
                 "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+                "kinds": kinds,
             }
         return {
             "version": __version__,
@@ -591,6 +606,11 @@ class JobManager:
                         }
                     )
                     job.progress.close()
+                if self.store is not None:
+                    try:
+                        self.store.flush_counters()
+                    except OSError:
+                        pass  # sidecar is best-effort; never fail a job
                 self._finish_observations(
                     job, tracer, queue_wait, check_seconds, serialize_seconds
                 )

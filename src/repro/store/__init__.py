@@ -18,26 +18,40 @@ Entry points:
 * :func:`cached_check` — check an SMV module through a store, reusing
   every spec verdict whose fingerprint already has a record
   (``repro check --cache DIR``, and the substrate of ``repro serve``);
-* :func:`spec_fingerprint` / :func:`report_fingerprint` — the
+* :class:`ObligationCache` — the per-obligation incremental layer a
+  :class:`~repro.compositional.proof.CompositionProof` probes before
+  discharging any leaf obligation, so editing one component of a
+  composition re-checks only that component's obligations;
+* :func:`spec_fingerprint` / :func:`report_fingerprint` /
+  :func:`obligation_fingerprint` / :func:`proof_fingerprint` — the
   canonical request fingerprints.
 """
 
 from repro.store.cached import CachedRun, cached_check
 from repro.store.fingerprint import (
     STORE_SCHEMA_VERSION,
+    component_fingerprint,
     fingerprint_payload,
+    obligation_fingerprint,
+    proof_fingerprint,
     report_fingerprint,
     spec_fingerprint,
 )
+from repro.store.obligations import ObligationCache, ObligationLedgerEntry
 from repro.store.store import ResultStore, StoreRecord
 
 __all__ = [
     "CachedRun",
+    "ObligationCache",
+    "ObligationLedgerEntry",
     "ResultStore",
     "StoreRecord",
     "STORE_SCHEMA_VERSION",
     "cached_check",
+    "component_fingerprint",
     "fingerprint_payload",
+    "obligation_fingerprint",
+    "proof_fingerprint",
     "report_fingerprint",
     "spec_fingerprint",
 ]

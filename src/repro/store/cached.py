@@ -159,7 +159,7 @@ def cached_check(
         with tracer.span("store.probe", category="store", specs=count):
             if store is not None:
                 for i, fp in enumerate(fingerprints):
-                    record = store.get(fp)
+                    record = store.get(fp, kind="spec")
                     if record is not None and record.result:
                         results[i] = CheckResult.from_dict(record.result)
                         counterexamples[i] = record.counterexample
@@ -227,6 +227,7 @@ def cached_check(
                         spec_text=spec_texts[i],
                         counterexample=counterexamples[i],
                     ),
+                    kind="spec",
                 )
             store.put(
                 report_fp,
@@ -239,11 +240,12 @@ def cached_check(
                         "num_fairness": run.num_fairness,
                     },
                 ),
+                kind="report",
             )
         else:
             # full replay: restore the cold run's report-level numbers so
             # the printed report is byte-identical to the run that wrote it
-            record = store.get(report_fp)
+            record = store.get(report_fp, kind="report")
             if record is not None and record.meta:
                 run.user_time = float(record.meta.get("user_time", run.user_time))
                 run.bdd_nodes_allocated = int(

@@ -8,14 +8,23 @@ engine's options must miss.  The fingerprint therefore hashes the
 elaborated module's canonical pretty-printed form
 (:func:`repro.smv.pretty.module_to_str`) rather than the raw source.
 
-Two fingerprint kinds exist:
+Four fingerprint kinds exist:
 
 * :func:`spec_fingerprint` — one *check* ``M ⊨_r f``.  The module text
   is rendered **without** its ``SPEC`` section, so editing the spec list
   of a module invalidates nothing but the edited specs themselves;
 * :func:`report_fingerprint` — the report-level metadata of a whole-
   module run (wall time, BDD totals), keyed over the full module text
-  so a replayed report is byte-identical to the run that wrote it.
+  so a replayed report is byte-identical to the run that wrote it;
+* :func:`obligation_fingerprint` — one *proof obligation* of the
+  compositional calculus: a component's behavior
+  (:func:`component_fingerprint`), the composite alphabet Σ* the
+  component is expanded over, the obligation formula, the restriction,
+  the engine, and the engine options **including the reorder mode** —
+  editing one component of an AFS-style proof invalidates exactly that
+  component's obligations;
+* :func:`proof_fingerprint` — a whole proof run, keyed by the
+  *multiset* of its obligation fingerprints.
 
 Every payload is salted with :data:`STORE_SCHEMA_VERSION`; bump it when
 the record layout or the canonicalization changes and old stores become
@@ -27,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import replace
+from typing import Iterable
 
 from repro.logic.ctl import Formula
 from repro.logic.restriction import Restriction
@@ -38,6 +48,9 @@ __all__ = [
     "fingerprint_payload",
     "spec_fingerprint",
     "report_fingerprint",
+    "component_fingerprint",
+    "obligation_fingerprint",
+    "proof_fingerprint",
 ]
 
 #: Store layout / canonicalization version (a salt in every fingerprint).
@@ -118,5 +131,145 @@ def report_fingerprint(
             "restriction": _restriction_payload(restriction),
             "engine": engine,
             "options": _options_payload(options),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# per-obligation fingerprints (the compositional proof engine)
+# ----------------------------------------------------------------------
+#: Source-text → elaborated model, bounded FIFO.  Elaboration is pure,
+#: and an incremental recheck fingerprints every component on every run
+#: — the memo keeps the replay path free of repeated parser work.
+_MODEL_MEMO: dict[str, SmvModel] = {}
+_MODEL_MEMO_CAP = 64
+
+
+def _model_of_source(source: str) -> SmvModel:
+    """Elaborate component SMV source (single module under any name, or
+    a full program flattened into ``main``) — the worker pool's rules."""
+    from repro.smv.modules import flatten
+    from repro.smv.parser import parse_program
+
+    model = _MODEL_MEMO.get(source)
+    if model is not None:
+        return model
+    program = parse_program(source)
+    if len(program) == 1 and not any(
+        decl.is_instance for decl in next(iter(program.values())).variables
+    ):
+        model = SmvModel(next(iter(program.values())))
+    else:
+        model = SmvModel(flatten(program))
+    while len(_MODEL_MEMO) >= _MODEL_MEMO_CAP:
+        _MODEL_MEMO.pop(next(iter(_MODEL_MEMO)))
+    _MODEL_MEMO[source] = model
+    return model
+
+
+def _component_payload(system) -> dict:
+    """The canonical JSON-safe description of a component's behavior.
+
+    Explicit systems serialize structurally (sorted atoms, sorted
+    edges); symbolic systems carrying their SMV source
+    (``smv_source``, attached by
+    :class:`repro.casestudies.afs_common.ProtocolComponent`) hash the
+    *elaborated module's* canonical text — whitespace, comments and
+    ``DEFINE`` layout wash out, any transition edit misses.  Source-less
+    symbolic systems fall back to explicit enumeration, which is exact
+    but only sensible for small components.
+    """
+    from repro.systems.symbolic import SymbolicSystem
+    from repro.systems.system import System
+
+    if isinstance(system, SymbolicSystem):
+        source = getattr(system, "smv_source", None)
+        if source is not None:
+            return {
+                "form": "smv",
+                "module": behavior_text(_model_of_source(source)),
+                "reflexive": bool(getattr(system, "smv_reflexive", True)),
+            }
+        system = system.to_explicit()
+    if isinstance(system, System):
+        return {
+            "form": "explicit",
+            "atoms": sorted(system.sigma),
+            "edges": sorted(
+                [sorted(s), sorted(t)] for s, t in system.edges
+            ),
+            "reflexive": bool(system.reflexive),
+        }
+    raise TypeError(f"cannot fingerprint a {type(system).__name__}")
+
+
+def component_fingerprint(system) -> str:
+    """The content address of one component's *behavior*.
+
+    This is the per-component half of :func:`obligation_fingerprint`:
+    two components with the same canonical behavior share it, and any
+    semantic edit (in the canonicalized sense above) changes it.
+    """
+    payload = _component_payload(system)
+    payload["schema"] = STORE_SCHEMA_VERSION
+    payload["kind"] = "component"
+    return fingerprint_payload(payload)
+
+
+def obligation_fingerprint(
+    component: object,
+    sigma_star: Iterable[str],
+    formula: Formula,
+    restriction: Restriction,
+    engine: str,
+    options: dict | None = None,
+) -> str:
+    """The content address of one compositional proof obligation.
+
+    An obligation is checked on ``component``'s *expansion* over the
+    composite alphabet ``sigma_star``, so the alphabet is part of the
+    address — adding a component to the composition changes Σ* and
+    correctly invalidates every obligation.  ``component`` is the
+    component system itself or a precomputed
+    :func:`component_fingerprint` digest (callers discharging many
+    obligations per component cache the digest).
+
+    Unlike :func:`spec_fingerprint`, ``options`` here includes the BDD
+    **reorder mode**: obligation records feed proof certificates whose
+    byte-identity guarantee is stated per engine configuration, so each
+    mode keeps its own records.
+    """
+    digest = (
+        component
+        if isinstance(component, str)
+        else component_fingerprint(component)
+    )
+    return fingerprint_payload(
+        {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": "obligation",
+            "component": digest,
+            "sigma_star": sorted(sigma_star),
+            "spec": str(formula),
+            "restriction": _restriction_payload(restriction),
+            "engine": engine,
+            "options": _options_payload(options),
+        }
+    )
+
+
+def proof_fingerprint(obligation_fingerprints: Iterable[str]) -> str:
+    """The content address of a whole proof run.
+
+    Keyed by the *multiset* of obligation fingerprints (sorted, with
+    duplicates kept): a recheck after editing one component produces a
+    different proof fingerprint while every untouched obligation record
+    still replays individually.
+    """
+    return fingerprint_payload(
+        {
+            "schema": STORE_SCHEMA_VERSION,
+            "kind": "proof",
+            "obligations": sorted(obligation_fingerprints),
         }
     )

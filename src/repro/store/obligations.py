@@ -1,0 +1,212 @@
+"""Per-obligation incremental checking for compositional proofs.
+
+The paper's thesis is that a compositional proof survives local change:
+Srv1–Srv5's certificates outlive client edits.  An
+:class:`ObligationCache` makes that a cache policy — each leaf
+obligation of a :class:`~repro.compositional.proof.CompositionProof` is
+content-addressed by :func:`~repro.store.fingerprint.obligation_fingerprint`
+(the component's elaborated behavior, the composite alphabet Σ*, the
+formula, the restriction, the engine and its options including the
+reorder mode), and the proof engine probes the cache before discharging
+anything.  A hit replays the stored
+:class:`~repro.checking.result.CheckResult` byte-identically (stats,
+counterexamples, certificate text); a miss checks and writes back.
+Editing one component therefore re-checks exactly that component's
+obligations — every other record still replays.
+
+The cache keeps a **ledger**: one entry per obligation in discharge
+order, recording the component, the fingerprint, and whether it was
+replayed.  :meth:`ObligationCache.seal` writes a proof-level record
+keyed by :func:`~repro.store.fingerprint.proof_fingerprint` over the
+ledger's fingerprint multiset and flushes the store's counters, so
+``repro store stats`` sees the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checking.result import CheckResult
+from repro.store.fingerprint import (
+    component_fingerprint,
+    obligation_fingerprint,
+    proof_fingerprint,
+)
+from repro.store.store import ResultStore, StoreRecord
+
+__all__ = ["ObligationCache", "ObligationLedgerEntry"]
+
+
+@dataclass(frozen=True)
+class ObligationLedgerEntry:
+    """One discharged obligation: where its result came from."""
+
+    component: str
+    fingerprint: str
+    #: True when the result was replayed from the store (no check ran).
+    cached: bool
+    holds: bool
+    formula: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "holds": self.holds,
+            "formula": self.formula,
+        }
+
+
+class ObligationCache:
+    """The incremental layer between a proof engine and a result store.
+
+    Parameters
+    ----------
+    store:
+        The backing :class:`~repro.store.ResultStore`.
+    engine:
+        ``"explicit"`` or ``"symbolic"`` — part of every fingerprint.
+    sigma_star:
+        The composite alphabet the proof expands components over.
+    options:
+        Engine options folded into every obligation fingerprint.
+        ``None`` (the default) resolves to ``{"reorder": <mode>}`` from
+        the process-wide :func:`~repro.bdd.manager.default_reorder` at
+        each fingerprint call — obligation records are per reorder mode
+        (unlike spec records), because their replayed stats feed
+        certificates whose byte-identity guarantee is stated per engine
+        configuration.
+
+    Component digests are memoized per component *name*, so a proof
+    discharging many obligations on the same component canonicalizes
+    its behavior once.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        engine: str,
+        sigma_star,
+        options: dict | None = None,
+    ):
+        self.store = store
+        self.engine = engine
+        self.sigma_star = tuple(sorted(sigma_star))
+        self.options = dict(options) if options is not None else None
+        self._digests: dict[str, str] = {}
+        self.ledger: list[ObligationLedgerEntry] = []
+
+    def current_options(self) -> dict:
+        """The engine options joining every fingerprint right now."""
+        if self.options is not None:
+            return dict(self.options)
+        from repro.bdd.manager import default_reorder
+
+        return {"reorder": default_reorder()}
+
+    # -- fingerprints ----------------------------------------------------
+    def component_digest(self, name: str, system) -> str:
+        """The (memoized) behavior fingerprint of a named component."""
+        digest = self._digests.get(name)
+        if digest is None:
+            digest = self._digests[name] = component_fingerprint(system)
+        return digest
+
+    def fingerprint(self, name: str, system, formula, restriction) -> str:
+        """The content address of one obligation on ``name``'s expansion."""
+        return obligation_fingerprint(
+            self.component_digest(name, system),
+            self.sigma_star,
+            formula,
+            restriction,
+            self.engine,
+            self.current_options(),
+        )
+
+    # -- store traffic ---------------------------------------------------
+    def load(self, fingerprint: str) -> CheckResult | None:
+        """The replayed result for a fingerprint, or ``None`` on miss."""
+        record = self.store.get(fingerprint, kind="obligation")
+        if record is None or not record.result:
+            return None
+        return CheckResult.from_dict(record.result)
+
+    def save(self, fingerprint: str, formula, result: CheckResult) -> None:
+        """Persist a freshly-checked obligation result."""
+        self.store.put(
+            fingerprint,
+            StoreRecord(
+                verdict=bool(result.holds),
+                result=result.to_dict(),
+                spec_text=str(formula),
+                kind="obligation",
+            ),
+            kind="obligation",
+        )
+
+    # -- the ledger ------------------------------------------------------
+    def note(
+        self,
+        component: str,
+        fingerprint: str,
+        cached: bool,
+        result: CheckResult,
+    ) -> None:
+        """Record one discharged obligation (in discharge order)."""
+        self.ledger.append(
+            ObligationLedgerEntry(
+                component=component,
+                fingerprint=fingerprint,
+                cached=cached,
+                holds=bool(result.holds),
+                formula=str(result.formula),
+            )
+        )
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for entry in self.ledger if entry.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for entry in self.ledger if not entry.cached)
+
+    def ledger_dict(self) -> dict:
+        """The ledger as a JSON-safe document (the smoke-test artifact)."""
+        return {
+            "engine": self.engine,
+            "sigma_star": list(self.sigma_star),
+            "options": self.current_options(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "proof_fingerprint": self.proof_digest(),
+            "obligations": [entry.to_dict() for entry in self.ledger],
+        }
+
+    # -- proof-level records ---------------------------------------------
+    def proof_digest(self) -> str:
+        """The proof fingerprint: the multiset of ledger fingerprints."""
+        return proof_fingerprint(entry.fingerprint for entry in self.ledger)
+
+    def seal(self, meta: dict | None = None) -> str:
+        """Write the proof-level record and flush the store's counters.
+
+        The record is keyed by :meth:`proof_digest`, so a recheck after
+        editing one component lands on a *different* proof record while
+        every untouched obligation record still replays; its ``meta``
+        carries the ledger plus any caller extras.  Returns the proof
+        fingerprint.
+        """
+        digest = self.proof_digest()
+        self.store.put(
+            digest,
+            StoreRecord(
+                verdict=all(entry.holds for entry in self.ledger),
+                meta={**self.ledger_dict(), **(meta or {})},
+                kind="report",
+            ),
+            kind="report",
+        )
+        self.store.flush_counters()
+        return digest

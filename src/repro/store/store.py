@@ -9,10 +9,17 @@ one JSON file under ``<root>/objects/<h[:2]>/<h>.json``.  Properties:
   processes, a serving instance) never observe a torn record;
 * **bounded size** — :meth:`ResultStore.put` evicts the
   least-recently-used records (by file mtime; :meth:`ResultStore.get`
-  touches records it serves) until the store fits ``max_bytes``;
+  touches records it serves) until the store fits ``max_bytes``.
+  Eviction order is deterministic: ties on the nanosecond mtime break
+  on the record file name;
 * **observable** — hits, misses, writes and evictions accumulate in a
   :class:`~repro.obs.metrics.MetricsRegistry` under ``store.*``, the
-  same registry the serving layer renders at ``/metrics``.
+  same registry the serving layer renders at ``/metrics``.  Lookups and
+  writes tagged with a record *kind* (``report``/``spec``/
+  ``obligation``) additionally count under ``store.<event>.<kind>``,
+  and :meth:`ResultStore.flush_counters` folds the in-memory counters
+  into a ``counters.json`` sidecar so ``repro store stats`` can report
+  lifetime hit rates across processes.
 
 Corrupt or unreadable records are treated as misses and removed, so a
 damaged store heals itself instead of poisoning reports.
@@ -43,7 +50,9 @@ class StoreRecord:
     ``counterexample`` the decoded execution sequence for failed specs;
     ``certificate`` optional proof-certificate text (the paper's
     "theorems and proofs in the documentation"); ``meta`` free-form
-    JSON-safe metadata (report-level resource numbers).
+    JSON-safe metadata (report-level resource numbers); ``kind`` the
+    record's flavor (``report``/``spec``/``obligation``) so on-disk
+    stores can be inventoried per kind (``repro store stats``).
     """
 
     verdict: bool
@@ -52,6 +61,7 @@ class StoreRecord:
     counterexample: list | None = None
     certificate: str | None = None
     meta: dict = field(default_factory=dict)
+    kind: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -61,6 +71,7 @@ class StoreRecord:
             "counterexample": self.counterexample,
             "certificate": self.certificate,
             "meta": self.meta,
+            "kind": self.kind,
         }
 
     @classmethod
@@ -72,6 +83,7 @@ class StoreRecord:
             counterexample=data.get("counterexample"),
             certificate=data.get("certificate"),
             meta=data.get("meta", {}),
+            kind=str(data.get("kind", "")),
         )
 
 
@@ -87,9 +99,13 @@ class ResultStore:
         records (file mtime) are evicted first.
     metrics:
         Registry receiving ``store.hits`` / ``store.misses`` /
-        ``store.writes`` / ``store.evictions``; a private registry is
-        created when omitted.
+        ``store.writes`` / ``store.evictions`` (plus per-kind variants
+        ``store.hits.<kind>`` etc. for kind-tagged accesses); a private
+        registry is created when omitted.
     """
+
+    #: Counter names persisted to the ``counters.json`` sidecar.
+    _EVENTS = ("hits", "misses", "writes", "evictions")
 
     def __init__(
         self,
@@ -100,6 +116,14 @@ class ResultStore:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Counter values already folded into ``counters.json`` — the
+        #: next :meth:`flush_counters` persists only the delta.
+        self._flushed: dict[str, int] = {}
+
+    def _count(self, event: str, kind: str | None) -> None:
+        self.metrics.add(f"store.{event}")
+        if kind:
+            self.metrics.add(f"store.{event}.{kind}")
 
     # -- paths -----------------------------------------------------------
     @property
@@ -116,17 +140,18 @@ class ResultStore:
         return [p for p in self._objects.glob("*/*.json")]
 
     # -- read ------------------------------------------------------------
-    def get(self, fingerprint: str) -> StoreRecord | None:
+    def get(self, fingerprint: str, kind: str | None = None) -> StoreRecord | None:
         """The record for a fingerprint, or ``None`` (counted as a miss).
 
         Served records are touched (mtime), so hot entries survive
-        eviction; corrupt records are removed and miss.
+        eviction; corrupt records are removed and miss.  ``kind`` tags
+        the lookup for the per-kind counters (``store.hits.<kind>``).
         """
         path = self.path_for(fingerprint)
         try:
             record = StoreRecord.from_dict(json.loads(path.read_text()))
         except FileNotFoundError:
-            self.metrics.add("store.misses")
+            self._count("misses", kind)
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # unreadable or torn record: drop it and report a miss
@@ -134,13 +159,13 @@ class ResultStore:
                 path.unlink()
             except OSError:
                 pass
-            self.metrics.add("store.misses")
+            self._count("misses", kind)
             return None
         try:
             os.utime(path)
         except OSError:
             pass
-        self.metrics.add("store.hits")
+        self._count("hits", kind)
         return record
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -150,8 +175,16 @@ class ResultStore:
         return len(self._record_files())
 
     # -- write -----------------------------------------------------------
-    def put(self, fingerprint: str, record: StoreRecord) -> Path:
-        """Persist a record atomically (tmp file + ``os.replace``)."""
+    def put(
+        self, fingerprint: str, record: StoreRecord, kind: str | None = None
+    ) -> Path:
+        """Persist a record atomically (tmp file + ``os.replace``).
+
+        ``kind`` tags the write for the per-kind counters and is stamped
+        onto the record when the record doesn't already carry one.
+        """
+        if kind and not record.kind:
+            record.kind = kind
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(record.to_dict(), sort_keys=True)
@@ -168,12 +201,17 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.metrics.add("store.writes")
+        self._count("writes", kind or record.kind or None)
         self._evict()
         return path
 
-    def _evict(self) -> None:
-        """Remove least-recently-used records until the cap is met."""
+    def _evict(self, max_bytes: int | None = None) -> int:
+        """Remove least-recently-used records until the cap is met.
+
+        Eviction order is deterministic: oldest nanosecond mtime first,
+        ties broken by record file name.  Returns the number evicted.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
         files = self._record_files()
         sized = []
         total = 0
@@ -182,21 +220,34 @@ class ResultStore:
                 stat = path.stat()
             except OSError:
                 continue
-            sized.append((stat.st_mtime, stat.st_size, path))
+            sized.append((stat.st_mtime_ns, path.name, stat.st_size, path))
             total += stat.st_size
-        if total <= self.max_bytes:
-            return
-        for _, size, path in sorted(sized):
+        evicted = 0
+        if total <= cap:
+            return evicted
+        for _, _, size, path in sorted(sized, key=lambda t: (t[0], t[1])):
             try:
                 path.unlink()
             except OSError:
                 continue
             self.metrics.add("store.evictions")
+            evicted += 1
             total -= size
-            if total <= self.max_bytes:
-                return
+            if total <= cap:
+                break
+        return evicted
 
     # -- maintenance -----------------------------------------------------
+    def gc(self, max_bytes: int | None = None) -> int:
+        """Evict down to ``max_bytes`` (default: the store's cap).
+
+        Returns the number of records removed and flushes the counters,
+        so ``repro store gc`` leaves an up-to-date sidecar behind.
+        """
+        evicted = self._evict(max_bytes)
+        self.flush_counters()
+        return evicted
+
     def clear(self) -> int:
         """Remove every record; returns the number removed."""
         removed = 0
@@ -225,3 +276,97 @@ class ResultStore:
             for name, value in self.metrics.as_dict().items()
             if name.startswith("store.")
         }
+
+    def stats(self) -> dict:
+        """An inventory of the store: sizes, per-kind counts, counters.
+
+        ``records_by_kind`` is computed by reading every record file, so
+        this is an ops call (``repro store stats``), not a hot-path one;
+        unreadable records count under ``"?"``.  ``counters`` merges the
+        persisted sidecar with this process's unflushed deltas.
+        """
+        by_kind: dict[str, int] = {}
+        total = 0
+        records = 0
+        for path in self._record_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            records += 1
+            total += stat.st_size
+            try:
+                kind = str(json.loads(path.read_text()).get("kind", "")) or "?"
+            except (OSError, ValueError, AttributeError):
+                kind = "?"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return {
+            "root": str(self.root),
+            "records": records,
+            "records_by_kind": dict(sorted(by_kind.items())),
+            "total_bytes": total,
+            "max_bytes": self.max_bytes,
+            "counters": self.persistent_counters(),
+        }
+
+    # -- persisted counters ----------------------------------------------
+    @property
+    def _counters_path(self) -> Path:
+        return self.root / "counters.json"
+
+    def _read_sidecar(self) -> dict[str, int]:
+        try:
+            data = json.loads(self._counters_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict):
+            return {}
+        out: dict[str, int] = {}
+        for name, value in data.items():
+            try:
+                out[str(name)] = int(value)
+            except (TypeError, ValueError):
+                continue
+        return out
+
+    def flush_counters(self) -> dict[str, int]:
+        """Fold this process's counter deltas into ``counters.json``.
+
+        Only the delta since the previous flush is added, so repeated
+        flushes are idempotent; the sidecar is best-effort across
+        processes (read-modify-write, last writer's merge wins) and any
+        corrupt sidecar is replaced rather than trusted.  Returns the
+        merged counters as written.
+        """
+        current = self.counters()
+        merged = self._read_sidecar()
+        for name, value in current.items():
+            delta = value - self._flushed.get(name, 0)
+            if delta:
+                merged[name] = merged.get(name, 0) + delta
+            self._flushed[name] = value
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(merged, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-counters-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._counters_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return merged
+
+    def persistent_counters(self) -> dict[str, int]:
+        """Sidecar counters plus this process's unflushed deltas."""
+        merged = self._read_sidecar()
+        for name, value in self.counters().items():
+            delta = value - self._flushed.get(name, 0)
+            if delta:
+                merged[name] = merged.get(name, 0) + delta
+        return dict(sorted(merged.items()))

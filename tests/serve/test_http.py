@@ -312,6 +312,37 @@ class TestObservabilityEndpoints:
         assert store["hits"] + store["misses"] > 0
         assert 0.0 <= store["hit_rate"] <= 1.0
 
+    def test_healthz_splits_store_counters_by_kind(self, service):
+        _, _, client = service
+        client.check(GOOD)  # cold: spec + report misses
+        client.check(GOOD)  # warm: spec + report hits
+        kinds = client.healthz()["store"]["kinds"]
+        assert set(kinds) == {"report", "spec", "obligation"}
+        assert kinds["spec"]["misses"] >= 1 and kinds["spec"]["hits"] >= 1
+        assert kinds["report"]["hits"] + kinds["report"]["misses"] >= 1
+        for block in kinds.values():
+            assert 0.0 <= block["hit_rate"] <= 1.0
+        # untouched kinds stay at zero rather than disappearing
+        assert kinds["obligation"] == {
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_metrics_exposes_per_kind_store_counters(self, service):
+        _, _, client = service
+        client.check(GOOD)
+        text = client.metrics_text()
+        assert "repro_store_misses_spec" in text
+
+    def test_job_completion_flushes_counter_sidecar(self, service, tmp_path):
+        import json
+
+        _, _, client = service
+        client.check(GOOD)
+        sidecar = json.loads((tmp_path / "counters.json").read_text())
+        assert sidecar.get("misses.spec", 0) >= 1
+
     def test_metrics_exposes_request_histograms(self, service):
         _, _, client = service
         client.check(GOOD)

@@ -1,0 +1,154 @@
+"""Store operations: deterministic eviction, kind counters, sidecar.
+
+The ``repro store`` CLI and the incremental proof engine lean on three
+ops-facing behaviors tested here: evictions are a pure function of
+``(st_mtime_ns, name)`` (no filesystem-order nondeterminism, even for
+records written within the same second), hit/miss/write counters split
+by record kind, and lifetime counters survive process exits via the
+``counters.json`` sidecar.
+"""
+
+import json
+import os
+
+from repro.store.store import ResultStore, StoreRecord
+
+
+def _record(i=0, kind=""):
+    return StoreRecord(
+        verdict=True, result={"i": i}, spec_text=f"spec {i}", kind=kind
+    )
+
+
+def _fp(prefix):
+    return prefix + "0" * (64 - len(prefix))
+
+
+class TestDeterministicEviction:
+    def test_same_second_ties_break_by_name(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fps = [_fp("aa"), _fp("bb"), _fp("cc")]
+        paths = [store.put(fp, _record(i)) for i, fp in enumerate(fps)]
+        # identical timestamps: mtime alone cannot order these records
+        for path in paths:
+            os.utime(path, ns=(1_000_000_000, 1_000_000_000))
+        one = max(p.stat().st_size for p in paths)
+        evicted = store.gc(max_bytes=one)
+        assert evicted == 2
+        # ties break lexicographically: the largest name survives
+        assert [fp for fp in fps if fp in store] == [_fp("cc")]
+
+    def test_eviction_order_is_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fps = [_fp("aa"), _fp("bb"), _fp("cc")]
+        paths = [store.put(fp, _record(i)) for i, fp in enumerate(fps)]
+        # reverse-chronological on purpose: "cc" is the oldest record
+        for age, path in enumerate(paths):
+            t = (10 - age) * 1_000_000_000
+            os.utime(path, ns=(t, t))
+        store.gc(max_bytes=max(p.stat().st_size for p in paths))
+        assert [fp for fp in fps if fp in store] == [_fp("aa")]
+
+    def test_gc_reports_count_and_flushes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_fp("aa"), _record())
+        assert store.gc(max_bytes=0) == 1
+        sidecar = json.loads((tmp_path / "counters.json").read_text())
+        assert sidecar["evictions"] == 1
+
+    def test_gc_within_cap_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_fp("aa"), _record())
+        assert store.gc() == 0
+        assert len(store) == 1
+
+
+class TestKindCounters:
+    def test_events_split_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(_fp("aa"), kind="obligation")  # miss
+        store.put(_fp("aa"), _record(), kind="obligation")
+        store.get(_fp("aa"), kind="obligation")  # hit
+        store.put(_fp("bb"), _record(kind="report"))
+        counters = store.counters()
+        assert counters["misses.obligation"] == 1
+        assert counters["hits.obligation"] == 1
+        assert counters["writes.obligation"] == 1
+        assert counters["writes.report"] == 1
+        assert counters["writes"] == 2
+
+    def test_kindless_calls_keep_flat_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(_fp("aa"))
+        store.put(_fp("aa"), _record())
+        assert store.counters() == {"misses": 1, "writes": 1}
+
+    def test_put_stamps_kind_into_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_fp("aa"), _record(), kind="spec")
+        assert store.get(_fp("aa")).kind == "spec"
+
+    def test_stats_counts_records_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_fp("aa"), _record(kind="obligation"))
+        store.put(_fp("bb"), _record(kind="obligation"))
+        store.put(_fp("cc"), _record(kind="report"))
+        store.put(_fp("dd"), _record())  # legacy, kindless → "?"
+        path = store.path_for(_fp("ee"))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json")  # unreadable records also count as "?"
+        info = store.stats()
+        assert info["records_by_kind"] == {
+            "?": 2,
+            "obligation": 2,
+            "report": 1,
+        }
+        assert info["records"] == 5
+        assert info["total_bytes"] == store.total_bytes()
+
+
+class TestCounterSidecar:
+    def test_counters_survive_process_exit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(_fp("aa"), kind="obligation")
+        store.put(_fp("aa"), _record(), kind="obligation")
+        store.flush_counters()
+        # a fresh instance models the next process
+        later = ResultStore(tmp_path)
+        merged = later.persistent_counters()
+        assert merged["misses.obligation"] == 1
+        assert merged["writes.obligation"] == 1
+
+    def test_repeated_flush_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(_fp("aa"))
+        store.flush_counters()
+        store.flush_counters()
+        assert ResultStore(tmp_path).persistent_counters() == {
+            "misses": 1
+        }
+
+    def test_flushes_accumulate_across_instances(self, tmp_path):
+        for _ in range(3):
+            store = ResultStore(tmp_path)
+            store.get(_fp("aa"))
+            store.flush_counters()
+        merged = ResultStore(tmp_path).persistent_counters()
+        assert merged["misses"] == 3
+
+    def test_corrupt_sidecar_is_replaced(self, tmp_path):
+        (tmp_path / "counters.json").write_text("{broken")
+        store = ResultStore(tmp_path)
+        store.get(_fp("aa"))
+        merged = store.flush_counters()
+        assert merged == {"misses": 1}
+        assert json.loads((tmp_path / "counters.json").read_text()) == {
+            "misses": 1
+        }
+
+    def test_persistent_counters_include_unflushed_deltas(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(_fp("aa"))
+        store.flush_counters()
+        store.get(_fp("bb"))  # not yet flushed
+        assert store.persistent_counters()["misses"] == 2

@@ -135,3 +135,70 @@ class TestEndToEnd:
         assert entry["results"], "latest entry is empty"
         for name, result in entry["results"].items():
             assert result["median_us"] > 0, name
+
+
+class TestIncrementalGate:
+    """The --incremental mode: absolute speedup floor, not medians."""
+
+    @pytest.fixture
+    def trajectory(self, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_incremental.json"
+        path.write_text(json.dumps({
+            "entries": [{
+                "label": "after",
+                "git_rev": "abc1234",
+                "date": "2026-08-08",
+                "results": {"afs2_n3": {
+                    "obligations": 4,
+                    "cold_ms": 150.0,
+                    "warm_min_ms": 5.0,
+                    "warm_edit_min_ms": 15.0,
+                    "speedup_warm": 30.0,
+                    "speedup_edit": 10.0,
+                    "rounds": 5,
+                }},
+            }],
+        }))
+        return path
+
+    def test_passes_above_floor(self, trajectory, monkeypatch, capsys):
+        import bench_incremental
+
+        monkeypatch.setattr(
+            bench_incremental,
+            "measure",
+            lambda rounds: {
+                "cold_ms": 140.0,
+                "warm_edit_min_ms": 14.0,
+                "speedup_edit": 10.0,
+            },
+        )
+        code = bench_gate.gate_incremental(trajectory, 5.0)
+        assert code == 0
+        assert "OK: warm edit-recheck 10.0x" in capsys.readouterr().out
+
+    def test_fails_below_floor(self, trajectory, monkeypatch, capsys):
+        import bench_incremental
+
+        monkeypatch.setattr(
+            bench_incremental,
+            "measure",
+            lambda rounds: {
+                "cold_ms": 140.0,
+                "warm_edit_min_ms": 100.0,
+                "speedup_edit": 1.4,
+            },
+        )
+        code = bench_gate.gate_incremental(trajectory, 5.0)
+        assert code == 1
+        assert "below the 5.0x floor" in capsys.readouterr().err
+
+    def test_committed_incremental_trajectory_is_gateable(self):
+        import json
+
+        path = pathlib.Path(bench_gate.ROOT) / "BENCH_incremental.json"
+        entry = bench_gate.baseline_entry(json.loads(path.read_text()))
+        result = entry["results"]["afs2_n3"]
+        assert result["speedup_edit"] >= 5.0

@@ -351,3 +351,57 @@ class TestObsCommand:
         assert main(["obs", "summary", str(log_path)]) == 0
         out = capsys.readouterr().out
         assert "job.done" in out
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def populated(self, good_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["check", good_file, "--cache", str(cache)])
+        main(["check", good_file, "--cache", str(cache)])
+        capsys.readouterr()
+        return cache
+
+    def test_stats_reports_inventory_and_counters(self, populated, capsys):
+        assert main(["store", "stats", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert f"result store: {populated}" in out
+        assert "by kind:" in out and "spec" in out
+        assert "hits.spec: 1" in out and "misses.spec: 1" in out
+
+    def test_stats_json(self, populated, capsys):
+        import json
+
+        assert main(["store", "stats", str(populated), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["records"] == len(list(populated.glob("objects/*/*.json")))
+        assert info["counters"]["writes.spec"] == 1
+
+    def test_gc_to_zero_evicts_everything(self, populated, capsys):
+        assert main(
+            ["store", "gc", str(populated), "--max-bytes", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 remain (0 bytes)" in out
+        assert not list(populated.glob("objects/*/*.json"))
+
+    def test_clear_removes_records(self, populated, capsys):
+        assert main(["store", "clear", str(populated)]) == 0
+        assert "record(s)" in capsys.readouterr().out
+        assert not list(populated.glob("objects/*/*.json"))
+
+
+class TestDemoCache:
+    def test_demo_cache_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["demo", "afs2-safety", "--cache", cache]) == 0
+        cold = capsys.readouterr()
+        assert "0 hit(s), 3 miss(es)" in cold.err
+        assert main(["demo", "afs2-safety", "--cache", cache]) == 0
+        warm = capsys.readouterr()
+        assert "3 hit(s), 0 miss(es)" in warm.err
+        assert warm.out == cold.out
+
+    def test_demo_without_cache_prints_no_store_line(self, capsys):
+        assert main(["demo", "mutex"]) == 0
+        assert "result store" not in capsys.readouterr().err

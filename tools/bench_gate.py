@@ -44,6 +44,7 @@ from run_benchmarks import ROOT, extract, run_pytest  # noqa: E402
 DEFAULT_BASELINE = ROOT / "BENCH_bdd_engine.json"
 DEFAULT_SUITE = "benchmarks/bench_bdd_engine.py"
 DEFAULT_THRESHOLD = 0.25
+DEFAULT_INCREMENTAL_FLOOR = 5.0
 
 
 def baseline_entry(trajectory: dict, label: str | None = None) -> dict:
@@ -103,6 +104,60 @@ def format_rows(rows: list[dict], threshold: float) -> str:
     return "\n".join(lines)
 
 
+def gate_incremental(
+    baseline_path: pathlib.Path,
+    floor: float,
+    label: str | None = None,
+    rounds: int = 3,
+) -> int:
+    """Gate the incremental-proof speedup (``BENCH_incremental.json``).
+
+    Re-measures the AFS-2 cold / warm-edit trajectory fresh and fails
+    when the warm edit-recheck is less than ``floor`` times faster than
+    the cold proof — the feature's acceptance criterion, measured
+    absolutely rather than against the baseline median (the speedup is a
+    ratio of two same-machine runs, so it is machine-independent).
+    """
+    from bench_incremental import measure
+
+    trajectory = json.loads(baseline_path.read_text())
+    try:
+        entry = baseline_entry(trajectory, label)
+    except ValueError as exc:
+        print(f"bench_gate: {exc}", file=sys.stderr)
+        return 2
+    base = entry["results"]["afs2_n3"]
+
+    fresh = measure(rounds)
+    print(
+        f"baseline: {entry['label']!r} ({entry.get('git_rev', '?')}, "
+        f"{entry.get('date', '?')}); floor {floor:.1f}x"
+    )
+    print(
+        f"{'afs2 n=3':<22} {'cold ms':>10} {'edit ms':>10} {'speedup':>8}"
+    )
+    print(
+        f"{'baseline':<22} {base['cold_ms']:>10.1f} "
+        f"{base['warm_edit_min_ms']:>10.2f} {base['speedup_edit']:>7.1f}x"
+    )
+    print(
+        f"{'fresh':<22} {fresh['cold_ms']:>10.1f} "
+        f"{fresh['warm_edit_min_ms']:>10.2f} {fresh['speedup_edit']:>7.1f}x"
+    )
+    if fresh["speedup_edit"] < floor:
+        print(
+            f"FAIL: warm edit-recheck speedup {fresh['speedup_edit']}x "
+            f"below the {floor:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: warm edit-recheck {fresh['speedup_edit']}x >= "
+        f"{floor:.1f}x floor"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -132,7 +187,27 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_SUITE,
         help="benchmark suite to run (default: the engine microbenches)",
     )
+    parser.add_argument(
+        "--incremental",
+        metavar="FILE",
+        help="gate the incremental-proof speedup against FILE "
+        "(BENCH_incremental.json) instead of the microbench medians",
+    )
+    parser.add_argument(
+        "--incremental-floor",
+        type=float,
+        default=DEFAULT_INCREMENTAL_FLOOR,
+        help="minimum cold/warm-edit speedup for --incremental "
+        "(default 5.0)",
+    )
     args = parser.parse_args(argv)
+
+    if args.incremental:
+        return gate_incremental(
+            pathlib.Path(args.incremental),
+            args.incremental_floor,
+            args.baseline_label,
+        )
 
     trajectory = json.loads(pathlib.Path(args.baseline).read_text())
     try:

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI smoke for incremental proof checking (used by the workflow).
+
+Drives the edit-recheck loop end to end on the AFS-2 ``n=3`` safety
+proof (4 obligations: server + 3 clients) against a fresh result store,
+then fails loudly unless:
+
+* the **cold** proof misses every obligation and writes the records;
+* the **warm** recheck replays every obligation from the store with
+  verdicts, stats and certificates **byte-identical** to the cold run;
+* after editing one client's SMV source
+  (:func:`~repro.casestudies.afs2.client_source_variant` swaps two
+  mutually-exclusive case branches), the recheck re-checks **only the
+  edited client** — every other obligation replays — and the proof
+  still goes through;
+* a second edited recheck then replays fully: the store now serves both
+  versions of the composition.
+
+Writes ``incremental_ledger.json`` (the hit/miss ledger of every run,
+plus the store's final per-kind counters) into ``--artifact-dir``
+(default: current directory) for upload.
+
+    PYTHONPATH=src python tools/incremental_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def prove(store, jobs=None, variant=None):
+    """One AFS-2 n=3 safety proof; returns (proof, ledger)."""
+    from repro.casestudies.afs2 import Afs2
+
+    study = Afs2(3, jobs=jobs, store=store, variant_client=variant)
+    pf, proven = study.prove_safety()
+    if proven.formula is None:
+        fail("proof produced no conclusion")
+    ledger = pf.cache_ledger()
+    if ledger is None:
+        fail("store-backed proof produced no cache ledger")
+    return pf, ledger
+
+
+def results_of(pf) -> list[dict]:
+    return [
+        o.to_dict()
+        for s in pf.log
+        for leaf in s.leaves()
+        for o in leaf.obligations
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--artifact-dir", default=".")
+    args = parser.parse_args(argv)
+
+    from repro.store import ResultStore
+
+    components = {"server", "client1", "client2", "client3"}
+    root = tempfile.mkdtemp(prefix="repro-incremental-smoke-")
+    store = ResultStore(root)
+
+    print("cold AFS-2 n=3 safety proof ...")
+    pf_cold, cold = prove(store, jobs=args.jobs)
+    if cold["hits"] != 0 or cold["misses"] != len(components):
+        fail(
+            f"cold run expected 0 hits / {len(components)} misses, got "
+            f"{cold['hits']} / {cold['misses']}"
+        )
+    checked = {e["component"] for e in cold["obligations"]}
+    if checked != components:
+        fail(f"cold run checked {sorted(checked)}")
+    print(f"  {cold['misses']} obligations checked and stored")
+
+    print("warm recheck (nothing edited) ...")
+    pf_warm, warm = prove(store, jobs=args.jobs)
+    if warm["misses"] != 0 or warm["hits"] != len(components):
+        fail(
+            f"warm run expected full replay, got {warm['hits']} hits / "
+            f"{warm['misses']} misses"
+        )
+    if results_of(pf_warm) != results_of(pf_cold):
+        fail("replayed results are not byte-identical to the cold run")
+    if pf_warm.summary() != pf_cold.summary():
+        fail("warm proof summary differs from the cold run")
+    if warm["proof_fingerprint"] != cold["proof_fingerprint"]:
+        fail("warm proof fingerprint differs from the cold run")
+    print(f"  {warm['hits']} obligations replayed byte-identically")
+
+    print("edited recheck (client2 source perturbed) ...")
+    _, edited = prove(store, jobs=args.jobs, variant=2)
+    missed = [e["component"] for e in edited["obligations"] if not e["cached"]]
+    if missed != ["client2"]:
+        fail(
+            f"edited recheck re-checked {missed}, expected only the "
+            f"edited client2"
+        )
+    if edited["hits"] != len(components) - 1:
+        fail(f"edited recheck expected 3 hits, got {edited['hits']}")
+    if not all(e["holds"] for e in edited["obligations"]):
+        fail("edited proof has failing obligations")
+    if edited["proof_fingerprint"] == cold["proof_fingerprint"]:
+        fail("component edit did not change the proof fingerprint")
+    print("  only client2 re-checked; proof still goes through")
+
+    print("second edited recheck (both versions now stored) ...")
+    _, again = prove(store, jobs=args.jobs, variant=2)
+    if again["misses"] != 0:
+        fail(f"second edited recheck missed {again['misses']} obligations")
+    print(f"  {again['hits']} obligations replayed")
+
+    store.flush_counters()
+    artifact_dir = pathlib.Path(args.artifact_dir)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    artifact = artifact_dir / "incremental_ledger.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "runs": {
+                    "cold": cold,
+                    "warm": warm,
+                    "edited": edited,
+                    "edited_again": again,
+                },
+                "store_counters": store.persistent_counters(),
+                "store_stats": store.stats(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {artifact}")
+    print("incremental smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
