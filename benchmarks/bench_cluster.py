@@ -1,0 +1,238 @@
+"""Experiment CL — cluster store tier: cold check vs cross-instance warm replay.
+
+Measures the distributed serving tier's reason to exist: a shard that
+never checked a batch can still replay it from a peer's store.  Two
+stores play the roles of two cluster members:
+
+* **instance A** — a plain :class:`~repro.store.ResultStore` fronted by
+  a real ``repro.serve`` HTTP server (the ``GET /v1/store/<fp>``
+  endpoint the peer tier probes);
+* **instance B** — a :class:`~repro.cluster.peers.PeerAwareStore` whose
+  ring names A as a member, starting from an *empty* local directory.
+
+The batch (AFS-2 servers, made pairwise-distinct with padding
+variables so nothing deduplicates inside one run) is checked **cold**
+through A's store, then replayed through B: every verdict must arrive
+via peer fetch + read-through write-back, with zero local BDD work.
+Each warm round starts from a fresh empty B directory so the fetch
+path is exercised every time, not just on round one.
+
+The warm row is the cluster tier's acceptance gate: a cross-instance
+warm replay must be at least 5× faster than proving cold, because B
+does HTTP round trips instead of fixpoint computation.
+
+Run as a script to (re)write ``BENCH_cluster.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --label after
+
+Also exposes a pytest-benchmark entry point for the harness smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.casestudies.afs2 import SERVER_SPECS_FIGURE, server_source
+from repro.cluster.peers import PeerAwareStore
+from repro.cluster.ring import RingConfig
+from repro.serve.http import create_server
+from repro.serve.jobs import JobManager
+from repro.store import ResultStore, cached_check
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = ROOT / "BENCH_cluster.json"
+
+N = 4  # AFS-2 server size: heavy enough that replay wins by a mile
+CHECKS = 4
+
+
+def batch_sources(checks: int = CHECKS, n: int = N) -> list[str]:
+    """``checks`` pairwise-distinct AFS-2 server modules.
+
+    Each copy carries one uniquely named (unconstrained) padding
+    variable: the store fingerprints hash the canonical module text, so
+    without it every copy would collapse onto one record and the "cold"
+    pass would be seven-eighths cache hits.
+    """
+    base = server_source(n, rename=False)
+    out = []
+    for i in range(checks):
+        padded = base.replace(
+            "VAR", f"VAR\n  pad{i} : boolean;", 1
+        )
+        out.append(padded + SERVER_SPECS_FIGURE)
+    return out
+
+
+def _serve_store(store: ResultStore):
+    """A real serving instance fronting ``store`` (for /v1/store)."""
+    manager = JobManager(
+        jobs=1, queue_size=2, store=store, metrics=store.metrics
+    )
+    server = create_server(manager=manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def stop():
+        server.shutdown()
+        server.server_close()
+        manager.stop()
+        thread.join(timeout=10)
+
+    return server, stop
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_cluster_warm_replay(benchmark, tmp_path):
+    sources = batch_sources(checks=2, n=2)
+    store_a = ResultStore(tmp_path / "a")
+    server, stop = _serve_store(store_a)
+    try:
+        for source in sources:
+            run = cached_check(source, store=store_a)
+            assert run.all_true and run.misses > 0
+        config = RingConfig.parse(
+            f"127.0.0.1:{server.port},127.0.0.1:1",
+            self_url="127.0.0.1:1",
+        )
+        counter = iter(range(10**6))
+
+        def warm():
+            store_b = PeerAwareStore(
+                tmp_path / f"b{next(counter)}", config, timeout=5.0
+            )
+            runs = [cached_check(s, store=store_b) for s in sources]
+            assert all(r.misses == 0 for r in runs)
+            return store_b
+
+        store_b = benchmark.pedantic(warm, rounds=3, warmup_rounds=0)
+        assert store_b.metrics.get("cluster.peer_fetch.hit") > 0
+    finally:
+        stop()
+
+
+# ----------------------------------------------------------------------
+# standalone trajectory writer
+# ----------------------------------------------------------------------
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(rounds: int) -> dict:
+    """Cold wall time through A vs warm cross-instance replay through B."""
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-cluster-"))
+    sources = batch_sources()
+    store_a = ResultStore(root / "a")
+    server, stop = _serve_store(store_a)
+    try:
+        t0 = time.perf_counter()
+        for source in sources:
+            run = cached_check(source, store=store_a)
+            assert run.all_true, "the benchmark batch must verify"
+            assert run.hits == 0, "cold pass must start from empty"
+        cold = time.perf_counter() - t0
+
+        config = RingConfig.parse(
+            f"127.0.0.1:{server.port},127.0.0.1:1",
+            self_url="127.0.0.1:1",
+        )
+        warm = []
+        specs = 0
+        for r in range(rounds):
+            store_b = PeerAwareStore(root / f"b{r}", config, timeout=5.0)
+            t0 = time.perf_counter()
+            runs = [cached_check(s, store=store_b) for s in sources]
+            warm.append(time.perf_counter() - t0)
+            for run in runs:
+                assert run.misses == 0, "warm replay must do no BDD work"
+            specs = sum(len(run.results) for run in runs)
+            fetched = store_b.metrics.get("cluster.peer_fetch.hit")
+            assert fetched > 0, "warm replay never touched the peer"
+
+        return {
+            "checks": len(sources),
+            "specs": specs,
+            "cold_ms": round(cold * 1e3, 2),
+            "warm_min_ms": round(min(warm) * 1e3, 3),
+            "speedup_warm": round(cold / min(warm), 1),
+            "rounds": rounds,
+        }
+    finally:
+        stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="after")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    output = pathlib.Path(args.output)
+    if output.exists():
+        document = json.loads(output.read_text())
+    else:
+        document = {
+            "description": "Cluster store-tier trajectory (wall ms; "
+            "cold = AFS-2 batch checked against an empty store, warm = "
+            "the same batch replayed on a second instance whose empty "
+            "store fetches every record from the first over HTTP)",
+            "note": "The acceptance gate is speedup_warm: a "
+            "cross-instance warm replay must be at least 5x faster "
+            "than the cold proof.",
+            "entries": [],
+        }
+
+    result = measure(args.rounds)
+    print(
+        f"afs2 servers n={N} x{CHECKS}:   "
+        f"cold {result['cold_ms']:8.1f} ms   "
+        f"warm {result['warm_min_ms']:7.2f} ms "
+        f"({result['speedup_warm']}x)"
+    )
+    if result["speedup_warm"] < 5:
+        print(
+            f"FAIL: cross-instance warm replay speedup "
+            f"{result['speedup_warm']}x < 5x",
+            file=sys.stderr,
+        )
+        return 1
+
+    entry = {
+        "label": args.label,
+        "git_rev": _git_rev(),
+        "date": datetime.date.today().isoformat(),
+        "results": {"afs2_cluster": result},
+    }
+    document["entries"] = [
+        e for e in document["entries"] if e["label"] != args.label
+    ]
+    document["entries"].append(entry)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output} (label {args.label!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

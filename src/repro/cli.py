@@ -10,6 +10,10 @@ Usage::
     python -m repro check model.smv --json     # machine-readable report
     python -m repro serve --port 8123 --jobs 4 --cache-dir .repro-cache
     python -m repro serve --log-file serve.jsonl --log-level debug
+    python -m repro serve --port 8124 --cache-dir a.cache \\
+        --ring 127.0.0.1:8124,127.0.0.1:8125   # one shard of a cluster
+    python -m repro cluster router --ring 127.0.0.1:8124,127.0.0.1:8125
+    python -m repro cluster status --ring 127.0.0.1:8124,127.0.0.1:8125
     python -m repro submit model.smv --url http://localhost:8123
     python -m repro obs tail serve.jsonl -n 50   # render the event log
     python -m repro obs summary serve.jsonl      # counts + latency stats
@@ -489,11 +493,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_bytes=args.log_max_bytes,
         )
     metrics = MetricsRegistry()
-    store = (
-        ResultStore(args.cache_dir, metrics=metrics)
-        if args.cache_dir
-        else None
-    )
+    ring_config = None
+    if args.ring:
+        from repro.cluster.ring import RingConfig
+
+        if not args.cache_dir:
+            print(
+                "repro: --ring needs --cache-dir (peer store fetch "
+                "requires a local store)",
+                file=sys.stderr,
+            )
+            return 2
+        advertise = args.advertise or f"http://{args.host}:{args.port}"
+        ring_config = RingConfig.parse(args.ring, self_url=advertise)
+    if ring_config is not None:
+        from repro.cluster.peers import PeerAwareStore
+
+        store = PeerAwareStore(
+            args.cache_dir,
+            ring_config,
+            metrics=metrics,
+            timeout=args.peer_timeout,
+        )
+    elif args.cache_dir:
+        store = ResultStore(args.cache_dir, metrics=metrics)
+    else:
+        store = None
     manager = JobManager(
         jobs=args.jobs,
         queue_size=args.queue_size,
@@ -504,19 +529,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         progress=not args.no_progress,
         progress_interval=args.progress_interval,
         stall_deadline=args.stall_deadline,
+        shard_id=ring_config.self_id or "" if ring_config else "",
     )
     server = create_server(args.host, args.port, manager=manager)
     where = f"http://{args.host}:{server.port}"
     cache = f", cache {args.cache_dir}" if args.cache_dir else ""
     log = f", log {args.log_file}" if args.log_file else ""
+    ring = (
+        f", ring {len(ring_config.shard_ids)} shard(s) as "
+        f"{ring_config.self_id}"
+        if ring_config
+        else ""
+    )
     print(
         f"repro serve: listening on {where} "
-        f"({args.jobs} worker(s), queue {args.queue_size}{cache}{log})",
+        f"({args.jobs} worker(s), queue {args.queue_size}{cache}{log}{ring})",
         file=sys.stderr,
     )
     serve_forever(server)
     print("repro serve: drained and stopped", file=sys.stderr)
     return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster router|status``: the shard-aware serving tier.
+
+    ``router`` runs the cluster front end: the existing ``/v1/check``
+    API, with each check routed to its owner shard on the consistent-
+    hash ring and the results fanned back into one job document.
+    ``status`` probes every ring member's ``/healthz`` once and prints
+    a one-line-per-shard summary (or the full JSON with ``--json``).
+    """
+    from repro.cluster.ring import RingConfig
+
+    config = RingConfig.parse(args.ring)
+    if args.action == "router":
+        from repro.cluster.router import RouterManager, create_router
+        from repro.serve.http import serve_forever
+
+        manager = RouterManager(
+            config,
+            timeout=args.peer_timeout,
+            max_parallel=args.max_parallel,
+        )
+        server = create_router(
+            args.host, args.port, config=config, manager=manager
+        )
+        print(
+            f"repro cluster router: listening on "
+            f"http://{args.host}:{server.port} over "
+            f"{len(config.shard_ids)} shard(s): "
+            f"{', '.join(config.shard_ids)}",
+            file=sys.stderr,
+        )
+        serve_forever(server)
+        print("repro cluster router: stopped", file=sys.stderr)
+        return 0
+    # status: one health probe of every member
+    from repro.cluster.router import RouterManager
+
+    doc = RouterManager(config, timeout=args.peer_timeout).healthz()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0 if all(
+            s["reachable"] for s in doc["shards"].values()
+        ) else 1
+    print(
+        f"cluster: {len(doc['ring']['members'])} member(s), "
+        f"{doc['ring']['vnodes']} vnodes"
+    )
+    healthy = 0
+    for shard, state in doc["shards"].items():
+        mark = "ok" if state["reachable"] else "DOWN"
+        healthy += 1 if state["reachable"] else 0
+        print(f"  {shard:<24} {mark:<5} ({state['status']})")
+    print(f"{healthy}/{len(doc['shards'])} shard(s) healthy")
+    return 0 if healthy == len(doc["shards"]) else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -811,7 +899,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="rotate --log-file to <file>.1 when it would exceed "
         "BYTES (keeps at most two generations on disk)",
     )
+    serve.add_argument(
+        "--ring",
+        metavar="URLS",
+        default=None,
+        help="serve as one shard of a cluster: comma-separated base "
+        "URLs of every member (this instance included); on a local "
+        "store miss the fingerprint's owner shard is probed before "
+        "checking (requires --cache-dir)",
+    )
+    serve.add_argument(
+        "--advertise",
+        metavar="URL",
+        default=None,
+        help="this instance's own URL within --ring (defaults to "
+        "http://<host>:<port>)",
+    )
+    serve.add_argument(
+        "--peer-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-peer socket timeout for cluster store fetches",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run or inspect the shard-aware serving tier "
+        "(consistent-hash cluster of repro serve instances)",
+    )
+    cluster.add_argument("action", choices=("router", "status"))
+    cluster.add_argument(
+        "--ring",
+        metavar="URLS",
+        required=True,
+        help="comma-separated base URLs of every cluster member",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=8200,
+        help="router listen port (0 binds an ephemeral port)",
+    )
+    cluster.add_argument(
+        "--peer-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-shard request timeout (submit, poll, health probe)",
+    )
+    cluster.add_argument(
+        "--max-parallel",
+        type=int,
+        default=16,
+        metavar="N",
+        help="concurrent shard connections in the router's fan-out loop",
+    )
+    cluster.add_argument(
+        "--json",
+        action="store_true",
+        help="for status: print the full JSON health document",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     obs = sub.add_parser(
         "obs", help="inspect a structured event log written by repro serve"

@@ -1,0 +1,32 @@
+"""Distributed shard-aware serving: one logical service over N instances.
+
+The paper's compositional discipline turns one big check into many
+independent, content-addressed obligations — exactly the unit that
+shards cleanly across machines.  ``repro.cluster`` makes a set of
+``repro serve`` instances behave as one service:
+
+* :mod:`repro.cluster.ring` — a deterministic consistent-hash ring
+  (vnode-based, SHA-256 keyed) assigning every fingerprint an owner
+  shard, with minimal remapping when membership changes;
+* :mod:`repro.cluster.fanout` — a bounded selector-loop HTTP client
+  that fans requests out to many peers concurrently without a thread
+  per peer;
+* :mod:`repro.cluster.peers` — the peer store tier: on a local store
+  miss, probe the fingerprint's owner shard (``GET
+  /v1/store/<fingerprint>``) before checking, write fetched records
+  back locally, and push freshly computed records to their owners — so
+  a result computed anywhere is a warm hit everywhere.  Per-peer
+  timeouts, retries with exponential backoff + jitter and a circuit
+  breaker keep a dead cache peer from ever failing a request;
+* :mod:`repro.cluster.router` — a front end accepting the existing
+  ``/v1/check`` API, splitting batches into per-check work routed to
+  owner shards and fanning the results back into one job document.
+
+Start a cluster with ``repro serve --ring ... --advertise ...`` per
+instance plus ``repro cluster router --ring ...``; inspect it with
+``repro cluster status --ring ...``.
+"""
+
+from repro.cluster.ring import HashRing, RingConfig, request_fingerprint
+
+__all__ = ["HashRing", "RingConfig", "request_fingerprint"]

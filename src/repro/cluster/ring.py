@@ -1,0 +1,247 @@
+"""Deterministic consistent-hash ring over serve shards.
+
+A :class:`HashRing` places ``vnodes`` virtual points per member on a
+ring of SHA-256 positions and assigns every key to the member owning
+the first point at or after the key's own position.  Properties the
+cluster tier (and the hypothesis suite in ``tests/cluster``) relies on:
+
+* **deterministic** — positions come from SHA-256 over the member name
+  and vnode index alone, so every process (any machine, any
+  ``PYTHONHASHSEED``) computes the same owner for the same key;
+* **balanced** — at the default 128 vnodes per member the max/mean
+  keyspace share across members stays within ~1.25x;
+* **minimal remapping** — adding a member only moves keys *to* the new
+  member, removing one only moves keys *away from* it; everything else
+  keeps its owner (≤ K/N expected movement for K keys on N members).
+
+Rings are immutable; :meth:`HashRing.with_member` /
+:meth:`HashRing.without_member` derive changed memberships, which is
+what makes the remapping property testable as a pure function.
+
+:class:`RingConfig` maps the CLI's ``--ring`` spec (comma-separated
+base URLs) onto a ring keyed by ``host:port`` shard ids, and
+:func:`request_fingerprint` is the routing key the router hashes for a
+whole check request (raw source + engine options — cheap, no parsing;
+the *store* tier routes on the semantic fingerprints of
+:mod:`repro.store.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "RingConfig",
+    "request_fingerprint",
+    "shard_id_of",
+]
+
+#: Virtual points per member; 128 keeps max/mean load within ~1.25x.
+DEFAULT_VNODES = 128
+
+
+def _position(text: str) -> int:
+    """A point on the ring: the first 8 bytes of SHA-256, big-endian."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+def request_fingerprint(check: dict) -> str:
+    """The routing key of one ``/v1/check`` entry (SHA-256 hex).
+
+    Hashes the raw request fields (source text, engine, reflexive) —
+    stable across processes without parsing the model, so the router
+    can place work without doing front-end work.  Semantically equal
+    sources that differ in whitespace route to the same shard only if
+    byte-identical; that is fine for routing (placement, not identity —
+    the store tier's semantic fingerprints still dedup results).
+    """
+    payload = "\x00".join(
+        (
+            str(check.get("source", "")),
+            str(check.get("engine", "symbolic")),
+            "1" if check.get("reflexive") else "0",
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class HashRing:
+    """An immutable consistent-hash ring over string member ids.
+
+    >>> ring = HashRing(["a:1", "b:2"])
+    >>> ring.owner("some-fingerprint") in ("a:1", "b:2")
+    True
+    >>> ring.with_member("c:3").members
+    ('a:1', 'b:2', 'c:3')
+    """
+
+    __slots__ = ("members", "vnodes", "_points", "_owners")
+
+    def __init__(self, members, vnodes: int = DEFAULT_VNODES):
+        unique = sorted(set(str(m) for m in members))
+        if not unique:
+            raise ValueError("a hash ring needs at least one member")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.members: tuple[str, ...] = tuple(unique)
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for member in self.members:
+            for index in range(vnodes):
+                points.append((_position(f"{member}#{index}"), member))
+        # ties (astronomically unlikely) break on the member name so the
+        # ring is a pure function of (members, vnodes)
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [m for _, m in points]
+
+    # -- lookup ----------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The member owning ``key``: first vnode at or after its position."""
+        index = bisect_right(self._points, _position(str(key)))
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owners[index]
+
+    def preference(self, key: str, count: int | None = None) -> list[str]:
+        """Distinct members in ring order starting at ``key``'s owner.
+
+        The first entry is :meth:`owner`; the rest are the fallbacks a
+        reader probes when the owner is unreachable.  ``count`` bounds
+        the list (default: every member).
+        """
+        wanted = len(self.members) if count is None else min(count, len(self.members))
+        index = bisect_right(self._points, _position(str(key)))
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            member = self._owners[(index + offset) % len(self._points)]
+            if member not in seen:
+                seen.append(member)
+                if len(seen) >= wanted:
+                    break
+        return seen
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of the keyspace each member owns (sums to 1.0).
+
+        Computed from arc lengths, not sampled keys, so it is an exact
+        statement about the ring itself — what the balance property in
+        the test suite bounds.
+        """
+        space = float(2**64)
+        totals = dict.fromkeys(self.members, 0.0)
+        for i, point in enumerate(self._points):
+            previous = self._points[i - 1] if i else self._points[-1]
+            arc = (point - previous) % 2**64
+            if len(self._points) == 1:
+                arc = 2**64
+            totals[self._owners[i]] += arc / space
+        return totals
+
+    # -- membership changes ----------------------------------------------
+    def with_member(self, member: str) -> "HashRing":
+        """A new ring with ``member`` added (idempotent)."""
+        return HashRing((*self.members, member), vnodes=self.vnodes)
+
+    def without_member(self, member: str) -> "HashRing":
+        """A new ring with ``member`` removed; the last member stays."""
+        remaining = [m for m in self.members if m != member]
+        if not remaining:
+            raise ValueError("cannot remove the last ring member")
+        return HashRing(remaining, vnodes=self.vnodes)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing({list(self.members)!r}, vnodes={self.vnodes})"
+
+
+def _normalize_url(url: str) -> str:
+    url = url.strip().rstrip("/")
+    if not url:
+        raise ReproError("empty URL in ring spec")
+    if "://" not in url:
+        url = f"http://{url}"
+    return url
+
+
+def shard_id_of(url: str) -> str:
+    """The ring member id of a base URL: its ``host:port`` part."""
+    return _normalize_url(url).split("://", 1)[1]
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """Cluster membership: base URLs plus (optionally) which one is *us*.
+
+    Built from the CLI's ``--ring`` spec with :meth:`parse`; the ring
+    itself is keyed by ``host:port`` shard ids so the spec may mix
+    schemeless and ``http://`` forms.
+    """
+
+    urls: tuple[str, ...]
+    self_url: str | None = None
+    vnodes: int = DEFAULT_VNODES
+    _ring: HashRing = field(init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_ring", HashRing(self.shard_ids, vnodes=self.vnodes)
+        )
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        self_url: str | None = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> "RingConfig":
+        """Parse ``url1,url2,...``; ``self_url`` must be in the ring."""
+        urls = tuple(
+            _normalize_url(part) for part in spec.split(",") if part.strip()
+        )
+        if not urls:
+            raise ReproError(f"--ring spec has no members: {spec!r}")
+        if len(set(shard_id_of(u) for u in urls)) != len(urls):
+            raise ReproError(f"--ring spec repeats a member: {spec!r}")
+        me = None
+        if self_url is not None:
+            me = _normalize_url(self_url)
+            if shard_id_of(me) not in (shard_id_of(u) for u in urls):
+                raise ReproError(
+                    f"--advertise {self_url!r} is not a --ring member"
+                )
+        return cls(urls=urls, self_url=me, vnodes=vnodes)
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(shard_id_of(u) for u in self.urls)
+
+    @property
+    def self_id(self) -> str | None:
+        return shard_id_of(self.self_url) if self.self_url else None
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def url_of(self, shard_id: str) -> str:
+        for url in self.urls:
+            if shard_id_of(url) == shard_id:
+                return url
+        raise KeyError(shard_id)
+
+    def peers(self) -> tuple[str, ...]:
+        """Every member URL except our own."""
+        me = self.self_id
+        return tuple(u for u in self.urls if shard_id_of(u) != me)

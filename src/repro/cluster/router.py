@@ -1,0 +1,590 @@
+"""The cluster front end: one ``/v1/check`` door over N shards.
+
+A :class:`RouterManager` accepts the service's existing batch API,
+splits each submission into per-shard sub-jobs — every check routed to
+the owner of its :func:`~repro.cluster.ring.request_fingerprint` — and
+submits them concurrently through the bounded selector fan-out of
+:mod:`repro.cluster.fanout` (one thread, ``max_parallel`` sockets; a
+slow shard never pins a thread).  ``GET /v1/jobs/<id>`` fans the poll
+back out and folds the shard documents into one aggregate: reports in
+the caller's original check order, worst shard state wins, a ``shards``
+block attributing each slice.
+
+Shard failures degrade, they don't fail: a shard whose submission is
+refused (or whose circuit breaker is open) has its checks *failed over*
+to the next member in ring preference order, and a shard that stops
+answering polls eventually fails only its own slice.  ``/healthz``
+(role ``router``) probes every member; ``/metrics`` renders routing
+counters and per-shard submit latency histograms.
+
+``repro cluster router --ring ...`` runs one of these; any
+:class:`~repro.serve.client.ServeClient` pointed at it sees a normal
+(if larger) checking service.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.cluster.fanout import FanoutRequest, FanoutResponse, fanout
+from repro.cluster.peers import CircuitBreaker, peer_metric_name
+from repro.cluster.ring import RingConfig, request_fingerprint
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import JobRequest
+
+__all__ = ["RouterManager", "RouterServer", "create_router"]
+
+#: Consecutive failed polls of one shard sub-job before its slice is
+#: declared failed (a dead *executing* shard fails only its own checks).
+POLL_FAILURE_LIMIT = 20
+
+#: Worst state wins when folding shard sub-job states into one.
+_STATE_PRECEDENCE = (
+    "failed",
+    "timeout",
+    "cancelled",
+    "running",
+    "queued",
+    "done",
+)
+
+_JOB_ID_RE = re.compile(r"^[0-9a-f]{8,32}$")
+
+
+class _Part:
+    """One shard's slice of a routed job."""
+
+    __slots__ = (
+        "shard", "url", "indices", "checks", "job_id", "state",
+        "error", "reports", "trace_id", "poll_failures",
+    )
+
+    def __init__(self, shard: str, url: str):
+        self.shard = shard
+        self.url = url
+        self.indices: list[int] = []  # positions in the caller's batch
+        self.checks: list[dict] = []
+        self.job_id: str | None = None
+        self.state = "queued"
+        self.error: str | None = None
+        self.reports: list[dict] | None = None
+        self.trace_id = ""
+        self.poll_failures = 0
+
+    def describe(self) -> dict:
+        return {
+            "shard": self.shard,
+            "job_id": self.job_id,
+            "checks": len(self.indices),
+            "indices": list(self.indices),
+            "state": self.state,
+            "error": self.error,
+            "trace_id": self.trace_id,
+        }
+
+
+class _RoutedJob:
+    """The router-side record of one accepted submission."""
+
+    __slots__ = ("id", "created", "checks", "parts", "timeout")
+
+    def __init__(self, checks: int, timeout: float | None):
+        self.id = uuid.uuid4().hex[:12]
+        self.created = time.time()
+        self.checks = checks
+        self.parts: list[_Part] = []
+        self.timeout = timeout
+
+
+class RouterManager:
+    """Routing state + shard health for one router process."""
+
+    def __init__(
+        self,
+        config: RingConfig,
+        metrics: MetricsRegistry | None = None,
+        timeout: float = 10.0,
+        max_parallel: int = 16,
+        failure_threshold: int = 3,
+        reset_seconds: float = 10.0,
+        clock=time.monotonic,
+    ):
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeout = timeout
+        self.max_parallel = max_parallel
+        self.started_wall = time.time()
+        self.draining = False
+        self._jobs: dict[str, _RoutedJob] = {}
+        self._lock = threading.Lock()
+        self._breakers = {
+            shard: CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_seconds=reset_seconds,
+                clock=clock,
+            )
+            for shard in config.shard_ids
+        }
+
+    # -- routing ---------------------------------------------------------
+    def _route(self, checks: list[dict]) -> dict[str, _Part]:
+        """Group checks by owner shard, skipping open-circuit shards.
+
+        A check whose owner's breaker is open is *failed over* to the
+        next member in its ring preference order (counted per event);
+        with every breaker open the owner is used anyway — the
+        submission fan-out will surface the truth.
+        """
+        parts: dict[str, _Part] = {}
+        for index, check in enumerate(checks):
+            key = request_fingerprint(check)
+            order = self.config.ring.preference(key)
+            shard = order[0]
+            for candidate in order:
+                if self._breakers[candidate].allow():
+                    if candidate != order[0]:
+                        self.metrics.add("router.failovers")
+                    shard = candidate
+                    break
+            part = parts.get(shard)
+            if part is None:
+                part = parts[shard] = _Part(
+                    shard, self.config.url_of(shard)
+                )
+            part.indices.append(index)
+            part.checks.append(check)
+        return parts
+
+    def submit(self, checks: list[dict], timeout: float | None) -> _RoutedJob:
+        """Split a batch, fan the sub-jobs out, record the routed job.
+
+        Raises ``ValueError`` when *no* shard accepted its slice — a
+        partial acceptance is not an error (the unreachable shard's
+        slice is retried once on the next preference member, then
+        surfaces as a failed slice in the aggregate document).
+        """
+        job = _RoutedJob(len(checks), timeout)
+        parts = self._route(checks)
+        self._submit_parts(job, list(parts.values()), failover=True)
+        accepted = [p for p in job.parts if p.job_id is not None]
+        if not accepted:
+            errors = "; ".join(
+                f"{p.shard}: {p.error}" for p in job.parts if p.error
+            )
+            raise ValueError(f"no shard accepted the batch ({errors})")
+        self.metrics.add("router.jobs_submitted")
+        self.metrics.add("router.checks_routed", len(checks))
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def _submit_parts(
+        self, job: _RoutedJob, parts: list[_Part], failover: bool
+    ) -> None:
+        requests = []
+        for part in parts:
+            payload: dict = {"checks": part.checks}
+            if job.timeout is not None:
+                payload["timeout"] = job.timeout
+            requests.append(
+                FanoutRequest(
+                    url=f"{part.url}/v1/check",
+                    method="POST",
+                    payload=payload,
+                    timeout=self.timeout,
+                )
+            )
+        started = time.perf_counter()
+        responses = fanout(requests, max_parallel=self.max_parallel)
+        self.metrics.observe(
+            "router.submit_seconds", time.perf_counter() - started
+        )
+        retry: list[_Part] = []
+        for part, response in zip(parts, responses):
+            self.metrics.observe(
+                f"router.shard.{peer_metric_name(part.shard)}"
+                ".submit_seconds",
+                response.seconds,
+            )
+            accepted = response.json() if response.ok else None
+            if (
+                response.ok
+                and response.status == 202
+                and accepted is not None
+            ):
+                self._breakers[part.shard].record_success()
+                part.job_id = str(accepted.get("id", ""))
+                part.trace_id = str(accepted.get("trace_id", ""))
+                part.state = str(accepted.get("state", "queued"))
+                self.metrics.add(
+                    f"router.shard.{peer_metric_name(part.shard)}.checks",
+                    len(part.indices),
+                )
+                job.parts.append(part)
+                continue
+            part.error = response.error or (
+                (accepted or {}).get("error")
+                if accepted is not None
+                else f"HTTP {response.status}"
+            ) or f"HTTP {response.status}"
+            self.metrics.add("router.shard_errors")
+            if response.error is not None:
+                self._breakers[part.shard].record_failure()
+            moved = self._failover_part(part) if failover else None
+            if moved is not None:
+                retry.append(moved)
+            else:
+                part.state = "failed"
+                job.parts.append(part)
+        if retry:
+            self.metrics.add("router.failovers", len(retry))
+            self._submit_parts(job, retry, failover=False)
+
+    def _failover_part(self, part: _Part) -> _Part | None:
+        """The same slice re-aimed at the next preference member."""
+        key = request_fingerprint(part.checks[0])
+        for shard in self.config.ring.preference(key):
+            if shard == part.shard:
+                continue
+            if not self._breakers[shard].allow():
+                continue
+            moved = _Part(shard, self.config.url_of(shard))
+            moved.indices = part.indices
+            moved.checks = part.checks
+            moved.error = None
+            return moved
+        return None
+
+    # -- aggregation -----------------------------------------------------
+    def get(self, job_id: str) -> dict | None:
+        """The aggregate job document, or ``None`` for unknown ids."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        self._refresh(job)
+        return self._document(job)
+
+    def _refresh(self, job: _RoutedJob) -> None:
+        """Poll every non-terminal slice concurrently."""
+        from repro.serve.jobs import TERMINAL_STATES
+
+        live = [
+            p
+            for p in job.parts
+            if p.job_id is not None and p.state not in TERMINAL_STATES
+        ]
+        if not live:
+            return
+        started = time.perf_counter()
+        responses = fanout(
+            [
+                FanoutRequest(
+                    url=f"{p.url}/v1/jobs/{p.job_id}",
+                    timeout=self.timeout,
+                )
+                for p in live
+            ],
+            max_parallel=self.max_parallel,
+        )
+        self.metrics.observe(
+            "router.poll_seconds", time.perf_counter() - started
+        )
+        for part, response in zip(live, responses):
+            doc = response.json() if response.ok else None
+            if doc is None:
+                part.poll_failures += 1
+                self.metrics.add("router.poll_errors")
+                if response.error is not None:
+                    self._breakers[part.shard].record_failure()
+                if part.poll_failures >= POLL_FAILURE_LIMIT:
+                    part.state = "failed"
+                    part.error = (
+                        f"shard {part.shard} unreachable: "
+                        f"{response.error or response.status}"
+                    )
+                continue
+            part.poll_failures = 0
+            self._breakers[part.shard].record_success()
+            part.state = str(doc.get("state", part.state))
+            part.error = doc.get("error")
+            reports = doc.get("reports")
+            if isinstance(reports, list):
+                part.reports = reports
+
+    def _document(self, job: _RoutedJob) -> dict:
+        states = {part.state for part in job.parts}
+        state = "done"
+        for candidate in _STATE_PRECEDENCE:
+            if candidate in states:
+                state = candidate
+                break
+        reports: list[dict] | None = None
+        if state == "done":
+            ordered: list[dict | None] = [None] * job.checks
+            complete = True
+            for part in job.parts:
+                if part.reports is None or len(part.reports) != len(
+                    part.indices
+                ):
+                    complete = False
+                    break
+                for position, index in enumerate(part.indices):
+                    ordered[index] = part.reports[position]
+            if complete and all(r is not None for r in ordered):
+                reports = [r for r in ordered if r is not None]
+            else:
+                state = "running"  # reports still landing
+        errors = [
+            f"{part.shard}: {part.error}" for part in job.parts if part.error
+        ]
+        return {
+            "id": job.id,
+            "state": state,
+            "checks": job.checks,
+            "created": job.created,
+            "error": "; ".join(errors) or None,
+            "reports": reports,
+            "shards": [part.describe() for part in job.parts],
+        }
+
+    def cancel(self, job_id: str) -> dict | None:
+        """Fan ``DELETE`` to every slice; per-shard outcomes returned."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        live = [p for p in job.parts if p.job_id is not None]
+        responses = fanout(
+            [
+                FanoutRequest(
+                    url=f"{p.url}/v1/jobs/{p.job_id}",
+                    method="DELETE",
+                    timeout=self.timeout,
+                )
+                for p in live
+            ],
+            max_parallel=self.max_parallel,
+        )
+        cancelled = 0
+        for part, response in zip(live, responses):
+            doc = response.json() if response.ok else None
+            if doc is not None and doc.get("state") == "cancelled":
+                part.state = "cancelled"
+                cancelled += 1
+        return {
+            "id": job.id,
+            "state": "cancelled" if cancelled == len(live) else "mixed",
+            "cancelled": cancelled,
+            "shards": [part.describe() for part in job.parts],
+        }
+
+    # -- health ----------------------------------------------------------
+    def healthz(self) -> dict:
+        """Probe every member; the router's ``/healthz`` document."""
+        from repro import __version__
+
+        responses = fanout(
+            [
+                FanoutRequest(url=f"{url}/healthz", timeout=self.timeout)
+                for url in self.config.urls
+            ],
+            max_parallel=self.max_parallel,
+        )
+        shards = {}
+        for shard, response in zip(self.config.shard_ids, responses):
+            doc = response.json() if response.ok else None
+            shards[shard] = {
+                "reachable": doc is not None,
+                "status": (doc or {}).get(
+                    "status", response.error or "unreachable"
+                ),
+                "breaker": self._breakers[shard].state,
+            }
+        with self._lock:
+            jobs_total = len(self._jobs)
+        return {
+            "status": "ok",
+            "role": "router",
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started_wall, 3),
+            "jobs_total": jobs_total,
+            "ring": {
+                "members": list(self.config.shard_ids),
+                "vnodes": self.config.vnodes,
+            },
+            "shards": shards,
+        }
+
+    def metrics_text(self) -> str:
+        return to_prometheus_text(self.metrics)
+
+    # -- lifecycle (serve_forever compatibility) -------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Routers hold no queue; draining just stops intake."""
+        self.draining = True
+        return True
+
+
+class RouterServer(ThreadingHTTPServer):
+    """HTTP shell around a :class:`RouterManager`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler_class, manager: RouterManager):
+        super().__init__(address, handler_class)
+        self.manager = manager
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server: RouterServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        manager = self.server.manager
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            doc = manager.healthz()
+            if manager.draining:
+                doc["status"] = "draining"
+            self._send_json(200 if not manager.draining else 503, doc)
+        elif path == "/metrics":
+            body = manager.metrics_text().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/") :]
+            if not _JOB_ID_RE.fullmatch(job_id):
+                self._send_json(404, {"error": "no such job"})
+                return
+            doc = manager.get(job_id)
+            if doc is None:
+                self._send_json(404, {"error": "no such job"})
+            else:
+                self._send_json(200, doc)
+        else:
+            self._send_json(404, {"error": f"no route {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        manager = self.server.manager
+        if self.path != "/v1/check":
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        if manager.draining:
+            self._send_json(
+                503,
+                {"error": "router is draining; not accepting jobs"},
+                headers={"Retry-After": "1"},
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > 4 * 1024 * 1024:
+            self._send_json(400, {"error": "bad or oversized body"})
+            return
+        body = self.rfile.read(length)
+        try:
+            data = json.loads(body or b"{}")
+            if not isinstance(data, dict):
+                raise ValueError("payload must be a JSON object")
+            if "checks" in data:
+                raw = data["checks"]
+                if not isinstance(raw, list):
+                    raise ValueError("'checks' must be a list")
+                checks = [dict(entry) for entry in raw]
+            else:
+                checks = [
+                    {
+                        k: v
+                        for k, v in data.items()
+                        if k in ("source", "engine", "reflexive", "label")
+                    }
+                ]
+            for check in checks:  # validate at the edge: 400 here, not
+                JobRequest.from_dict(check)  # a failed shard sub-job
+            timeout = data.get("timeout")
+            if timeout is not None:
+                timeout = float(timeout)
+        except (ValueError, TypeError, KeyError, AttributeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            job = manager.submit(checks, timeout)
+        except ValueError as exc:
+            self._send_json(502, {"error": str(exc)})
+            return
+        self._send_json(
+            202,
+            {
+                "id": job.id,
+                "state": "queued",
+                "checks": job.checks,
+                "href": f"/v1/jobs/{job.id}",
+                "trace_id": "",
+                "shards": [part.shard for part in job.parts],
+            },
+        )
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.path.startswith("/v1/jobs/"):
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        result = self.server.manager.cancel(
+            self.path[len("/v1/jobs/") :]
+        )
+        if result is None:
+            self._send_json(404, {"error": "no such job"})
+        elif result["state"] == "cancelled":
+            self._send_json(200, result)
+        else:
+            self._send_json(409, {**result, "error": "not fully cancellable"})
+
+
+def create_router(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    config: RingConfig,
+    manager: RouterManager | None = None,
+    **manager_kwargs,
+) -> RouterServer:
+    """A ready-to-run router (``port=0`` binds an ephemeral port).
+
+    Run it with :func:`repro.serve.http.serve_forever` — the router's
+    ``drain`` is trivial (no local queue) so the same SIGTERM handling
+    applies.
+    """
+    if manager is None:
+        manager = RouterManager(config, **manager_kwargs)
+    return RouterServer((host, port), _RouterHandler, manager)

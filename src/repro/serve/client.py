@@ -22,28 +22,55 @@ __all__ = ["ServeClient", "ServeClientError"]
 
 
 class ServeClientError(ReproError):
-    """An HTTP error from the service, with its status code."""
+    """An HTTP error from the service, with its status code.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` carries the server's ``Retry-After`` seconds when
+    the response named one (429 backpressure, 503 draining).
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+
+
+#: Cap on any single client-side retry sleep, whatever the server says.
+MAX_BACKOFF_SECONDS = 5.0
 
 
 class ServeClient:
-    """Client for one service instance at ``url`` (e.g. ``http://host:8123``)."""
+    """Client for one service instance at ``url`` (e.g. ``http://host:8123``).
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    Transient failures are retried up to ``retries`` extra times with
+    capped backoff: a 429 honors the server's ``Retry-After`` (safe for
+    any method — a 429'd submission was rejected, not enqueued), and a
+    connection reset mid-request retries idempotent ``GET``s only (a
+    reset ``POST`` may have been accepted server-side; replaying it
+    would double-submit).  ``retries=0`` restores fail-fast behavior.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.25,
+    ):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(int(retries), 0)
+        self.backoff = backoff
 
     # -- plumbing --------------------------------------------------------
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
-        payload: dict | None = None,
-        timeout: float | None = None,
+        payload: dict | None,
+        timeout: float | None,
     ) -> dict | str:
         data = None
         headers = {}
@@ -64,12 +91,53 @@ class ServeClient:
                 message = json.loads(body).get("error", body)
             except ValueError:
                 message = body
-            raise ServeClientError(exc.code, message) from None
+            try:
+                retry_after = float(exc.headers.get("Retry-After", ""))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServeClientError(
+                exc.code, message, retry_after=retry_after
+            ) from None
         except urllib.error.URLError as exc:
             raise ServeClientError(0, f"cannot reach {self.url}: {exc.reason}") from None
         if content_type.startswith("application/json"):
             return json.loads(body)
         return body
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict | str:
+        last: ServeClientError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except ServeClientError as exc:
+                last = exc
+                retriable = exc.status == 429 or (
+                    # transport failure (reset, refused, timeout): replay
+                    # only requests that are safe to repeat
+                    exc.status == 0
+                    and method == "GET"
+                )
+                if not retriable or attempt >= self.retries:
+                    raise
+                delay = self.backoff * (2**attempt)
+                if exc.status == 429 and exc.retry_after is not None:
+                    delay = exc.retry_after
+                time.sleep(min(delay, MAX_BACKOFF_SECONDS))
+            except (OSError, http.client.HTTPException) as exc:
+                # raw socket errors surfacing outside urllib's wrapper
+                last = ServeClientError(0, f"{type(exc).__name__}: {exc}")
+                if method != "GET" or attempt >= self.retries:
+                    raise last from None
+                time.sleep(
+                    min(self.backoff * (2**attempt), MAX_BACKOFF_SECONDS)
+                )
+        raise last if last is not None else AssertionError("unreachable")
 
     # -- API -------------------------------------------------------------
     def submit(

@@ -38,6 +38,13 @@ repo.  Endpoints:
                                 ``404`` when progress is disabled.
 ``DELETE /v1/jobs/<id>``        Cancel — only jobs still queued (``409``
                                 otherwise).
+``GET /v1/store/<fp>``          This shard's *local* store record for a
+                                SHA-256 fingerprint — the cluster peer
+                                fetch endpoint (``404`` on miss, never
+                                probing further peers).
+``PUT /v1/store/<fp>``          Accept a replicated record
+                                (``{"record": {...}, "kind": "..."}``)
+                                — the cluster push-to-owner endpoint.
 ``GET /healthz``                Liveness: version, uptime, queue depth,
                                 store hit rate, stalled-obligation count
                                 and the progress/watchdog config (JSON).
@@ -58,6 +65,7 @@ from __future__ import annotations
 
 import json
 import platform
+import re
 import signal
 import threading
 import time
@@ -68,11 +76,16 @@ from repro.obs.export import to_prometheus_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import TraceContext
 from repro.serve.jobs import JobManager, JobRequest, QueueFullError
+from repro.store.store import StoreRecord
 
 __all__ = ["ReproServer", "create_server", "serve_forever"]
 
 #: Largest accepted request body (a megabyte of SMV is a big model).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Store fingerprints are SHA-256 hex — anything else is rejected before
+#: it can reach the filesystem layer.
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}$")
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -214,8 +227,79 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": "no such job"})
             else:
                 self._send_json(200, job.to_dict())
+        elif path.startswith("/v1/store/"):
+            self._serve_store_get(path[len("/v1/store/") :], query)
         else:
             self._send_json(404, {"error": f"no route {path}"})
+
+    # -- peer store fetch -------------------------------------------------
+    def _serve_store_get(self, fingerprint: str, query: dict) -> None:
+        """``GET /v1/store/<fingerprint>``: this shard's local record.
+
+        Strictly local (:meth:`~repro.store.store.ResultStore.peek_local`)
+        so peer probes never cascade through the cluster, and counted
+        separately (``serve.store_get*``) so served probes don't distort
+        this instance's own hit-rate math.
+        """
+        manager = self.server.manager
+        store = manager.store
+        if store is None:
+            self._send_json(404, {"error": "no store on this server"})
+            return
+        if not _FINGERPRINT_RE.fullmatch(fingerprint):
+            self._send_json(400, {"error": "bad fingerprint"})
+            return
+        manager.metrics.add("serve.store_get")
+        record = store.peek_local(fingerprint)
+        if record is None:
+            self._send_json(404, {"error": "no such record"})
+            return
+        manager.metrics.add("serve.store_get_hits")
+        self._send_json(
+            200, {"fingerprint": fingerprint, "record": record.to_dict()}
+        )
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        """``PUT /v1/store/<fingerprint>``: accept a replicated record.
+
+        The cluster's push-to-owner path: a shard that computed a record
+        whose ring owner is *this* instance lands it here.  Stored via
+        ``local_record`` — atomic write, size cap enforced, no write
+        counters, and (on a peer-aware store) no re-push echo.
+        """
+        if not self.path.startswith("/v1/store/"):
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        manager = self.server.manager
+        store = manager.store
+        if store is None:
+            self._send_json(404, {"error": "no store on this server"})
+            return
+        fingerprint = urlsplit(self.path).path[len("/v1/store/") :]
+        if not _FINGERPRINT_RE.fullmatch(fingerprint):
+            self._send_json(400, {"error": "bad fingerprint"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            data = json.loads(body or b"{}")
+            if not isinstance(data, dict) or not isinstance(
+                data.get("record"), dict
+            ):
+                raise ValueError("payload must be {'record': {...}}")
+            record = StoreRecord.from_dict(data["record"])
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        kind = str(data.get("kind", "")) or None
+        try:
+            store.local_record(fingerprint, record, kind=kind)
+        except OSError as exc:
+            self._send_json(500, {"error": f"store write failed: {exc}"})
+            return
+        manager.metrics.add("serve.store_put")
+        self._send_json(200, {"fingerprint": fingerprint, "stored": True})
 
     # -- live progress streaming -----------------------------------------
     def _serve_events(self, job, query: dict) -> None:
@@ -317,7 +401,11 @@ class _Handler(BaseHTTPRequestHandler):
             )
         except QueueFullError as exc:
             status = 503 if self.server.manager.draining else 429
-            self._send_json(status, {"error": str(exc)})
+            # Retry-After lets well-behaved clients (ServeClient) back
+            # off instead of surfacing transient backpressure as failure.
+            self._send_json(
+                status, {"error": str(exc)}, headers={"Retry-After": "1"}
+            )
             return
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})

@@ -135,6 +135,10 @@ class Job:
     #: done|cached|failed`` monotonically; ``stalled`` is an orthogonal
     #: flag the watchdog sets (and a fresh heartbeat clears).
     obligations: dict[str, dict] | None = None
+    #: Which cluster shard executed this job (``host:port``); empty for
+    #: a standalone instance.  Surfaced in the job document and stamped
+    #: on progress events so SSE consumers can attribute work.
+    shard: str = ""
 
     @property
     def terminal(self) -> bool:
@@ -169,6 +173,7 @@ class Job:
             "progress_events": (
                 self.progress.last_seq if self.progress is not None else None
             ),
+            "shard": self.shard or None,
         }
 
 
@@ -213,6 +218,11 @@ class JobManager:
         flagged as stalled (event log, ``repro_stalled_obligations``
         metric, an ``obligation.stall`` event on the job's bus);
         ``None`` disables the watchdog.
+    shard_id:
+        This instance's cluster identity (``host:port``) when serving
+        as a ring member (``repro serve --ring``); stamped on job
+        documents and progress events, surfaced in ``/healthz``.
+        Empty for a standalone instance.
     """
 
     def __init__(
@@ -228,9 +238,11 @@ class JobManager:
         progress: bool = True,
         progress_interval: float = DEFAULT_INTERVAL,
         stall_deadline: float | None = 30.0,
+        shard_id: str = "",
     ):
         self.jobs = jobs
         self.store = store
+        self.shard_id = shard_id
         self.default_timeout = default_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace_requests = trace_requests
@@ -335,6 +347,7 @@ class JobManager:
             requests=tuple(requests),
             timeout=self.default_timeout if timeout is None else timeout,
             trace_id=ctx.trace_id,
+            shard=self.shard_id,
         )
         if self.progress_enabled:
             # created at submission so /events can attach while queued
@@ -392,8 +405,8 @@ class JobManager:
                     "job.cancelled", trace_id=job.trace_id, job_id=job.id
                 )
                 if job.progress is not None:
-                    job.progress.publish(
-                        {"kind": "job.state", "state": "cancelled"}
+                    self._on_progress(
+                        job, {"kind": "job.state", "state": "cancelled"}
                     )
                     job.progress.close()
             return job.state
@@ -432,6 +445,13 @@ class JobManager:
                 "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
                 "kinds": kinds,
             }
+            remote_hits = self.store.metrics.get("store.remote_hits")
+            if remote_hits:
+                store_block["remote_hits"] = int(remote_hits)
+        # A peer-aware store (repro.cluster.peers.PeerAwareStore) carries
+        # a PeerSet; its describe() is the cluster health block.
+        peers = getattr(self.store, "peers", None)
+        cluster_block = peers.describe() if peers is not None else None
         return {
             "version": __version__,
             "uptime_seconds": round(time.time() - self.started_wall, 3),
@@ -440,6 +460,8 @@ class JobManager:
             "jobs_total": sum(states.values()),
             "states": states,
             "store": store_block,
+            "shard": self.shard_id or None,
+            "cluster": cluster_block,
             "draining": self.draining,
             "stalled_obligations": int(
                 self.metrics.get("stalled_obligations")
@@ -493,7 +515,7 @@ class JobManager:
         reports: list[dict] = []
         scheduler = self._scheduler()
         if job.progress is not None:
-            job.progress.publish({"kind": "job.state", "state": "running"})
+            self._on_progress(job, {"kind": "job.state", "state": "running"})
             # worker heartbeats drained from the pool queue route here by
             # job id (the drainer thread calls _on_progress directly)
             scheduler.subscribe_progress(
@@ -598,12 +620,13 @@ class JobManager:
                 )
                 if job.progress is not None:
                     scheduler.unsubscribe_progress(job.id)
-                    job.progress.publish(
+                    self._on_progress(
+                        job,
                         {
                             "kind": "job.state",
                             "state": job.state,
                             "error": job.error,
-                        }
+                        },
                     )
                     job.progress.close()
                 if self.store is not None:
@@ -699,6 +722,8 @@ class JobManager:
         bus = job.progress
         if bus is None:
             return
+        if self.shard_id:
+            event.setdefault("shard", self.shard_id)
         kind = str(event.get("kind", ""))
         name = event.get("obligation")
         if name and job.obligations is not None:

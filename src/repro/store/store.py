@@ -139,33 +139,114 @@ class ResultStore:
             return []
         return [p for p in self._objects.glob("*/*.json")]
 
+    @property
+    def _trash(self) -> Path:
+        return self.root / "trash"
+
+    def _discard(self, path: Path) -> bool:
+        """Atomically move a record out of the lookup namespace.
+
+        Eviction via ``os.replace`` into ``<root>/trash`` means a
+        concurrent reader that already resolved the path either gets
+        the full old bytes or ``FileNotFoundError`` (a clean miss) —
+        never a half-deleted/partially-rewritten JSON file.  The
+        trashed copy is unlinked immediately (best-effort; ``gc``
+        sweeps leftovers).
+        """
+        trash = self._trash
+        try:
+            trash.mkdir(parents=True, exist_ok=True)
+            target = trash / f"{path.name}.{os.getpid()}.{os.urandom(4).hex()}"
+            os.replace(path, target)
+        except OSError:
+            return False
+        try:
+            target.unlink()
+        except OSError:
+            pass
+        return True
+
+    def _sweep_trash(self) -> int:
+        """Remove leftover trashed records (crashed evictors)."""
+        removed = 0
+        if not self._trash.is_dir():
+            return removed
+        for path in self._trash.iterdir():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     # -- read ------------------------------------------------------------
+    def _fetch_remote(
+        self, fingerprint: str, kind: str | None
+    ) -> StoreRecord | None:
+        """Hook for remote tiers: a record from elsewhere, or ``None``.
+
+        The base store is purely local; the cluster's
+        :class:`~repro.cluster.peers.PeerAwareStore` overrides this to
+        probe the fingerprint's owner shard.  Must never raise for a
+        peer problem — a failed fetch is just a miss.
+        """
+        return None
+
     def get(self, fingerprint: str, kind: str | None = None) -> StoreRecord | None:
         """The record for a fingerprint, or ``None`` (counted as a miss).
 
         Served records are touched (mtime), so hot entries survive
-        eviction; corrupt records are removed and miss.  ``kind`` tags
-        the lookup for the per-kind counters (``store.hits.<kind>``).
+        eviction; corrupt records are removed and miss.  On a local
+        miss the :meth:`_fetch_remote` hook runs — a remote hit is
+        written back locally (read-through write-back) and counted as
+        ``store.hits`` plus ``store.remote_hits``.  ``kind`` tags the
+        lookup for the per-kind counters (``store.hits.<kind>``).
         """
         path = self.path_for(fingerprint)
         try:
             record = StoreRecord.from_dict(json.loads(path.read_text()))
         except FileNotFoundError:
-            self._count("misses", kind)
-            return None
+            return self._miss(fingerprint, kind)
         except (OSError, ValueError, KeyError, TypeError):
             # unreadable or torn record: drop it and report a miss
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            self._count("misses", kind)
-            return None
+            self._discard(path)
+            return self._miss(fingerprint, kind)
         try:
             os.utime(path)
         except OSError:
             pass
         self._count("hits", kind)
+        return record
+
+    def _miss(self, fingerprint: str, kind: str | None) -> StoreRecord | None:
+        """A local miss: last chance for the remote tier to serve it."""
+        record = self._fetch_remote(fingerprint, kind)
+        if record is None:
+            self._count("misses", kind)
+            return None
+        self.local_record(fingerprint, record, kind=kind)
+        self._count("hits", kind)
+        self.metrics.add("store.remote_hits")
+        return record
+
+    def peek_local(self, fingerprint: str) -> StoreRecord | None:
+        """The locally present record, or ``None`` — no counters, no
+        remote hook.
+
+        This is what the serving tier's ``GET /v1/store/<fingerprint>``
+        answers peers with: consulting :meth:`get` there would both
+        distort this instance's hit-rate math with other shards' probes
+        and, on a peer-aware store, recurse back into the cluster.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            record = StoreRecord.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return record
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -175,16 +256,7 @@ class ResultStore:
         return len(self._record_files())
 
     # -- write -----------------------------------------------------------
-    def put(
-        self, fingerprint: str, record: StoreRecord, kind: str | None = None
-    ) -> Path:
-        """Persist a record atomically (tmp file + ``os.replace``).
-
-        ``kind`` tags the write for the per-kind counters and is stamped
-        onto the record when the record doesn't already carry one.
-        """
-        if kind and not record.kind:
-            record.kind = kind
+    def _write(self, fingerprint: str, record: StoreRecord) -> Path:
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(record.to_dict(), sort_keys=True)
@@ -201,7 +273,38 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        return path
+
+    def put(
+        self, fingerprint: str, record: StoreRecord, kind: str | None = None
+    ) -> Path:
+        """Persist a record atomically (tmp file + ``os.replace``).
+
+        ``kind`` tags the write for the per-kind counters and is stamped
+        onto the record when the record doesn't already carry one.
+        """
+        if kind and not record.kind:
+            record.kind = kind
+        path = self._write(fingerprint, record)
         self._count("writes", kind or record.kind or None)
+        self._evict()
+        return path
+
+    def local_record(
+        self, fingerprint: str, record: StoreRecord, kind: str | None = None
+    ) -> Path:
+        """Persist a record *received* from elsewhere, not computed here.
+
+        Same atomic write and size-cap enforcement as :meth:`put`, but
+        no write counters (the record was someone else's work — counting
+        it would distort hit-rate math) and no peer push (the record
+        came *from* the cluster; re-announcing it would echo forever).
+        Used by the write-back path of :meth:`get` and by the serving
+        tier's ``PUT /v1/store/<fingerprint>`` endpoint.
+        """
+        if kind and not record.kind:
+            record.kind = kind
+        path = self._write(fingerprint, record)
         self._evict()
         return path
 
@@ -226,9 +329,7 @@ class ResultStore:
         if total <= cap:
             return evicted
         for _, _, size, path in sorted(sized, key=lambda t: (t[0], t[1])):
-            try:
-                path.unlink()
-            except OSError:
+            if not self._discard(path):
                 continue
             self.metrics.add("store.evictions")
             evicted += 1
@@ -243,8 +344,10 @@ class ResultStore:
 
         Returns the number of records removed and flushes the counters,
         so ``repro store gc`` leaves an up-to-date sidecar behind.
+        Leftover trashed records from interrupted evictors are swept.
         """
         evicted = self._evict(max_bytes)
+        self._sweep_trash()
         self.flush_counters()
         return evicted
 
@@ -252,11 +355,9 @@ class ResultStore:
         """Remove every record; returns the number removed."""
         removed = 0
         for path in self._record_files():
-            try:
-                path.unlink()
+            if self._discard(path):
                 removed += 1
-            except OSError:
-                pass
+        self._sweep_trash()
         return removed
 
     def total_bytes(self) -> int:

@@ -1,0 +1,185 @@
+"""Hypothesis properties of the consistent-hash ring.
+
+The three properties the cluster tier leans on, each stated over the
+ring itself rather than over sampled traffic wherever possible:
+
+* **balance** — at the default 128 vnodes, max/mean keyspace share
+  stays within 1.25x for realistic membership sizes;
+* **determinism** — owners are a pure function of (members, vnodes),
+  identical across processes (``PYTHONHASHSEED`` independence proven
+  by recomputing in a subprocess);
+* **minimal remapping** — membership changes only move keys to/from
+  the changed member, and the moved fraction is ≈ 1/N.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    RingConfig,
+    request_fingerprint,
+    shard_id_of,
+)
+from repro.errors import ReproError
+
+#: Member-name strategy shaped like real shard ids (host:port).
+members_strategy = st.lists(
+    st.integers(min_value=1024, max_value=65535).map(
+        lambda p: f"10.0.0.{p % 250 + 1}:{p}"
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+keys_strategy = st.lists(
+    st.text(min_size=1, max_size=40), min_size=1, max_size=50, unique=True
+)
+
+
+class TestBalance:
+    @settings(max_examples=25, deadline=None)
+    @given(members=members_strategy)
+    def test_max_over_mean_share_bounded(self, members):
+        """Exact keyspace shares: max/mean ≤ 1.25 at 128 vnodes."""
+        ring = HashRing(members, vnodes=DEFAULT_VNODES)
+        shares = ring.shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        mean = 1.0 / len(members)
+        assert max(shares.values()) / mean <= 1.25
+
+    def test_two_member_ring_balanced(self):
+        """The cluster_smoke configuration specifically."""
+        ring = HashRing(["127.0.0.1:8124", "127.0.0.1:8125"])
+        shares = ring.shares()
+        assert max(shares.values()) / 0.5 <= 1.25
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(members=members_strategy, keys=keys_strategy)
+    def test_owner_is_pure_function(self, members, keys):
+        a = HashRing(members)
+        b = HashRing(list(reversed(members)))  # input order irrelevant
+        for key in keys:
+            assert a.owner(key) == b.owner(key)
+
+    def test_owners_identical_across_processes(self):
+        """A fresh interpreter (different hash seed) agrees exactly."""
+        members = ["10.0.0.1:8124", "10.0.0.2:8125", "10.0.0.3:8126"]
+        keys = [f"key-{i}" for i in range(64)]
+        local = [HashRing(members).owner(k) for k in keys]
+        script = (
+            "import json, sys\n"
+            "from repro.cluster.ring import HashRing\n"
+            "members, keys = json.load(sys.stdin)\n"
+            "print(json.dumps([HashRing(members).owner(k) for k in keys]))\n"
+        )
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([members, keys]),
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": "12345", "PYTHONPATH": src},
+            check=True,
+        )
+        assert json.loads(out.stdout) == local
+
+    def test_request_fingerprint_stable(self):
+        check = {"source": "MODULE main\n", "engine": "symbolic"}
+        assert request_fingerprint(check) == request_fingerprint(dict(check))
+        assert request_fingerprint(check) != request_fingerprint(
+            {**check, "engine": "explicit"}
+        )
+        assert request_fingerprint(check) != request_fingerprint(
+            {**check, "reflexive": True}
+        )
+
+
+class TestRemapping:
+    @settings(max_examples=15, deadline=None)
+    @given(members=members_strategy, keys=keys_strategy)
+    def test_join_moves_keys_only_to_new_member(self, members, keys):
+        ring = HashRing(members)
+        new = "192.168.7.7:9999"
+        grown = ring.with_member(new)
+        for key in keys:
+            before, after = ring.owner(key), grown.owner(key)
+            if before != after:
+                assert after == new  # minimal remapping on join
+
+    @settings(max_examples=15, deadline=None)
+    @given(members=members_strategy, keys=keys_strategy)
+    def test_leave_moves_only_departed_members_keys(self, members, keys):
+        ring = HashRing(members)
+        gone = members[0]
+        shrunk = ring.without_member(gone)
+        for key in keys:
+            before, after = ring.owner(key), shrunk.owner(key)
+            if before != gone:
+                assert after == before  # untouched keys keep their owner
+
+    def test_moved_fraction_about_one_over_n(self):
+        """≤ K/N expected movement, with slack for vnode variance."""
+        members = [f"10.0.0.{i}:81{i:02d}" for i in range(1, 6)]
+        ring = HashRing(members)
+        grown = ring.with_member("10.0.9.9:9999")
+        keys = [f"fingerprint-{i}" for i in range(2000)]
+        moved = sum(1 for k in keys if ring.owner(k) != grown.owner(k))
+        expected = len(keys) / (len(members) + 1)
+        assert moved <= expected * 1.6  # 1/N with generous variance slack
+
+
+class TestPreference:
+    def test_preference_starts_at_owner_and_is_distinct(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        order = ring.preference("some-key")
+        assert order[0] == ring.owner("some-key")
+        assert sorted(order) == sorted(ring.members)
+
+    def test_preference_count_bounds(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        assert len(ring.preference("k", count=2)) == 2
+
+
+class TestRingConfig:
+    def test_parse_normalizes_and_identifies_self(self):
+        cfg = RingConfig.parse(
+            "127.0.0.1:8124, http://127.0.0.1:8125/",
+            self_url="127.0.0.1:8124",
+        )
+        assert cfg.shard_ids == ("127.0.0.1:8124", "127.0.0.1:8125")
+        assert cfg.self_id == "127.0.0.1:8124"
+        assert cfg.peers() == ("http://127.0.0.1:8125",)
+        assert cfg.url_of("127.0.0.1:8125") == "http://127.0.0.1:8125"
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(ReproError):
+            RingConfig.parse("")
+        with pytest.raises(ReproError):
+            RingConfig.parse("a:1,a:1")
+        with pytest.raises(ReproError):
+            RingConfig.parse("a:1,b:2", self_url="c:3")
+
+    def test_shard_id_of(self):
+        assert shard_id_of("http://127.0.0.1:8124/") == "127.0.0.1:8124"
+        assert shard_id_of("127.0.0.1:8124") == "127.0.0.1:8124"
+
+    def test_ring_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a:1"], vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(["a:1"]).without_member("a:1")

@@ -1,0 +1,173 @@
+"""The router front end over real serving instances on loopback."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.ring import RingConfig, request_fingerprint
+from repro.cluster.router import RouterManager, create_router
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import create_server
+from repro.serve.jobs import JobManager
+from repro.store import ResultStore
+
+GOOD = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+"""
+
+BAD = """
+MODULE main
+VAR x : boolean;
+INIT x
+ASSIGN next(x) := {0, 1};
+SPEC AG x
+"""
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    """Two real shards + a router, all on ephemeral loopback ports."""
+    instances = []
+    for name in ("a", "b"):
+        store = ResultStore(tmp_path / f"{name}-store")
+        manager = JobManager(
+            jobs=1, queue_size=8, store=store, metrics=store.metrics
+        )
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        instances.append((server, manager, thread))
+    urls = ",".join(
+        f"127.0.0.1:{server.port}" for server, _, _ in instances
+    )
+    config = RingConfig.parse(urls)
+    router = create_router(config=config, timeout=5.0)
+    router_thread = threading.Thread(target=router.serve_forever, daemon=True)
+    router_thread.start()
+    client = ServeClient(f"http://127.0.0.1:{router.port}")
+    yield router, config, client
+    router.shutdown()
+    router.server_close()
+    router_thread.join(timeout=10)
+    for server, manager, thread in instances:
+        server.shutdown()
+        server.server_close()
+        manager.stop()
+        thread.join(timeout=10)
+
+
+class TestRouting:
+    def test_batch_split_and_fanned_back_in_order(self, cluster):
+        router, config, client = cluster
+        checks = [
+            {"source": GOOD, "label": "good-0"},
+            {"source": BAD, "label": "bad-1"},
+            {"source": GOOD + "-- variant\n", "label": "good-2"},
+        ]
+        accepted = client.submit(checks)
+        assert accepted["checks"] == 3
+        job = client.wait(accepted["id"], timeout=60.0)
+        assert job["state"] == "done"
+        labels = [report["label"] for report in job["reports"]]
+        assert labels == ["good-0", "bad-1", "good-2"]  # caller's order
+        assert job["reports"][0]["all_true"] is True
+        assert job["reports"][1]["all_true"] is False
+        # the shards block attributes every check to a ring member
+        routed = {i for part in job["shards"] for i in part["indices"]}
+        assert routed == {0, 1, 2}
+        for part in job["shards"]:
+            expected = {
+                i
+                for i, check in enumerate(checks)
+                if config.ring.owner(request_fingerprint(check))
+                == part["shard"]
+            }
+            assert set(part["indices"]) == expected
+
+    def test_single_check_payload(self, cluster):
+        _, _, client = cluster
+        job = client.check(GOOD, wait_timeout=60.0)
+        assert job["state"] == "done"
+        assert job["reports"][0]["all_true"] is True
+
+    def test_unknown_job_404(self, cluster):
+        _, _, client = cluster
+        with pytest.raises(ServeClientError) as exc:
+            client.job("feedfeedfeed")
+        assert exc.value.status == 404
+
+    def test_bad_payload_rejected_at_edge(self, cluster):
+        _, _, client = cluster
+        with pytest.raises(ServeClientError) as exc:
+            client.submit({"source": ""})
+        assert exc.value.status == 400
+
+    def test_healthz_and_metrics(self, cluster):
+        router, config, client = cluster
+        doc = client.healthz()
+        assert doc["role"] == "router"
+        assert doc["ring"]["members"] == list(config.shard_ids)
+        assert all(s["reachable"] for s in doc["shards"].values())
+        client.check([{"source": GOOD}, {"source": BAD}], wait_timeout=60.0)
+        text = client.metrics_text()
+        assert "repro_router_jobs_submitted" in text
+        assert "repro_router_checks_routed" in text
+        assert "repro_router_submit_seconds" in text
+
+
+class TestFailover:
+    def test_dead_shard_fails_over_to_live_member(self, tmp_path):
+        """One live shard + one corpse: every check still completes."""
+        store = ResultStore(tmp_path / "store")
+        manager = JobManager(
+            jobs=1, queue_size=8, store=store, metrics=store.metrics
+        )
+        server = create_server(manager=manager)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        dead = f"127.0.0.1:{free_port()}"
+        config = RingConfig.parse(f"127.0.0.1:{server.port},{dead}")
+        router_manager = RouterManager(config, timeout=2.0)
+        router = create_router(config=config, manager=router_manager)
+        router_thread = threading.Thread(
+            target=router.serve_forever, daemon=True
+        )
+        router_thread.start()
+        client = ServeClient(f"http://127.0.0.1:{router.port}")
+        try:
+            # enough checks that some certainly hash to the dead member
+            checks = [
+                {"source": GOOD + f"-- v{i}\n", "label": f"c{i}"}
+                for i in range(4)
+            ]
+            assert any(
+                config.ring.owner(request_fingerprint(c)) == dead
+                for c in checks
+            ), "test batch never routed to the dead shard"
+            job = client.check(checks, wait_timeout=60.0)
+            assert job["state"] == "done"
+            assert [r["label"] for r in job["reports"]] == [
+                f"c{i}" for i in range(4)
+            ]
+            assert router_manager.metrics.get("router.failovers") >= 1
+            assert router_manager.metrics.get("router.shard_errors") >= 1
+            health = client.healthz()
+            assert health["shards"][dead]["reachable"] is False
+        finally:
+            router.shutdown()
+            router.server_close()
+            router_thread.join(timeout=10)
+            server.shutdown()
+            server.server_close()
+            manager.stop()
+            thread.join(timeout=10)

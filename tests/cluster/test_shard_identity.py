@@ -1,0 +1,68 @@
+"""Shard identity surfaces: job documents, SSE events, /healthz."""
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.http import create_server
+from repro.serve.jobs import JobManager
+from repro.store import ResultStore
+
+GOOD = """
+MODULE main
+VAR x : boolean;
+ASSIGN next(x) := 1;
+SPEC x -> AX x
+"""
+
+
+@pytest.fixture
+def shard_service(tmp_path):
+    store = ResultStore(tmp_path)
+    manager = JobManager(
+        jobs=1,
+        queue_size=4,
+        store=store,
+        metrics=store.metrics,
+        shard_id="127.0.0.1:8124",
+    )
+    server = create_server(manager=manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.port}")
+    yield client
+    server.shutdown()
+    server.server_close()
+    manager.stop()
+    thread.join(timeout=10)
+
+
+class TestShardIdentity:
+    def test_job_document_and_events_carry_shard(self, shard_service):
+        client = shard_service
+        accepted = client.submit(GOOD)
+        events = list(client.iter_events(accepted["id"]))
+        job = client.wait(accepted["id"])
+        assert job["state"] == "done"
+        assert job["shard"] == "127.0.0.1:8124"
+        # every progress event is stamped with the executing shard
+        assert events
+        assert all(e.get("shard") == "127.0.0.1:8124" for e in events)
+        # reports stay shard-free: byte-identity across topologies
+        assert "shard" not in job["reports"][0]
+
+    def test_healthz_reports_shard(self, shard_service):
+        doc = shard_service.healthz()
+        assert doc["shard"] == "127.0.0.1:8124"
+        assert doc["cluster"] is None  # plain store: no peer tier
+
+    def test_standalone_shard_is_none(self, tmp_path):
+        manager = JobManager(jobs=1, queue_size=2)
+        job = manager.submit(
+            [__import__("repro.serve.jobs", fromlist=["JobRequest"])
+             .JobRequest(source=GOOD)]
+        )
+        assert job.to_dict()["shard"] is None
+        assert manager.stats()["shard"] is None
+        manager.stop()

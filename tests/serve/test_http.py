@@ -87,7 +87,9 @@ class TestCheckEndpoint:
         server = create_server(manager=manager)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
-        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        # retries=0: this test asserts the raw 429 (the default client
+        # would honor Retry-After and re-submit)
+        client = ServeClient(f"http://127.0.0.1:{server.port}", retries=0)
         try:
             client.submit(GOOD)
             deadline = time.monotonic() + 10
@@ -97,6 +99,7 @@ class TestCheckEndpoint:
             with pytest.raises(ServeClientError) as exc:
                 client.submit(GOOD)
             assert exc.value.status == 429
+            assert exc.value.retry_after == 1.0  # Retry-After surfaced
         finally:
             release.set()
             server.shutdown()

@@ -133,3 +133,65 @@ class TestCounters:
         store = ResultStore(tmp_path, metrics=registry)
         store.get(FP)
         assert registry.as_dict().get("store.misses") == 1
+
+
+class TestTrashEviction:
+    """Eviction goes through rename-to-trash: readers racing an evictor
+    see either the full record or a clean miss — never torn JSON."""
+
+    def test_evicted_record_leaves_no_partial_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp2 = "cd" + "0" * 62
+        store.put(FP, _record(0))
+        store.max_bytes = store.total_bytes()
+        store.put(fp2, _record(1))  # evicts FP via rename-to-trash
+        assert not store.path_for(FP).exists()
+        # a reader holding the evicted fingerprint gets a miss, and the
+        # trash directory is not part of the record namespace
+        assert store.get(FP) is None
+        assert len(store) == 1
+
+    def test_discard_is_atomic_replace(self, tmp_path, monkeypatch):
+        """The published path disappears atomically: an interrupted
+        discard (crash between replace and unlink) leaves the bytes in
+        trash, not a half-written record at the original path."""
+        store = ResultStore(tmp_path)
+        path = store.put(FP, _record(0))
+        original = path.read_text()
+        monkeypatch.setattr(
+            "pathlib.Path.unlink",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("crash")),
+        )
+        assert store._discard(path) is True  # replace happened anyway
+        monkeypatch.undo()
+        assert not path.exists()
+        leftovers = list((tmp_path / "trash").iterdir())
+        assert len(leftovers) == 1
+        assert leftovers[0].read_text() == original  # full bytes, not torn
+
+    def test_gc_sweeps_stale_trash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        trash = tmp_path / "trash"
+        trash.mkdir()
+        (trash / "leftover.json.123.dead").write_text("{}")
+        store.gc()
+        assert list(trash.iterdir()) == []
+
+    def test_clear_uses_trash_and_sweeps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(FP, _record())
+        assert store.clear() == 1
+        assert len(store) == 0
+        trash = tmp_path / "trash"
+        assert not trash.exists() or list(trash.iterdir()) == []
+
+
+class TestPeekLocal:
+    def test_peek_does_not_count_or_heal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.peek_local(FP) is None
+        store.put(FP, _record(3))
+        record = store.peek_local(FP)
+        assert record is not None and record.result == {"i": 3}
+        # no hits/misses recorded: peeks serve peer probes, not clients
+        assert store.counters() == {"writes": 1}

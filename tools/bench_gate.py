@@ -45,6 +45,7 @@ DEFAULT_BASELINE = ROOT / "BENCH_bdd_engine.json"
 DEFAULT_SUITE = "benchmarks/bench_bdd_engine.py"
 DEFAULT_THRESHOLD = 0.25
 DEFAULT_INCREMENTAL_FLOOR = 5.0
+DEFAULT_CLUSTER_FLOOR = 5.0
 
 
 def baseline_entry(trajectory: dict, label: str | None = None) -> dict:
@@ -158,6 +159,65 @@ def gate_incremental(
     return 0
 
 
+def gate_cluster(
+    baseline_path: pathlib.Path,
+    floor: float,
+    label: str | None = None,
+    rounds: int = 3,
+) -> int:
+    """Gate the cluster warm-replay speedup (``BENCH_cluster.json``).
+
+    Re-measures the cold-on-A / warm-through-B trajectory fresh and
+    fails when the cross-instance warm replay is less than ``floor``
+    times faster than the cold check — the distributed tier's
+    acceptance criterion.  Like the incremental gate this is an
+    absolute floor on a same-machine ratio, so it is
+    machine-independent; the committed baseline is printed for context
+    only.  **Refreshing the baseline** after an intentional change::
+
+        PYTHONPATH=src python benchmarks/bench_cluster.py --label after
+        git add BENCH_cluster.json
+    """
+    from bench_cluster import measure
+
+    trajectory = json.loads(baseline_path.read_text())
+    try:
+        entry = baseline_entry(trajectory, label)
+    except ValueError as exc:
+        print(f"bench_gate: {exc}", file=sys.stderr)
+        return 2
+    base = entry["results"]["afs2_cluster"]
+
+    fresh = measure(rounds)
+    print(
+        f"baseline: {entry['label']!r} ({entry.get('git_rev', '?')}, "
+        f"{entry.get('date', '?')}); floor {floor:.1f}x"
+    )
+    print(
+        f"{'afs2 cluster':<22} {'cold ms':>10} {'warm ms':>10} {'speedup':>8}"
+    )
+    print(
+        f"{'baseline':<22} {base['cold_ms']:>10.1f} "
+        f"{base['warm_min_ms']:>10.2f} {base['speedup_warm']:>7.1f}x"
+    )
+    print(
+        f"{'fresh':<22} {fresh['cold_ms']:>10.1f} "
+        f"{fresh['warm_min_ms']:>10.2f} {fresh['speedup_warm']:>7.1f}x"
+    )
+    if fresh["speedup_warm"] < floor:
+        print(
+            f"FAIL: cross-instance warm replay speedup "
+            f"{fresh['speedup_warm']}x below the {floor:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: cross-instance warm replay {fresh['speedup_warm']}x >= "
+        f"{floor:.1f}x floor"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -200,12 +260,31 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum cold/warm-edit speedup for --incremental "
         "(default 5.0)",
     )
+    parser.add_argument(
+        "--cluster",
+        metavar="FILE",
+        help="gate the cluster warm-replay speedup against FILE "
+        "(BENCH_cluster.json) instead of the microbench medians",
+    )
+    parser.add_argument(
+        "--cluster-floor",
+        type=float,
+        default=DEFAULT_CLUSTER_FLOOR,
+        help="minimum cold/cross-instance-warm speedup for --cluster "
+        "(default 5.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.incremental:
         return gate_incremental(
             pathlib.Path(args.incremental),
             args.incremental_floor,
+            args.baseline_label,
+        )
+    if args.cluster:
+        return gate_cluster(
+            pathlib.Path(args.cluster),
+            args.cluster_floor,
             args.baseline_label,
         )
 

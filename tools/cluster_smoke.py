@@ -1,0 +1,414 @@
+#!/usr/bin/env python3
+"""CI smoke for the distributed shard-aware serving tier.
+
+Boots **four** real subprocesses on loopback — two ring members
+(``repro serve --ring``), a ``repro cluster router`` over them, and a
+plain single instance as the sequential baseline — then drives one
+AFS-2 batch through every path the cluster tier promises:
+
+* **sequential baseline** — the batch cold on the single instance:
+  the reports every other run must reproduce byte-for-byte;
+* **cold via the router** — the same batch split per-check across both
+  shards by the consistent-hash ring and fanned back in caller order,
+  with reports byte-identical to the baseline (modulo the per-run
+  cache block) and wall-clock throughput at least ``--min-speedup``
+  (default 1.6×) over the single instance;
+* **warm on the single instance** — the single-node warm hit rate the
+  cluster must match;
+* **cross-instance warm** — the whole batch re-submitted directly to
+  instance B, which computed only its own shard's checks: every
+  verdict replays (local store, push-to-owner replicas, or peer fetch
+  from A — ``repro_cluster_peer_fetch_hit`` must tick), the hit rate
+  is no worse than single-node warm, the job document carries B's
+  shard id, and the reports are byte-identical to the baseline;
+* **peer death** — instance A is SIGKILLed and fresh checks are
+  submitted to B: the request still succeeds (local checking), with
+  ``repro_cluster_peer_fetch_error`` and an observable circuit-open
+  event on B; the router, too, completes a fresh batch by failing
+  over to the surviving member and reports A unreachable;
+* **drain** — SIGTERM stops the router, B and the single instance
+  cleanly (exit 0).
+
+Writes ``cluster_events.jsonl`` (both instances' structured logs plus
+B's circuit events, each line tagged with its instance),
+``cluster_jobs.json`` and per-process ``cluster_metrics_*.txt`` into
+``--artifact-dir`` for upload.
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+CHECKS = 8  # steered 4/4 onto the two shards
+N = 5  # AFS-2 server size: heavy enough to dwarf routing overhead
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_server(client, timeout: float = 30.0) -> None:
+    from repro.serve.client import ServeClientError
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return
+        except ServeClientError:
+            time.sleep(0.1)
+    fail(f"{client.url} did not become healthy in time")
+
+
+def comparable(job: dict) -> list:
+    """The semantic content of each report: verdicts, fingerprints,
+    counterexamples, spec texts.  Cache markers and engine/timing
+    statistics are stripped — two *independent* cold computations agree
+    on every verdict but not on wall times or BDD-session counters
+    (``serve_smoke`` never sees this because its warm run replays the
+    cold run's stats verbatim)."""
+    out = []
+    for report in job["reports"]:
+        report = dict(report)
+        report.pop("cache")
+        report.pop("user_time", None)
+        report.pop("resources", None)
+        report["specs"] = [
+            {k: v for k, v in spec.items() if k not in ("cached", "stats")}
+            for spec in report["specs"]
+        ]
+        out.append(report)
+    return out
+
+
+def batch_cache_totals(job: dict) -> tuple[int, int]:
+    hits = sum(r["cache"]["hits"] for r in job["reports"])
+    misses = sum(r["cache"]["misses"] for r in job["reports"])
+    return hits, misses
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            fail(f"/metrics line is not 'series value': {line!r}")
+        try:
+            samples[parts[0]] = float(parts[1])
+        except ValueError:
+            fail(f"/metrics value is not a number: {line!r}")
+    return samples
+
+
+def steered_batch(config) -> list[dict]:
+    """``CHECKS`` equal-cost AFS-2 server checks, split 4/4 by the ring.
+
+    Each check pads the module with one uniquely named boolean (the
+    canonical module text is what the store fingerprints, so the pads
+    keep the checks from collapsing onto one record) and the pad index
+    is searched until the ring routes the check to the desired shard —
+    a deterministic half/half split, independent of hash luck.
+    """
+    from repro.casestudies.afs2 import SERVER_SPECS_FIGURE, server_source
+    from repro.cluster.ring import request_fingerprint
+
+    base = server_source(N, rename=False)
+    shards = list(config.shard_ids)
+    checks = []
+    salt = 0
+    for i in range(CHECKS):
+        want = shards[i % len(shards)]
+        while True:
+            source = (
+                base.replace("VAR", f"VAR\n  pad{salt} : boolean;", 1)
+                + SERVER_SPECS_FIGURE
+            )
+            salt += 1
+            check = {"source": source, "label": f"srv{N}-{i}"}
+            if config.ring.owner(request_fingerprint(check)) == want:
+                checks.append(check)
+                break
+            if salt > 10_000:  # pragma: no cover
+                fail("could not steer the batch onto both shards")
+    return checks
+
+
+def spawn(cmd: list[str], env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *cmd],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def drain(name: str, proc: subprocess.Popen) -> str:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        _, stderr = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail(f"{name} did not drain within 60 s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"{name} exited {proc.returncode} after SIGTERM:\n{stderr}")
+    return stderr
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port-a", type=int, default=8151)
+    parser.add_argument("--port-b", type=int, default=8152)
+    parser.add_argument("--port-router", type=int, default=8153)
+    parser.add_argument("--port-single", type=int, default=8154)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.6,
+        help="cold cluster throughput floor vs the single instance",
+    )
+    parser.add_argument("--artifact-dir", default=".")
+    args = parser.parse_args(argv)
+
+    from repro.cluster.ring import RingConfig
+    from repro.serve.client import ServeClient
+
+    artifact_dir = pathlib.Path(args.artifact_dir)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    work = pathlib.Path(tempfile.mkdtemp(prefix="repro-cluster-smoke-"))
+    logs = {name: work / f"{name}_events.jsonl" for name in ("a", "b")}
+
+    ring = f"127.0.0.1:{args.port_a},127.0.0.1:{args.port_b}"
+    config = RingConfig.parse(ring)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+
+    members = {"a": args.port_a, "b": args.port_b}
+    procs: dict[str, subprocess.Popen] = {}
+    for name, port in members.items():
+        procs[name] = spawn(
+            [
+                "serve", "--port", str(port), "--jobs", "1",
+                "--cache-dir", str(work / f"{name}-store"),
+                "--ring", ring,
+                "--advertise", f"127.0.0.1:{port}",
+                "--log-file", str(logs[name]),
+            ],
+            env,
+        )
+    procs["single"] = spawn(
+        [
+            "serve", "--port", str(args.port_single), "--jobs", "1",
+            "--cache-dir", str(work / "single-store"),
+        ],
+        env,
+    )
+    procs["router"] = spawn(
+        ["cluster", "router", "--ring", ring, "--port", str(args.port_router)],
+        env,
+    )
+
+    clients = {
+        name: ServeClient(f"http://127.0.0.1:{port}")
+        for name, port in {
+            **members,
+            "single": args.port_single,
+            "router": args.port_router,
+        }.items()
+    }
+    killed = False
+    try:
+        for client in clients.values():
+            wait_for_server(client)
+        health = clients["router"].healthz()
+        if health["ring"]["members"] != list(config.shard_ids):
+            fail("router healthz does not list the ring membership")
+        if not all(s["reachable"] for s in health["shards"].values()):
+            fail("router healthz: not every shard is reachable at start")
+
+        batch = steered_batch(config)
+
+        # -- sequential single-node baseline (cold) ----------------------
+        t0 = time.perf_counter()
+        baseline = clients["single"].check(batch, wait_timeout=600)
+        t_single = time.perf_counter() - t0
+        if baseline["state"] != "done":
+            fail(f"baseline batch ended {baseline['state']}")
+        if any(not r["all_true"] for r in baseline["reports"]):
+            fail("baseline batch has failing specs")
+        _, misses = batch_cache_totals(baseline)
+        if misses == 0:
+            fail("baseline batch was not cold")
+
+        # -- cold through the router -------------------------------------
+        t0 = time.perf_counter()
+        cold = clients["router"].check(batch, wait_timeout=600)
+        t_cluster = time.perf_counter() - t0
+        if cold["state"] != "done":
+            fail(f"cold cluster batch ended {cold['state']}: {cold.get('error')}")
+        if comparable(cold) != comparable(baseline):
+            fail("cold cluster reports differ from the sequential baseline")
+        used = {part["shard"] for part in cold["shards"]}
+        if used != set(config.shard_ids):
+            fail(f"the batch did not split across both shards: {used}")
+        sizes = sorted(len(part["indices"]) for part in cold["shards"])
+        if sizes != [CHECKS // 2, CHECKS // 2]:
+            fail(f"steering did not split the batch evenly: {sizes}")
+        speedup = t_single / t_cluster
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            cores = os.cpu_count() or 1
+        print(
+            f"cold: single {t_single:.2f}s, cluster {t_cluster:.2f}s "
+            f"({speedup:.2f}x, floor {args.min_speedup:.1f}x, "
+            f"{cores} core(s)), split {sizes[0]}/{sizes[1]}, "
+            f"reports byte-identical"
+        )
+        if cores < 2:
+            # both shard workers share one core: a wall-clock win is
+            # physically impossible, so only the correctness half of
+            # the cold phase is gated here
+            print(
+                "WARNING: single-core host, throughput floor not "
+                "enforced (CI runs this on multi-core runners)"
+            )
+        elif speedup < args.min_speedup:
+            fail(
+                f"cold cluster throughput {speedup:.2f}x below the "
+                f"{args.min_speedup:.1f}x floor"
+            )
+
+        # -- warm hit rates: single-node, then cross-instance ------------
+        warm_single = clients["single"].check(batch, wait_timeout=600)
+        hits_s, misses_s = batch_cache_totals(warm_single)
+        if misses_s != 0:
+            fail("single-instance warm run was not fully cached")
+        rate_single = hits_s / (hits_s + misses_s)
+
+        warm_b = clients["b"].check(batch, wait_timeout=600)
+        if warm_b["state"] != "done":
+            fail(f"cross-instance warm batch ended {warm_b['state']}")
+        if warm_b.get("shard") != config.shard_ids[1]:
+            fail("warm job document does not carry instance B's shard id")
+        hits_b, misses_b = batch_cache_totals(warm_b)
+        rate_b = hits_b / (hits_b + misses_b)
+        if rate_b < rate_single:
+            fail(
+                f"cross-instance warm hit rate {rate_b:.2f} below "
+                f"single-instance {rate_single:.2f}"
+            )
+        if comparable(warm_b) != comparable(baseline):
+            fail("cross-instance warm reports differ from the baseline")
+        metrics_b = parse_prometheus(clients["b"].metrics_text())
+        peer_hits = metrics_b.get("repro_cluster_peer_fetch_hit", 0)
+        if peer_hits < 1:
+            fail("instance B served the warm batch without one peer fetch")
+        print(
+            f"warm: single {rate_single:.0%} hits, cross-instance "
+            f"{rate_b:.0%} hits with {int(peer_hits)} peer fetch(es), "
+            f"reports byte-identical"
+        )
+
+        # -- kill a cache peer: requests must degrade, not fail ----------
+        procs["a"].kill()
+        procs["a"].wait(timeout=30)
+        killed = True
+        from repro.casestudies.afs1 import AFS1_SERVER_FIGURE
+
+        fresh = [{"source": AFS1_SERVER_FIGURE, "label": "post-kill"}]
+        degraded = clients["b"].check(fresh, wait_timeout=600)
+        if degraded["state"] != "done":
+            fail(f"post-kill batch on B ended {degraded['state']}")
+        if any(not r["all_true"] for r in degraded["reports"]):
+            fail("post-kill batch has failing specs")
+        metrics_b = parse_prometheus(clients["b"].metrics_text())
+        if metrics_b.get("repro_cluster_peer_fetch_error", 0) < 1:
+            fail("killing A produced no cluster_peer_fetch_error on B")
+        health_b = clients["b"].healthz()
+        cluster_b = health_b.get("cluster") or {}
+        circuit_events = [
+            e
+            for e in cluster_b.get("events", [])
+            if e.get("kind") == "circuit-open"
+        ]
+        if metrics_b.get("repro_cluster_circuit_open", 0) < 1 and not circuit_events:
+            fail("no observable circuit-open after killing A")
+        print(
+            "peer death: B degraded to local checking "
+            f"({int(metrics_b['repro_cluster_peer_fetch_error'])} fetch "
+            f"error(s), circuit events: {len(circuit_events)})"
+        )
+
+        # ...and the router fails over to the surviving member
+        routed = clients["router"].check(fresh, wait_timeout=600)
+        if routed["state"] != "done":
+            fail(f"post-kill batch via router ended {routed['state']}")
+        health = clients["router"].healthz()
+        if health["shards"][config.shard_ids[0]]["reachable"]:
+            fail("router healthz still reports the killed shard reachable")
+        print("peer death: router failed over; healthz marks A down")
+
+        # -- artifacts ----------------------------------------------------
+        events = []
+        for name, path in logs.items():
+            if not path.exists():
+                continue
+            for line in path.read_text().splitlines():
+                if line.strip():
+                    events.append({"instance": name, **json.loads(line)})
+        for event in circuit_events:
+            events.append({"instance": "b", "event": "circuit-open", **event})
+        (artifact_dir / "cluster_events.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in events)
+        )
+        (artifact_dir / "cluster_jobs.json").write_text(
+            json.dumps(
+                {
+                    "baseline": baseline,
+                    "cold_cluster": cold,
+                    "warm_cross_instance": warm_b,
+                    "post_kill": degraded,
+                    "timings": {
+                        "single_cold_s": round(t_single, 3),
+                        "cluster_cold_s": round(t_cluster, 3),
+                        "speedup": round(speedup, 2),
+                    },
+                },
+                indent=2,
+            )
+        )
+        for name in ("b", "single", "router"):
+            (artifact_dir / f"cluster_metrics_{name}.txt").write_text(
+                clients[name].metrics_text()
+            )
+        if not events:
+            fail("no structured events collected for cluster_events.jsonl")
+        print(f"artifacts: {len(events)} events in cluster_events.jsonl")
+    finally:
+        if not killed:
+            procs["a"].kill()
+        for name in ("router", "b", "single"):
+            if procs[name].poll() is None:
+                stderr = drain(name, procs[name])
+                if name != "router" and "drained and stopped" not in stderr:
+                    fail(f"no drain acknowledgement from {name}:\n{stderr}")
+
+    print("OK: cluster smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
