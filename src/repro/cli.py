@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.checking.explicit import ExplicitChecker
@@ -557,8 +558,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     ``router`` runs the cluster front end: the existing ``/v1/check``
     API, with each check routed to its owner shard on the consistent-
     hash ring and the results fanned back into one job document.
-    ``status`` probes every ring member's ``/healthz`` once and prints
-    a one-line-per-shard summary (or the full JSON with ``--json``).
+    ``status`` probes every ring member (``/healthz`` + a federated
+    ``/metrics`` scrape) and renders a live per-shard table — health,
+    queue depth, store hit rate, breaker state, stalled obligations,
+    ring ownership share — once, repeatedly with ``--watch``, or as
+    the full JSON document with ``--json``.
     """
     from repro.cluster.ring import RingConfig
 
@@ -585,26 +589,81 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         serve_forever(server)
         print("repro cluster router: stopped", file=sys.stderr)
         return 0
-    # status: one health probe of every member
+    # status: health probes + a federated metrics scrape, rendered live
     from repro.cluster.router import RouterManager
 
-    doc = RouterManager(config, timeout=args.peer_timeout).healthz()
-    if args.json:
-        print(json.dumps(doc, indent=2))
-        return 0 if all(
-            s["reachable"] for s in doc["shards"].values()
-        ) else 1
-    print(
+    manager = RouterManager(config, timeout=args.peer_timeout)
+    while True:
+        doc = manager.cluster_status()
+        healthy = sum(
+            1 for member in doc["members"].values() if member["reachable"]
+        )
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            if args.watch:
+                print("\x1b[H\x1b[2J", end="")  # home + clear
+            print(_render_cluster_status(doc, healthy))
+        if not args.watch:
+            return 0 if healthy == len(doc["members"]) else 1
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _render_cluster_status(doc: dict, healthy: int) -> str:
+    """The ``repro cluster status`` table for one probe round."""
+
+    def pct(value, digits: int = 1) -> str:
+        return "-" if value is None else f"{100 * value:.{digits}f}%"
+
+    lines = [
         f"cluster: {len(doc['ring']['members'])} member(s), "
-        f"{doc['ring']['vnodes']} vnodes"
-    )
-    healthy = 0
-    for shard, state in doc["shards"].items():
-        mark = "ok" if state["reachable"] else "DOWN"
-        healthy += 1 if state["reachable"] else 0
-        print(f"  {shard:<24} {mark:<5} ({state['status']})")
-    print(f"{healthy}/{len(doc['shards'])} shard(s) healthy")
-    return 0 if healthy == len(doc["shards"]) else 1
+        f"{doc['ring']['vnodes']} vnodes",
+        f"  {'shard':<24} {'health':<8} {'breaker':<9} "
+        f"{'queue':>5} {'run':>4} {'hit':>7} {'stall':>5} "
+        f"{'peers':>5} {'share':>7}",
+    ]
+    for shard, member in doc["members"].items():
+        if not member["reachable"]:
+            lines.append(
+                f"  {shard:<24} {'DOWN':<8} {member['breaker']:<9} "
+                f"{'-':>5} {'-':>4} {'-':>7} {'-':>5} {'-':>5} "
+                f"{pct(member['ring_share']):>7}  ({member['status']})"
+            )
+            continue
+        peers = member.get("peer_breakers") or {}
+        open_peers = member.get("open_breakers", 0)
+        peer_mark = "-" if not peers else (
+            "ok" if not open_peers else f"{open_peers}!"
+        )
+        lines.append(
+            f"  {shard:<24} {member['status']:<8} {member['breaker']:<9} "
+            f"{member.get('queued', 0):>5} {member.get('running', 0):>4} "
+            f"{pct(member.get('hit_rate')):>7} "
+            f"{member.get('stalled_obligations', 0):>5} "
+            f"{peer_mark:>5} {pct(member['ring_share']):>7}"
+        )
+    totals = doc.get("totals") or {}
+    if totals:
+        hits = totals.get("store_hits", 0)
+        lookups = hits + totals.get("store_misses", 0)
+        lines.append(
+            f"totals: jobs {totals.get('serve_jobs_submitted', 0):g} "
+            f"({totals.get('serve_jobs_completed', 0):g} done)  "
+            f"checks {totals.get('serve_checks_submitted', 0):g}  "
+            f"store {pct(hits / lookups if lookups else None)} hit  "
+            f"stalled {totals.get('stalled_obligations', 0):g}"
+        )
+    scrape_errors = doc.get("scrape_errors") or {}
+    if scrape_errors:
+        lines.append(
+            "scrape errors: "
+            + "; ".join(f"{s}: {e}" for s, e in scrape_errors.items())
+        )
+    lines.append(f"{healthy}/{len(doc['members'])} shard(s) healthy")
+    return "\n".join(lines)
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -960,7 +1019,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--json",
         action="store_true",
-        help="for status: print the full JSON health document",
+        help="for status: print the full JSON status document",
+    )
+    cluster.add_argument(
+        "--watch",
+        action="store_true",
+        help="for status: refresh the table until interrupted",
+    )
+    cluster.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period for --watch",
     )
     cluster.set_defaults(func=_cmd_cluster)
 

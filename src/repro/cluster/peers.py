@@ -110,10 +110,13 @@ class CircuitBreaker:
             # admitting more is harmless (they share the outcome).
             return True
 
-    def record_success(self) -> None:
+    def record_success(self) -> bool:
+        """Reset the gate; True when this call *closed* an open circuit."""
         with self._lock:
+            recovered = self._state != "closed"
             self._failures = 0
             self._state = "closed"
+            return recovered
 
     def record_failure(self) -> bool:
         """Count a failure; True when this call *opened* the circuit."""
@@ -315,7 +318,7 @@ class PeerSet:
                 self.metrics.add("cluster.peer_fetch.error")
                 self._record_failure(shard, str(exc))
                 continue
-            breaker.record_success()
+            self._record_success(shard)
             self.metrics.observe(
                 f"cluster.peer.{peer_metric_name(shard)}.fetch_seconds",
                 time.perf_counter() - started,
@@ -338,6 +341,20 @@ class PeerSet:
                     "error": message,
                     "ts": time.time(),
                 }
+            )
+
+    def _record_success(self, shard: str) -> None:
+        """A working exchange: close the breaker, noting recoveries.
+
+        The ``circuit-close`` event is the other half of the
+        ``circuit-open`` story in ``/healthz`` — without it an operator
+        watching the cluster block can see a peer die but never sees it
+        come back.
+        """
+        if self._breakers[shard].record_success():
+            self.metrics.add("cluster.circuit.close")
+            self.events.append(
+                {"kind": "circuit-close", "peer": shard, "ts": time.time()}
             )
 
     # -- push (write path) -----------------------------------------------
@@ -385,7 +402,7 @@ class PeerSet:
                     self.metrics.add("cluster.peer_push.error")
                     self._record_failure(shard, str(exc))
                 else:
-                    breaker.record_success()
+                    self._record_success(shard)
                     self.metrics.add("cluster.peer_push.sent")
             finally:
                 self._push_queue.task_done()

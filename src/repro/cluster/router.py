@@ -17,6 +17,21 @@ answering polls eventually fails only its own slice.  ``/healthz``
 (role ``router``) probes every member; ``/metrics`` renders routing
 counters and per-shard submit latency histograms.
 
+The router is also the cluster's observability plane:
+
+* it mints the authoritative ``trace_id`` for every submission and
+  propagates it to each shard via the ``X-Repro-Trace-Id`` header, so
+  ``GET /v1/jobs/<id>/trace`` can fetch each shard's span tree and
+  graft them — rebased onto one clock, tagged with a ``shard``
+  attribute — under a single synthetic ``router.job`` root span;
+* ``GET /metrics`` appends the *federated* cluster document (scrape
+  every member, sum counters and histogram buckets, max peaks) to the
+  router's own counters, with ``GET /v1/cluster/metrics`` as its JSON
+  twin;
+* ``GET /v1/jobs/<id>/events`` multiplexes every owner shard's SSE
+  stream into one ordered, shard-tagged stream with ``Last-Event-ID``
+  resume.
+
 ``repro cluster router --ring ...`` runs one of these; any
 :class:`~repro.serve.client.ServeClient` pointed at it sees a normal
 (if larger) checking service.
@@ -30,14 +45,20 @@ import threading
 import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.cluster.fanout import FanoutRequest, FanoutResponse, fanout
 from repro.cluster.peers import CircuitBreaker, peer_metric_name
 from repro.cluster.ring import RingConfig, request_fingerprint
-from repro.obs.export import to_prometheus_text
+from repro.obs.export import to_jsonl_records, to_prometheus_text
+from repro.obs.merge import graft_records
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.jobs import JobRequest
+from repro.obs.progress import ProgressBus
+from repro.obs.promtext import Federation, federate_scrapes
+from repro.obs.tracer import TraceContext, Tracer
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import serve_progress_stream
+from repro.serve.jobs import JobRequest, TERMINAL_STATES
 
 __all__ = ["RouterManager", "RouterServer", "create_router"]
 
@@ -91,9 +112,17 @@ class _Part:
 
 
 class _RoutedJob:
-    """The router-side record of one accepted submission."""
+    """The router-side record of one accepted submission.
 
-    __slots__ = ("id", "created", "checks", "parts", "timeout")
+    ``trace_id`` is minted here, at the edge — the router is the
+    authority for the whole cluster trace, and every shard sub-job is
+    submitted with it in ``X-Repro-Trace-Id``, so a slice that fails
+    over to another member keeps the same trace identity.  ``stream``
+    is the lazily-built SSE multiplexer for ``/v1/jobs/<id>/events``.
+    """
+
+    __slots__ = ("id", "created", "checks", "parts", "timeout",
+                 "trace_id", "stream")
 
     def __init__(self, checks: int, timeout: float | None):
         self.id = uuid.uuid4().hex[:12]
@@ -101,6 +130,8 @@ class _RoutedJob:
         self.checks = checks
         self.parts: list[_Part] = []
         self.timeout = timeout
+        self.trace_id = TraceContext.mint().trace_id
+        self.stream: "_JobStream | None" = None
 
 
 class RouterManager:
@@ -199,6 +230,9 @@ class RouterManager:
                     method="POST",
                     payload=payload,
                     timeout=self.timeout,
+                    # the shard honors the inbound id end-to-end, so its
+                    # worker spans join the router-minted trace
+                    headers={"X-Repro-Trace-Id": job.trace_id},
                 )
             )
         started = time.perf_counter()
@@ -221,7 +255,11 @@ class RouterManager:
             ):
                 self._breakers[part.shard].record_success()
                 part.job_id = str(accepted.get("id", ""))
-                part.trace_id = str(accepted.get("trace_id", ""))
+                # the shard echoes the propagated id; fall back to the
+                # router's own copy so the field is never empty
+                part.trace_id = (
+                    str(accepted.get("trace_id", "")) or job.trace_id
+                )
                 part.state = str(accepted.get("state", "queued"))
                 self.metrics.add(
                     f"router.shard.{peer_metric_name(part.shard)}.checks",
@@ -274,8 +312,6 @@ class RouterManager:
 
     def _refresh(self, job: _RoutedJob) -> None:
         """Poll every non-terminal slice concurrently."""
-        from repro.serve.jobs import TERMINAL_STATES
-
         live = [
             p
             for p in job.parts
@@ -350,6 +386,7 @@ class RouterManager:
             "state": state,
             "checks": job.checks,
             "created": job.created,
+            "trace_id": job.trace_id,
             "error": "; ".join(errors) or None,
             "reports": reports,
             "shards": [part.describe() for part in job.parts],
@@ -385,6 +422,254 @@ class RouterManager:
             "cancelled": cancelled,
             "shards": [part.describe() for part in job.parts],
         }
+
+    # -- distributed traces ----------------------------------------------
+    def trace(self, job_id: str) -> tuple[int, dict]:
+        """Stitch every shard's span tree into one router-rooted trace.
+
+        Fetches ``/v1/jobs/<sub-id>/trace`` from each accepted slice
+        and grafts the returned records under a synthetic ``router.job``
+        root span — each shard's spans rebased onto this process's
+        clock via the payload's ``wall_origin``, stamped with a
+        ``shard`` attribute, and carrying the router-minted
+        ``trace_id``.  Returns ``(http_status, payload)``: 404 for
+        unknown jobs (or when no shard produced spans), 409 while the
+        job is still running, 200 with the stitched tree otherwise.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return 404, {"error": "no such job"}
+        document = self.get(job_id)
+        assert document is not None
+        if document["state"] not in TERMINAL_STATES:
+            return 409, {
+                "id": job.id,
+                "state": document["state"],
+                "error": "trace is available once the job is terminal",
+            }
+        parts = [p for p in job.parts if p.job_id is not None]
+        responses = fanout(
+            [
+                FanoutRequest(
+                    url=f"{p.url}/v1/jobs/{p.job_id}/trace",
+                    timeout=self.timeout,
+                )
+                for p in parts
+            ],
+            max_parallel=self.max_parallel,
+        )
+        tracer = Tracer(enabled=True)
+        shards: dict[str, str] = {}
+        grafted = 0
+        with tracer.span(
+            "router.job",
+            category="router",
+            trace_id=job.trace_id,
+            job_id=job.id,
+            checks=job.checks,
+            shards=len(parts),
+        ) as root:
+            for part, response in zip(parts, responses):
+                payload = response.json() if response.ok else None
+                spans = (
+                    payload.get("spans") if payload is not None else None
+                )
+                if response.status != 200 or not isinstance(spans, list):
+                    shards[part.shard] = (
+                        response.error
+                        or (payload or {}).get("error")
+                        or f"HTTP {response.status}"
+                    )
+                    continue
+                graft_records(
+                    tracer,
+                    spans,
+                    wall_origin=float(payload.get("wall_origin") or 0.0),
+                    trace_id=job.trace_id,
+                    attrs={"shard": part.shard},
+                )
+                shards[part.shard] = "ok"
+                grafted += 1
+        if not grafted:
+            self.metrics.add("router.trace_failures")
+            return 404, {
+                "id": job.id,
+                "trace_id": job.trace_id,
+                "error": "no shard produced a trace",
+                "shards": shards,
+            }
+        # the synthetic root opened "now", but the grafted spans happened
+        # in the past — stretch the root to cover its children so every
+        # exported offset is non-negative and the root spans the whole
+        # cluster job window
+        children = [s for s in root.walk() if s is not root]
+        root.start = min([root.start] + [c.start for c in children])
+        root.end = max(
+            [root.end] + [c.end if c.end is not None else c.start
+                          for c in children]
+        )
+        self.metrics.add("router.traces_stitched")
+        return 200, {
+            "id": job.id,
+            "trace_id": job.trace_id,
+            "spans": to_jsonl_records(tracer),
+            "wall_origin": tracer.epoch_wall
+            + (tracer.start_time - tracer.epoch_perf),
+            "shards": shards,
+        }
+
+    # -- metrics federation ----------------------------------------------
+    def scrape_members(self) -> Federation:
+        """Scrape every member's ``/metrics`` and fold them into one.
+
+        Counters and histogram buckets sum across shards, peak gauges
+        take the max, and every member's own series re-appear labelled
+        ``{shard="host:port"}``.  Unreachable members surface in the
+        federation's ``errors`` (and as the rendered
+        ``repro_cluster_scrape_errors`` gauge) — a scrape never raises.
+        """
+        responses = fanout(
+            [
+                FanoutRequest(
+                    url=f"{url}/metrics",
+                    timeout=self.timeout,
+                    headers={"Accept": "text/plain"},
+                )
+                for url in self.config.urls
+            ],
+            max_parallel=self.max_parallel,
+        )
+        scrapes: dict[str, str | None] = {}
+        errors: dict[str, str] = {}
+        for shard, response in zip(self.config.shard_ids, responses):
+            if response.ok and response.status == 200:
+                scrapes[shard] = response.text
+            else:
+                scrapes[shard] = None
+                errors[shard] = response.error or f"HTTP {response.status}"
+        self.metrics.add("router.metric_scrapes")
+        federation = federate_scrapes(scrapes, errors=errors)
+        if federation.errors:
+            self.metrics.add(
+                "router.metric_scrape_errors", len(federation.errors)
+            )
+        return federation
+
+    def cluster_metrics(self) -> dict:
+        """The JSON twin of the federated ``/metrics`` document."""
+        federation = self.scrape_members()
+        aggregates: dict[str, float] = {}
+        shards: dict[str, dict[str, float]] = {
+            shard: {} for shard in self.config.shard_ids
+        }
+        for family in federation.families:
+            for sample in family.samples:
+                shard = sample.label("shard")
+                if shard is None and not sample.labels:
+                    aggregates[sample.name] = sample.value
+                elif shard is not None and len(sample.labels) == 1:
+                    shards.setdefault(shard, {})[sample.name] = sample.value
+        return {
+            "role": "router",
+            "members": list(self.config.shard_ids),
+            "scraped": federation.scraped,
+            "errors": federation.errors,
+            "aggregates": aggregates,
+            "shards": shards,
+        }
+
+    def cluster_status(self, metrics: bool = True) -> dict:
+        """Everything ``repro cluster status`` renders, in one document.
+
+        Per member: reachability, serving status, queue depth, running
+        jobs, store hit rate, stalled obligations, the router-side
+        breaker state, the member's *own* view of its peers' breakers,
+        and its exact share of the ring keyspace.  With ``metrics=True``
+        a federation scrape adds cluster-wide totals.
+        """
+        responses = fanout(
+            [
+                FanoutRequest(url=f"{url}/healthz", timeout=self.timeout)
+                for url in self.config.urls
+            ],
+            max_parallel=self.max_parallel,
+        )
+        shares = self.config.ring.shares()
+        members: dict[str, dict] = {}
+        for shard, response in zip(self.config.shard_ids, responses):
+            doc = response.json() if response.ok else None
+            entry: dict = {
+                "reachable": doc is not None,
+                "status": (doc or {}).get(
+                    "status", response.error or "unreachable"
+                ),
+                "breaker": self._breakers[shard].state,
+                "ring_share": round(shares.get(shard, 0.0), 4),
+            }
+            if doc is not None:
+                store = doc.get("store") or {}
+                cluster = doc.get("cluster") or {}
+                peer_states = {
+                    peer: (info or {}).get("state", "?")
+                    for peer, info in (cluster.get("peers") or {}).items()
+                }
+                entry.update(
+                    {
+                        "version": doc.get("version"),
+                        "uptime_seconds": doc.get("uptime_seconds"),
+                        "queued": doc.get("queued", 0),
+                        "running": doc.get("running", 0),
+                        "jobs_total": doc.get("jobs_total", 0),
+                        "hit_rate": store.get("hit_rate"),
+                        "stalled_obligations": doc.get(
+                            "stalled_obligations", 0
+                        ),
+                        "peer_breakers": peer_states,
+                        "open_breakers": sum(
+                            1
+                            for state in peer_states.values()
+                            if state != "closed"
+                        ),
+                    }
+                )
+            members[shard] = entry
+        document = {
+            "role": "router",
+            "ring": {
+                "members": list(self.config.shard_ids),
+                "vnodes": self.config.vnodes,
+            },
+            "members": members,
+        }
+        if metrics:
+            federation = self.scrape_members()
+            document["scrape_errors"] = federation.errors
+            totals: dict[str, float] = {}
+            for name in (
+                "serve_jobs_submitted",
+                "serve_jobs_completed",
+                "serve_checks_submitted",
+                "store_hits",
+                "store_misses",
+                "stalled_obligations",
+            ):
+                value = federation.value(f"repro_cluster_{name}")
+                if value is not None:
+                    totals[name] = value
+            document["totals"] = totals
+        return document
+
+    # -- progress streaming ----------------------------------------------
+    def events_bus(self, job_id: str) -> ProgressBus | None:
+        """The job's merged progress bus, starting the mux on first use."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.stream is None:
+                job.stream = _JobStream(job, self.timeout)
+            return job.stream.bus
 
     # -- health ----------------------------------------------------------
     def healthz(self) -> dict:
@@ -424,13 +709,107 @@ class RouterManager:
         }
 
     def metrics_text(self) -> str:
-        return to_prometheus_text(self.metrics)
+        """Router counters followed by the federated cluster document.
+
+        The router's own series use ``router.*`` names while the
+        federation emits ``repro_cluster_*`` aggregates and
+        ``{shard=...}``-labelled member series, so the two sections
+        never collide in one scrape.
+        """
+        return to_prometheus_text(self.metrics) + self.scrape_members().render()
 
     # -- lifecycle (serve_forever compatibility) -------------------------
     def drain(self, timeout: float | None = None) -> bool:
         """Routers hold no queue; draining just stops intake."""
         self.draining = True
         return True
+
+
+class _JobStream:
+    """The router-side merge of every shard's SSE stream for one job.
+
+    One daemon consumer per accepted slice runs
+    :meth:`~repro.serve.client.ServeClient.iter_events` against the
+    owner shard and republishes each event on a single
+    :class:`~repro.obs.progress.ProgressBus`.  The merged bus stamps
+    its own ``seq``/``ts`` (giving subscribers one total order and
+    ``Last-Event-ID`` resume across all shards); each event's
+    shard-local stamps are preserved as ``shard_seq``/``shard_ts`` and
+    a ``shard`` tag attributes its origin.  Reconnect attempts surface
+    as ``shard.stream_degraded`` events, a stream that gives up becomes
+    ``shard.stream_failed``, and the bus closes once every shard stream
+    has ended — late subscribers still replay the retained history.
+    """
+
+    def __init__(self, job: _RoutedJob, timeout: float):
+        self.bus = ProgressBus(maxlen=8192)
+        parts = [p for p in job.parts if p.job_id is not None]
+        self._remaining = len(parts)
+        self._lock = threading.Lock()
+        self.bus.publish(
+            {
+                "kind": "job.routed",
+                "job_id": job.id,
+                "trace_id": job.trace_id,
+                "shards": [p.shard for p in parts],
+            }
+        )
+        if not parts:
+            self.bus.close()
+            return
+        for part in parts:
+            threading.Thread(
+                target=self._consume,
+                # the socket timeout must outlast the shard's 15 s SSE
+                # keep-alive interval or idle streams read as drops
+                args=(part, max(timeout, 30.0)),
+                name=f"repro-router-sse-{part.shard}",
+                daemon=True,
+            ).start()
+
+    def _consume(self, part: _Part, timeout: float) -> None:
+        client = ServeClient(part.url, timeout=timeout, retries=0)
+
+        def degraded(info: dict) -> None:
+            self.bus.publish(
+                {
+                    "kind": "shard.stream_degraded",
+                    "shard": part.shard,
+                    "attempt": info.get("attempt"),
+                    "delay": info.get("delay"),
+                    "error": info.get("error"),
+                }
+            )
+
+        try:
+            assert part.job_id is not None
+            for event in client.iter_events(
+                part.job_id, on_reconnect=degraded
+            ):
+                event = dict(event)
+                # the merged bus stamps its own seq/ts, and publish()
+                # lets event keys override the stamp — re-scope the
+                # shard-local ones first
+                if "seq" in event:
+                    event["shard_seq"] = event.pop("seq")
+                if "ts" in event:
+                    event["shard_ts"] = event.pop("ts")
+                event.setdefault("shard", part.shard)
+                self.bus.publish(event)
+        except ServeClientError as exc:
+            self.bus.publish(
+                {
+                    "kind": "shard.stream_failed",
+                    "shard": part.shard,
+                    "error": str(exc),
+                }
+            )
+        finally:
+            with self._lock:
+                self._remaining -= 1
+                last = self._remaining <= 0
+            if last:
+                self.bus.close()
 
 
 class RouterServer(ThreadingHTTPServer):
@@ -468,7 +847,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         manager = self.server.manager
-        path = urlsplit(self.path).path
+        parsed = urlsplit(self.path)
+        path = parsed.path
+        query = parse_qs(parsed.query)
         if path == "/healthz":
             doc = manager.healthz()
             if manager.draining:
@@ -481,6 +862,35 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+        elif path == "/v1/cluster/metrics":
+            self._send_json(200, manager.cluster_metrics())
+        elif path == "/v1/cluster/status":
+            self._send_json(200, manager.cluster_status())
+        elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/v1/jobs/") : -len("/trace")]
+            if not _JOB_ID_RE.fullmatch(job_id):
+                self._send_json(404, {"error": "no such job"})
+                return
+            status, payload = manager.trace(job_id)
+            self._send_json(status, payload)
+        elif path.startswith("/v1/jobs/") and path.endswith("/events"):
+            job_id = path[len("/v1/jobs/") : -len("/events")]
+            if not _JOB_ID_RE.fullmatch(job_id):
+                self._send_json(404, {"error": "no such job"})
+                return
+            bus = manager.events_bus(job_id)
+            if bus is None:
+                self._send_json(404, {"error": "no such job"})
+                return
+            serve_progress_stream(
+                self,
+                bus,
+                query,
+                doc_id=job_id,
+                state_of=lambda: (manager.get(job_id) or {}).get(
+                    "state", "?"
+                ),
+            )
         elif path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/") :]
             if not _JOB_ID_RE.fullmatch(job_id):
@@ -551,9 +961,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 "state": "queued",
                 "checks": job.checks,
                 "href": f"/v1/jobs/{job.id}",
-                "trace_id": "",
+                "trace_id": job.trace_id,
                 "shards": [part.shard for part in job.parts],
             },
+            headers={"X-Repro-Trace-Id": job.trace_id},
         )
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming

@@ -79,9 +79,18 @@ class Histogram:
         same metric recorded in different processes.
         """
         if other.bounds != self.bounds:
+            def _describe(bounds: tuple[float, ...]) -> str:
+                if len(bounds) <= 4:
+                    inner = ", ".join(f"{b:g}" for b in bounds)
+                else:
+                    inner = (
+                        f"{bounds[0]:g}, {bounds[1]:g}, ... {bounds[-1]:g}"
+                    )
+                return f"{len(bounds)} buckets [{inner}]"
+
             raise ValueError(
-                f"cannot merge histograms with different bounds "
-                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+                f"cannot merge histograms with different bucket bounds: "
+                f"{_describe(self.bounds)} vs {_describe(other.bounds)}"
             )
         for i, n in enumerate(other.counts):
             self.counts[i] += n

@@ -41,6 +41,7 @@ def graft_records(
     pid: int | None = None,
     wall_origin: float = 0.0,
     trace_id: str = "",
+    attrs: dict | None = None,
 ) -> list[Span]:
     """Rebuild spans from JSONL records and attach them to ``tracer``.
 
@@ -54,6 +55,9 @@ def graft_records(
     the parent-side half of cross-process trace propagation: workers
     that received a :class:`~repro.obs.tracer.TraceContext` stamp their
     own spans, and this covers records from workers that did not.
+    ``attrs`` stamps arbitrary extra attributes the same way (existing
+    values win) — the router uses it to mark every span of a shard's
+    subtree with ``shard="host:port"`` while stitching a cluster trace.
 
     Record ``id`` fields only need to be unique *within* one ``records``
     list; every call rebuilds its own id table, so span trees shipped by
@@ -66,12 +70,16 @@ def graft_records(
     by_id: dict[int, Span] = {}
     roots: list[Span] = []
     for record in records:
-        attrs = dict(record.get("attrs", ()))
+        span_attrs = dict(record.get("attrs", ()))
         if pid is not None:
-            attrs["pid"] = pid
-        if trace_id and "trace_id" not in attrs:
-            attrs["trace_id"] = trace_id
-        span = Span(tracer, record["name"], record.get("cat", ""), attrs)
+            span_attrs["pid"] = pid
+        if trace_id and "trace_id" not in span_attrs:
+            span_attrs["trace_id"] = trace_id
+        for name, value in (attrs or {}).items():
+            span_attrs.setdefault(name, value)
+        span = Span(
+            tracer, record["name"], record.get("cat", ""), span_attrs
+        )
         span.start = base + record["start_us"] / 1e6
         span.end = span.start + record["dur_us"] / 1e6
         span.recorded = True

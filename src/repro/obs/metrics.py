@@ -101,12 +101,19 @@ class MetricsRegistry:
         Scalars go through :meth:`add`, so peak metrics aggregate as
         ``max`` across registries (a per-worker high-water mark summed
         over workers would be meaningless) while everything else sums.
-        Histograms merge bucket-by-bucket.
+        Histograms merge bucket-by-bucket; a histogram that exists on
+        both sides with *different* bucket bounds raises ``ValueError``
+        naming the metric — mis-summing across mismatched buckets
+        would silently corrupt every federated latency series built on
+        top of this merge.
         """
         for name, value in other._values.items():
             self.add(name, value)
         for name, hist in other._hists.items():
-            self.histogram(name, bounds=hist.bounds).merge(hist)
+            try:
+                self.histogram(name, bounds=hist.bounds).merge(hist)
+            except ValueError as exc:
+                raise ValueError(f"metric {name!r}: {exc}") from None
         return self
 
     # -- structured feeders ---------------------------------------------

@@ -1,0 +1,396 @@
+"""Prometheus text-format parsing, re-rendering and federation.
+
+:func:`repro.obs.export.to_prometheus_text` renders a registry *out*;
+this module is the inverse direction plus the cluster fold.  The router
+scrapes every ring member's ``/metrics`` (plain Prometheus text over
+the bounded fan-out), parses each document into
+:class:`MetricFamily`/:class:`Sample` values with
+:func:`parse_prometheus_text`, and :func:`federate_scrapes` merges the
+documents across shards:
+
+* plain counters and gauges **sum**;
+* peak gauges (``*_peak_unique_nodes``, ``*_nodes_allocated``,
+  ``*_transition_nodes`` — the same suffix rule
+  :class:`~repro.obs.metrics.MetricsRegistry` applies) take the
+  **max** — summing per-shard high-water marks would fabricate a
+  number no process ever reached;
+* histogram families merge **bucket-by-bucket** (``le`` label sets
+  must agree; a shard whose buckets disagree is dropped from that
+  family and counted as a scrape error);
+* every per-shard sample is re-emitted verbatim with a
+  ``shard="host:port"`` label, so dashboards can split any series by
+  member;
+* scrape/parse failures become the ``repro_cluster_scrape_errors``
+  gauge instead of poisoning the rollup.
+
+The parser/renderer pair is *lossless* over everything the serve layer
+emits — ``to_prometheus_text(...)`` → :func:`parse_prometheus_text` →
+:func:`render_prometheus_text` reproduces the input byte for byte for
+gauge, counter and ``_bucket``/``_sum``/``_count`` histogram families
+(including the labeled ``repro_build_info`` gauge with its ``# HELP``
+line) — which is what lets the router re-serve a federated document in
+the exact dialect its members speak.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import _PEAK_SUFFIXES
+
+__all__ = [
+    "MetricFamily",
+    "Sample",
+    "PromTextError",
+    "parse_prometheus_text",
+    "render_prometheus_text",
+    "federate_scrapes",
+    "Federation",
+]
+
+
+class PromTextError(ValueError):
+    """A line the Prometheus text parser could not make sense of."""
+
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+#: ``name{labels} value [timestamp]`` — the body between ``{`` and ``}``
+#: is scanned separately so quoted commas/braces cannot confuse it.
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(?:\{{(.*)\}})?\s+(\S+)(?:\s+(-?\d+))?\s*$"
+)
+_LABEL_RE = re.compile(rf'({_NAME})="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\x00", "\\")
+    )
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _parse_value(token: str) -> float:
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    try:
+        return float(token)
+    except ValueError:
+        raise PromTextError(f"bad sample value {token!r}") from None
+
+
+def _format_value(value: float) -> str:
+    """Mirror ``export._prom_number``: ints bare, floats via ``%g``."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return f"{value:g}" if value != int(value) else f"{int(value)}"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One sample line: a metric name, ordered labels and a value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def label(self, name: str, default: str | None = None) -> str | None:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        return default
+
+    def with_label(self, name: str, value: str) -> "Sample":
+        """A copy with ``name="value"`` appended to the label set."""
+        return Sample(self.name, (*self.labels, (name, value)), self.value)
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` block: the family name, type, help and samples.
+
+    For histogram families the samples are the raw ``<name>_bucket`` /
+    ``<name>_sum`` / ``<name>_count`` series in document order — the
+    representation stays faithful to the text so re-rendering is exact.
+    """
+
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def buckets(self) -> list[tuple[str, float]]:
+        """``(le, cumulative_count)`` pairs of a histogram family."""
+        return [
+            (sample.label("le", ""), sample.value)
+            for sample in self.samples
+            if sample.name == f"{self.name}_bucket"
+        ]
+
+    def scalar(self, suffix: str = "") -> float | None:
+        """The value of the family's ``<name><suffix>`` sample, if any."""
+        wanted = self.name + suffix
+        for sample in self.samples:
+            if sample.name == wanted:
+                return sample.value
+        return None
+
+
+def _family_of(name: str, families: dict[str, MetricFamily]) -> str:
+    """Which declared family a sample named ``name`` belongs to."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in families and families[base].type == "histogram":
+                return base
+    return name
+
+
+def parse_prometheus_text(text: str) -> list[MetricFamily]:
+    """Parse a Prometheus text exposition into metric families.
+
+    Families appear in document order; samples keep their order within
+    the family.  Samples with no preceding ``# TYPE`` declaration get
+    an ``untyped`` family of their own.  Raises :class:`PromTextError`
+    on lines that are neither comments, blank, nor valid samples.
+    """
+    families: dict[str, MetricFamily] = {}
+    order: list[MetricFamily] = []
+
+    def family(name: str) -> MetricFamily:
+        fam = families.get(name)
+        if fam is None:
+            fam = families[name] = MetricFamily(name)
+            order.append(fam)
+        return fam
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                fam = family(parts[2])
+                fam.type = parts[3] if len(parts) > 3 else "untyped"
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family(parts[2]).help = parts[3] if len(parts) > 3 else ""
+            continue  # other comments (keep-alives, exporters' chatter)
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PromTextError(f"line {lineno}: unparsable sample {line!r}")
+        name, label_body, value_token = match.group(1, 2, 3)
+        labels: tuple[tuple[str, str], ...] = ()
+        if label_body:
+            pairs = _LABEL_RE.findall(label_body)
+            stripped = _LABEL_RE.sub("", label_body).replace(",", "").strip()
+            if stripped:
+                raise PromTextError(
+                    f"line {lineno}: bad label syntax {label_body!r}"
+                )
+            labels = tuple((k, _unescape(v)) for k, v in pairs)
+        sample = Sample(name, labels, _parse_value(value_token))
+        family(_family_of(name, families)).samples.append(sample)
+    return order
+
+
+def render_prometheus_text(families: list[MetricFamily]) -> str:
+    """Render families back into the exposition format.
+
+    The exact dialect of :func:`repro.obs.export.to_prometheus_text`:
+    optional ``# HELP``, a ``# TYPE`` line per declared family (omitted
+    for ``untyped``), ``%g``-style numbers, trailing newline.  Families
+    render in the given order — parsing and re-rendering a document
+    this module's conventions produced is byte-identical.
+    """
+    lines: list[str] = []
+    for fam in families:
+        if fam.help:
+            lines.append(f"# HELP {fam.name} {fam.help}")
+        if fam.type != "untyped":
+            lines.append(f"# TYPE {fam.name} {fam.type}")
+        for sample in fam.samples:
+            label_text = ""
+            if sample.labels:
+                body = ",".join(
+                    f'{key}="{_escape(value)}"'
+                    for key, value in sample.labels
+                )
+                label_text = f"{{{body}}}"
+            lines.append(
+                f"{sample.name}{label_text} {_format_value(sample.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# federation
+# ----------------------------------------------------------------------
+def _is_peak(name: str) -> bool:
+    # the suffix rule of MetricsRegistry, applied post-sanitization
+    # (dots became underscores on the way out through the exporter)
+    return name.endswith(_PEAK_SUFFIXES)
+
+
+@dataclass
+class Federation:
+    """The cluster-wide fold of every member's ``/metrics`` document.
+
+    ``families`` is render-ready: the synthesized scrape gauges, then
+    the ``<prefix>_cluster_*`` aggregates, then every member's own
+    series re-labelled ``{shard="host:port"}``.  ``errors`` maps shard
+    id → what went wrong for members that contributed nothing (or whose
+    histogram buckets disagreed).
+    """
+
+    families: list[MetricFamily]
+    errors: dict[str, str]
+    scraped: int
+
+    def render(self) -> str:
+        return render_prometheus_text(self.families)
+
+    def value(self, name: str, shard: str | None = None) -> float | None:
+        """Look one scalar up: an aggregate, or one shard's series."""
+        for fam in self.families:
+            for sample in fam.samples:
+                if sample.name != name:
+                    continue
+                if sample.label("shard") == shard:
+                    return sample.value
+        return None
+
+
+def _cluster_name(name: str, prefix: str) -> str | None:
+    """The aggregate name for a member series, or ``None`` to skip it."""
+    cluster = f"{prefix}_cluster_"
+    if name.startswith(cluster):
+        return name  # already cluster-scoped (a nested federation)
+    if name == f"{prefix}_build_info":
+        return None  # identity labels don't sum
+    if name.startswith(f"{prefix}_"):
+        return cluster + name[len(prefix) + 1 :]
+    return f"{prefix}_cluster_{name}"
+
+
+def federate_scrapes(
+    scrapes: Mapping[str, str | None],
+    *,
+    errors: Mapping[str, str] | None = None,
+    prefix: str = "repro",
+) -> Federation:
+    """Fold per-shard ``/metrics`` text into one cluster document.
+
+    ``scrapes`` maps shard id → the raw text (``None`` for a failed
+    scrape); ``errors`` optionally carries the transport error message
+    per failed shard.  Counters and gauges sum, peaks max, histogram
+    buckets sum; every input sample additionally re-emits under its
+    original name with a ``shard`` label.  Nothing raises for a bad
+    member — it is dropped and counted in
+    ``<prefix>_cluster_scrape_errors``.
+    """
+    problems: dict[str, str] = dict(errors or {})
+    parsed: dict[str, list[MetricFamily]] = {}
+    for shard, text in scrapes.items():
+        if text is None:
+            problems.setdefault(shard, "scrape failed")
+            continue
+        try:
+            parsed[shard] = parse_prometheus_text(text)
+        except PromTextError as exc:
+            problems[shard] = f"unparsable metrics: {exc}"
+
+    # -- aggregates ------------------------------------------------------
+    gauges: dict[str, float] = {}
+    hists: dict[str, dict] = {}  # name -> {les, buckets, sum, count, help}
+    for shard, families in parsed.items():
+        for fam in families:
+            name = _cluster_name(fam.name, prefix)
+            if name is None:
+                continue
+            if fam.type == "histogram":
+                les = tuple(le for le, _ in fam.buckets())
+                merged = hists.get(name)
+                if merged is None:
+                    merged = hists[name] = {
+                        "les": les,
+                        "buckets": dict.fromkeys(les, 0.0),
+                        "sum": 0.0,
+                        "count": 0.0,
+                    }
+                elif merged["les"] != les:
+                    problems[shard] = (
+                        f"histogram {fam.name} bucket bounds disagree "
+                        f"with the other members"
+                    )
+                    continue
+                for le, value in fam.buckets():
+                    merged["buckets"][le] += value
+                merged["sum"] += fam.scalar("_sum") or 0.0
+                merged["count"] += fam.scalar("_count") or 0.0
+                continue
+            for sample in fam.samples:
+                if sample.labels:
+                    continue  # labeled gauges carry identity, not load
+                if _is_peak(name):
+                    gauges[name] = max(gauges.get(name, 0.0), sample.value)
+                else:
+                    gauges[name] = gauges.get(name, 0.0) + sample.value
+
+    families: list[MetricFamily] = []
+    for name, value in (
+        (f"{prefix}_cluster_members", float(len(scrapes))),
+        (f"{prefix}_cluster_scraped", float(len(parsed))),
+        (f"{prefix}_cluster_scrape_errors", float(len(problems))),
+    ):
+        families.append(
+            MetricFamily(name, "gauge", samples=[Sample(name, (), value)])
+        )
+    for name in sorted(gauges):
+        families.append(
+            MetricFamily(
+                name, "gauge", samples=[Sample(name, (), gauges[name])]
+            )
+        )
+    for name in sorted(hists):
+        merged = hists[name]
+        samples = [
+            Sample(f"{name}_bucket", (("le", le),), merged["buckets"][le])
+            for le in merged["les"]
+        ]
+        samples.append(Sample(f"{name}_sum", (), merged["sum"]))
+        samples.append(Sample(f"{name}_count", (), merged["count"]))
+        families.append(MetricFamily(name, "histogram", samples=samples))
+
+    # -- per-shard series ------------------------------------------------
+    labelled: dict[str, MetricFamily] = {}
+    for shard in sorted(parsed):
+        for fam in parsed[shard]:
+            out = labelled.get(fam.name)
+            if out is None:
+                out = labelled[fam.name] = MetricFamily(
+                    fam.name, fam.type, fam.help
+                )
+                families.append(out)
+            out.samples.extend(
+                sample.with_label("shard", shard) for sample in fam.samples
+            )
+    return Federation(
+        families=families, errors=problems, scraped=len(parsed)
+    )

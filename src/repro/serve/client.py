@@ -14,7 +14,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 from repro.errors import ReproError
 
@@ -246,6 +246,7 @@ class ServeClient:
         since: int = 0,
         reconnect: bool = True,
         max_reconnects: int = 20,
+        on_reconnect: Callable[[dict], None] | None = None,
     ) -> Iterator[dict]:
         """Consume ``GET /v1/jobs/<id>/events`` as a stream of events.
 
@@ -257,8 +258,18 @@ class ServeClient:
         (``reconnect=False`` stops at the first drop instead).  Raises
         :class:`ServeClientError` on HTTP errors (404: unknown job or
         progress disabled).
+
+        ``on_reconnect`` makes the backoff *observable* instead of a
+        silent sleep: it is called once per reconnect attempt, before
+        the sleep, with ``{"attempt": n, "since": last_seq, "delay":
+        seconds, "error": message}`` — the hook the cluster router uses
+        to publish ``shard.stream_degraded`` events on its merged
+        stream while a member flaps.  A connect failure *after* the
+        stream was first established counts as a drop (and reconnects);
+        only the initial connection failing raises immediately.
         """
         drops = 0
+        connected = False
         while True:
             request = urllib.request.Request(
                 f"{self.url}/v1/jobs/{job_id}/events",
@@ -267,6 +278,8 @@ class ServeClient:
                     "Last-Event-ID": str(since),
                 },
             )
+            response = None
+            error: str | None = None
             try:
                 response = urllib.request.urlopen(
                     request, timeout=self.timeout
@@ -279,28 +292,36 @@ class ServeClient:
                     message = body
                 raise ServeClientError(exc.code, message) from None
             except urllib.error.URLError as exc:
-                raise ServeClientError(
-                    0, f"cannot reach {self.url}: {exc.reason}"
-                ) from None
-            clean_end = False
-            try:
-                for frame in _iter_sse_frames(response):
-                    if frame.get("event") == "end":
-                        clean_end = True
-                        break
-                    try:
-                        event = json.loads(frame.get("data", ""))
-                    except ValueError:
-                        continue
-                    if isinstance(event.get("seq"), int):
-                        since = max(since, event["seq"])
-                    yield event
-            except (TimeoutError, OSError, http.client.HTTPException):
-                pass  # dropped mid-stream; reconnect below
-            finally:
-                response.close()
-            if clean_end:
-                return
+                error = f"cannot reach {self.url}: {exc.reason}"
+                if not connected:
+                    raise ServeClientError(0, error) from None
+            if response is not None:
+                connected = True
+                clean_end = False
+                error = "stream closed before its end frame"
+                try:
+                    for frame in _iter_sse_frames(response):
+                        if frame.get("event") == "end":
+                            clean_end = True
+                            break
+                        try:
+                            event = json.loads(frame.get("data", ""))
+                        except ValueError:
+                            continue
+                        if isinstance(event.get("seq"), int):
+                            since = max(since, event["seq"])
+                        yield event
+                except (
+                    TimeoutError,
+                    OSError,
+                    http.client.HTTPException,
+                ) as exc:
+                    # dropped mid-stream; reconnect below
+                    error = f"{type(exc).__name__}: {exc}"
+                finally:
+                    response.close()
+                if clean_end:
+                    return
             if not reconnect:
                 return
             drops += 1
@@ -308,7 +329,17 @@ class ServeClient:
                 raise ServeClientError(
                     0, f"event stream for {job_id} dropped {drops} times"
                 )
-            time.sleep(min(0.05 * drops, 1.0))
+            delay = min(0.05 * drops, 1.0)
+            if on_reconnect is not None:
+                on_reconnect(
+                    {
+                        "attempt": drops,
+                        "since": since,
+                        "delay": delay,
+                        "error": error,
+                    }
+                )
+            time.sleep(delay)
 
 
 def _iter_sse_frames(response) -> Iterator[dict]:

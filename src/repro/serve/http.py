@@ -78,7 +78,12 @@ from repro.obs.tracer import TraceContext
 from repro.serve.jobs import JobManager, JobRequest, QueueFullError
 from repro.store.store import StoreRecord
 
-__all__ = ["ReproServer", "create_server", "serve_forever"]
+__all__ = [
+    "ReproServer",
+    "create_server",
+    "serve_forever",
+    "serve_progress_stream",
+]
 
 #: Largest accepted request body (a megabyte of SMV is a big model).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -86,6 +91,24 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Store fingerprints are SHA-256 hex — anything else is rejected before
 #: it can reach the filesystem layer.
 _FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Acceptable inbound ``X-Repro-Trace-Id`` values: lowercase hex, wide
+#: enough for W3C-sized 32-char ids with slack either way.  Anything
+#: else is ignored (a fresh id is minted) — a malformed header must
+#: never fail a submission.
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+
+def _inbound_trace(header: str | None) -> TraceContext:
+    """The request's trace identity: honor a well-formed inbound
+    ``X-Repro-Trace-Id`` (the router mints one per routed job and fans
+    it to every owner shard, so all shards' spans share it), mint a
+    fresh one otherwise."""
+    if header:
+        candidate = header.strip().lower()
+        if _TRACE_ID_RE.fullmatch(candidate):
+            return TraceContext(trace_id=candidate)
+    return TraceContext.mint()
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -219,6 +242,10 @@ class _Handler(BaseHTTPRequestHandler):
                         "id": job.id,
                         "trace_id": job.trace_id,
                         "spans": job.trace,
+                        # wall-clock time of offset zero: what a router
+                        # needs to rebase this tree onto its own clock
+                        "wall_origin": job.trace_wall_origin,
+                        "shard": job.shard or None,
                     },
                 )
         elif path.startswith("/v1/jobs/"):
@@ -304,68 +331,13 @@ class _Handler(BaseHTTPRequestHandler):
     # -- live progress streaming -----------------------------------------
     def _serve_events(self, job, query: dict) -> None:
         """``GET /v1/jobs/<id>/events``: SSE stream or long-poll JSON."""
-        bus = job.progress
-        since = 0
-        try:
-            if "since" in query:
-                since = int(query["since"][0])
-            elif self.headers.get("Last-Event-ID"):
-                since = int(self.headers["Last-Event-ID"])
-        except (ValueError, IndexError):
-            self._send_json(400, {"error": "bad since / Last-Event-ID"})
-            return
-        if "poll" in query:
-            try:
-                poll = float(query["poll"][0] or 30.0)
-            except ValueError:
-                self._send_json(400, {"error": "bad poll seconds"})
-                return
-            events = bus.wait(since, timeout=max(min(poll, 60.0), 0.0))
-            self._send_json(
-                200,
-                {
-                    "id": job.id,
-                    "state": job.state,
-                    "closed": bus.closed
-                    and not bus.events_since(
-                        events[-1]["seq"] if events else since
-                    ),
-                    "events": events,
-                    "next": events[-1]["seq"] if events else since,
-                },
-            )
-            return
-        # SSE: chunk-less HTTP/1.1 stream — no Content-Length, so the
-        # connection closes when the stream ends (clients resume via
-        # Last-Event-ID).
-        self.close_connection = True
-        self.send_response(200)
-        self.send_header("Content-Type", "text/event-stream")
-        self.send_header("Cache-Control", "no-cache")
-        self.send_header("Connection", "close")
-        self.end_headers()
-        try:
-            while True:
-                events = bus.wait(since, timeout=15.0)
-                for event in events:
-                    since = event["seq"]
-                    frame = (
-                        f"id: {event['seq']}\n"
-                        f"event: {event.get('kind', 'message')}\n"
-                        f"data: {json.dumps(event)}\n\n"
-                    )
-                    self.wfile.write(frame.encode())
-                if not events:
-                    if bus.closed:
-                        break
-                    self.wfile.write(b": keep-alive\n\n")  # hold NATs open
-                self.wfile.flush()
-                if bus.closed and not bus.events_since(since):
-                    break
-            self.wfile.write(b"event: end\ndata: {}\n\n")
-            self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away; it can resume with Last-Event-ID
+        serve_progress_stream(
+            self,
+            job.progress,
+            query,
+            doc_id=job.id,
+            state_of=lambda: job.state,
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path != "/v1/check":
@@ -392,9 +364,11 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, TypeError, KeyError) as exc:
             self._send_json(400, {"error": str(exc)})
             return
-        # The trace identity is minted at the edge — before the queue —
-        # so a rejected submission still has an id to log against.
-        trace = TraceContext.mint()
+        # The trace identity lives at the edge — before the queue — so a
+        # rejected submission still has an id to log against.  A router
+        # fronting this shard sends the authoritative id in the
+        # X-Repro-Trace-Id header; standalone submissions mint here.
+        trace = _inbound_trace(self.headers.get("X-Repro-Trace-Id"))
         try:
             job = self.server.manager.submit(
                 requests, timeout=timeout, trace=trace
@@ -440,6 +414,91 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 409, {"id": job_id, "state": state, "error": "not cancellable"}
             )
+
+
+def serve_progress_stream(
+    handler: BaseHTTPRequestHandler,
+    bus,
+    query: dict,
+    *,
+    doc_id: str,
+    state_of,
+) -> None:
+    """Serve one :class:`~repro.obs.progress.ProgressBus` over HTTP.
+
+    The shared SSE / long-poll loop behind ``GET /v1/jobs/<id>/events``
+    — used verbatim by both the shard handler (one job's bus) and the
+    cluster router (its merged, shard-tagged bus), so the two tiers
+    speak byte-identical streams: ``id:`` frames carry the bus sequence
+    number, ``Last-Event-ID``/``?since=`` resume from the retained
+    window, ``?poll=<seconds>`` selects the JSON long-poll fallback,
+    and a final ``end`` frame marks a cleanly finished stream.
+
+    ``handler`` must be mid-``do_GET`` (headers not yet sent);
+    ``state_of`` is called per long-poll response for the current job
+    state string.
+    """
+    since = 0
+    try:
+        if "since" in query:
+            since = int(query["since"][0])
+        elif handler.headers.get("Last-Event-ID"):
+            since = int(handler.headers["Last-Event-ID"])
+    except (ValueError, IndexError):
+        handler._send_json(400, {"error": "bad since / Last-Event-ID"})
+        return
+    if "poll" in query:
+        try:
+            poll = float(query["poll"][0] or 30.0)
+        except ValueError:
+            handler._send_json(400, {"error": "bad poll seconds"})
+            return
+        events = bus.wait(since, timeout=max(min(poll, 60.0), 0.0))
+        handler._send_json(
+            200,
+            {
+                "id": doc_id,
+                "state": state_of(),
+                "closed": bus.closed
+                and not bus.events_since(
+                    events[-1]["seq"] if events else since
+                ),
+                "events": events,
+                "next": events[-1]["seq"] if events else since,
+            },
+        )
+        return
+    # SSE: chunk-less HTTP/1.1 stream — no Content-Length, so the
+    # connection closes when the stream ends (clients resume via
+    # Last-Event-ID).
+    handler.close_connection = True
+    handler.send_response(200)
+    handler.send_header("Content-Type", "text/event-stream")
+    handler.send_header("Cache-Control", "no-cache")
+    handler.send_header("Connection", "close")
+    handler.end_headers()
+    try:
+        while True:
+            events = bus.wait(since, timeout=15.0)
+            for event in events:
+                since = event["seq"]
+                frame = (
+                    f"id: {event['seq']}\n"
+                    f"event: {event.get('kind', 'message')}\n"
+                    f"data: {json.dumps(event)}\n\n"
+                )
+                handler.wfile.write(frame.encode())
+            if not events:
+                if bus.closed:
+                    break
+                handler.wfile.write(b": keep-alive\n\n")  # hold NATs open
+            handler.wfile.flush()
+            if bus.closed and not bus.events_since(since):
+                break
+        handler.wfile.write(b"event: end\ndata: {}\n\n")
+        handler.wfile.flush()
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # client went away; it can resume with Last-Event-ID
 
 
 def _build_info_text() -> str:

@@ -126,6 +126,12 @@ class Job:
     #: /v1/jobs/<id>/trace``; ``None`` until the job finishes or when
     #: request tracing is disabled.
     trace: list[dict] | None = None
+    #: Wall-clock time (``time.time`` axis) of the trace records' zero
+    #: offset — the same convention pool workers report, which lets a
+    #: *router* graft this shard's span tree onto its own tracer clock
+    #: (:func:`repro.obs.merge.rebase_records`).  0.0 until the trace
+    #: exists.
+    trace_wall_origin: float = 0.0
     #: Live progress event bus (``GET /v1/jobs/<id>/events``); created
     #: at submission, closed when the job reaches a terminal state.
     #: ``None`` when progress is disabled server-side.
@@ -656,6 +662,11 @@ class JobManager:
                 if span.name == "store.probe"
             )
             job.trace = to_jsonl_records(tracer)
+            # wall time of the records' zero offset, mirroring the
+            # wall_origin convention worker processes report upward
+            job.trace_wall_origin = tracer.epoch_wall + (
+                tracer.start_time - tracer.epoch_perf
+            )
         job.timings = {
             "queue_wait_seconds": round(queue_wait, 6),
             "cache_probe_seconds": round(probe_seconds, 6),

@@ -47,6 +47,29 @@ class TestMerge:
         with pytest.raises(ValueError):
             Histogram(bounds=(0.1, 1.0)).merge(Histogram(bounds=(0.1,)))
 
+    def test_mismatch_error_describes_both_bucket_layouts(self):
+        with pytest.raises(ValueError, match=r"2 buckets .* vs 1 bucket"):
+            Histogram(bounds=(0.1, 1.0)).merge(Histogram(bounds=(0.1,)))
+
+    def test_merge_empty_into_populated_is_identity(self):
+        a = Histogram.of((0.05, 0.2, 5.0), bounds=(0.1, 1.0))
+        before = a.to_dict()
+        a.merge(Histogram(bounds=(0.1, 1.0)))
+        assert a.to_dict() == before
+
+    def test_merge_populated_into_empty_copies_it(self):
+        a = Histogram(bounds=(0.1, 1.0))
+        b = Histogram.of((0.05, 0.2, 5.0), bounds=(0.1, 1.0))
+        a.merge(b)
+        assert a.to_dict() == b.to_dict()
+
+    def test_registry_merge_names_the_offending_metric(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.observe("submit_seconds", 0.1, bounds=(0.1, 1.0))
+        right.observe("submit_seconds", 0.2, bounds=(0.5,))
+        with pytest.raises(ValueError, match="submit_seconds"):
+            left.merge(right)
+
 
 class TestQuantiles:
     def test_empty_histogram_quantile_is_zero(self):

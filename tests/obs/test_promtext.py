@@ -1,0 +1,241 @@
+"""The Prometheus text parser/renderer pair and the federation fold.
+
+The pair must be *lossless* over everything the serve layer emits —
+``to_prometheus_text`` → ``parse_prometheus_text`` →
+``render_prometheus_text`` byte-identical — because the router
+re-serves the federated document in the same dialect its members speak.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (
+    Federation,
+    MetricFamily,
+    PromTextError,
+    Sample,
+    federate_scrapes,
+    parse_prometheus_text,
+    render_prometheus_text,
+)
+from repro.serve.http import _build_info_text
+
+
+def round_trip(text: str) -> str:
+    return render_prometheus_text(parse_prometheus_text(text))
+
+
+class TestParse:
+    def test_gauge_and_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.add("serve.jobs_submitted", 3)
+        reg.observe("submit_seconds", 0.05, bounds=(0.1, 1.0))
+        reg.observe("submit_seconds", 5.0, bounds=(0.1, 1.0))
+        families = parse_prometheus_text(to_prometheus_text(reg))
+        by_name = {f.name: f for f in families}
+        gauge = by_name["repro_serve_jobs_submitted"]
+        assert gauge.type == "gauge"
+        assert gauge.scalar() == 3
+        hist = by_name["repro_submit_seconds"]
+        assert hist.type == "histogram"
+        assert hist.buckets() == [("0.1", 1), ("1", 1), ("+Inf", 2)]
+        assert hist.scalar("_sum") == pytest.approx(5.05)
+        assert hist.scalar("_count") == 2
+
+    def test_labels_with_escapes(self):
+        [family] = parse_prometheus_text(
+            'weird{path="C:\\\\tmp",msg="say \\"hi\\"\\n"} 1\n'
+        )
+        [sample] = family.samples
+        assert sample.label("path") == "C:\\tmp"
+        assert sample.label("msg") == 'say "hi"\n'
+        assert family.type == "untyped"
+
+    def test_help_and_timestamps_survive(self):
+        text = "# HELP thing What it is.\n# TYPE thing gauge\nthing 4 1700000000\n"
+        [family] = parse_prometheus_text(text)
+        assert family.help == "What it is."
+        assert family.samples[0].value == 4
+
+    def test_special_values(self):
+        families = parse_prometheus_text("a +Inf\nb -Inf\nc NaN\n")
+        values = [f.samples[0].value for f in families]
+        assert values[0] == math.inf
+        assert values[1] == -math.inf
+        assert math.isnan(values[2])
+
+    def test_unparsable_line_raises(self):
+        with pytest.raises(PromTextError, match="line 2"):
+            parse_prometheus_text("ok 1\nthis is not a sample\n")
+        with pytest.raises(PromTextError, match="bad label"):
+            parse_prometheus_text("x{oops} 1\n")
+
+
+class TestRoundTrip:
+    def test_serve_document_is_byte_identical(self):
+        reg = MetricsRegistry()
+        reg.add("serve.jobs_submitted", 7)
+        reg.add("serve.checks_submitted", 12)
+        reg.add("bdd.peak_unique_nodes", 4096)
+        reg.observe("router.submit_seconds", 0.004)
+        reg.observe("router.submit_seconds", 2.5)
+        text = to_prometheus_text(reg) + _build_info_text()
+        assert round_trip(text) == text
+
+    def test_empty_document(self):
+        assert round_trip("") == ""
+        assert render_prometheus_text([]) == ""
+
+    @given(
+        gauges=st.dictionaries(
+            st.from_regex(r"[a-z][a-z_]{0,10}", fullmatch=True),
+            st.one_of(
+                st.integers(min_value=0, max_value=10**9).map(float),
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            ),
+            max_size=6,
+        ),
+        hists=st.dictionaries(
+            st.from_regex(r"h[a-z_]{0,8}_seconds", fullmatch=True),
+            st.lists(
+                st.floats(min_value=0, max_value=50, allow_nan=False),
+                max_size=6,
+            ),
+            max_size=3,
+        ),
+    )
+    def test_random_registry_round_trips(self, gauges, hists):
+        reg = MetricsRegistry()
+        for name, value in gauges.items():
+            reg.add(name, value)
+        for name, values in hists.items():
+            for value in values:
+                reg.observe(name, value)
+        text = to_prometheus_text(reg)
+        if not text.strip():
+            # an empty registry renders as a lone newline, which is
+            # whitespace-only and so parses (correctly) to no families
+            assert round_trip(text) == ""
+            return
+        # %g is not injective — 999999.5 renders "1e+06", which parses
+        # to 1000000.0 and re-renders bare as "1000000" — so byte
+        # identity only holds once the document has been normalised
+        # through one parse/render pass.  Semantics must survive the
+        # normalisation, and the normal form must be a fixed point.
+        normal = round_trip(text)
+        assert parse_prometheus_text(normal) == parse_prometheus_text(text)
+        assert round_trip(normal) == normal
+
+
+def member_text(**metrics) -> str:
+    reg = MetricsRegistry()
+    for name, value in metrics.items():
+        reg.add(name, value)
+    return to_prometheus_text(reg)
+
+
+class TestFederation:
+    def test_counters_sum_and_peaks_max(self):
+        fed = federate_scrapes(
+            {
+                "a:1": member_text(
+                    jobs_submitted=3, **{"bdd.peak_unique_nodes": 100}
+                ),
+                "b:2": member_text(
+                    jobs_submitted=5, **{"bdd.peak_unique_nodes": 700}
+                ),
+            }
+        )
+        assert fed.value("repro_cluster_jobs_submitted") == 8
+        assert fed.value("repro_cluster_bdd_peak_unique_nodes") == 700
+        assert fed.value("repro_cluster_members") == 2
+        assert fed.value("repro_cluster_scraped") == 2
+        assert fed.value("repro_cluster_scrape_errors") == 0
+        assert fed.errors == {}
+
+    def test_histogram_buckets_sum_bucket_by_bucket(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.observe("submit_seconds", 0.05, bounds=(0.1, 1.0))
+        right.observe("submit_seconds", 0.5, bounds=(0.1, 1.0))
+        right.observe("submit_seconds", 9.0, bounds=(0.1, 1.0))
+        fed = federate_scrapes(
+            {
+                "a:1": to_prometheus_text(left),
+                "b:2": to_prometheus_text(right),
+            }
+        )
+        [merged] = [
+            f
+            for f in fed.families
+            if f.name == "repro_cluster_submit_seconds"
+        ]
+        assert merged.type == "histogram"
+        assert merged.buckets() == [("0.1", 1), ("1", 2), ("+Inf", 3)]
+        assert merged.scalar("_sum") == pytest.approx(9.55)
+        assert merged.scalar("_count") == 3
+
+    def test_per_shard_series_keep_their_identity(self):
+        fed = federate_scrapes(
+            {
+                "a:1": member_text(jobs_submitted=3),
+                "b:2": member_text(jobs_submitted=5),
+            }
+        )
+        assert fed.value("repro_jobs_submitted", shard="a:1") == 3
+        assert fed.value("repro_jobs_submitted", shard="b:2") == 5
+        rendered = fed.render()
+        assert 'repro_jobs_submitted{shard="a:1"} 3' in rendered
+        # the federated document itself re-parses cleanly
+        assert parse_prometheus_text(rendered)
+
+    def test_failed_and_unparsable_scrapes_become_errors(self):
+        fed = federate_scrapes(
+            {
+                "a:1": member_text(jobs_submitted=3),
+                "b:2": None,
+                "c:3": "!! not prometheus at all {{{\n",
+            },
+            errors={"b:2": "connection refused"},
+        )
+        assert fed.scraped == 1  # only a:1 contributed a parsed document
+        assert fed.errors["b:2"] == "connection refused"
+        assert "unparsable" in fed.errors["c:3"]
+        assert fed.value("repro_cluster_scrape_errors") == 2
+        assert fed.value("repro_cluster_jobs_submitted") == 3
+
+    def test_mismatched_buckets_drop_the_dissenting_shard(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.observe("submit_seconds", 0.05, bounds=(0.1, 1.0))
+        right.observe("submit_seconds", 0.05, bounds=(0.5,))
+        fed = federate_scrapes(
+            {
+                "a:1": to_prometheus_text(left),
+                "b:2": to_prometheus_text(right),
+            }
+        )
+        assert "bucket bounds disagree" in fed.errors["b:2"]
+        [merged] = [
+            f
+            for f in fed.families
+            if f.name == "repro_cluster_submit_seconds"
+        ]
+        assert merged.scalar("_count") == 1  # only the first shard
+
+    def test_build_info_stays_per_shard_only(self):
+        text = member_text(jobs_submitted=1) + _build_info_text()
+        fed = federate_scrapes({"a:1": text})
+        names = {f.name for f in fed.families}
+        assert "repro_cluster_build_info" not in names
+        assert fed.value(
+            "repro_build_info", shard="a:1"
+        ) == 1  # identity survives, labelled
+
+    def test_nested_federation_does_not_double_prefix(self):
+        inner = federate_scrapes({"a:1": member_text(jobs_submitted=2)})
+        outer = federate_scrapes({"router:1": inner.render()})
+        assert outer.value("repro_cluster_jobs_submitted") == 2

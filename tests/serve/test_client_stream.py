@@ -1,0 +1,114 @@
+"""ServeClient.iter_events against a deliberately flaky SSE server.
+
+The live-progress tests exercise reconnection only incidentally (an
+idle timeout might or might not fire); here a purpose-built server
+drops the connection at a *known* point, so the resume position, the
+``on_reconnect`` callback payload and the delivered-event set are all
+deterministic.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+
+
+class _FlakyStreamHandler(BaseHTTPRequestHandler):
+    """Serves ``/v1/jobs/<id>/events`` and drops after two events.
+
+    First connection: events 1 and 2, then an abrupt close with no
+    ``end`` frame.  Every later connection: the events after the
+    client's ``Last-Event-ID``, then a clean ``end``.
+    """
+
+    protocol_version = "HTTP/1.1"
+    events = [
+        {"seq": 1, "kind": "job.state", "state": "running"},
+        {"seq": 2, "kind": "obligation.progress", "done": 1},
+        {"seq": 3, "kind": "job.state", "state": "done"},
+    ]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _frame(self, event: dict) -> bytes:
+        return (
+            f"id: {event['seq']}\ndata: {json.dumps(event)}\n\n".encode()
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        server = self.server
+        since = int(self.headers.get("Last-Event-ID", "0"))
+        server.seen_since.append(since)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        first = len(server.seen_since) == 1
+        for event in self.events:
+            if event["seq"] <= since:
+                continue
+            if first and event["seq"] > 2:
+                break  # drop mid-stream, no end frame
+            self.wfile.write(self._frame(event))
+        if not first:
+            self.wfile.write(b"event: end\ndata: {}\n\n")
+        self.wfile.flush()
+
+
+@pytest.fixture
+def flaky_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyStreamHandler)
+    server.seen_since = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+class TestReconnect:
+    def test_drop_resumes_without_loss_or_repeat(self, flaky_server):
+        client = ServeClient(
+            f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        )
+        reconnects = []
+        events = list(
+            client.iter_events("job1", on_reconnect=reconnects.append)
+        )
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        # exactly one drop, reported before the retry slept
+        assert len(reconnects) == 1
+        info = reconnects[0]
+        assert info["attempt"] == 1
+        assert info["since"] == 2  # resume position = last delivered
+        assert info["delay"] == pytest.approx(0.05)
+        assert "end frame" in info["error"]
+        # the server saw the resumed Last-Event-ID, not a replay from 0
+        assert flaky_server.seen_since == [0, 2]
+
+    def test_reconnect_disabled_stops_at_the_drop(self, flaky_server):
+        client = ServeClient(
+            f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        )
+        events = list(client.iter_events("job1", reconnect=False))
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_exhausted_reconnects_raise(self, flaky_server):
+        class AlwaysDrop(_FlakyStreamHandler):
+            events = []
+
+            def do_GET(self):  # noqa: N802
+                self.server.seen_since.clear()  # every request is "first"
+                super().do_GET()
+
+        flaky_server.RequestHandlerClass = AlwaysDrop
+        client = ServeClient(
+            f"http://127.0.0.1:{flaky_server.server_address[1]}"
+        )
+        with pytest.raises(ServeClientError, match="dropped"):
+            list(client.iter_events("job1", max_reconnects=2))

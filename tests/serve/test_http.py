@@ -229,6 +229,50 @@ class TestObservabilityEndpoints:
         assert first["trace_id"] and second["trace_id"]
         assert first["trace_id"] != second["trace_id"]
 
+    def _submit_with_trace_header(self, server, header_value):
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/check",
+            data=json.dumps({"source": GOOD}).encode(),
+            headers={
+                "Content-Type": "application/json",
+                "X-Repro-Trace-Id": header_value,
+            },
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def test_inbound_trace_header_is_honored_end_to_end(self, service):
+        # a router propagates its minted id; the shard must adopt it
+        server, _, client = service
+        minted = "ab" * 16
+        payload = self._submit_with_trace_header(server, minted)
+        assert payload["trace_id"] == minted
+        job = client.wait(payload["id"])
+        assert job["trace_id"] == minted
+        trace = client.job_trace(payload["id"])
+        assert trace["trace_id"] == minted
+        roots = [s for s in trace["spans"] if s["parent"] is None]
+        assert roots[0]["attrs"]["trace_id"] == minted
+
+    def test_malformed_inbound_trace_header_is_replaced(self, service):
+        # garbage in the header must never fail the submission — the
+        # shard just mints a fresh identity instead
+        server, _, _ = service
+        payload = self._submit_with_trace_header(server, "not a trace!")
+        assert len(payload["trace_id"]) == 32
+        assert payload["trace_id"] != "not a trace!"
+
+    def test_trace_payload_carries_wall_origin(self, service):
+        # the router grafts shard traces onto its own clock via this
+        _, _, client = service
+        job = client.check(GOOD)
+        trace = client.job_trace(job["id"])
+        assert trace["wall_origin"] > 0
+        assert "shard" in trace
+
     def test_job_document_has_timings(self, service):
         _, _, client = service
         job = client.check(GOOD)

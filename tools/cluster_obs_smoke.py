@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""CI smoke for the cluster-wide observability plane.
+
+Boots three real subprocesses on loopback — two ring members
+(``repro serve --ring``) and a ``repro cluster router`` over them —
+then drives one steered batch through every observability surface the
+router promises:
+
+* **stitched distributed trace** — ``GET /v1/jobs/<id>/trace`` on the
+  router returns a single span tree rooted at a synthetic
+  ``router.job`` span, with worker spans from *both* shards grafted
+  under it, every span carrying the router-minted ``trace_id`` that
+  the acceptance payload announced;
+* **federated metrics** — the router's ``/metrics`` aggregates equal
+  the *sum* of the two members' own scrapes, counter for counter, and
+  the ``/v1/cluster/metrics`` JSON twin agrees;
+* **multiplexed progress** — a ServeClient consuming the router's
+  ``GET /v1/jobs/<id>/events`` live sees one totally-ordered stream in
+  which every relayed event is shard-tagged, shard-local order is
+  preserved, and per-shard job states advance monotonically;
+* **cluster status** — ``repro cluster status --ring ...`` exits 0 and
+  reports both shards healthy.
+
+Writes ``cluster_trace.json``, ``federated_metrics.txt``,
+``cluster_metrics_{a,b}.txt`` and ``router_events.jsonl`` into
+``--artifact-dir`` for upload.
+
+    PYTHONPATH=src python tools/cluster_obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+CHECKS = 4  # steered 2/2 onto the two shards
+N = 4  # AFS-2 server size: real work, but quick
+
+_STATE_RANK = {
+    "queued": 0,
+    "running": 1,
+    "done": 2,
+    "cached": 2,
+    "failed": 2,
+    "timeout": 2,
+    "cancelled": 2,
+}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_server(client, timeout: float = 30.0) -> None:
+    from repro.serve.client import ServeClientError
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return
+        except ServeClientError:
+            time.sleep(0.1)
+    fail(f"{client.url} did not become healthy in time")
+
+
+def steered_batch(config) -> list[dict]:
+    """``CHECKS`` equal-cost AFS-2 checks, split evenly by the ring."""
+    from repro.casestudies.afs2 import SERVER_SPECS_FIGURE, server_source
+    from repro.cluster.ring import request_fingerprint
+
+    base = server_source(N, rename=False)
+    shards = list(config.shard_ids)
+    checks = []
+    salt = 0
+    for i in range(CHECKS):
+        want = shards[i % len(shards)]
+        while True:
+            source = (
+                base.replace("VAR", f"VAR\n  pad{salt} : boolean;", 1)
+                + SERVER_SPECS_FIGURE
+            )
+            salt += 1
+            check = {"source": source, "label": f"srv{N}-{i}"}
+            if config.ring.owner(request_fingerprint(check)) == want:
+                checks.append(check)
+                break
+            if salt > 10_000:  # pragma: no cover
+                fail("could not steer the batch onto both shards")
+    return checks
+
+
+def scalar_samples(text: str) -> dict[str, float]:
+    """Unlabeled ``name -> value`` samples of one exposition document."""
+    from repro.obs.promtext import parse_prometheus_text
+
+    samples: dict[str, float] = {}
+    for family in parse_prometheus_text(text):
+        for sample in family.samples:
+            if not sample.labels:
+                samples[sample.name] = sample.value
+    return samples
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port-a", type=int, default=8161)
+    parser.add_argument("--port-b", type=int, default=8162)
+    parser.add_argument("--port-router", type=int, default=8163)
+    parser.add_argument("--artifact-dir", default=".")
+    args = parser.parse_args(argv)
+
+    from repro.cluster.ring import RingConfig
+    from repro.serve.client import ServeClient
+
+    artifact_dir = pathlib.Path(args.artifact_dir)
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    work = pathlib.Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
+
+    ring = f"127.0.0.1:{args.port_a},127.0.0.1:{args.port_b}"
+    config = RingConfig.parse(ring)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+
+    def spawn(cmd: list[str]) -> subprocess.Popen:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", *cmd],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    procs = {
+        "a": spawn(
+            [
+                "serve", "--port", str(args.port_a), "--jobs", "1",
+                "--cache-dir", str(work / "a-store"),
+                "--ring", ring, "--advertise", f"127.0.0.1:{args.port_a}",
+            ]
+        ),
+        "b": spawn(
+            [
+                "serve", "--port", str(args.port_b), "--jobs", "1",
+                "--cache-dir", str(work / "b-store"),
+                "--ring", ring, "--advertise", f"127.0.0.1:{args.port_b}",
+            ]
+        ),
+        "router": spawn(
+            [
+                "cluster", "router", "--ring", ring,
+                "--port", str(args.port_router),
+            ]
+        ),
+    }
+    clients = {
+        "a": ServeClient(f"http://127.0.0.1:{args.port_a}"),
+        "b": ServeClient(f"http://127.0.0.1:{args.port_b}"),
+        "router": ServeClient(f"http://127.0.0.1:{args.port_router}"),
+    }
+    try:
+        for client in clients.values():
+            wait_for_server(client)
+
+        # -- submit and consume the merged stream live --------------------
+        batch = steered_batch(config)
+        accepted = clients["router"].submit(batch, timeout=600)
+        trace_id = accepted.get("trace_id", "")
+        if len(trace_id) != 32:
+            fail(f"router acceptance has no minted trace_id: {accepted}")
+        events: list[dict] = []
+        consumer = threading.Thread(
+            target=lambda: events.extend(
+                clients["router"].iter_events(accepted["id"])
+            ),
+            daemon=True,
+        )
+        consumer.start()
+        job = clients["router"].wait(accepted["id"], timeout=600)
+        if job["state"] != "done":
+            fail(f"routed batch ended {job['state']}: {job.get('error')}")
+        if job["trace_id"] != trace_id:
+            fail("job document lost the router-minted trace id")
+        if any(not part["trace_id"] for part in job["shards"]):
+            fail("a shard slice reports an empty trace_id")
+        consumer.join(timeout=120)
+        if consumer.is_alive():
+            fail("router event stream never reached its end frame")
+
+        # -- the merged stream: ordered, shard-tagged, monotone -----------
+        if not events or events[0].get("kind") != "job.routed":
+            fail("merged stream did not open with job.routed")
+        seqs = [e["seq"] for e in events]
+        if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+            fail("merged stream seq numbers are not strictly increasing")
+        relayed = [e for e in events if e.get("kind") != "job.routed"]
+        tagged = {e.get("shard") for e in relayed}
+        if tagged != set(config.shard_ids):
+            fail(f"relayed events not tagged with both shards: {tagged}")
+        for shard in config.shard_ids:
+            local = [
+                e["shard_seq"] for e in relayed if e.get("shard") == shard
+            ]
+            if local != sorted(local):
+                fail(f"shard-local order lost for {shard}")
+            states = [
+                _STATE_RANK[e["state"]]
+                for e in relayed
+                if e.get("shard") == shard
+                and e.get("kind") == "job.state"
+            ]
+            if not states:
+                fail(f"no job.state events relayed for {shard}")
+            if states != sorted(states):
+                fail(f"job states for {shard} regressed mid-stream")
+        print(
+            f"events: {len(events)} merged, both shards tagged, "
+            f"states monotone"
+        )
+
+        # -- the stitched trace -------------------------------------------
+        trace = clients["router"].job_trace(accepted["id"])
+        if trace["trace_id"] != trace_id:
+            fail("stitched trace does not carry the minted trace id")
+        spans = trace["spans"]
+        roots = [s for s in spans if s["parent"] is None]
+        if len(roots) != 1 or roots[0]["name"] != "router.job":
+            fail(f"expected one router.job root, got {roots}")
+        span_shards = {
+            s["attrs"]["shard"]
+            for s in spans
+            if "shard" in s.get("attrs", {})
+        }
+        if span_shards != set(config.shard_ids):
+            fail(f"stitched trace covers {span_shards}, want both shards")
+        ids = {
+            s["attrs"]["trace_id"]
+            for s in spans
+            if "trace_id" in s.get("attrs", {})
+        }
+        if ids != {trace_id}:
+            fail(f"span trace ids disagree with the minted id: {ids}")
+        if any(s["start_us"] < 0 for s in spans):
+            fail("stitched trace has negative span offsets")
+        categories = sorted({s.get("cat", "") for s in spans} - {""})
+        print(
+            f"trace: {len(spans)} spans from {len(span_shards)} shards "
+            f"under one root (categories: {', '.join(categories)})"
+        )
+
+        # -- federated metrics reconcile exactly --------------------------
+        member_texts = {
+            name: clients[name].metrics_text() for name in ("a", "b")
+        }
+        federated_text = clients["router"].metrics_text()
+        federated = scalar_samples(federated_text)
+        members = {
+            name: scalar_samples(text)
+            for name, text in member_texts.items()
+        }
+        for counter in (
+            "repro_serve_jobs_submitted",
+            "repro_serve_jobs_completed",
+            "repro_serve_checks_submitted",
+            "repro_store_misses",
+        ):
+            expect = sum(m.get(counter, 0.0) for m in members.values())
+            got = federated.get(f"repro_cluster_{counter[len('repro_'):]}")
+            if got != expect:
+                fail(
+                    f"federated {counter}: {got} != member sum {expect}"
+                )
+        if federated.get("repro_cluster_members") != 2:
+            fail("repro_cluster_members != 2")
+        if federated.get("repro_cluster_scrape_errors") != 0:
+            fail("scrape errors on an all-healthy cluster")
+        twin = clients["router"]._request("GET", "/v1/cluster/metrics")
+        if twin["scraped"] != 2 or twin["errors"]:
+            fail(f"JSON twin disagrees: {twin['scraped']}, {twin['errors']}")
+        for name, value in twin["aggregates"].items():
+            rendered = federated.get(name)
+            # the text document renders through %g (6 significant
+            # digits); the JSON twin carries full float precision
+            if rendered is None or not math.isclose(
+                rendered, value, rel_tol=1e-5, abs_tol=1e-9
+            ):
+                fail(f"JSON twin {name}={value} != text {rendered}")
+        print(
+            "metrics: federated aggregates reconcile with member scrapes "
+            f"({int(federated['repro_cluster_serve_checks_submitted'])} "
+            "checks clusterwide)"
+        )
+
+        # -- the status CLI -----------------------------------------------
+        status = subprocess.run(
+            [sys.executable, "-m", "repro", "cluster", "status",
+             "--ring", ring],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        if status.returncode != 0:
+            fail(f"repro cluster status exited {status.returncode}:\n"
+                 f"{status.stderr}")
+        if "2/2 shard(s) healthy" not in status.stdout:
+            fail(f"status table missing health line:\n{status.stdout}")
+        print("status: CLI reports 2/2 shards healthy")
+
+        # -- artifacts -----------------------------------------------------
+        (artifact_dir / "cluster_trace.json").write_text(
+            json.dumps(trace, indent=2)
+        )
+        (artifact_dir / "federated_metrics.txt").write_text(federated_text)
+        for name, text in member_texts.items():
+            (artifact_dir / f"cluster_metrics_{name}.txt").write_text(text)
+        (artifact_dir / "router_events.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in events)
+        )
+        print(
+            f"artifacts: trace ({len(spans)} spans), federated metrics, "
+            f"{len(events)} streamed events"
+        )
+    finally:
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.kill()
+        for proc in procs.values():
+            proc.wait(timeout=30)
+
+    print("OK: cluster observability smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
